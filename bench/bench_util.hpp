@@ -1,0 +1,116 @@
+// Shared infrastructure for the experiment benches. Every bench binary
+// first *verifies* the paper claims of its experiment (aborting loudly on
+// mismatch, so a green bench run is also a reproduction check), then times
+// the constructions with google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/lang/random_lang.hpp"
+#include "src/omega/det_omega.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/rng.hpp"
+
+#define BENCH_CHECK(cond, what)                                                   \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::fprintf(stderr, "REPRODUCTION FAILURE: %s (%s:%d)\n", (what), __FILE__, \
+                   __LINE__);                                                     \
+      std::exit(1);                                                              \
+    }                                                                             \
+  } while (0)
+
+namespace mph::bench {
+
+/// Random complete deterministic automaton with Streett acceptance over
+/// `pairs` pairs: structure uniform, each state in R_i (resp. P_i) with
+/// probability 1/4 (resp. 1/2).
+inline omega::DetOmega random_streett(Rng& rng, const lang::Alphabet& alphabet,
+                                      std::size_t n_states, std::size_t pairs) {
+  omega::DetOmega m(alphabet, n_states, 0, omega::Acceptance::streett(pairs));
+  for (omega::State q = 0; q < n_states; ++q) {
+    for (omega::Symbol s = 0; s < alphabet.size(); ++s)
+      m.set_transition(q, s, static_cast<omega::State>(rng.below(n_states)));
+    for (std::size_t i = 0; i < pairs; ++i) {
+      if (rng.chance(1, 4)) m.add_mark(q, static_cast<omega::Mark>(2 * i));
+      if (rng.chance(1, 2)) m.add_mark(q, static_cast<omega::Mark>(2 * i + 1));
+    }
+  }
+  return m;
+}
+
+/// "The highest letter seen infinitely often has an odd index" over 2n
+/// letters — Wagner's canonical witness with Streett chain exactly n.
+inline omega::DetOmega parity_language(std::size_t n) {
+  std::vector<std::string> letters;
+  for (std::size_t i = 0; i < 2 * n; ++i) letters.push_back("l" + std::to_string(i));
+  auto sigma = lang::Alphabet::plain(std::move(letters));
+  omega::Acceptance acc = omega::Acceptance::f();
+  for (std::size_t i = 1; i < 2 * n; i += 2) {
+    omega::Acceptance clause = omega::Acceptance::inf(static_cast<omega::Mark>(i));
+    for (std::size_t j = i + 1; j < 2 * n; ++j)
+      clause = omega::Acceptance::conj(std::move(clause),
+                                       omega::Acceptance::fin(static_cast<omega::Mark>(j)));
+    acc = omega::Acceptance::disj(std::move(acc), std::move(clause));
+  }
+  omega::DetOmega m(sigma, 2 * n, 0, std::move(acc));
+  for (omega::State q = 0; q < 2 * n; ++q) {
+    m.add_mark(q, static_cast<omega::Mark>(q));
+    for (omega::Symbol s = 0; s < 2 * n; ++s) m.set_transition(q, s, s);
+  }
+  return m;
+}
+
+/// Product automaton for ⋀_{i<n} (□pᵢ ∨ ◇qᵢ) over 2n propositions — the
+/// obligation hierarchy witness with independent propositions (see
+/// EXPERIMENTS.md erratum E4 on why the paper's regex family is replaced).
+inline omega::DetOmega obligation_family(std::size_t n) {
+  std::vector<std::string> props;
+  for (std::size_t i = 0; i < n; ++i) {
+    props.push_back("p" + std::to_string(i));
+    props.push_back("q" + std::to_string(i));
+  }
+  auto sigma = lang::Alphabet::of_props(props);
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= 3;
+  omega::Acceptance acc = omega::Acceptance::t();
+  for (std::size_t i = 0; i < n; ++i)
+    acc = omega::Acceptance::conj(std::move(acc),
+                                  omega::Acceptance::fin(static_cast<omega::Mark>(i)));
+  omega::DetOmega m(sigma, total, 0, std::move(acc));
+  for (omega::State q = 0; q < total; ++q) {
+    std::vector<int> dig(n);
+    omega::State rest = q;
+    for (std::size_t i = 0; i < n; ++i) {
+      dig[i] = static_cast<int>(rest % 3);
+      rest /= 3;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      if (dig[i] == 1) m.add_mark(q, static_cast<omega::Mark>(i));
+    for (omega::Symbol s = 0; s < sigma.size(); ++s) {
+      omega::State next = 0;
+      std::size_t mult = 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool p = sigma.holds(s, 2 * i);
+        const bool qq = sigma.holds(s, 2 * i + 1);
+        int d = dig[i];
+        if (d != 2) {
+          if (qq)
+            d = 2;
+          else if (!p)
+            d = 1;
+        }
+        next += static_cast<omega::State>(static_cast<std::size_t>(d) * mult);
+        mult *= 3;
+      }
+      m.set_transition(q, s, next);
+    }
+  }
+  return m;
+}
+
+}  // namespace mph::bench

@@ -1,0 +1,110 @@
+// Experiment F1 — Figure 1, the inclusion diagram.
+//
+// Verifies the full containment matrix between the six classes on the
+// canonical witnesses, including strictness of every edge of Figure 1 and
+// the orthogonality to the safety–liveness classification, then times the
+// classification machinery on each witness.
+#include "bench/bench_util.hpp"
+#include "src/core/classify.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace mph;
+using core::PropertyClass;
+
+struct Witness {
+  std::string name;
+  omega::DetOmega automaton;
+  PropertyClass expected_lowest;
+  bool expected_live;
+};
+
+std::vector<Witness> witnesses() {
+  auto sigma = lang::Alphabet::plain({"a", "b", "c"});
+  auto r = [&](const std::string& re) { return lang::compile_regex(re, sigma); };
+  std::vector<Witness> out;
+  out.push_back({"A(a+b*)", omega::op_a(r("a+b*")), PropertyClass::Safety, false});
+  out.push_back({"E(S*b)", omega::op_e(r("(a|b|c)*b")), PropertyClass::Guarantee, true});
+  out.push_back({"a*b^w + S*cS^w",
+                 union_of(intersection(omega::op_a(r("a*b*")), omega::op_e(r("a*b"))),
+                          omega::op_e(r("(a|b|c)*c"))),
+                 PropertyClass::Obligation, true});
+  out.push_back({"R((a*b)+)", omega::op_r(r("(a*b)+")), PropertyClass::Recurrence, false});
+  out.push_back({"P(S*a)", omega::op_p(r("(a|b|c)*a")), PropertyClass::Persistence, true});
+  out.push_back({"R(S*a)|P(S*b)",
+                 union_of(omega::op_r(r("(a|b|c)*a")), omega::op_p(r("(a|b|c)*b"))),
+                 PropertyClass::Reactivity, true});
+  return out;
+}
+
+void verify() {
+  auto ws = witnesses();
+  TextTable t({"witness", "least class", "expected", "live"});
+  for (const auto& w : ws) {
+    auto c = core::classify(w.automaton);
+    t.add_row({w.name, core::to_string(c.lowest()), core::to_string(w.expected_lowest),
+               c.liveness ? "yes" : "no"});
+    BENCH_CHECK(c.lowest() == w.expected_lowest,
+                ("witness " + w.name + " misclassified as " + core::to_string(c.lowest()))
+                    .c_str());
+    BENCH_CHECK(c.liveness == w.expected_live, ("liveness of " + w.name).c_str());
+    // Figure 1 inclusions hold upward from the least class.
+    if (c.safety || c.guarantee) BENCH_CHECK(c.obligation, "safety/guarantee ⊆ obligation");
+    if (c.obligation) BENCH_CHECK(c.recurrence && c.persistence, "obligation ⊆ rec ∩ pers");
+  }
+  // Strictness of every Figure-1 edge: each witness rejects all classes
+  // strictly below its level.
+  auto c_obl = core::classify(ws[2].automaton);
+  BENCH_CHECK(!c_obl.safety && !c_obl.guarantee, "obligation witness is strictly obligation");
+  auto c_rec = core::classify(ws[3].automaton);
+  BENCH_CHECK(!c_rec.obligation && !c_rec.persistence, "recurrence witness strictness");
+  auto c_per = core::classify(ws[4].automaton);
+  BENCH_CHECK(!c_per.obligation && !c_per.recurrence, "persistence witness strictness");
+  auto c_rea = core::classify(ws[5].automaton);
+  BENCH_CHECK(!c_rea.recurrence && !c_rea.persistence, "reactivity witness strictness");
+  // Orthogonality: the recurrence class contains both live and non-live
+  // members (ws[3] is recurrence & non-live; GF-b over {a,b,c} is live).
+  BENCH_CHECK(!c_rec.liveness, "a non-live recurrence property exists");
+  std::printf("F1: Figure 1 inclusion matrix verified on all canonical witnesses\n%s\n",
+              t.to_string().c_str());
+}
+
+void bench_classify(benchmark::State& state) {
+  auto ws = witnesses();
+  const auto& w = ws[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto c = core::classify(w.automaton);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(bench_classify)->DenseRange(0, 5);
+
+void bench_safety_test(benchmark::State& state) {
+  auto ws = witnesses();
+  const auto& w = ws[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) benchmark::DoNotOptimize(core::is_safety(w.automaton));
+  state.SetLabel(w.name);
+}
+BENCHMARK(bench_safety_test)->DenseRange(0, 5);
+
+void bench_recurrence_test(benchmark::State& state) {
+  auto ws = witnesses();
+  const auto& w = ws[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) benchmark::DoNotOptimize(core::is_recurrence(w.automaton));
+  state.SetLabel(w.name);
+}
+BENCHMARK(bench_recurrence_test)->DenseRange(0, 5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

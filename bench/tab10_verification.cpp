@@ -1,0 +1,98 @@
+// Experiment T10 — the verification story (§1/§4): model checking the
+// mutual-exclusion specifications over the paper's implementations:
+//   - trivial mutex: safety holds, accessibility VIOLATED (the
+//     underspecification example of the introduction);
+//   - Peterson: both hold under weak fairness;
+//   - semaphore: accessibility needs strong fairness.
+// Then checking time is measured over growing systems.
+#include "bench/bench_util.hpp"
+#include "src/fts/checker.hpp"
+#include "src/fts/programs.hpp"
+#include "src/fts/proof_rules.hpp"
+#include "src/ltl/patterns.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace mph;
+namespace pat = ltl::patterns;
+
+void verify() {
+  TextTable t({"implementation", "mutual exclusion", "accessibility P1"});
+  auto run = [&](const std::string& name, fts::programs::Program prog, bool expect_mutex,
+                 bool expect_access) {
+    bool mutex =
+        fts::check(prog.system, pat::mutual_exclusion("c1", "c2"), prog.atoms).holds;
+    bool access = fts::check(prog.system, pat::accessibility("t1", "c1"), prog.atoms).holds;
+    t.add_row({name, mutex ? "holds" : "VIOLATED", access ? "holds" : "VIOLATED"});
+    BENCH_CHECK(mutex == expect_mutex, ("mutual exclusion on " + name).c_str());
+    BENCH_CHECK(access == expect_access, ("accessibility on " + name).c_str());
+  };
+  run("trivial", fts::programs::trivial_mutex(), true, false);
+  run("peterson", fts::programs::peterson(), true, true);
+  run("semaphore/weak", fts::programs::semaphore_mutex(2, fts::Fairness::Weak), true, false);
+  run("semaphore/strong", fts::programs::semaphore_mutex(2, fts::Fairness::Strong), true,
+      true);
+
+  // Proof rules agree with model checking on Peterson.
+  {
+    auto prog = fts::programs::peterson();
+    const auto& s = prog.system;
+    std::size_t pc1 = s.var_index("pc1"), pc2 = s.var_index("pc2");
+    auto mutex = [pc1, pc2](const fts::Valuation& v) {
+      return !(v[pc1] == 2 && v[pc2] == 2);
+    };
+    BENCH_CHECK(fts::verify_invariance(prog.system, mutex).proved,
+                "invariance rule proves mutual exclusion");
+  }
+  std::printf("T10: verification matrix reproduced\n%s\n", t.to_string().c_str());
+}
+
+void bench_check_semaphore(benchmark::State& state) {
+  auto prog = fts::programs::semaphore_mutex(static_cast<std::size_t>(state.range(0)),
+                                             fts::Fairness::Strong);
+  auto spec = pat::accessibility("t1", "c1");
+  for (auto _ : state) benchmark::DoNotOptimize(fts::check(prog.system, spec, prog.atoms));
+  state.SetLabel("processes=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_check_semaphore)->DenseRange(2, 4);
+
+void bench_check_peterson(benchmark::State& state) {
+  auto prog = fts::programs::peterson();
+  const char* specs[] = {"G !(c1 & c2)", "G(t1 -> F c1)", "G(c1 -> O t1)"};
+  auto spec = ltl::parse_formula(specs[state.range(0)]);
+  for (auto _ : state) benchmark::DoNotOptimize(fts::check(prog.system, spec, prog.atoms));
+  state.SetLabel(specs[state.range(0)]);
+}
+BENCHMARK(bench_check_peterson)->DenseRange(0, 2);
+
+void bench_check_producer_consumer(benchmark::State& state) {
+  auto prog = fts::programs::producer_consumer(static_cast<int>(state.range(0)));
+  auto spec = ltl::parse_formula("G(full -> F !full)");
+  for (auto _ : state) benchmark::DoNotOptimize(fts::check(prog.system, spec, prog.atoms));
+  state.SetLabel("capacity=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_check_producer_consumer)->RangeMultiplier(4)->Range(4, 256);
+
+void bench_invariance_rule(benchmark::State& state) {
+  auto prog = fts::programs::semaphore_mutex(static_cast<std::size_t>(state.range(0)),
+                                             fts::Fairness::Strong);
+  const auto& s = prog.system;
+  std::size_t pc1 = s.var_index("pc1"), pc2 = s.var_index("pc2");
+  auto mutex = [pc1, pc2](const fts::Valuation& v) {
+    return !(v[pc1] == 2 && v[pc2] == 2);
+  };
+  for (auto _ : state) benchmark::DoNotOptimize(fts::verify_invariance(prog.system, mutex));
+  state.SetLabel("processes=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_invariance_rule)->DenseRange(2, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

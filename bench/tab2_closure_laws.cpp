@@ -1,0 +1,124 @@
+// Experiment T2 — §2's algebraic laws: duality of A/E and R/P, closure of
+// every basic class under union and intersection (including the minex
+// identity R(Φ₁) ∩ R(Φ₂) = R(minex(Φ₁,Φ₂))), and the characterization
+// claims, verified on randomized regular languages; then the constructions
+// are timed across automaton sizes.
+#include "bench/bench_util.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/finitary_ops.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/first_order.hpp"
+
+namespace {
+
+using namespace mph;
+
+void verify() {
+  Rng rng(20260707);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  int laws_checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    lang::Dfa p1 = lang::random_dfa(rng, sigma, 4);
+    lang::Dfa p2 = lang::random_dfa(rng, sigma, 4);
+    lang::Dfa b1 = lang::complement_nonepsilon(p1);
+    // Duality (§2).
+    BENCH_CHECK(omega::equivalent(complement(omega::op_a(p1)), omega::op_e(b1)),
+                "¬A(Φ) = E(Φ̄)");
+    BENCH_CHECK(omega::equivalent(complement(omega::op_r(p1)), omega::op_p(b1)),
+                "¬R(Φ) = P(Φ̄)");
+    // Closure of the four basic classes.
+    BENCH_CHECK(omega::equivalent(intersection(omega::op_a(p1), omega::op_a(p2)),
+                                  omega::op_a(lang::intersection(p1, p2))),
+                "A∩A = A(∩)");
+    BENCH_CHECK(omega::equivalent(union_of(omega::op_a(p1), omega::op_a(p2)),
+                                  omega::op_a(lang::union_of(lang::a_f(p1), lang::a_f(p2)))),
+                "A∪A = A(A_f∪A_f)");
+    BENCH_CHECK(omega::equivalent(union_of(omega::op_e(p1), omega::op_e(p2)),
+                                  omega::op_e(lang::union_of(p1, p2))),
+                "E∪E = E(∪)");
+    BENCH_CHECK(
+        omega::equivalent(intersection(omega::op_e(p1), omega::op_e(p2)),
+                          omega::op_e(lang::intersection(lang::e_f(p1), lang::e_f(p2)))),
+        "E∩E = E(E_f∩E_f)");
+    BENCH_CHECK(omega::equivalent(union_of(omega::op_r(p1), omega::op_r(p2)),
+                                  omega::op_r(lang::union_of(p1, p2))),
+                "R∪R = R(∪)");
+    BENCH_CHECK(omega::equivalent(intersection(omega::op_r(p1), omega::op_r(p2)),
+                                  omega::op_r(lang::minex(p1, p2))),
+                "R∩R = R(minex)  [the §2 minex identity]");
+    BENCH_CHECK(omega::equivalent(intersection(omega::op_p(p1), omega::op_p(p2)),
+                                  omega::op_p(lang::intersection(p1, p2))),
+                "P∩P = P(∩)");
+    // Characterization claim: A-built properties equal their safety closure.
+    BENCH_CHECK(omega::equivalent(omega::op_a(p1), omega::safety_closure(omega::op_a(p1))),
+                "Π safety ⇒ Π = A(Pref Π)");
+    // Inclusion equalities.
+    BENCH_CHECK(omega::equivalent(omega::op_a(p1), omega::op_r(lang::a_f(p1))),
+                "A(Φ) = R(A_f(Φ))");
+    BENCH_CHECK(omega::equivalent(omega::op_e(p1), omega::op_p(lang::e_f(p1))),
+                "E(Φ) = P(E_f(Φ))");
+    laws_checked += 11;
+  }
+  // The first-order view coincides with the automata view on all lassos.
+  {
+    Rng rng(2);
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    auto a = omega::op_a(phi);
+    auto r = omega::op_r(phi);
+    for (const omega::Lasso& l : omega::enumerate_lassos(sigma, 2, 2)) {
+      BENCH_CHECK(omega::fo_satisfies(omega::FoOperator::A, phi, l) == a.accepts(l),
+                  "χ_A coincides with A(Φ)");
+      BENCH_CHECK(omega::fo_satisfies(omega::FoOperator::R, phi, l) == r.accepts(l),
+                  "χ_R coincides with R(Φ)");
+      laws_checked += 2;
+    }
+  }
+  std::printf("T2: %d instances of the §2 closure/duality/first-order laws verified\n",
+              laws_checked);
+}
+
+lang::Dfa sized_dfa(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  return lang::random_dfa(rng, sigma, n);
+}
+
+void bench_minex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lang::Dfa p1 = sized_dfa(1, n), p2 = sized_dfa(2, n);
+  for (auto _ : state) benchmark::DoNotOptimize(lang::minex(p1, p2));
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(bench_minex)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void bench_a_f(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lang::Dfa p = sized_dfa(3, n);
+  for (auto _ : state) benchmark::DoNotOptimize(lang::a_f(p));
+}
+BENCHMARK(bench_a_f)->RangeMultiplier(2)->Range(4, 64);
+
+void bench_safety_closure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto m = omega::op_r(sized_dfa(4, n));
+  for (auto _ : state) benchmark::DoNotOptimize(omega::safety_closure(m));
+}
+BENCHMARK(bench_safety_closure)->RangeMultiplier(2)->Range(4, 64);
+
+void bench_equivalence_check(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto m1 = omega::op_r(sized_dfa(5, n));
+  auto m2 = omega::op_r(sized_dfa(6, n));
+  for (auto _ : state) benchmark::DoNotOptimize(omega::equivalent(m1, m2));
+}
+BENCHMARK(bench_equivalence_check)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

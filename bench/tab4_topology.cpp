@@ -1,0 +1,105 @@
+// Experiment T4 — the topological view (§3): safety = closed, guarantee =
+// open, recurrence = G_δ (via the paper's G_k intersection example),
+// persistence = F_σ, liveness = dense; plus metric-space sanity on sampled
+// lassos. Then closure/interior and the topological predicates are timed.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/topology/topology.hpp"
+
+namespace {
+
+using namespace mph;
+
+void verify() {
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto r = [&](const std::string& re) { return lang::compile_regex(re, sigma); };
+
+  // Class ↔ topology correspondences on the witnesses.
+  BENCH_CHECK(topology::is_closed(omega::op_a(r("a+b*"))), "safety = closed");
+  BENCH_CHECK(!topology::is_open(omega::op_a(r("a+b*"))), "the safety witness is not open");
+  BENCH_CHECK(topology::is_open(omega::op_e(r("(a|b)*b"))), "guarantee = open");
+  BENCH_CHECK(topology::is_g_delta(omega::op_r(r("(a*b)+"))), "recurrence = G_δ");
+  BENCH_CHECK(!topology::is_f_sigma(omega::op_r(r("(a*b)+"))), "(a*b)^ω is not F_σ");
+  BENCH_CHECK(topology::is_f_sigma(omega::op_p(r("(a|b)*a"))), "persistence = F_σ");
+  BENCH_CHECK(topology::is_dense(omega::op_r(r("(a*b)+"))), "liveness = dense");
+
+  // §3's G_δ example: H = ∩ G_k with G_k = (a*b)^k Σ^ω open, H ∉ {open,
+  // closed}.
+  {
+    auto h = omega::op_r(r("(a*b)+"));
+    auto g1 = omega::op_e(r("a*b"));
+    auto g2 = omega::op_e(r("a*ba*b"));
+    auto g3 = omega::op_e(r("a*ba*ba*b"));
+    for (const auto& g : {g1, g2, g3}) BENCH_CHECK(omega::contains(g, h), "H ⊆ G_k");
+    BENCH_CHECK(topology::is_open(intersection(g1, intersection(g2, g3))),
+                "finite intersections of opens stay open");
+    BENCH_CHECK(!topology::is_open(h) && !topology::is_closed(h),
+                "H is neither open nor closed");
+  }
+
+  // cl(a⁺b^ω) = a⁺b^ω + a^ω (§3's closure example), via limit points.
+  {
+    auto m = intersection(omega::op_a(r("a+b*")), omega::op_e(r("a+b")));
+    auto limit = omega::parse_lasso("(a)", sigma);
+    BENCH_CHECK(!m.accepts(limit), "a^ω is not in a⁺b^ω");
+    BENCH_CHECK(topology::is_limit_point(m, limit), "a^ω is a limit point of a⁺b^ω");
+    BENCH_CHECK(topology::closure(m).accepts(limit), "closure contains the limit point");
+  }
+
+  // Metric sanity: symmetry, identity of indiscernibles on the word level,
+  // ultrametric inequality, and the §3 convergence example.
+  {
+    auto lassos = omega::enumerate_lassos(sigma, 2, 2);
+    for (std::size_t i = 0; i < lassos.size(); i += 5)
+      for (std::size_t j = 0; j < lassos.size(); j += 7) {
+        double d = topology::distance(lassos[i], lassos[j]);
+        BENCH_CHECK(d == topology::distance(lassos[j], lassos[i]), "metric symmetry");
+        BENCH_CHECK((d == 0.0) == lassos[i].same_word(lassos[j]), "d = 0 iff same word");
+      }
+    double prev = 2.0;
+    for (int n = 0; n < 8; ++n) {
+      omega::Lasso member{lang::Word(static_cast<std::size_t>(n), 0), {1}};
+      double d = topology::distance(omega::parse_lasso("(a)", sigma), member);
+      BENCH_CHECK(d < prev, "a^k b^ω converges to a^ω");
+      prev = d;
+    }
+  }
+  std::printf("T4: §3 topological correspondences and metric laws verified\n");
+}
+
+void bench_closure(benchmark::State& state) {
+  Rng rng(42);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = omega::op_r(lang::random_dfa(rng, sigma, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(topology::closure(m));
+}
+BENCHMARK(bench_closure)->RangeMultiplier(2)->Range(4, 64);
+
+void bench_is_g_delta(benchmark::State& state) {
+  Rng rng(43);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(topology::is_g_delta(m));
+}
+BENCHMARK(bench_is_g_delta)->RangeMultiplier(2)->Range(4, 64);
+
+void bench_is_dense(benchmark::State& state) {
+  Rng rng(44);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(topology::is_dense(m));
+}
+BENCHMARK(bench_is_dense)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment T5 — §4's responsiveness summary table: the five variants of
+// "p is responded to by q" land in exactly the five classes the paper
+// assigns (guarantee, obligation, recurrence, persistence, simple
+// reactivity), both syntactically and semantically; the fairness notions
+// land as claimed. Then compilation + exact classification is timed per
+// pattern.
+#include "bench/bench_util.hpp"
+#include "src/core/classify.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/patterns.hpp"
+#include "src/ltl/syntactic.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace mph;
+using core::PropertyClass;
+
+struct Row {
+  std::string name;
+  ltl::Formula formula;
+  PropertyClass expected;
+};
+
+std::vector<Row> rows() {
+  namespace pat = ltl::patterns;
+  return {
+      {"p -> F q (initial)", pat::respond_initial("p", "q"), PropertyClass::Guarantee},
+      {"F p -> F(q & O p) (once)", pat::respond_once("p", "q"), PropertyClass::Obligation},
+      {"G(p -> F q) (always)", pat::respond_always("p", "q"), PropertyClass::Recurrence},
+      {"p -> F G q (stabilize)", pat::respond_stabilize("p", "q"), PropertyClass::Persistence},
+      {"G F p -> G F q (infinitely)", pat::respond_infinitely("p", "q"),
+       PropertyClass::Reactivity},
+  };
+}
+
+void verify() {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  TextTable t({"responsiveness", "syntactic", "semantic", "paper"});
+  for (const auto& row : rows()) {
+    auto syn = ltl::syntactic_classification(row.formula);
+    auto sem = core::classify(ltl::compile(row.formula, alphabet));
+    t.add_row({row.name, core::to_string(syn.lowest()), core::to_string(sem.lowest()),
+               core::to_string(row.expected)});
+    BENCH_CHECK(sem.lowest() == row.expected,
+                ("semantic class of " + row.name + " is " + core::to_string(sem.lowest()))
+                    .c_str());
+    BENCH_CHECK(syn.lowest() == row.expected,
+                ("syntactic class of " + row.name).c_str());
+  }
+  // Fairness: weak = recurrence, strong = simple reactivity (§4).
+  auto fa = lang::Alphabet::of_props({"en", "tk"});
+  auto weak = core::classify(ltl::compile(ltl::patterns::weak_fairness("en", "tk"), fa));
+  BENCH_CHECK(weak.lowest() == PropertyClass::Recurrence, "weak fairness is recurrence");
+  auto strong = core::classify(ltl::compile(ltl::patterns::strong_fairness("en", "tk"), fa));
+  BENCH_CHECK(strong.lowest() == PropertyClass::Reactivity, "strong fairness is reactivity");
+  std::printf("T5: §4 responsiveness table reproduced\n%s\n", t.to_string().c_str());
+}
+
+void bench_compile_pattern(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  auto all = rows();
+  const auto& row = all[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) benchmark::DoNotOptimize(ltl::compile(row.formula, alphabet));
+  state.SetLabel(row.name);
+}
+BENCHMARK(bench_compile_pattern)->DenseRange(0, 4);
+
+void bench_classify_pattern(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  auto all = rows();
+  const auto& row = all[static_cast<std::size_t>(state.range(0))];
+  auto m = ltl::compile(row.formula, alphabet);
+  for (auto _ : state) benchmark::DoNotOptimize(core::classify(m));
+  state.SetLabel(row.name);
+}
+BENCHMARK(bench_classify_pattern)->DenseRange(0, 4);
+
+void bench_syntactic_pattern(benchmark::State& state) {
+  auto all = rows();
+  const auto& row = all[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) benchmark::DoNotOptimize(ltl::syntactic_classification(row.formula));
+  state.SetLabel(row.name);
+}
+BENCHMARK(bench_syntactic_pattern)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

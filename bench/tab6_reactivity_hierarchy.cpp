@@ -1,0 +1,96 @@
+// Experiment T6 — the strict reactivity hierarchy (§4/§5): level n (a
+// conjunction of n simple reactivity formulas / n Streett pairs) is strictly
+// more expressive than level n−1. Graded by Wagner's alternating chains:
+//   - the canonical chain family ("highest letter seen infinitely often")
+//     has Streett index exactly n, for a sweep of n;
+//   - the formula family ⋀ᵢ(□◇pᵢ ∨ ◇□qᵢ) with independent propositions has
+//     index exactly n (checked for n ≤ 2, where the proposition alphabet
+//     stays tractable).
+// Then the chain analysis is timed as n grows.
+#include "bench/bench_util.hpp"
+#include "src/core/chains.hpp"
+#include "src/core/classify.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/patterns.hpp"
+
+namespace {
+
+using namespace mph;
+
+ltl::Formula reactivity_conjunction(std::size_t n) {
+  ltl::Formula f = ltl::f_true();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto p = ltl::f_atom("p" + std::to_string(i));
+    auto q = ltl::f_atom("q" + std::to_string(i));
+    f = f_and(std::move(f), f_or(f_always(f_eventually(p)), f_eventually(f_always(q))));
+  }
+  return f;
+}
+
+void verify() {
+  // Wagner chain family: Streett index exactly n.
+  for (std::size_t n = 1; n <= 8; ++n) {
+    auto m = mph::bench::parity_language(n);
+    auto chains = core::alternation_chains(m, 2 * n);
+    BENCH_CHECK(chains.streett_chain == n, "parity family has Streett chain n");
+    BENCH_CHECK(chains.rabin_chain == n - 1, "parity family has Rabin chain n-1");
+  }
+  // Formula family.
+  for (std::size_t n = 1; n <= 2; ++n) {
+    std::vector<std::string> props;
+    for (std::size_t i = 0; i < n; ++i) {
+      props.push_back("p" + std::to_string(i));
+      props.push_back("q" + std::to_string(i));
+    }
+    auto alphabet = lang::Alphabet::of_props(props);
+    auto m = ltl::compile(reactivity_conjunction(n), alphabet);
+    auto chains = core::alternation_chains(m);
+    BENCH_CHECK(chains.streett_chain == n, "⋀ᵢ(□◇pᵢ ∨ ◇□qᵢ) has Streett chain n");
+    auto c = core::classify(m);
+    if (n == 1) {
+      BENCH_CHECK(!c.recurrence && !c.persistence,
+                  "simple reactivity is strictly above recurrence/persistence");
+    }
+  }
+  // Consistency of the chain grading with the Landweber tests.
+  {
+    Rng rng(7);
+    auto sigma = lang::Alphabet::plain({"a", "b"});
+    for (int trial = 0; trial < 15; ++trial) {
+      auto m = mph::bench::random_streett(rng, sigma, 6, 2);
+      auto chains = core::alternation_chains(m);
+      BENCH_CHECK((chains.rabin_chain == 0) == core::is_recurrence(m),
+                  "rabin_chain = 0 ⇔ recurrence");
+      BENCH_CHECK((chains.streett_chain == 0) == core::is_persistence(m),
+                  "streett_chain = 0 ⇔ persistence");
+    }
+  }
+  std::printf("T6: reactivity hierarchy strictness verified (chain sweep n = 1..8)\n");
+}
+
+void bench_chains_parity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto m = mph::bench::parity_language(n);
+  for (auto _ : state) benchmark::DoNotOptimize(core::alternation_chains(m, 2 * n));
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(bench_chains_parity)->DenseRange(1, 8);
+
+void bench_chains_random(benchmark::State& state) {
+  Rng rng(11);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) benchmark::DoNotOptimize(core::alternation_chains(m, 18));
+}
+BENCHMARK(bench_chains_random)->Args({8, 1})->Args({12, 1})->Args({16, 1})->Args({8, 2})->Args({12, 2})->Args({16, 2});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment T7 — §5.1's decision procedures (Problem 5.1 / Prop. 5.2) and
+// the Prop. 5.1 κ-automaton constructions:
+//   - agreement between syntactic shape and semantic classification: every
+//     automaton built by an A/E/R/P operator classifies into (at least) the
+//     matching class;
+//   - round-trip: the κ-automaton constructions preserve the language and
+//     produce the κ shape;
+//   - classification-time scaling over randomized deterministic Streett
+//     automata, swept over state counts and pair counts.
+#include "bench/bench_util.hpp"
+#include "src/core/classify.hpp"
+#include "src/core/kappa_automata.hpp"
+#include "src/omega/emptiness.hpp"
+
+namespace {
+
+using namespace mph;
+
+void verify() {
+  Rng rng(505);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  int checked = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 4);
+    auto a = omega::op_a(phi);
+    auto e = omega::op_e(phi);
+    auto r = omega::op_r(phi);
+    auto p = omega::op_p(phi);
+    BENCH_CHECK(core::classify(a).safety, "A(Φ) is safety");
+    BENCH_CHECK(core::classify(e).guarantee, "E(Φ) is guarantee");
+    BENCH_CHECK(core::classify(r).recurrence, "R(Φ) is recurrence");
+    BENCH_CHECK(core::classify(p).persistence, "P(Φ) is persistence");
+    // Prop. 5.1 constructions: language-preserving, κ-shaped.
+    BENCH_CHECK(omega::equivalent(core::to_safety_automaton(a), a),
+                "safety construction preserves the language");
+    BENCH_CHECK(omega::equivalent(core::to_guarantee_automaton(e), e),
+                "guarantee construction preserves the language");
+    BENCH_CHECK(omega::equivalent(core::to_recurrence_automaton(union_of(a, e)),
+                                  union_of(a, e)),
+                "recurrence construction on an obligation property");
+    BENCH_CHECK(omega::equivalent(core::to_persistence_automaton(intersection(a, e)),
+                                  intersection(a, e)),
+                "persistence construction on an obligation property");
+    checked += 8;
+  }
+  // Random Streett automata: classification never violates Figure 1.
+  for (int trial = 0; trial < 30; ++trial) {
+    auto m = mph::bench::random_streett(rng, sigma, 8, 2);
+    auto c = core::classify(m);
+    BENCH_CHECK(!(c.safety || c.guarantee) || c.obligation, "Figure 1 inclusion");
+    BENCH_CHECK(c.obligation == (c.recurrence && c.persistence),
+                "obligation = recurrence ∩ persistence");
+    // Duality under complement.
+    auto cc = core::classify(omega::complement(m));
+    BENCH_CHECK(c.safety == cc.guarantee && c.recurrence == cc.persistence,
+                "classification duality under complement");
+    checked += 3;
+  }
+  std::printf("T7: %d decision-procedure agreement checks passed\n", checked);
+}
+
+void bench_classify_random(benchmark::State& state) {
+  Rng rng(static_cast<std::uint64_t>(state.range(0)) * 1000 +
+          static_cast<std::uint64_t>(state.range(1)));
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)),
+                                      static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) benchmark::DoNotOptimize(core::classify(m));
+  state.SetLabel("states=" + std::to_string(state.range(0)) +
+                 " pairs=" + std::to_string(state.range(1)));
+}
+BENCHMARK(bench_classify_random)
+    ->ArgsProduct({{8, 16, 32, 64, 128}, {1, 2, 3}});
+
+void bench_is_safety_random(benchmark::State& state) {
+  Rng rng(99);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(core::is_safety(m));
+}
+BENCHMARK(bench_is_safety_random)->RangeMultiplier(2)->Range(8, 128);
+
+void bench_is_recurrence_random(benchmark::State& state) {
+  Rng rng(98);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(core::is_recurrence(m));
+}
+BENCHMARK(bench_is_recurrence_random)->RangeMultiplier(2)->Range(8, 128);
+
+void bench_recurrence_construction(benchmark::State& state) {
+  Rng rng(97);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  lang::Dfa phi = lang::random_dfa(rng, sigma, static_cast<std::size_t>(state.range(0)));
+  auto a = omega::op_a(phi);  // safety ⊆ recurrence: construction succeeds
+  for (auto _ : state) benchmark::DoNotOptimize(core::to_recurrence_automaton(a));
+}
+BENCHMARK(bench_recurrence_construction)->RangeMultiplier(2)->Range(4, 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

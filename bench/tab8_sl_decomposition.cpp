@@ -1,0 +1,100 @@
+// Experiment T8 — the safety–liveness decomposition theorem (§2) and its
+// orthogonality to the Borel classification:
+//   Π = A(Pref Π) ∩ 𝓛(Π), with 𝓛(Π) live and — for any non-safety class κ —
+//   still a κ-property; plus the uniform-liveness study (including erratum
+//   E5: the paper's live-but-not-uniform witness is in fact uniform).
+// Then the decomposition and the uniform-liveness product are timed.
+#include "bench/bench_util.hpp"
+#include "src/core/decompose.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+
+namespace {
+
+using namespace mph;
+
+void verify() {
+  Rng rng(808);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  int decomposed = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 4);
+    for (const auto& m : {omega::op_e(phi), omega::op_r(phi), omega::op_p(phi)}) {
+      if (omega::is_empty(m)) continue;
+      auto parts = core::sl_decompose(m);
+      BENCH_CHECK(core::is_safety(parts.safety_part), "Π_S is a safety property");
+      BENCH_CHECK(omega::is_liveness(parts.liveness_part), "Π_L is a liveness property");
+      BENCH_CHECK(
+          omega::equivalent(intersection(parts.safety_part, parts.liveness_part), m),
+          "Π = Π_S ∩ Π_L");
+      ++decomposed;
+    }
+  }
+  // Live-κ preservation: the liveness part of a recurrence (persistence)
+  // property stays recurrence (persistence).
+  {
+    auto guarded_rec = intersection(omega::op_r(lang::compile_regex("(a*b)+", sigma)),
+                                    omega::op_a(lang::compile_regex("a(a|b)*", sigma)));
+    auto parts = core::sl_decompose(guarded_rec);
+    BENCH_CHECK(core::is_recurrence(parts.liveness_part), "live-κ for κ = recurrence");
+    auto guarded_per = intersection(omega::op_p(lang::compile_regex("(a|b)*a", sigma)),
+                                    omega::op_a(lang::compile_regex("a(a|b)*", sigma)));
+    auto parts2 = core::sl_decompose(guarded_per);
+    BENCH_CHECK(core::is_persistence(parts2.liveness_part), "live-κ for κ = persistence");
+  }
+  // Uniform liveness (§2), with erratum E5.
+  {
+    BENCH_CHECK(core::is_uniform_liveness(omega::op_e(lang::compile_regex("(a|b)*b", sigma))),
+                "◇b is uniformly live");
+    auto paper_witness =
+        union_of(omega::op_e(lang::compile_regex("a(a|b)*aa", sigma)),
+                 omega::op_e(lang::compile_regex("b(a|b)*bb", sigma)));
+    BENCH_CHECK(omega::is_liveness(paper_witness), "the §2 witness is live");
+    BENCH_CHECK(core::is_uniform_liveness(paper_witness),
+                "erratum E5: the §2 witness IS uniformly live (σ' = aabb·b^ω)");
+    auto corrected = union_of(
+        intersection(omega::op_a(lang::compile_regex("a(a|b)*", sigma)),
+                     omega::op_p(lang::compile_regex("(a|b)*b", sigma))),
+        intersection(omega::op_a(lang::compile_regex("b(a|b)*", sigma)),
+                     omega::op_p(lang::compile_regex("(a|b)*a", sigma))));
+    BENCH_CHECK(omega::is_liveness(corrected), "corrected witness is live");
+    BENCH_CHECK(!core::is_uniform_liveness(corrected),
+                "corrected witness is not uniformly live");
+  }
+  std::printf("T8: %d decompositions verified; orthogonality and E5 confirmed\n", decomposed);
+}
+
+void bench_decompose(benchmark::State& state) {
+  Rng rng(3);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = omega::op_r(lang::random_dfa(rng, sigma, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(core::sl_decompose(m));
+}
+BENCHMARK(bench_decompose)->RangeMultiplier(2)->Range(4, 64);
+
+void bench_liveness_test(benchmark::State& state) {
+  Rng rng(4);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = mph::bench::random_streett(rng, sigma, static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(omega::is_liveness(m));
+}
+BENCHMARK(bench_liveness_test)->RangeMultiplier(2)->Range(8, 128);
+
+void bench_uniform_liveness(benchmark::State& state) {
+  Rng rng(5);
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  auto m = omega::op_e(lang::random_dfa(rng, sigma, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(core::is_uniform_liveness(m));
+}
+BENCHMARK(bench_uniform_liveness)->RangeMultiplier(2)->Range(4, 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

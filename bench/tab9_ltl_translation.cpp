@@ -1,0 +1,117 @@
+// Experiment T9 — the logic↔automata bridge (§5, Prop. 5.3/5.4):
+//   - past formula → DFA (the [LPZ85] esat construction): correctness of
+//     canonical kernels, counter-freedom of every produced automaton
+//     (temporal-logic definability, [Zuc86]), scaling in formula size;
+//   - κ-formula → κ-automaton: the produced acceptance is the κ shape;
+//   - future LTL → NBA tableau scaling.
+#include "bench/bench_util.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/regex_print.hpp"
+#include "src/ltl/esat.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/patterns.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/counter_free.hpp"
+
+namespace {
+
+using namespace mph;
+
+/// Nested response kernel of depth d: ¬q S (p ∧ ¬q) composed with Once.
+ltl::Formula deep_past(std::size_t depth) {
+  ltl::Formula f = ltl::f_atom("p");
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (i % 3 == 0)
+      f = f_since(f_not(ltl::f_atom("q")), f_and(std::move(f), f_not(ltl::f_atom("q"))));
+    else if (i % 3 == 1)
+      f = f_once(f_and(std::move(f), ltl::f_atom("q")));
+    else
+      f = f_historically(f_implies(ltl::f_atom("q"), std::move(f)));
+  }
+  return f;
+}
+
+void verify() {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  // esat produces counter-free automata — the [Zuc86] criterion for
+  // temporal-logic definability — on a corpus of kernels.
+  const char* kernels[] = {"p", "O p", "H p", "p S q", "p B q",
+                           "!q S (p & !q)", "Y p", "Z H p", "q & Z H p"};
+  for (const char* k : kernels) {
+    lang::Dfa d = ltl::esat(ltl::parse_formula(k), alphabet);
+    BENCH_CHECK(omega::is_counter_free(d), "esat output is counter-free");
+  }
+  // κ-formula → κ-automaton shapes (Prop. 5.3).
+  {
+    auto safety = ltl::compile(ltl::parse_formula("G(q -> O p)"), alphabet);
+    BENCH_CHECK(safety.acceptance().kind() == omega::Acceptance::Kind::Fin,
+                "□p compiles to a co-Büchi (safety-shaped) automaton");
+    auto guarantee = ltl::compile(ltl::parse_formula("F(q & Z H p)"), alphabet);
+    BENCH_CHECK(guarantee.acceptance().kind() == omega::Acceptance::Kind::Inf,
+                "◇p compiles to a Büchi (guarantee-shaped) automaton");
+    auto recurrence = ltl::compile(ltl::parse_formula("G F (p S q)"), alphabet);
+    BENCH_CHECK(recurrence.acceptance().kind() == omega::Acceptance::Kind::Inf,
+                "□◇p compiles to a Büchi automaton");
+    auto persistence = ltl::compile(ltl::parse_formula("F G (q -> O p)"), alphabet);
+    BENCH_CHECK(persistence.acceptance().kind() == omega::Acceptance::Kind::Fin,
+                "◇□p compiles to a co-Büchi automaton");
+  }
+  // Deep kernels stay well-formed and counter-free.
+  for (std::size_t d = 1; d <= 6; ++d) {
+    lang::Dfa dfa = ltl::esat(deep_past(d), alphabet);
+    BENCH_CHECK(dfa.state_count() >= 1, "esat of the deep kernel built");
+    BENCH_CHECK(omega::is_counter_free(dfa), "deep kernel is counter-free");
+  }
+  std::printf("T9: logic→automata translations verified (counter-freedom included)\n");
+}
+
+void bench_esat_depth(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  ltl::Formula f = deep_past(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(ltl::esat(f, alphabet));
+  state.SetLabel("depth=" + std::to_string(state.range(0)) +
+                 " size=" + std::to_string(f.size()));
+}
+BENCHMARK(bench_esat_depth)->DenseRange(1, 8);
+
+void bench_compile_response(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  auto f = ltl::patterns::respond_always("p", "q");
+  for (auto _ : state) benchmark::DoNotOptimize(ltl::compile(f, alphabet));
+}
+BENCHMARK(bench_compile_response);
+
+void bench_to_nba(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  const char* formulas[] = {"F p", "G(p -> F q)", "(p U q) U p", "G F p -> G F q"};
+  ltl::Formula f = ltl::parse_formula(formulas[state.range(0)]);
+  for (auto _ : state) benchmark::DoNotOptimize(ltl::to_nba(f, alphabet));
+  state.SetLabel(formulas[state.range(0)]);
+}
+BENCHMARK(bench_to_nba)->DenseRange(0, 3);
+
+void bench_counter_free_check(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  lang::Dfa d = ltl::esat(deep_past(static_cast<std::size_t>(state.range(0))), alphabet);
+  for (auto _ : state) benchmark::DoNotOptimize(omega::is_counter_free(d));
+  state.SetLabel("states=" + std::to_string(d.state_count()));
+}
+BENCHMARK(bench_counter_free_check)->DenseRange(1, 6);
+
+void bench_dfa_to_regex(benchmark::State& state) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  lang::Dfa d = ltl::esat(deep_past(static_cast<std::size_t>(state.range(0))), alphabet);
+  for (auto _ : state) benchmark::DoNotOptimize(lang::to_regex(d, 1 << 20));
+  state.SetLabel("states=" + std::to_string(d.state_count()));
+}
+BENCHMARK(bench_dfa_to_regex)->DenseRange(1, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

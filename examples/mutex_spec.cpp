@@ -1,0 +1,89 @@
+// The paper's motivating story (§1): property-based specification of mutual
+// exclusion, the danger of underspecification, and how the hierarchy
+// organizes the requirements.
+//
+// A specification with only the safety half (no two processes critical) is
+// satisfied by an implementation that never grants the critical section.
+// Adding the accessibility (recurrence) half rules that out. This example
+// model checks three implementations against both halves and classifies
+// each requirement.
+#include <iostream>
+
+#include "src/core/classify.hpp"
+#include "src/fts/checker.hpp"
+#include "src/fts/programs.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/patterns.hpp"
+#include "src/support/table.hpp"
+
+int main() {
+  using namespace mph;
+  using fts::programs::Program;
+
+  struct Spec {
+    std::string name;
+    ltl::Formula formula;
+  };
+  std::vector<Spec> specs = {
+      {"mutual exclusion", ltl::patterns::mutual_exclusion("c1", "c2")},
+      {"accessibility P1", ltl::patterns::accessibility("t1", "c1")},
+      {"accessibility P2", ltl::patterns::accessibility("t2", "c2")},
+      {"precedence c1<-t1", ltl::patterns::precedence("c1", "t1")},
+  };
+
+  std::cout << "Step 1: classify each requirement\n\n";
+  {
+    TextTable t({"requirement", "formula", "class"});
+    for (const auto& s : specs) {
+      auto aut = ltl::compile(s.formula, ltl::alphabet_of(s.formula));
+      t.add_row({s.name, s.formula.to_string(),
+                 core::to_string(core::classify(aut).lowest())});
+    }
+    std::cout << t.to_string() << "\n";
+  }
+
+  std::cout << "Step 2: model check three implementations\n\n";
+  struct Impl {
+    std::string name;
+    Program prog;
+  };
+  std::vector<Impl> impls;
+  impls.push_back({"trivial (never grants)", fts::programs::trivial_mutex()});
+  impls.push_back({"peterson", fts::programs::peterson()});
+  impls.push_back({"semaphore (weak fair)",
+                   fts::programs::semaphore_mutex(2, fts::Fairness::Weak)});
+  impls.push_back({"semaphore (strong fair)",
+                   fts::programs::semaphore_mutex(2, fts::Fairness::Strong)});
+
+  TextTable t({"implementation", "requirement", "verdict"});
+  for (auto& impl : impls) {
+    for (const auto& s : specs) {
+      auto result = fts::check(impl.prog.system, s.formula, impl.prog.atoms);
+      t.add_row({impl.name, s.name, result.holds ? "holds" : "VIOLATED"});
+    }
+  }
+  std::cout << t.to_string() << "\n";
+
+  std::cout << "Step 3: the underspecification witness\n\n"
+            << "The trivial implementation satisfies the safety half of the\n"
+            << "specification but starves process 1; a violating fair run:\n\n";
+  {
+    auto prog = fts::programs::trivial_mutex();
+    auto result =
+        fts::check(prog.system, ltl::patterns::accessibility("t1", "c1"), prog.atoms);
+    if (result.counterexample)
+      std::cout << result.counterexample->to_string(prog.system) << "\n";
+  }
+
+  std::cout << "Step 4: why strong fairness matters\n\n"
+            << "With only weak fairness the semaphore may starve process 1\n"
+            << "(its acquire is enabled infinitely often but never continuously):\n\n";
+  {
+    auto prog = fts::programs::semaphore_mutex(2, fts::Fairness::Weak);
+    auto result =
+        fts::check(prog.system, ltl::patterns::accessibility("t1", "c1"), prog.atoms);
+    if (result.counterexample)
+      std::cout << result.counterexample->to_string(prog.system) << "\n";
+  }
+  return 0;
+}

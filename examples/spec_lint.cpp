@@ -1,0 +1,94 @@
+// spec_lint — the paper's remedy for underspecification (§1): classify every
+// requirement of a property-list specification and present the hierarchy as
+// a completeness checklist ("for each type of property: is there one
+// relevant to my system? have I specified it?").
+//
+//   ./spec_lint                          # lints the faulty mutex spec
+//   ./spec_lint 'G !(c1 & c2)' 'G(t1 -> F c1)' ...
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "src/core/classify.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mph;
+  using core::PropertyClass;
+
+  std::vector<std::string> inputs;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) inputs.emplace_back(argv[i]);
+  } else {
+    std::cout << "(no formulas given; linting the classic faulty mutex spec)\n\n";
+    inputs = {"G !(c1 & c2)", "G(c1 -> O t1)"};
+  }
+
+  // Shared alphabet over all atoms.
+  std::vector<std::string> atoms;
+  std::vector<ltl::Formula> formulas;
+  for (const auto& text : inputs) {
+    formulas.push_back(ltl::parse_formula(text));
+    for (const auto& a : formulas.back().atoms())
+      if (std::find(atoms.begin(), atoms.end(), a) == atoms.end()) atoms.push_back(a);
+  }
+  if (atoms.empty() || atoms.size() > 6) {
+    std::cerr << "spec_lint supports 1..6 distinct atoms (got " << atoms.size() << ")\n";
+    return 1;
+  }
+  auto alphabet = lang::Alphabet::of_props(atoms);
+
+  TextTable t({"requirement", "least class", "live?"});
+  std::map<PropertyClass, int> histogram;
+  std::optional<omega::DetOmega> conjunction;
+  for (const auto& f : formulas) {
+    auto m = ltl::compile(f, alphabet);
+    auto c = core::classify(m);
+    histogram[c.lowest()]++;
+    t.add_row({f.to_string(), core::to_string(c.lowest()), c.liveness ? "yes" : "no"});
+    conjunction = conjunction ? intersection(*conjunction, m) : m;
+  }
+  std::cout << t.to_string() << "\n";
+
+  std::cout << "Checklist (one line per class of the hierarchy):\n\n";
+  struct Hint {
+    PropertyClass cls;
+    const char* question;
+  };
+  const Hint hints[] = {
+      {PropertyClass::Safety, "something bad never happens (invariants, exclusion, precedence)"},
+      {PropertyClass::Guarantee, "something good happens at least once (termination)"},
+      {PropertyClass::Obligation, "a conditional one-shot promise (exceptions)"},
+      {PropertyClass::Recurrence, "something good happens again and again (response, justice)"},
+      {PropertyClass::Persistence, "the system eventually stabilizes"},
+      {PropertyClass::Reactivity, "infinitely many stimuli get infinitely many responses (compassion)"},
+  };
+  for (const auto& h : hints) {
+    int n = histogram.count(h.cls) ? histogram[h.cls] : 0;
+    std::cout << "  [" << (n > 0 ? "x" : " ") << "] " << core::to_string(h.cls) << " — "
+              << h.question << "\n";
+  }
+  std::cout << "\n";
+
+  bool has_non_safety = false;
+  for (const auto& [cls, n] : histogram)
+    has_non_safety = has_non_safety || (cls != PropertyClass::Safety && n > 0);
+  if (!has_non_safety) {
+    std::cout << "WARNING: every requirement is a safety property. A system that\n"
+              << "does nothing satisfies this specification (the paper's classic\n"
+              << "underspecification trap) — consider adding a progress property\n"
+              << "such as G(request -> F grant).\n\n";
+  }
+  if (conjunction) {
+    if (omega::is_empty(*conjunction)) {
+      std::cout << "ERROR: the requirements are contradictory — no computation can\n"
+                << "satisfy all of them.\n";
+    } else if (auto w = omega::accepting_lasso(*conjunction)) {
+      std::cout << "The conjunction is satisfiable; a model: "
+                << w->to_string(alphabet) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Wagner-style alternating-chain analysis (§5.1): the fine structure inside
+// the reactivity and obligation classes.
+//
+// A *loop set* is a set of states traversed by one cyclic path. Wagner's
+// characterization (quoted by the paper) grades a property by the longest
+// chain of accessible loop sets alternating between rejecting and accepting:
+//
+//   streett_chain = max n admitting  B₁ ⊂ J₁ ⊂ B₂ ⊂ … ⊂ Jₙ
+//                   with every Bᵢ rejecting and every Jᵢ accepting.
+//
+// This is the minimal number of Streett pairs needed to specify the
+// property; n ≤ 1 ⇔ simple reactivity, and the paper's reactivity hierarchy
+// at level k is exactly streett_chain ≤ k. The dual chain (accepting at the
+// bottom) is the Rabin index.
+//
+// For *obligation* properties every SCC is acceptance-homogeneous (all its
+// loops agree), so the grading collapses to alternations along the SCC DAG:
+//
+//   obligation_chain = max number of rejecting→accepting value flips along
+//                      any path of the reachable SCC DAG
+//
+// which equals the minimal degree k of an obligation automaton (the rank
+// construction of §5 realizes the upper bound), i.e. membership in Obl_k.
+//
+// Chain search enumerates loop sets inside each SCC with a subset DP; it is
+// exact but exponential in the largest SCC, so `max_scc_size` guards it
+// (throwing std::invalid_argument beyond the cap).
+#pragma once
+
+#include <cstddef>
+
+#include "src/omega/det_omega.hpp"
+
+namespace mph::core {
+
+struct ChainAnalysis {
+  /// Max n with a chain B₁⊂J₁⊂…⊂Jₙ (rejecting bottom, accepting top).
+  std::size_t streett_chain = 0;
+  /// Max n with a chain J₁⊂B₁⊂…⊂Bₙ (accepting bottom, rejecting top).
+  std::size_t rabin_chain = 0;
+};
+
+ChainAnalysis alternation_chains(const omega::DetOmega& m, std::size_t max_scc_size = 18);
+
+/// Simple reactivity (§4): specifiable with a single Streett pair, i.e.
+/// streett_chain ≤ 1.
+bool is_simple_reactivity(const omega::DetOmega& m, std::size_t max_scc_size = 18);
+
+/// The minimal number of Streett pairs needed to specify L(m): the paper's
+/// reactivity-hierarchy level, max(1, streett_chain).
+std::size_t streett_index(const omega::DetOmega& m, std::size_t max_scc_size = 18);
+
+/// The dual (Rabin) index: max(1, rabin_chain).
+std::size_t rabin_index(const omega::DetOmega& m, std::size_t max_scc_size = 18);
+
+/// Max number of rejecting→accepting flips along reachable SCC-DAG paths.
+/// Requires every reachable nontrivial SCC to be acceptance-homogeneous
+/// (true for obligation properties); throws otherwise.
+std::size_t obligation_chain(const omega::DetOmega& m, std::size_t max_scc_size = 18);
+
+}  // namespace mph::core

@@ -1,0 +1,66 @@
+// Semantic classification of ω-regular properties into the Manna–Pnueli
+// hierarchy (the paper's §5.1 decision procedures, after Landweber/Wagner):
+//
+//   safety       Π = A(Pref Π)          (closed sets)
+//   guarantee    complement is safety    (open sets)
+//   recurrence   Landweber's test        (G_δ sets / det-Büchi languages)
+//   persistence  complement is recurrence (F_σ sets / det-co-Büchi)
+//   obligation   recurrence ∧ persistence (the paper's class equality)
+//   reactivity   always (every ω-regular property; the *index* grades it)
+//
+// Classification is semantic: it depends only on the language, never on the
+// automaton's syntactic shape. The structural κ-automaton view lives in
+// kappa_automata.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/omega/det_omega.hpp"
+
+namespace mph::core {
+
+enum class PropertyClass : std::uint8_t {
+  Safety,
+  Guarantee,
+  Obligation,
+  Recurrence,
+  Persistence,
+  Reactivity,
+};
+
+std::string to_string(PropertyClass c);
+
+struct Classification {
+  bool safety = false;
+  bool guarantee = false;
+  bool obligation = false;    // = recurrence ∧ persistence
+  bool recurrence = false;
+  bool persistence = false;
+  bool liveness = false;      // Pref(Π) = Σ⁺ (orthogonal axis, §2)
+
+  /// True iff the property belongs to the class (per Figure 1 the classes
+  /// are nested: every property "is" reactivity, every safety property "is"
+  /// also obligation, recurrence, persistence, ...).
+  bool is(PropertyClass c) const;
+
+  /// The least class of Figure 1 containing the property. A property that is
+  /// both safety and guarantee (a clopen set) reports Safety.
+  PropertyClass lowest() const;
+
+  /// Human-readable membership summary, e.g. "guarantee (also obligation,
+  /// recurrence, persistence); liveness".
+  std::string describe() const;
+};
+
+/// Full semantic classification of L(m).
+Classification classify(const omega::DetOmega& m);
+
+/// Individual tests (each decides membership of L(m) in the class).
+bool is_safety(const omega::DetOmega& m);
+bool is_guarantee(const omega::DetOmega& m);
+bool is_recurrence(const omega::DetOmega& m);
+bool is_persistence(const omega::DetOmega& m);
+bool is_obligation(const omega::DetOmega& m);
+
+}  // namespace mph::core

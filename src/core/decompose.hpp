@@ -1,0 +1,28 @@
+// The safety–liveness decomposition theorem (§2): every property is the
+// intersection of its safety closure and its liveness extension, and if the
+// property is in class κ the liveness part is a *live κ*-property — the
+// sense in which the Borel and safety–liveness classifications are
+// orthogonal. Plus uniform liveness (§2).
+#pragma once
+
+#include "src/core/classify.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::core {
+
+struct SafetyLivenessParts {
+  omega::DetOmega safety_part;    // A(Pref Π) — the safety closure
+  omega::DetOmega liveness_part;  // 𝓛(Π) = Π ∪ E(¬Pref Π) — the liveness extension
+};
+
+/// Decomposes Π = safety_part ∩ liveness_part. The parts always satisfy:
+/// safety_part is a safety property, liveness_part is a liveness property,
+/// and liveness_part stays within Π's class for every non-safety class κ.
+SafetyLivenessParts sl_decompose(const omega::DetOmega& m);
+
+/// Uniform liveness (§2): a single suffix σ' with Σ⁺·σ' ⊆ Π. Decided via a
+/// synchronized product of the automaton started from every state reachable
+/// by a non-empty word; requires |marks| × |those states| ≤ 64.
+bool is_uniform_liveness(const omega::DetOmega& m);
+
+}  // namespace mph::core

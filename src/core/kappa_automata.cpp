@@ -1,0 +1,180 @@
+#include "src/core/kappa_automata.hpp"
+
+#include <map>
+
+#include "src/omega/emptiness.hpp"
+#include "src/omega/graph.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::core {
+
+using omega::Acceptance;
+using omega::DetOmega;
+using omega::State;
+using omega::StreettPair;
+using omega::Symbol;
+
+namespace {
+
+std::vector<bool> member_mask(std::size_t n, const std::vector<State>& states) {
+  std::vector<bool> mask(n, false);
+  for (State q : states) {
+    MPH_REQUIRE(q < n, "pair state out of range");
+    mask[q] = true;
+  }
+  return mask;
+}
+
+std::vector<bool> good_mask(const DetOmega& m, const StreettPair& pair) {
+  auto r = member_mask(m.state_count(), pair.r);
+  auto p = member_mask(m.state_count(), pair.p);
+  std::vector<bool> g(m.state_count(), false);
+  for (State q = 0; q < m.state_count(); ++q) g[q] = r[q] || p[q];
+  return g;
+}
+
+bool no_transition(const DetOmega& m, const std::vector<bool>& from,
+                   const std::vector<bool>& to) {
+  for (State q = 0; q < m.state_count(); ++q) {
+    if (!from[q]) continue;
+    for (Symbol s = 0; s < m.alphabet().size(); ++s)
+      if (to[m.next(q, s)]) return false;
+  }
+  return true;
+}
+
+std::vector<bool> negated(std::vector<bool> v) {
+  v.flip();
+  return v;
+}
+
+}  // namespace
+
+bool is_safety_shaped(const DetOmega& m, const StreettPair& pair) {
+  auto g = good_mask(m, pair);
+  return no_transition(m, negated(g), g);
+}
+
+bool is_guarantee_shaped(const DetOmega& m, const StreettPair& pair) {
+  auto g = good_mask(m, pair);
+  return no_transition(m, g, negated(g));
+}
+
+bool is_simple_obligation_shaped(const DetOmega& m, const StreettPair& pair) {
+  auto p = member_mask(m.state_count(), pair.p);
+  auto r = member_mask(m.state_count(), pair.r);
+  return no_transition(m, negated(p), p) && no_transition(m, r, negated(r));
+}
+
+bool is_recurrence_shaped(const StreettPair& pair) { return pair.p.empty(); }
+
+bool is_persistence_shaped(const StreettPair& pair) { return pair.r.empty(); }
+
+namespace {
+
+[[noreturn]] void not_in_class(const char* cls) {
+  throw std::invalid_argument(std::string("language is not a ") + cls +
+                              " property; κ-automaton construction impossible");
+}
+
+}  // namespace
+
+DetOmega to_safety_automaton(const DetOmega& m) {
+  DetOmega out = omega::safety_closure(m);
+  if (!omega::equivalent(out, m)) not_in_class("safety");
+  return out;
+}
+
+DetOmega to_guarantee_automaton(const DetOmega& m) {
+  // Complement must be safety; dualize its construction. The complement of
+  // the safety shape (dead sink, Fin) is the guarantee shape (good sink,
+  // Inf).
+  DetOmega comp_closure = omega::safety_closure(omega::complement(m));
+  DetOmega out = omega::complement(comp_closure);
+  if (!omega::equivalent(out, m)) not_in_class("guarantee");
+  return out;
+}
+
+namespace {
+
+/// Breakpoint construction: a deterministic Büchi automaton equivalent to m
+/// whenever L(m) is a recurrence property. States are (m-state, set of
+/// m-states visited since the last breakpoint); a breakpoint fires — and the
+/// Büchi mark is emitted — whenever the accumulated set contains an
+/// accepting loop of m.
+///
+/// Soundness for recurrence languages: an accepted word eventually stays in
+/// its accepting infinity set J, the accumulator fills up to J and fires,
+/// forever. A rejected word's infinity set is rejecting; if breakpoints
+/// fired infinitely often, some fired accumulator would be an accepting loop
+/// inside that rejecting loop, contradicting Landweber's upward closure.
+/// For non-recurrence languages the final equivalence check fails (throws).
+DetOmega breakpoint_buchi(const DetOmega& m, std::size_t max_states) {
+  const omega::MarkedGraph g = omega::to_graph(m);
+  struct Key {
+    State q;
+    std::vector<bool> seen;
+    bool fired;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, State> index;
+  std::vector<Key> states;
+  auto intern = [&](Key k) {
+    auto [it, inserted] = index.try_emplace(k, static_cast<State>(states.size()));
+    if (inserted) {
+      MPH_REQUIRE(states.size() < max_states,
+                  "breakpoint construction exceeds max_states cap");
+      states.push_back(std::move(k));
+    }
+    return it->second;
+  };
+  std::vector<bool> init_seen(m.state_count(), false);
+  init_seen[m.initial()] = true;
+  intern(Key{m.initial(), std::move(init_seen), false});
+  std::vector<std::vector<State>> trans;
+  for (State i = 0; i < states.size(); ++i) {
+    Key k = states[i];  // copy: `states` may reallocate during interning
+    trans.emplace_back(m.alphabet().size());
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) {
+      State q2 = m.next(k.q, s);
+      std::vector<bool> seen = k.seen;
+      seen[q2] = true;
+      bool fire = omega::has_good_loop_within(g, seen, m.acceptance());
+      if (fire) {
+        std::vector<bool> fresh(m.state_count(), false);
+        fresh[q2] = true;
+        trans[i][s] = intern(Key{q2, std::move(fresh), true});
+      } else {
+        trans[i][s] = intern(Key{q2, std::move(seen), false});
+      }
+    }
+  }
+  DetOmega out(m.alphabet(), states.size(), 0, Acceptance::buchi(0));
+  for (State i = 0; i < states.size(); ++i) {
+    if (states[i].fired) out.add_mark(i, 0);
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) out.set_transition(i, s, trans[i][s]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DetOmega to_recurrence_automaton(const DetOmega& m) {
+  // Already Büchi: nothing to do.
+  if (m.acceptance().kind() == Acceptance::Kind::Inf) return m;
+  DetOmega out = breakpoint_buchi(m, /*max_states=*/1 << 18);
+  if (!omega::equivalent(out, m)) not_in_class("recurrence");
+  return out;
+}
+
+DetOmega to_persistence_automaton(const DetOmega& m) {
+  // Dual: recurrence automaton of the complement, acceptance negated back.
+  if (m.acceptance().kind() == Acceptance::Kind::Fin) return m;
+  DetOmega comp = omega::complement(m);
+  DetOmega buchi = breakpoint_buchi(comp, /*max_states=*/1 << 18);
+  DetOmega out = omega::complement(buchi);
+  if (!omega::equivalent(out, m)) not_in_class("persistence");
+  return out;
+}
+
+}  // namespace mph::core

@@ -1,0 +1,42 @@
+// The automata view proper (§5): structural κ-automaton recognizers over the
+// paper's Streett-pair presentation, and the Proposition 5.1 constructions
+// turning an automaton *known* to specify a κ-property into an automaton of
+// the matching κ shape.
+#pragma once
+
+#include "src/core/classify.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph::core {
+
+/// Structural checks on a single-pair automaton presented the paper's way,
+/// with G = R ∪ P and B = Q − G (§5):
+///   safety automaton      no transition B → G
+///   guarantee automaton   no transition G → B
+///   simple obligation     no transition ¬P → P, none R → ¬R
+///   recurrence automaton  P = ∅
+///   persistence automaton R = ∅
+bool is_safety_shaped(const omega::DetOmega& structure, const omega::StreettPair& pair);
+bool is_guarantee_shaped(const omega::DetOmega& structure, const omega::StreettPair& pair);
+bool is_simple_obligation_shaped(const omega::DetOmega& structure,
+                                 const omega::StreettPair& pair);
+bool is_recurrence_shaped(const omega::StreettPair& pair);
+bool is_persistence_shaped(const omega::StreettPair& pair);
+
+/// Proposition 5.1 constructions. Each takes an automaton whose *language*
+/// is in the class and returns an equivalent automaton of the structural
+/// shape; throws std::invalid_argument when the language is not in the class
+/// (detected by the construction failing to preserve the language).
+///
+/// Shapes produced:
+///   safety:      live states + absorbing dead sink, acceptance Fin(sink)
+///   guarantee:   absorbing good sink, acceptance Inf(sink)
+///   recurrence:  same structure, Büchi on states lying on accepting loops
+///                (Landweber's construction; the paper's R₁ ∪ A₁ step)
+///   persistence: dual of recurrence via complement
+omega::DetOmega to_safety_automaton(const omega::DetOmega& m);
+omega::DetOmega to_guarantee_automaton(const omega::DetOmega& m);
+omega::DetOmega to_recurrence_automaton(const omega::DetOmega& m);
+omega::DetOmega to_persistence_automaton(const omega::DetOmega& m);
+
+}  // namespace mph::core

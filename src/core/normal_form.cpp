@@ -1,0 +1,164 @@
+#include "src/core/normal_form.hpp"
+
+#include <map>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/finitary_ops.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/graph.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::core {
+
+using omega::DetOmega;
+using omega::MarkedGraph;
+using omega::State;
+using omega::Symbol;
+
+namespace {
+
+enum class SccValue { Trivial, Accepting, Rejecting };
+
+/// Per-state SCC values; throws on a mixed SCC (not an obligation property).
+std::vector<SccValue> scc_values(const DetOmega& m) {
+  MarkedGraph g = omega::to_graph(m);
+  auto reach = omega::graph_reachable(g);
+  std::vector<SccValue> value(m.state_count(), SccValue::Trivial);
+  for (const auto& scc : omega::nontrivial_sccs(g, reach)) {
+    std::vector<bool> mask(g.size(), false);
+    for (State q : scc) mask[q] = true;
+    const bool has_acc = omega::has_good_loop_within(g, mask, m.acceptance());
+    const bool has_rej = omega::has_good_loop_within(g, mask, m.acceptance().negate());
+    MPH_REQUIRE(!(has_acc && has_rej),
+                "automaton has a mixed SCC: its language is not an obligation property");
+    MPH_ASSERT(has_acc || has_rej);
+    for (State q : scc) value[q] = has_acc ? SccValue::Accepting : SccValue::Rejecting;
+  }
+  return value;
+}
+
+/// Deterministic rank tracker: DFA states are (automaton state, rank); rank
+/// is monotone and increments by 1 on each wave change.
+struct RankTracker {
+  lang::Dfa dfa;                 // structure; acceptance set later per use
+  std::vector<std::size_t> rank; // rank of each tracker state
+  std::size_t max_rank = 0;
+
+  RankTracker(const DetOmega& m, const std::vector<SccValue>& value,
+              std::size_t rank_cap)
+      : dfa(m.alphabet(), 1, 0) {
+    auto bump = [&](std::size_t r, SccValue v) -> std::size_t {
+      // rank 0 = no wave yet; even > 0 = accepting wave; odd = rejecting.
+      if (v == SccValue::Trivial) return r;
+      const bool cur_acc = r > 0 && r % 2 == 0;
+      const bool cur_rej = r % 2 == 1;
+      if (v == SccValue::Accepting && !cur_acc) return r == 0 ? 2 : r + 1;
+      if (v == SccValue::Rejecting && !cur_rej) return r + 1;
+      return r;
+    };
+    std::map<std::pair<State, std::size_t>, State> index;
+    std::vector<std::pair<State, std::size_t>> states;
+    auto intern = [&](State q, std::size_t r) {
+      r = std::min(r, rank_cap);
+      auto [it, inserted] = index.try_emplace({q, r}, static_cast<State>(states.size()));
+      if (inserted) states.push_back({q, r});
+      return it->second;
+    };
+    intern(m.initial(), bump(0, value[m.initial()]));
+    std::vector<std::vector<State>> trans;
+    for (State i = 0; i < states.size(); ++i) {
+      auto [q, r] = states[i];
+      trans.emplace_back(m.alphabet().size());
+      for (Symbol s = 0; s < m.alphabet().size(); ++s) {
+        State q2 = m.next(q, s);
+        trans[i][s] = intern(q2, bump(r, value[q2]));
+      }
+    }
+    dfa = lang::Dfa(m.alphabet(), states.size(), 0);
+    rank.resize(states.size());
+    for (State i = 0; i < states.size(); ++i) {
+      rank[i] = states[i].second;
+      max_rank = std::max(max_rank, rank[i]);
+      for (Symbol s = 0; s < m.alphabet().size(); ++s) dfa.set_transition(i, s, trans[i][s]);
+    }
+  }
+
+  /// DFA accepting {u : rank(u) ≤ bound}.
+  lang::Dfa rank_at_most(std::size_t bound) const {
+    lang::Dfa out = dfa;
+    for (State q = 0; q < out.state_count(); ++q) out.set_accepting(q, rank[q] <= bound);
+    return lang::minimize(out);
+  }
+
+  /// DFA accepting {u : rank(u) ≥ bound}.
+  lang::Dfa rank_at_least(std::size_t bound) const {
+    lang::Dfa out = dfa;
+    for (State q = 0; q < out.state_count(); ++q) out.set_accepting(q, rank[q] >= bound);
+    return lang::minimize(out);
+  }
+};
+
+DetOmega realize_term(const ObligationNormalForm::Term& term, bool conjunctive,
+                      const lang::Alphabet& alphabet) {
+  (void)alphabet;
+  DetOmega a = omega::op_a(term.phi);
+  DetOmega e = omega::op_e(term.psi);
+  return conjunctive ? union_of(a, e) : intersection(a, e);
+}
+
+}  // namespace
+
+DetOmega ObligationNormalForm::realize(const lang::Alphabet& alphabet) const {
+  MPH_REQUIRE(!terms.empty(), "normal form has no terms");
+  DetOmega out = realize_term(terms[0], conjunctive, alphabet);
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    DetOmega t = realize_term(terms[i], conjunctive, alphabet);
+    out = conjunctive ? intersection(out, t) : union_of(out, t);
+  }
+  return out;
+}
+
+ObligationNormalForm obligation_cnf(const DetOmega& m) {
+  auto value = scc_values(m);
+  // Rank cap: waves can alternate at most state_count times.
+  RankTracker tracker(m, value, 2 * m.state_count() + 2);
+
+  ObligationNormalForm out;
+  out.conjunctive = true;
+  // One conjunct per reachable odd rank 2j+1.
+  for (std::size_t j = 0; 2 * j + 1 <= tracker.max_rank; ++j) {
+    bool odd_reachable = false;
+    for (std::size_t q = 0; q < tracker.rank.size(); ++q)
+      odd_reachable = odd_reachable || tracker.rank[q] == 2 * j + 1;
+    if (!odd_reachable) continue;
+    out.terms.push_back(
+        {tracker.rank_at_most(2 * j), tracker.rank_at_least(2 * j + 2)});
+  }
+  if (out.terms.empty()) {
+    // No rejecting wave is ever reachable: L is everything the automaton can
+    // do... express with the trivial conjunct A(Pref) ∪ E(∅).
+    out.terms.push_back({tracker.rank_at_most(tracker.max_rank),
+                         lang::empty_dfa(m.alphabet())});
+  }
+  DetOmega realized = out.realize(m.alphabet());
+  if (!omega::equivalent(realized, m))
+    throw std::invalid_argument(
+        "language is not an obligation property: normal form does not realize it");
+  return out;
+}
+
+ObligationNormalForm obligation_dnf(const DetOmega& m) {
+  // ¬Π = ⋂ (A(Φᵢ) ∪ E(Ψᵢ))  ⇒  Π = ⋃ (E(Φ̄ᵢ) ∩ A(Ψ̄ᵢ)).
+  ObligationNormalForm cnf = obligation_cnf(omega::complement(m));
+  ObligationNormalForm out;
+  out.conjunctive = false;
+  for (const auto& term : cnf.terms)
+    out.terms.push_back({lang::complement_nonepsilon(term.psi),
+                         lang::complement_nonepsilon(term.phi)});
+  DetOmega realized = out.realize(m.alphabet());
+  MPH_ASSERT(omega::equivalent(realized, m));
+  return out;
+}
+
+}  // namespace mph::core

@@ -1,0 +1,55 @@
+// The obligation normal-form theorem of §2, made executable: every
+// obligation property is presentable as
+//
+//   conjunctive:   Π = ⋂_{i=1}^{n} ( A(Φᵢ) ∪ E(Ψᵢ) )
+//   disjunctive:   Π = ⋃_{i=1}^{n} ( A(Φᵢ) ∩ E(Ψᵢ) )
+//
+// for finitary properties Φᵢ, Ψᵢ. The construction tracks, along the unique
+// run of the deterministic automaton, the monotone *rank*
+//
+//   rank = 2·(number of accepting waves entered) + [currently in a
+//          rejecting wave]
+//
+// over the acceptance-homogeneous SCCs (an obligation automaton has no mixed
+// SCC). A word is accepted iff its final wave is accepting, i.e. its rank
+// stabilizes at an even value ≥ 2, which yields one conjunct per reachable
+// odd rank 2j+1:
+//
+//   conjunct j:  A({u : rank(u) ≤ 2j})  ∪  E({u : rank(u) ≥ 2j+2})
+//
+// ("either the run never falls into the j-th rejecting wave, or it later
+// climbs into the (j+1)-st accepting wave"). The number of conjuncts is the
+// number of reachable rejecting waves: exactly the obligation alternation
+// index on the canonical Obl_n family (whose runs start in an accepting
+// wave), and at most one above it in general (the extra conjunct covers
+// runs that fall into a rejecting wave before any accepting one). The
+// result is verified equivalent to the input before returning.
+#pragma once
+
+#include <vector>
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::core {
+
+struct ObligationNormalForm {
+  struct Term {
+    lang::Dfa phi;  // the A side (conjunctive) / the A side (disjunctive)
+    lang::Dfa psi;  // the E side
+  };
+  std::vector<Term> terms;
+  bool conjunctive = true;
+
+  /// The denoted property ⋂/⋃ over the terms.
+  omega::DetOmega realize(const lang::Alphabet& alphabet) const;
+};
+
+/// CNF of an obligation property; throws std::invalid_argument when L(m) is
+/// not an obligation property (mixed SCC found or the verification fails).
+ObligationNormalForm obligation_cnf(const omega::DetOmega& m);
+
+/// DNF, obtained by dualizing the CNF of the complement.
+ObligationNormalForm obligation_dnf(const omega::DetOmega& m);
+
+}  // namespace mph::core

@@ -1,0 +1,97 @@
+#include "src/core/operator_forms.hpp"
+
+#include "src/core/kappa_automata.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/graph.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::core {
+
+using omega::DetOmega;
+using omega::State;
+using omega::Symbol;
+
+namespace {
+
+/// DFA over the automaton's transition structure; `accepting` selects the
+/// kernel's membership per state.
+lang::Dfa structure_dfa(const DetOmega& m, const std::vector<bool>& accepting) {
+  lang::Dfa out(m.alphabet(), m.state_count(), m.initial());
+  for (State q = 0; q < m.state_count(); ++q) {
+    out.set_accepting(q, accepting[q]);
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) out.set_transition(q, s, m.next(q, s));
+  }
+  return lang::minimize(out);
+}
+
+[[noreturn]] void not_in_class(const char* cls) {
+  throw std::invalid_argument(std::string("language is not a ") + cls +
+                              " property; kernel extraction impossible");
+}
+
+std::vector<bool> marked_states(const DetOmega& m, omega::Mark mark) {
+  std::vector<bool> out(m.state_count(), false);
+  for (State q = 0; q < m.state_count(); ++q) out[q] = (m.marks(q) & omega::mark_bit(mark)) != 0;
+  return out;
+}
+
+}  // namespace
+
+lang::Dfa safety_form(const DetOmega& m) {
+  lang::Dfa phi = lang::minimize(omega::pref(m));
+  if (!omega::equivalent(omega::op_a(phi), m)) not_in_class("safety");
+  return phi;
+}
+
+lang::Dfa guarantee_form(const DetOmega& m) {
+  // The guarantee construction has an absorbing good region (Büchi mark);
+  // its kernel is "the run has committed to the good region".
+  DetOmega shaped = to_guarantee_automaton(m);  // throws if not guarantee
+  MPH_ASSERT(shaped.acceptance().kind() == omega::Acceptance::Kind::Inf);
+  lang::Dfa phi = structure_dfa(shaped, marked_states(shaped, shaped.acceptance().mark()));
+  MPH_ASSERT(omega::equivalent(omega::op_e(phi), m));
+  return phi;
+}
+
+lang::Dfa recurrence_form(const DetOmega& m) {
+  DetOmega shaped = to_recurrence_automaton(m);  // breakpoint Büchi; throws
+  MPH_ASSERT(shaped.acceptance().kind() == omega::Acceptance::Kind::Inf);
+  lang::Dfa phi = structure_dfa(shaped, marked_states(shaped, shaped.acceptance().mark()));
+  MPH_ASSERT(omega::equivalent(omega::op_r(phi), m));
+  return phi;
+}
+
+lang::Dfa persistence_form(const DetOmega& m) {
+  DetOmega shaped = to_persistence_automaton(m);  // co-Büchi; throws
+  MPH_ASSERT(shaped.acceptance().kind() == omega::Acceptance::Kind::Fin);
+  auto bad = marked_states(shaped, shaped.acceptance().mark());
+  bad.flip();
+  lang::Dfa phi = structure_dfa(shaped, bad);
+  MPH_ASSERT(omega::equivalent(omega::op_p(phi), m));
+  return phi;
+}
+
+SimpleReactivityForm simple_reactivity_form(const DetOmega& m) {
+  const omega::MarkedGraph g = omega::to_graph(m);
+  const auto reach = omega::graph_reachable(g);
+  // States on some rejecting loop (within the reachable part).
+  const auto rej = omega::good_loop_states(g, m.acceptance().negate());
+  // R: reachable states on no rejecting loop.
+  std::vector<bool> r_set(m.state_count(), false);
+  for (State q = 0; q < m.state_count(); ++q) r_set[q] = reach[q] && !rej[q];
+  // P: states on accepting loops confined to rejecting-loop territory.
+  std::vector<bool> rej_mask = rej;
+  const auto p_set = omega::good_loop_states_within(g, rej_mask, m.acceptance());
+  // Validity: no rejecting loop may fit entirely inside P.
+  if (omega::has_good_loop_within(g, p_set, m.acceptance().negate()))
+    not_in_class("simple reactivity");
+
+  SimpleReactivityForm out{structure_dfa(m, r_set), structure_dfa(m, p_set)};
+  DetOmega rebuilt = union_of(omega::op_r(out.phi), omega::op_p(out.psi));
+  if (!omega::equivalent(rebuilt, m)) not_in_class("simple reactivity");
+  return out;
+}
+
+}  // namespace mph::core

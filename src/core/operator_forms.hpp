@@ -1,0 +1,45 @@
+// The constructive converse of the §2 operators: given an automaton whose
+// language lies in a class, extract a *finitary* kernel presenting it —
+//
+//   safety       L = A(Φ)          guarantee    L = E(Φ)
+//   recurrence   L = R(Φ)          persistence  L = P(Φ)
+//   simple reactivity              L = R(Φ) ∪ P(Ψ)
+//
+// completing the linguistic view in both directions. The simple-reactivity
+// extraction computes the canonical one-pair Streett marking on the same
+// transition structure:
+//
+//   R  =  states on no rejecting loop
+//   P  =  states on accepting loops that lie entirely inside
+//         rejecting-loop territory
+//
+// (R is forced — a rejecting loop may not touch R — and P is then the least
+// admissible choice, so this marking exists iff ANY same-structure one-pair
+// marking does.) Soundness is total: a successful extraction certifies
+// simple reactivity. Completeness is per-presentation: a simple-reactivity
+// language given by an automaton whose states conflate the two one-pair
+// roles can fail the extraction even though a state-split presentation
+// would succeed; the exact class decision remains core::is_simple_reactivity.
+// Every extraction is verified by rebuilding the language through the
+// operators; std::invalid_argument is thrown on failure.
+#pragma once
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::core {
+
+lang::Dfa safety_form(const omega::DetOmega& m);       // L = A(result)
+lang::Dfa guarantee_form(const omega::DetOmega& m);    // L = E(result)
+lang::Dfa recurrence_form(const omega::DetOmega& m);   // L = R(result)
+lang::Dfa persistence_form(const omega::DetOmega& m);  // L = P(result)
+
+struct SimpleReactivityForm {
+  lang::Dfa phi;  // the recurrence side
+  lang::Dfa psi;  // the persistence side
+};
+
+/// L = R(phi) ∪ P(psi); throws when L(m) is not simple reactivity.
+SimpleReactivityForm simple_reactivity_form(const omega::DetOmega& m);
+
+}  // namespace mph::core

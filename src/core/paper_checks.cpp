@@ -1,0 +1,75 @@
+#include "src/core/paper_checks.hpp"
+
+#include <deque>
+
+#include "src/support/check.hpp"
+
+namespace mph::core::paper {
+
+using omega::DetOmega;
+using omega::State;
+using omega::StreettPair;
+using omega::Symbol;
+
+namespace {
+
+/// G = ⋂ᵢ (Rᵢ ∪ Pᵢ) as a membership mask.
+std::vector<bool> good_states(const DetOmega& m, const std::vector<StreettPair>& pairs) {
+  MPH_REQUIRE(!pairs.empty(), "at least one Streett pair required");
+  std::vector<bool> g(m.state_count(), true);
+  for (const auto& pair : pairs) {
+    std::vector<bool> in(m.state_count(), false);
+    for (State q : pair.r) {
+      MPH_REQUIRE(q < m.state_count(), "pair state out of range");
+      in[q] = true;
+    }
+    for (State q : pair.p) {
+      MPH_REQUIRE(q < m.state_count(), "pair state out of range");
+      in[q] = true;
+    }
+    for (State q = 0; q < m.state_count(); ++q) g[q] = g[q] && in[q];
+  }
+  return g;
+}
+
+/// Forward closure: states reachable from any seed state.
+std::vector<bool> closure(const DetOmega& m, const std::vector<bool>& seed) {
+  std::vector<bool> out = seed;
+  std::deque<State> queue;
+  for (State q = 0; q < m.state_count(); ++q)
+    if (out[q]) queue.push_back(q);
+  while (!queue.empty()) {
+    State q = queue.front();
+    queue.pop_front();
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) {
+      State t = m.next(q, s);
+      if (!out[t]) {
+        out[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool literal_safety_check(const DetOmega& m, const std::vector<StreettPair>& pairs) {
+  auto g = good_states(m, pairs);
+  std::vector<bool> b(m.state_count());
+  for (State q = 0; q < m.state_count(); ++q) b[q] = !g[q];
+  auto b_hat = closure(m, b);
+  for (State q = 0; q < m.state_count(); ++q)
+    if (b_hat[q] && g[q]) return false;
+  return true;
+}
+
+bool literal_guarantee_check(const DetOmega& m, const std::vector<StreettPair>& pairs) {
+  auto g = good_states(m, pairs);
+  auto g_hat = closure(m, g);
+  for (State q = 0; q < m.state_count(); ++q)
+    if (g_hat[q] && !g[q]) return false;
+  return true;
+}
+
+}  // namespace mph::core::paper

@@ -1,0 +1,29 @@
+// The §5.1 decision procedures exactly as printed in the paper
+// (Proposition 5.2, "we repeat them below, using our terminology"):
+//
+//   G  = ⋂_{i=1}^{k} (R_i ∪ P_i),  B = Q − G,  Â = forward closure of A
+//
+//   safety     iff  B̂ ∩ G = ∅        (no B-state ever reaches a G-state)
+//   guarantee  iff  Ĝ ∩ B = ∅
+//
+// These are provably correct for a single Streett pair on trim automata;
+// for k ≥ 2 the printed versions are *unsound* — a loop of B-states can
+// satisfy every pair through different states — which the test suite
+// demonstrates with a two-pair counterexample (erratum E6, EXPERIMENTS.md).
+// The exact procedures used by the library are in classify.hpp; these
+// literal transcriptions exist to document and probe the paper's text.
+#pragma once
+
+#include "src/omega/operators.hpp"
+
+namespace mph::core::paper {
+
+/// B̂ ∩ G = ∅ with G = ⋂ᵢ (Rᵢ ∪ Pᵢ), as printed.
+bool literal_safety_check(const omega::DetOmega& structure,
+                          const std::vector<omega::StreettPair>& pairs);
+
+/// Ĝ ∩ B = ∅, as printed.
+bool literal_guarantee_check(const omega::DetOmega& structure,
+                             const std::vector<omega::StreettPair>& pairs);
+
+}  // namespace mph::core::paper

@@ -1,0 +1,266 @@
+#include "src/fts/checker.hpp"
+
+#include <deque>
+#include <memory>
+#include <sstream>
+
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/graph.hpp"
+#include "src/omega/nba.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::fts {
+
+using omega::Acceptance;
+using omega::Mark;
+using omega::MarkedGraph;
+using omega::MarkSet;
+
+std::string Counterexample::to_string(const Fts& system) const {
+  std::ostringstream out;
+  auto emit = [&](const Valuation& v) {
+    out << "  ";
+    for (std::size_t i = 0; i < v.size(); ++i)
+      out << (i ? " " : "") << system.var_name(i) << "=" << v[i];
+    out << "\n";
+  };
+  out << "prefix:\n";
+  for (const auto& v : prefix) emit(v);
+  out << "loop (repeats forever):\n";
+  for (const auto& v : loop) emit(v);
+  return out.str();
+}
+
+namespace {
+
+/// A uniform view over the two automaton back-ends for ¬spec: the
+/// deterministic hierarchy-fragment compiler and the NBA tableau.
+struct NegSpecView {
+  std::vector<omega::State> initial;
+  std::function<std::vector<omega::State>(omega::State, lang::Symbol)> step;
+  std::function<MarkSet(omega::State)> marks;
+  Acceptance acceptance = Acceptance::t();
+};
+
+NegSpecView deterministic_view(std::shared_ptr<omega::DetOmega> m) {
+  NegSpecView v;
+  v.initial = {m->initial()};
+  v.step = [m](omega::State q, lang::Symbol s) {
+    return std::vector<omega::State>{m->next(q, s)};
+  };
+  v.marks = [m](omega::State q) { return m->marks(q); };
+  v.acceptance = m->acceptance();
+  return v;
+}
+
+NegSpecView nba_view(std::shared_ptr<omega::Nba> n) {
+  NegSpecView v;
+  v.initial = n->initial_states();
+  v.step = [n](omega::State q, lang::Symbol s) {
+    std::vector<omega::State> out;
+    for (auto [sym, t] : n->edges(q))
+      if (sym == s) out.push_back(t);
+    return out;
+  };
+  v.marks = [n](omega::State q) {
+    return n->accepting(q) ? omega::mark_bit(0) : MarkSet{0};
+  };
+  v.acceptance = Acceptance::buchi(0);
+  return v;
+}
+
+}  // namespace
+
+CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
+                  std::size_t max_states) {
+  // Alphabet over the spec's atoms.
+  auto atom_names = spec.atoms();
+  MPH_REQUIRE(!atom_names.empty(), "specification must mention at least one atom");
+  for (const auto& name : atom_names)
+    MPH_REQUIRE(atoms.contains(name), "specification atom not defined: " + name);
+  auto alphabet = lang::Alphabet::of_props(atom_names);
+
+  // Compile ¬spec: deterministic route first, NBA tableau as fallback.
+  NegSpecView neg;
+  try {
+    neg = deterministic_view(
+        std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), alphabet)));
+  } catch (const std::invalid_argument&) {
+    neg = nba_view(std::make_shared<omega::Nba>(ltl::to_nba(f_not(spec), alphabet)));
+  }
+
+  StateGraph sg = explore(system, max_states);
+  auto symbol_of = [&](std::size_t n) {
+    lang::Symbol s = 0;
+    for (std::size_t i = 0; i < atom_names.size(); ++i) {
+      const AtomFn& fn = atoms.at(atom_names[i]);
+      if (fn(system, sg.nodes[n].valuation, sg.nodes[n].last_taken))
+        s |= lang::Symbol{1} << i;
+    }
+    return s;
+  };
+
+  // Fairness marks: one per weak transition ("ok": disabled or just taken),
+  // two per strong transition (taken / enabled). ¬spec marks are shifted
+  // past them.
+  std::vector<std::size_t> weak, strong;
+  for (std::size_t t = 0; t < system.transition_count(); ++t) {
+    if (system.transition_fairness(t) == Fairness::Weak) weak.push_back(t);
+    if (system.transition_fairness(t) == Fairness::Strong) strong.push_back(t);
+  }
+  const Mark n_fair_marks = static_cast<Mark>(weak.size() + 2 * strong.size());
+  Acceptance acc = Acceptance::t();
+  for (std::size_t i = 0; i < weak.size(); ++i)
+    acc = Acceptance::conj(std::move(acc), Acceptance::inf(static_cast<Mark>(i)));
+  for (std::size_t i = 0; i < strong.size(); ++i) {
+    const Mark taken_mark = static_cast<Mark>(weak.size() + 2 * i);
+    const Mark enabled_mark = static_cast<Mark>(weak.size() + 2 * i + 1);
+    acc = Acceptance::conj(std::move(acc), Acceptance::disj(Acceptance::inf(taken_mark),
+                                                            Acceptance::fin(enabled_mark)));
+  }
+  acc = Acceptance::conj(std::move(acc), neg.acceptance.shift(n_fair_marks));
+  MPH_REQUIRE((acc.mentioned_marks() >> 63) == 0, "too many fairness marks");
+
+  // Product graph: (state-graph node, automaton state); the automaton reads
+  // the label of the source node on each step.
+  std::map<std::pair<std::size_t, omega::State>, omega::State> index;
+  std::vector<std::pair<std::size_t, omega::State>> nodes;
+  auto intern = [&](std::size_t n, omega::State q) {
+    auto [it, inserted] = index.try_emplace({n, q}, static_cast<omega::State>(nodes.size()));
+    if (inserted) {
+      MPH_REQUIRE(nodes.size() < max_states, "product exceeds max_states");
+      nodes.push_back({n, q});
+    }
+    return it->second;
+  };
+  MarkedGraph g;
+  for (omega::State q0 : neg.initial) intern(0, q0);
+  g.initial = 0;
+  for (omega::State p = 0; p < nodes.size(); ++p) {
+    auto [n, q] = nodes[p];
+    std::vector<omega::State> succ;
+    for (omega::State q2 : neg.step(q, symbol_of(n)))
+      for (auto [target, t] : sg.edges[n]) {
+        (void)t;
+        succ.push_back(intern(target, q2));
+      }
+    g.succ.push_back(std::move(succ));
+    MarkSet marks = 0;
+    for (std::size_t i = 0; i < weak.size(); ++i) {
+      bool ok = !sg.enabled[n][weak[i]] ||
+                sg.nodes[n].last_taken == static_cast<int>(weak[i]);
+      if (ok) marks |= omega::mark_bit(static_cast<Mark>(i));
+    }
+    for (std::size_t i = 0; i < strong.size(); ++i) {
+      if (sg.nodes[n].last_taken == static_cast<int>(strong[i]))
+        marks |= omega::mark_bit(static_cast<Mark>(weak.size() + 2 * i));
+      if (sg.enabled[n][strong[i]])
+        marks |= omega::mark_bit(static_cast<Mark>(weak.size() + 2 * i + 1));
+    }
+    marks |= neg.marks(q) << n_fair_marks;
+    g.marks.push_back(marks);
+  }
+  // Multiple NBA initial states: add a virtual root so the good-loop search
+  // sees all of them as reachable.
+  if (neg.initial.size() > 1) {
+    const omega::State root = static_cast<omega::State>(g.succ.size());
+    g.succ.emplace_back();
+    g.marks.push_back(0);
+    for (std::size_t i = 0; i < neg.initial.size(); ++i)
+      g.succ[root].push_back(static_cast<omega::State>(i));
+    g.initial = root;
+  }
+
+  CheckResult result;
+  result.product_states = nodes.size();
+  auto loop = omega::find_good_loop(g, acc);
+  if (!loop) {
+    result.holds = true;
+    return result;
+  }
+  result.holds = false;
+  // Counterexample: shortest path from some initial product node to the
+  // loop, then a cycle covering it.
+  std::vector<bool> in_loop(g.size(), false);
+  for (omega::State q : *loop) in_loop[q] = true;
+  std::vector<std::int64_t> parent(g.size(), -2);
+  std::deque<omega::State> queue;
+  for (std::size_t i = 0; i < neg.initial.size(); ++i) {
+    parent[i] = -1;
+    queue.push_back(static_cast<omega::State>(i));
+  }
+  omega::State anchor = static_cast<omega::State>(~0u);
+  for (std::size_t i = 0; i < neg.initial.size() && anchor == static_cast<omega::State>(~0u);
+       ++i)
+    if (in_loop[i]) anchor = static_cast<omega::State>(i);
+  while (!queue.empty() && anchor == static_cast<omega::State>(~0u)) {
+    omega::State u = queue.front();
+    queue.pop_front();
+    for (omega::State v : g.succ[u]) {
+      if (parent[v] != -2) continue;
+      parent[v] = static_cast<std::int64_t>(u);
+      if (in_loop[v]) {
+        anchor = v;
+        break;
+      }
+      queue.push_back(v);
+    }
+  }
+  MPH_ASSERT(anchor != static_cast<omega::State>(~0u));
+  Counterexample cex;
+  {
+    std::vector<omega::State> path;
+    for (omega::State cur = anchor;;) {
+      path.push_back(cur);
+      if (parent[cur] < 0) break;
+      cur = static_cast<omega::State>(parent[cur]);
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it)
+      cex.prefix.push_back(sg.nodes[nodes[*it].first].valuation);
+    cex.prefix.pop_back();  // the anchor starts the loop instead
+  }
+  // Cycle through all loop nodes by chaining shortest paths within the loop.
+  auto seg = [&](omega::State from, omega::State to) {
+    MPH_ASSERT(from != to);
+    std::vector<std::int64_t> par(g.size(), -2);
+    std::deque<omega::State> q2{from};
+    par[from] = -1;
+    while (!q2.empty()) {
+      omega::State u = q2.front();
+      q2.pop_front();
+      for (omega::State v : g.succ[u]) {
+        if (!in_loop[v] || par[v] != -2) continue;
+        par[v] = static_cast<std::int64_t>(u);
+        q2.push_back(v);
+      }
+    }
+    MPH_ASSERT(par[to] != -2);
+    std::vector<omega::State> rev;
+    for (omega::State c = static_cast<omega::State>(par[to]); par[c] >= 0;
+         c = static_cast<omega::State>(par[c]))
+      rev.push_back(c);
+    std::vector<omega::State> fwd{from};
+    fwd.insert(fwd.end(), rev.rbegin(), rev.rend());
+    return fwd;
+  };
+  std::vector<omega::State> cycle;
+  omega::State cur = anchor;
+  for (omega::State goal : *loop) {
+    if (goal == cur) continue;
+    auto piece = seg(cur, goal);
+    cycle.insert(cycle.end(), piece.begin(), piece.end());
+    cur = goal;
+  }
+  if (cur != anchor) {
+    auto piece = seg(cur, anchor);
+    cycle.insert(cycle.end(), piece.begin(), piece.end());
+  } else if (cycle.empty()) {
+    cycle.push_back(anchor);  // singleton loop with a self-edge
+  }
+  for (omega::State q : cycle) cex.loop.push_back(sg.nodes[nodes[q].first].valuation);
+  result.counterexample = std::move(cex);
+  return result;
+}
+
+}  // namespace mph::fts

@@ -1,0 +1,37 @@
+// Automata-theoretic model checking of temporal specifications over fair
+// transition systems: P ⊨ φ iff no fair computation of P satisfies ¬φ.
+// The negated specification is compiled to a deterministic ω-automaton
+// (hierarchy fragment), the fairness requirements become Streett-style
+// acceptance on the product, and the question is a good-loop search.
+#pragma once
+
+#include <optional>
+
+#include "src/fts/fts.hpp"
+#include "src/ltl/ast.hpp"
+
+namespace mph::fts {
+
+struct Counterexample {
+  /// A fair computation violating the specification, as valuations.
+  std::vector<Valuation> prefix;
+  std::vector<Valuation> loop;  // repeated forever
+
+  std::string to_string(const Fts& system) const;
+};
+
+struct CheckResult {
+  bool holds = false;
+  std::optional<Counterexample> counterexample;
+  std::size_t product_states = 0;
+};
+
+/// Checks that every fair computation satisfies `spec`. The atoms of `spec`
+/// must all be present in `atoms`. The negated specification is compiled
+/// deterministically when it lies in the hierarchy fragment; otherwise, for
+/// future-only formulas, a nondeterministic Büchi tableau is used. Throws if
+/// neither route applies.
+CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
+                  std::size_t max_states = 200000);
+
+}  // namespace mph::fts

@@ -1,0 +1,137 @@
+#include "src/fts/fts.hpp"
+
+#include <deque>
+
+namespace mph::fts {
+
+std::size_t Fts::add_var(std::string name, int lo, int hi, int init) {
+  MPH_REQUIRE(lo <= hi, "empty variable domain");
+  MPH_REQUIRE(init >= lo && init <= hi, "initial value outside domain");
+  for (const auto& v : vars_) MPH_REQUIRE(v.name != name, "duplicate variable: " + name);
+  vars_.push_back(Var{std::move(name), lo, hi});
+  init_.push_back(init);
+  return vars_.size() - 1;
+}
+
+std::size_t Fts::add_transition(std::string name, Fairness fairness,
+                                std::function<bool(const Valuation&)> guard,
+                                std::function<void(Valuation&)> effect) {
+  MPH_REQUIRE(guard && effect, "guard and effect must be callable");
+  transitions_.push_back(Transition{std::move(name), fairness, std::move(guard),
+                                    std::move(effect)});
+  return transitions_.size() - 1;
+}
+
+const std::string& Fts::var_name(std::size_t v) const {
+  MPH_REQUIRE(v < vars_.size(), "variable index out of range");
+  return vars_[v].name;
+}
+
+const std::string& Fts::transition_name(std::size_t t) const {
+  MPH_REQUIRE(t < transitions_.size(), "transition index out of range");
+  return transitions_[t].name;
+}
+
+Fairness Fts::transition_fairness(std::size_t t) const {
+  MPH_REQUIRE(t < transitions_.size(), "transition index out of range");
+  return transitions_[t].fairness;
+}
+
+std::size_t Fts::var_index(std::string_view name) const {
+  for (std::size_t v = 0; v < vars_.size(); ++v)
+    if (vars_[v].name == name) return v;
+  MPH_REQUIRE(false, "unknown variable: " + std::string(name));
+  return 0;
+}
+
+bool Fts::enabled(std::size_t t, const Valuation& v) const {
+  MPH_REQUIRE(t < transitions_.size(), "transition index out of range");
+  return transitions_[t].guard(v);
+}
+
+Valuation Fts::apply(std::size_t t, const Valuation& v) const {
+  MPH_REQUIRE(t < transitions_.size(), "transition index out of range");
+  MPH_REQUIRE(transitions_[t].guard(v), "transition not enabled");
+  Valuation out = v;
+  transitions_[t].effect(out);
+  MPH_REQUIRE(out.size() == vars_.size(), "effect changed the number of variables");
+  for (std::size_t i = 0; i < out.size(); ++i)
+    MPH_REQUIRE(out[i] >= vars_[i].lo && out[i] <= vars_[i].hi,
+                "effect drove " + vars_[i].name + " outside its domain");
+  return out;
+}
+
+StateGraph explore(const Fts& system, std::size_t max_states) {
+  StateGraph g;
+  std::map<std::pair<Valuation, int>, std::size_t> index;
+  auto intern = [&](Valuation v, int last) {
+    auto [it, inserted] = index.try_emplace({v, last}, g.nodes.size());
+    if (inserted) {
+      MPH_REQUIRE(g.nodes.size() < max_states, "state graph exceeds max_states");
+      g.nodes.push_back(StateGraph::Node{std::move(v), last});
+      g.edges.emplace_back();
+      g.enabled.emplace_back();
+      g.stutters.push_back(false);
+    }
+    return it->second;
+  };
+  std::deque<std::size_t> queue{intern(system.initial_valuation(), StateGraph::kNone)};
+  std::vector<bool> expanded;
+  while (!queue.empty()) {
+    std::size_t n = queue.front();
+    queue.pop_front();
+    expanded.resize(g.nodes.size(), false);
+    if (expanded[n]) continue;
+    expanded[n] = true;
+    const Valuation v = g.nodes[n].valuation;
+    std::vector<bool> en(system.transition_count(), false);
+    bool any = false;
+    for (std::size_t t = 0; t < system.transition_count(); ++t) {
+      en[t] = system.enabled(t, v);
+      if (!en[t]) continue;
+      any = true;
+      std::size_t target = intern(system.apply(t, v), static_cast<int>(t));
+      g.edges[n].push_back({target, t});
+      queue.push_back(target);
+    }
+    g.enabled[n] = std::move(en);
+    if (!any) {
+      // Terminal state: stutter forever.
+      g.edges[n].push_back({n, static_cast<std::size_t>(-1)});
+      g.stutters[n] = true;
+    }
+  }
+  return g;
+}
+
+AtomFn var_equals(const Fts& system, std::string_view var, int value) {
+  std::size_t idx = system.var_index(var);
+  return [idx, value](const Fts&, const Valuation& v, int) { return v[idx] == value; };
+}
+
+AtomFn var_at_least(const Fts& system, std::string_view var, int value) {
+  std::size_t idx = system.var_index(var);
+  return [idx, value](const Fts&, const Valuation& v, int) { return v[idx] >= value; };
+}
+
+AtomFn taken(std::size_t transition) {
+  return [transition](const Fts&, const Valuation&, int last) {
+    return last == static_cast<int>(transition);
+  };
+}
+
+AtomFn enabled_atom(std::size_t transition) {
+  return [transition](const Fts& sys, const Valuation& v, int) {
+    return sys.enabled(transition, v);
+  };
+}
+
+AtomFn deadlocked() {
+  return [](const Fts& sys, const Valuation& v, int) {
+    for (std::size_t t = 0; t < sys.transition_count(); ++t)
+      if (sys.enabled(t, v)) return false;
+    return true;
+  };
+}
+
+}  // namespace mph::fts

@@ -1,0 +1,101 @@
+// Fair transition systems — the paper's program model (§4, after [MP83]):
+// finite-domain variables, guarded deterministic transitions, and a weak
+// (justice) or strong (compassion) fairness requirement per transition.
+//
+// Computations are infinite; a state with no enabled transition stutters
+// (the paper's convention of extending terminated computations by duplicate
+// states). The explicit state graph annotates each node with the transition
+// just taken, so the predicates enabled(τ) and taken(τ) used by the fairness
+// formulae are plain state predicates, exactly as §4 assumes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace mph::fts {
+
+using Valuation = std::vector<int>;
+
+enum class Fairness { None, Weak, Strong };
+
+class Fts {
+ public:
+  /// Adds a variable with inclusive domain [lo, hi] and initial value.
+  std::size_t add_var(std::string name, int lo, int hi, int init);
+
+  /// Adds a guarded transition. The effect mutates a copy of the valuation;
+  /// values outside their domain throw at exploration time.
+  std::size_t add_transition(std::string name, Fairness fairness,
+                             std::function<bool(const Valuation&)> guard,
+                             std::function<void(Valuation&)> effect);
+
+  std::size_t var_count() const { return vars_.size(); }
+  std::size_t transition_count() const { return transitions_.size(); }
+  const std::string& var_name(std::size_t v) const;
+  const std::string& transition_name(std::size_t t) const;
+  Fairness transition_fairness(std::size_t t) const;
+  std::size_t var_index(std::string_view name) const;
+  const Valuation& initial_valuation() const { return init_; }
+
+  bool enabled(std::size_t t, const Valuation& v) const;
+  Valuation apply(std::size_t t, const Valuation& v) const;
+
+ private:
+  struct Var {
+    std::string name;
+    int lo, hi;
+  };
+  struct Transition {
+    std::string name;
+    Fairness fairness;
+    std::function<bool(const Valuation&)> guard;
+    std::function<void(Valuation&)> effect;
+  };
+  std::vector<Var> vars_;
+  std::vector<Transition> transitions_;
+  Valuation init_;
+};
+
+/// Explicit state graph of an Fts. Node 0 is initial (with no transition
+/// taken yet, last_taken = kNone).
+struct StateGraph {
+  static constexpr int kNone = -1;
+
+  struct Node {
+    Valuation valuation;
+    int last_taken;  // transition index, or kNone
+  };
+  std::vector<Node> nodes;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> edges;  // (target, transition)
+  /// Per node: which transitions are enabled (bitmask would cap at 64; use
+  /// a vector of flags for generality).
+  std::vector<std::vector<bool>> enabled;
+  /// Whether the node's only step is the stutter self-loop.
+  std::vector<bool> stutters;
+};
+
+/// BFS exploration; throws std::invalid_argument beyond `max_states` or on a
+/// domain violation.
+StateGraph explore(const Fts& system, std::size_t max_states = 200000);
+
+/// Atomic state predicate over (valuation, last-taken transition).
+using AtomFn = std::function<bool(const Fts&, const Valuation&, int last_taken)>;
+
+/// Named atoms evaluated on state-graph nodes; the vocabulary of
+/// specifications.
+using AtomMap = std::map<std::string, AtomFn>;
+
+/// Common atom builders.
+AtomFn var_equals(const Fts& system, std::string_view var, int value);
+AtomFn var_at_least(const Fts& system, std::string_view var, int value);
+AtomFn taken(std::size_t transition);
+AtomFn enabled_atom(std::size_t transition);
+/// True on states where no transition is enabled (the stuttering states).
+AtomFn deadlocked();
+
+}  // namespace mph::fts

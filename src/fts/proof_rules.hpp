@@ -1,0 +1,55 @@
+// The two proof principles the paper attaches to the hierarchy (§1, §4):
+//
+//  - the *invariance rule* for safety properties: show the assertion holds
+//    initially and is preserved by every transition — the induction over
+//    computation positions stays implicit;
+//  - the *well-founded response rule* for recurrence properties
+//    □(p → ◇q): exhibit a ranking function that every step weakly
+//    decreases while a response is pending, and a helpful weakly-fair
+//    transition that strictly decreases it.
+//
+// Premises are discharged by enumeration over the reachable state graph, so
+// a successful verification is a machine-checked proof for the given finite
+// instance; failures return the offending state.
+#pragma once
+
+#include <optional>
+
+#include "src/fts/fts.hpp"
+
+namespace mph::fts {
+
+using Assertion = std::function<bool(const Valuation&)>;
+using Ranking = std::function<int(const Valuation&)>;
+
+struct RuleResult {
+  bool proved = false;
+  std::string failed_premise;              // empty iff proved
+  std::optional<Valuation> witness_state;  // state violating the premise
+};
+
+/// Invariance rule (safety): `inv` holds initially and every transition from
+/// a reachable inv-state lands in an inv-state. Proves □inv.
+RuleResult verify_invariance(const Fts& system, const Assertion& inv,
+                             std::size_t max_states = 200000);
+
+/// Strengthened invariance: prove □goal via an inductive strengthening
+/// `aux` with aux → goal.
+RuleResult verify_invariance_with(const Fts& system, const Assertion& goal,
+                                  const Assertion& aux, std::size_t max_states = 200000);
+
+/// Well-founded response rule: proves □(p → ◇q) using `rank` and a helpful
+/// weakly-fair transition chosen per state by `helpful`. Premises over every
+/// reachable state s with pending obligation (p seen, q not yet):
+///   R1  rank(s) ≥ 0
+///   R2  every successor s' satisfies q or rank(s') ≤ rank(s)
+///   R3  the helpful transition is enabled at s, and its successor
+///       satisfies q or has strictly smaller rank
+///   R4  helpful(s) is weakly fair
+/// "Pending" is tracked by exploring the graph of (state, pending) pairs.
+RuleResult verify_response(const Fts& system, const Assertion& p, const Assertion& q,
+                           const Ranking& rank,
+                           const std::function<std::size_t(const Valuation&)>& helpful,
+                           std::size_t max_states = 200000);
+
+}  // namespace mph::fts

@@ -1,0 +1,55 @@
+#include "src/lang/dfa.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace mph::lang {
+
+Dfa::Dfa(Alphabet alphabet, std::size_t n_states, State initial)
+    : alphabet_(std::move(alphabet)),
+      trans_(n_states * alphabet_.size()),
+      accepting_(n_states, false),
+      initial_(initial) {
+  MPH_REQUIRE(n_states > 0, "a complete DFA needs at least one state");
+  MPH_REQUIRE(initial < n_states, "initial state out of range");
+  for (State q = 0; q < n_states; ++q)
+    for (Symbol s = 0; s < alphabet_.size(); ++s) trans_[q * alphabet_.size() + s] = q;
+}
+
+void Dfa::set_transition(State from, Symbol on, State to) {
+  MPH_REQUIRE(from < state_count() && to < state_count(), "state out of range");
+  MPH_REQUIRE(on < alphabet_.size(), "symbol out of range");
+  trans_[from * alphabet_.size() + on] = to;
+}
+
+State Dfa::next(State from, Symbol on) const {
+  MPH_REQUIRE(from < state_count() && on < alphabet_.size(), "state or symbol out of range");
+  return trans_[from * alphabet_.size() + on];
+}
+
+void Dfa::set_accepting(State q, bool accepting) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  accepting_[q] = accepting;
+}
+
+bool Dfa::accepting(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return accepting_[q];
+}
+
+std::size_t Dfa::accepting_count() const {
+  return static_cast<std::size_t>(std::count(accepting_.begin(), accepting_.end(), true));
+}
+
+State Dfa::run(State from, const Word& w) const {
+  State q = from;
+  for (Symbol s : w) q = next(q, s);
+  return q;
+}
+
+bool Dfa::accepts_text(std::string_view text) const {
+  return accepts(parse_word(text, alphabet_));
+}
+
+}  // namespace mph::lang

@@ -1,0 +1,53 @@
+// Complete deterministic finite automata over a small explicit alphabet.
+//
+// A Dfa denotes a language L ⊆ Σ*. The paper's finitary properties are
+// subsets of Σ⁺ (non-empty words); every consumer that needs Σ⁺ semantics
+// (the operators A/E/R/P, A_f/E_f, minex) explicitly ignores whether the
+// empty word is accepted. Transition tables are dense: |Q|·|Σ| entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lang/alphabet.hpp"
+#include "src/lang/word.hpp"
+
+namespace mph::lang {
+
+using State = std::uint32_t;
+
+class Dfa {
+ public:
+  /// A complete automaton with `n_states` states, all transitions initially
+  /// self-loops and no accepting states. States are 0..n_states-1.
+  Dfa(Alphabet alphabet, std::size_t n_states, State initial);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  std::size_t state_count() const { return accepting_.size(); }
+  State initial() const { return initial_; }
+
+  void set_transition(State from, Symbol on, State to);
+  State next(State from, Symbol on) const;
+
+  void set_accepting(State q, bool accepting = true);
+  bool accepting(State q) const;
+  std::size_t accepting_count() const;
+
+  /// State reached from `from` by reading `w`.
+  State run(State from, const Word& w) const;
+
+  /// Standard acceptance; accepts(ε) is accepting(initial()).
+  bool accepts(const Word& w) const { return accepting(run(initial_, w)); }
+
+  /// Convenience for plain single-character alphabets in tests:
+  /// accepts_text("aab").
+  bool accepts_text(std::string_view text) const;
+
+ private:
+  Alphabet alphabet_;
+  std::vector<State> trans_;  // row-major: state * |Σ| + symbol
+  std::vector<bool> accepting_;
+  State initial_;
+};
+
+}  // namespace mph::lang

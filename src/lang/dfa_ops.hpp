@@ -1,0 +1,68 @@
+// Boolean algebra, decision procedures, and inspection utilities on DFAs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/lang/dfa.hpp"
+
+namespace mph::lang {
+
+/// L(result) = complement of L(d) with respect to Σ*.
+Dfa complement(const Dfa& d);
+
+/// Binary product; `combine(a_accepts, b_accepts)` decides acceptance.
+/// Both automata must share the same alphabet.
+Dfa product(const Dfa& a, const Dfa& b, const std::function<bool(bool, bool)>& combine);
+
+Dfa intersection(const Dfa& a, const Dfa& b);
+Dfa union_of(const Dfa& a, const Dfa& b);
+Dfa difference(const Dfa& a, const Dfa& b);
+
+/// States reachable from the initial state.
+std::vector<bool> reachable_states(const Dfa& d);
+
+/// States from which some accepting state is reachable (the "live" states).
+std::vector<bool> coreachable_states(const Dfa& d);
+
+bool is_empty(const Dfa& d);
+
+/// True iff L(d) = Σ*.
+bool is_universal(const Dfa& d);
+
+/// True iff L(d) ∩ Σ⁺ = ∅, i.e. empty as a finitary property.
+bool is_empty_nonepsilon(const Dfa& d);
+
+bool equivalent(const Dfa& a, const Dfa& b);
+
+/// True iff L(a) ⊆ L(b).
+bool subset(const Dfa& a, const Dfa& b);
+
+/// Canonical minimal automaton (Moore partition refinement on the reachable
+/// part, plus a single dead state if needed for completeness).
+Dfa minimize(const Dfa& d);
+
+/// Lexicographically-least shortest accepted word, if any. With
+/// `require_nonempty`, ε is not considered even when accepted.
+std::optional<Word> shortest_accepted(const Dfa& d, bool require_nonempty = false);
+
+/// All accepted words of length ≤ max_len, in length-lexicographic order.
+/// Intended for tests on tiny alphabets; the result grows as |Σ|^max_len.
+std::vector<Word> enumerate_accepted(const Dfa& d, std::size_t max_len);
+
+/// The prefix closure: words that are a prefix of some word in L(d)
+/// (including ε when L(d) is non-empty).
+Dfa prefixes(const Dfa& d);
+
+/// True iff every prefix of every accepted word is accepted (ε included).
+bool is_prefix_closed(const Dfa& d);
+
+/// DFA accepting exactly the single word `w`.
+Dfa single_word(const Alphabet& alphabet, const Word& w);
+
+/// DFA accepting all of Σ*, or none of it.
+Dfa universal_dfa(const Alphabet& alphabet);
+Dfa empty_dfa(const Alphabet& alphabet);
+
+}  // namespace mph::lang

@@ -1,0 +1,129 @@
+#include "src/lang/finitary_ops.hpp"
+
+#include <map>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::lang {
+
+Dfa a_f(const Dfa& phi) {
+  // Simulate Φ's automaton; any step landing in a non-accepting Φ-state means
+  // the current (non-empty) prefix is outside Φ — fall into a dead sink.
+  // States: 0..n-1 mirror Φ, state n is the sink. Acceptance: mirrored
+  // accepting states (each reached only when every visited prefix was in Φ).
+  const std::size_t n = phi.state_count();
+  const State sink = static_cast<State>(n);
+  Dfa out(phi.alphabet(), n + 1, phi.initial());
+  for (State q = 0; q < n; ++q) {
+    out.set_accepting(q, phi.accepting(q));
+    for (Symbol s = 0; s < phi.alphabet().size(); ++s) {
+      State t = phi.next(q, s);
+      out.set_transition(q, s, phi.accepting(t) ? t : sink);
+    }
+  }
+  for (Symbol s = 0; s < phi.alphabet().size(); ++s) out.set_transition(sink, s, sink);
+  // ε has no non-empty prefix in Φ; as a finitary property the result
+  // excludes ε regardless, so mark the initial state's ε-acceptance off
+  // only if the initial state is not re-enterable... the initial state may be
+  // re-entered, in which case its acceptance must reflect Φ. We therefore
+  // leave acceptance as set above and let callers apply Σ⁺ semantics.
+  return minimize(out);
+}
+
+Dfa e_f(const Dfa& phi) {
+  // Once a non-empty prefix lands in an accepting Φ-state, accept forever.
+  const std::size_t n = phi.state_count();
+  const State top = static_cast<State>(n);
+  Dfa out(phi.alphabet(), n + 1, phi.initial());
+  for (State q = 0; q < n; ++q) {
+    out.set_accepting(q, false);
+    for (Symbol s = 0; s < phi.alphabet().size(); ++s) {
+      State t = phi.next(q, s);
+      out.set_transition(q, s, phi.accepting(t) ? top : t);
+    }
+  }
+  out.set_accepting(top, true);
+  for (Symbol s = 0; s < phi.alphabet().size(); ++s) out.set_transition(top, s, top);
+  return minimize(out);
+}
+
+Dfa complement_nonepsilon(const Dfa& phi) {
+  // Σ⁺ − Φ: complement, then remove ε by intersecting with Σ·Σ*.
+  Dfa comp = complement(phi);
+  // Build Σ⁺ recognizer: initial non-accepting, everything after accepting.
+  Dfa sigma_plus(phi.alphabet(), 2, 0);
+  for (Symbol s = 0; s < phi.alphabet().size(); ++s) {
+    sigma_plus.set_transition(0, s, 1);
+    sigma_plus.set_transition(1, s, 1);
+  }
+  sigma_plus.set_accepting(1);
+  return minimize(intersection(comp, sigma_plus));
+}
+
+Dfa minex(const Dfa& phi1, const Dfa& phi2) {
+  // Product of Φ₁ and Φ₂ with a one-bit history flag.
+  //
+  // For the current word u, flag(u) holds iff some non-empty proper prefix
+  // p ∈ Φ₁ of u has no Φ₂-word strictly between p and u. The recurrence,
+  // derived from the §2 definition, is
+  //   flag(u·σ) = (u ≠ ε ∧ u ∈ Φ₁) ∨ (flag(u) ∧ u ∉ Φ₂),
+  // and u ∈ minex iff u ∈ Φ₂ ∧ flag(u). A dedicated start state keeps the
+  // "u ≠ ε" side condition out of the product states.
+  const std::size_t sigma = phi1.alphabet().size();
+  MPH_REQUIRE(phi1.alphabet() == phi2.alphabet(), "minex requires a common alphabet");
+
+  struct Key {
+    State q1, q2;
+    bool flag;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, State> index;
+  std::vector<Key> states;
+  auto intern = [&](Key k) {
+    auto [it, inserted] = index.try_emplace(k, static_cast<State>(states.size() + 1));
+    if (inserted) states.push_back(k);
+    return it->second;
+  };
+  // State 0 is the ε start state; product states are 1-based.
+  std::vector<std::vector<State>> trans;
+  std::vector<State> start_trans(sigma);
+  for (Symbol s = 0; s < sigma; ++s)
+    start_trans[s] = intern({phi1.next(phi1.initial(), s), phi2.next(phi2.initial(), s), false});
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    Key k = states[i];
+    trans.emplace_back(sigma);
+    const bool new_flag_base = phi1.accepting(k.q1) || (k.flag && !phi2.accepting(k.q2));
+    for (Symbol s = 0; s < sigma; ++s)
+      trans[i][s] = intern({phi1.next(k.q1, s), phi2.next(k.q2, s), new_flag_base});
+  }
+  Dfa out(phi1.alphabet(), states.size() + 1, 0);
+  for (Symbol s = 0; s < sigma; ++s) out.set_transition(0, s, start_trans[s]);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    Key k = states[i];
+    out.set_accepting(static_cast<State>(i + 1), k.flag && phi2.accepting(k.q2));
+    for (Symbol s = 0; s < sigma; ++s)
+      out.set_transition(static_cast<State>(i + 1), s, trans[i][s]);
+  }
+  return minimize(out);
+}
+
+bool minex_member_reference(const Dfa& phi1, const Dfa& phi2, const Word& w) {
+  if (w.empty() || !phi2.accepts(w)) return false;
+  for (std::size_t len1 = 1; len1 < w.size(); ++len1) {
+    Word p(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(len1));
+    if (!phi1.accepts(p)) continue;
+    bool blocked = false;
+    for (std::size_t mid = len1 + 1; mid < w.size(); ++mid) {
+      Word m(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(mid));
+      if (phi2.accepts(m)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return true;
+  }
+  return false;
+}
+
+}  // namespace mph::lang

@@ -1,0 +1,29 @@
+// The paper's finitary operators (§2). A finitary property Φ is a set of
+// *non-empty* finite words; all operators here interpret their DFA arguments
+// modulo the empty word (whether Φ's automaton accepts ε is irrelevant).
+#pragma once
+
+#include "src/lang/dfa.hpp"
+
+namespace mph::lang {
+
+/// A_f(Φ) — finite words all of whose non-empty prefixes belong to Φ.
+/// The result never accepts ε (results are finitary properties too).
+Dfa a_f(const Dfa& phi);
+
+/// E_f(Φ) — finite words having some non-empty prefix in Φ; equals Φ·Σ*.
+Dfa e_f(const Dfa& phi);
+
+/// Complement within Σ⁺ (the paper's Φ̄ = Σ⁺ − Φ).
+Dfa complement_nonepsilon(const Dfa& phi);
+
+/// minex(Φ₁, Φ₂) — the minimal extensions of Φ₂ over Φ₁ (§2, closure of the
+/// recurrence class under intersection): words σ₂ ∈ Φ₂ having a proper
+/// prefix σ₁ ∈ Φ₁ with no Φ₂-word strictly between σ₁ and σ₂.
+Dfa minex(const Dfa& phi1, const Dfa& phi2);
+
+/// Brute-force reference for minex membership, used by property tests:
+/// decides directly from the §2 definition by scanning prefixes of `w`.
+bool minex_member_reference(const Dfa& phi1, const Dfa& phi2, const Word& w);
+
+}  // namespace mph::lang

@@ -1,0 +1,128 @@
+#include "src/lang/nfa.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/support/check.hpp"
+
+namespace mph::lang {
+
+Nfa::Nfa(Alphabet alphabet) : alphabet_(std::move(alphabet)) { initial_ = add_state(); }
+
+State Nfa::add_state() {
+  edges_.emplace_back();
+  eps_.emplace_back();
+  accepting_.push_back(false);
+  return static_cast<State>(edges_.size() - 1);
+}
+
+void Nfa::add_edge(State from, Symbol on, State to) {
+  MPH_REQUIRE(from < state_count() && to < state_count(), "state out of range");
+  MPH_REQUIRE(on < alphabet_.size(), "symbol out of range");
+  edges_[from].push_back({on, to});
+}
+
+void Nfa::add_epsilon(State from, State to) {
+  MPH_REQUIRE(from < state_count() && to < state_count(), "state out of range");
+  eps_[from].push_back(to);
+}
+
+void Nfa::set_initial(State q) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  initial_ = q;
+}
+
+void Nfa::set_accepting(State q, bool accepting) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  accepting_[q] = accepting;
+}
+
+bool Nfa::accepting(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return accepting_[q];
+}
+
+const std::vector<std::pair<Symbol, State>>& Nfa::edges(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return edges_[q];
+}
+
+const std::vector<State>& Nfa::epsilon_edges(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return eps_[q];
+}
+
+namespace {
+
+std::set<State> eps_closure(const Nfa& n, std::set<State> states) {
+  std::deque<State> queue(states.begin(), states.end());
+  while (!queue.empty()) {
+    State q = queue.front();
+    queue.pop_front();
+    for (State t : n.epsilon_edges(q))
+      if (states.insert(t).second) queue.push_back(t);
+  }
+  return states;
+}
+
+}  // namespace
+
+bool Nfa::accepts(const Word& w) const {
+  std::set<State> cur = eps_closure(*this, {initial_});
+  for (Symbol s : w) {
+    std::set<State> next;
+    for (State q : cur)
+      for (auto [sym, t] : edges_[q])
+        if (sym == s) next.insert(t);
+    cur = eps_closure(*this, std::move(next));
+  }
+  return std::any_of(cur.begin(), cur.end(), [&](State q) { return accepting_[q]; });
+}
+
+Dfa determinize(const Nfa& n) {
+  const std::size_t sigma = n.alphabet().size();
+  std::map<std::set<State>, State> index;
+  std::vector<std::set<State>> subsets;
+  auto intern = [&](std::set<State> qs) {
+    auto [it, inserted] = index.try_emplace(qs, static_cast<State>(subsets.size()));
+    if (inserted) subsets.push_back(std::move(qs));
+    return it->second;
+  };
+  intern(eps_closure(n, {n.initial()}));
+  std::vector<std::vector<State>> trans;
+  for (State q = 0; q < subsets.size(); ++q) {
+    trans.emplace_back(sigma);
+    for (Symbol s = 0; s < sigma; ++s) {
+      std::set<State> next;
+      for (State p : subsets[q])
+        for (auto [sym, t] : n.edges(p))
+          if (sym == s) next.insert(t);
+      trans[q][s] = intern(eps_closure(n, std::move(next)));
+    }
+  }
+  Dfa out(n.alphabet(), subsets.size(), 0);
+  for (State q = 0; q < subsets.size(); ++q) {
+    bool acc = std::any_of(subsets[q].begin(), subsets[q].end(),
+                           [&](State p) { return n.accepting(p); });
+    out.set_accepting(q, acc);
+    for (Symbol s = 0; s < sigma; ++s) out.set_transition(q, s, trans[q][s]);
+  }
+  return out;
+}
+
+Nfa to_nfa(const Dfa& d) {
+  Nfa out(d.alphabet());
+  // State 0 already exists as the NFA initial; add the rest.
+  for (State q = 1; q < d.state_count(); ++q) out.add_state();
+  // Map DFA state q to NFA state q, but make the NFA initial match.
+  out.set_initial(d.initial());
+  for (State q = 0; q < d.state_count(); ++q) {
+    out.set_accepting(q, d.accepting(q));
+    for (Symbol s = 0; s < d.alphabet().size(); ++s) out.add_edge(q, s, d.next(q, s));
+  }
+  return out;
+}
+
+}  // namespace mph::lang

@@ -1,0 +1,49 @@
+// Nondeterministic finite automata with ε-moves, used as the compilation
+// target of regular expressions (Thompson construction) and as the
+// nondeterministic front half of the subset construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lang/alphabet.hpp"
+#include "src/lang/dfa.hpp"
+#include "src/lang/word.hpp"
+
+namespace mph::lang {
+
+class Nfa {
+ public:
+  explicit Nfa(Alphabet alphabet);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  std::size_t state_count() const { return edges_.size(); }
+
+  State add_state();
+  void add_edge(State from, Symbol on, State to);
+  void add_epsilon(State from, State to);
+  void set_initial(State q);
+  State initial() const { return initial_; }
+  void set_accepting(State q, bool accepting = true);
+  bool accepting(State q) const;
+
+  const std::vector<std::pair<Symbol, State>>& edges(State q) const;
+  const std::vector<State>& epsilon_edges(State q) const;
+
+  bool accepts(const Word& w) const;
+
+ private:
+  Alphabet alphabet_;
+  std::vector<std::vector<std::pair<Symbol, State>>> edges_;
+  std::vector<std::vector<State>> eps_;
+  std::vector<bool> accepting_;
+  State initial_ = 0;
+};
+
+/// Subset construction; the result is complete and has only reachable states.
+Dfa determinize(const Nfa& n);
+
+/// Trivial embedding of a DFA as an NFA.
+Nfa to_nfa(const Dfa& d);
+
+}  // namespace mph::lang

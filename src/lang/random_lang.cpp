@@ -1,0 +1,22 @@
+#include "src/lang/random_lang.hpp"
+
+namespace mph::lang {
+
+Dfa random_dfa(Rng& rng, const Alphabet& alphabet, std::size_t n_states, std::uint64_t acc_num,
+               std::uint64_t acc_den) {
+  Dfa d(alphabet, n_states, 0);
+  for (State q = 0; q < n_states; ++q) {
+    d.set_accepting(q, rng.chance(acc_num, acc_den));
+    for (Symbol s = 0; s < alphabet.size(); ++s)
+      d.set_transition(q, s, static_cast<State>(rng.below(n_states)));
+  }
+  return d;
+}
+
+Word random_word(Rng& rng, const Alphabet& alphabet, std::size_t length) {
+  Word w(length);
+  for (auto& s : w) s = static_cast<Symbol>(rng.below(alphabet.size()));
+  return w;
+}
+
+}  // namespace mph::lang

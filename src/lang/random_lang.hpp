@@ -1,0 +1,17 @@
+// Randomized generators for property tests and benchmark workloads.
+#pragma once
+
+#include "src/lang/dfa.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::lang {
+
+/// A complete DFA with uniformly random transitions; each state is accepting
+/// with probability acc_num/acc_den.
+Dfa random_dfa(Rng& rng, const Alphabet& alphabet, std::size_t n_states,
+               std::uint64_t acc_num = 1, std::uint64_t acc_den = 2);
+
+/// A uniformly random word of the given length.
+Word random_word(Rng& rng, const Alphabet& alphabet, std::size_t length);
+
+}  // namespace mph::lang

@@ -1,0 +1,183 @@
+#include "src/lang/regex.hpp"
+
+#include <string>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/nfa.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::lang {
+namespace {
+
+// Thompson-style combinators. Each Nfa fragment uses its automaton-wide
+// initial state and accepting set; fragments are merged by copying.
+
+/// Copies `src` into `dst`, returning the state offset.
+State splice(Nfa& dst, const Nfa& src) {
+  const State offset = static_cast<State>(dst.state_count());
+  for (State q = 0; q < src.state_count(); ++q) {
+    State added = dst.add_state();
+    MPH_ASSERT(added == offset + q);
+    dst.set_accepting(added, src.accepting(q));
+  }
+  for (State q = 0; q < src.state_count(); ++q) {
+    for (auto [s, t] : src.edges(q)) dst.add_edge(offset + q, s, offset + t);
+    for (State t : src.epsilon_edges(q)) dst.add_epsilon(offset + q, offset + t);
+  }
+  return offset;
+}
+
+std::vector<State> accepting_states(const Nfa& n) {
+  std::vector<State> out;
+  for (State q = 0; q < n.state_count(); ++q)
+    if (n.accepting(q)) out.push_back(q);
+  return out;
+}
+
+Nfa nfa_union(const Nfa& a, const Nfa& b) {
+  Nfa out(a.alphabet());
+  State ia = splice(out, a);
+  State ib = splice(out, b);
+  out.add_epsilon(out.initial(), ia + a.initial());
+  out.add_epsilon(out.initial(), ib + b.initial());
+  return out;
+}
+
+Nfa nfa_concat(const Nfa& a, const Nfa& b) {
+  Nfa out(a.alphabet());
+  State ia = splice(out, a);
+  State ib = splice(out, b);
+  out.add_epsilon(out.initial(), ia + a.initial());
+  for (State q : accepting_states(a)) {
+    out.set_accepting(ia + q, false);
+    out.add_epsilon(ia + q, ib + b.initial());
+  }
+  return out;
+}
+
+Nfa nfa_star(const Nfa& a) {
+  Nfa out(a.alphabet());
+  State ia = splice(out, a);
+  out.set_accepting(out.initial(), true);
+  out.add_epsilon(out.initial(), ia + a.initial());
+  for (State q : accepting_states(a)) out.add_epsilon(ia + q, out.initial());
+  return out;
+}
+
+Nfa nfa_plus(const Nfa& a) { return nfa_concat(a, nfa_star(a)); }
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, const Alphabet& alphabet)
+      : text_(pattern), alphabet_(alphabet) {}
+
+  Dfa parse() {
+    Dfa result = parse_alt();
+    MPH_REQUIRE(pos_ == text_.size(),
+                "unexpected character '" + std::string(1, text_[pos_]) + "' at position " +
+                    std::to_string(pos_));
+    return minimize(result);
+  }
+
+ private:
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool eat(char c) {
+    if (!at_end() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Dfa parse_alt() {
+    Dfa left = parse_inter();
+    while (eat('|')) left = minimize(union_of(left, parse_inter()));
+    return left;
+  }
+
+  Dfa parse_inter() {
+    Dfa left = parse_cat();
+    while (eat('&')) left = minimize(intersection(left, parse_cat()));
+    return left;
+  }
+
+  bool starts_atom() const {
+    if (at_end()) return false;
+    char c = peek();
+    return c == '(' || c == '.' || c == '%' || c == '@' || c == '!' ||
+           alphabet_.find(std::string_view(&c, 1)).has_value();
+  }
+
+  Dfa parse_cat() {
+    Dfa left = parse_unary();
+    while (starts_atom()) left = minimize(concat(left, parse_unary()));
+    return left;
+  }
+
+  Dfa parse_unary() {
+    Dfa d = parse_prefixed();
+    for (;;) {
+      if (eat('*')) {
+        d = minimize(determinize(nfa_star(to_nfa(d))));
+      } else if (eat('+')) {
+        d = minimize(determinize(nfa_plus(to_nfa(d))));
+      } else if (eat('?')) {
+        Nfa eps_nfa(alphabet_);
+        eps_nfa.set_accepting(eps_nfa.initial(), true);
+        d = minimize(determinize(nfa_union(to_nfa(d), eps_nfa)));
+      } else {
+        break;
+      }
+    }
+    return d;
+  }
+
+  Dfa parse_prefixed() {
+    if (eat('!')) return complement(parse_prefixed());
+    return parse_atom();
+  }
+
+  Dfa parse_atom() {
+    MPH_REQUIRE(!at_end(), "unexpected end of pattern");
+    char c = peek();
+    if (eat('(')) {
+      Dfa inner = parse_alt();
+      MPH_REQUIRE(eat(')'), "expected ')' at position " + std::to_string(pos_));
+      return inner;
+    }
+    if (eat('.')) {
+      Dfa any = single_word(alphabet_, Word{0});
+      for (Symbol s = 1; s < alphabet_.size(); ++s)
+        any = union_of(any, single_word(alphabet_, Word{s}));
+      return minimize(any);
+    }
+    if (eat('%')) {
+      Nfa eps(alphabet_);
+      eps.set_accepting(eps.initial(), true);
+      return minimize(determinize(eps));
+    }
+    if (eat('@')) return empty_dfa(alphabet_);
+    auto sym = alphabet_.find(std::string_view(&c, 1));
+    MPH_REQUIRE(sym.has_value(), "unknown letter '" + std::string(1, c) + "' at position " +
+                                     std::to_string(pos_));
+    ++pos_;
+    return single_word(alphabet_, Word{*sym});
+  }
+
+  Dfa concat(const Dfa& a, const Dfa& b) {
+    return determinize(nfa_concat(to_nfa(a), to_nfa(b)));
+  }
+
+  std::string_view text_;
+  const Alphabet& alphabet_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Dfa compile_regex(std::string_view pattern, const Alphabet& alphabet) {
+  return Parser(pattern, alphabet).parse();
+}
+
+}  // namespace mph::lang

@@ -1,0 +1,24 @@
+// Extended regular expressions compiled to minimal DFAs.
+//
+// Syntax (precedence low→high): `|` union, `&` intersection, juxtaposition
+// concatenation, postfix `*` `+` `?`, prefix `!` complement, atoms:
+//   - a single-character letter of the alphabet (e.g. `a`),
+//   - `.` any single symbol,
+//   - `%` the empty word ε,
+//   - `@` the empty language,
+//   - `( ... )` grouping.
+// The paper writes union as `+` and positive closure as a superscript; here
+// `a+b` parses as "one or more a, then b", and the paper's `a+b` is `a|b`.
+#pragma once
+
+#include <string_view>
+
+#include "src/lang/dfa.hpp"
+
+namespace mph::lang {
+
+/// Compiles `pattern` over `alphabet` to the canonical minimal DFA.
+/// Throws std::invalid_argument on syntax errors or unknown letters.
+Dfa compile_regex(std::string_view pattern, const Alphabet& alphabet);
+
+}  // namespace mph::lang

@@ -1,0 +1,215 @@
+#include "src/lang/regex_print.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace mph::lang {
+namespace {
+
+// A small regex AST with simplifying smart constructors.
+struct Re;
+using ReP = std::shared_ptr<const Re>;
+
+struct Re {
+  enum class Kind { Empty, Eps, Sym, Union, Concat, Star };
+  Kind kind;
+  Symbol sym = 0;
+  std::vector<ReP> kids;
+};
+
+ReP mk(Re::Kind k, std::vector<ReP> kids = {}, Symbol s = 0) {
+  auto r = std::make_shared<Re>();
+  r->kind = k;
+  r->sym = s;
+  r->kids = std::move(kids);
+  return r;
+}
+
+ReP re_empty() {
+  static const ReP e = mk(Re::Kind::Empty);
+  return e;
+}
+ReP re_eps() {
+  static const ReP e = mk(Re::Kind::Eps);
+  return e;
+}
+ReP re_sym(Symbol s) { return mk(Re::Kind::Sym, {}, s); }
+
+bool same(const ReP& a, const ReP& b);
+
+bool same_kids(const ReP& a, const ReP& b) {
+  if (a->kids.size() != b->kids.size()) return false;
+  for (std::size_t i = 0; i < a->kids.size(); ++i)
+    if (!same(a->kids[i], b->kids[i])) return false;
+  return true;
+}
+
+bool same(const ReP& a, const ReP& b) {
+  if (a == b) return true;
+  return a->kind == b->kind && a->sym == b->sym && same_kids(a, b);
+}
+
+ReP re_union(ReP a, ReP b) {
+  if (a->kind == Re::Kind::Empty) return b;
+  if (b->kind == Re::Kind::Empty) return a;
+  if (same(a, b)) return a;
+  // ε ∪ x* = x*; x* ∪ ε = x*.
+  if (a->kind == Re::Kind::Eps && b->kind == Re::Kind::Star) return b;
+  if (b->kind == Re::Kind::Eps && a->kind == Re::Kind::Star) return a;
+  std::vector<ReP> kids;
+  auto flat = [&](const ReP& x) {
+    if (x->kind == Re::Kind::Union)
+      kids.insert(kids.end(), x->kids.begin(), x->kids.end());
+    else
+      kids.push_back(x);
+  };
+  flat(a);
+  flat(b);
+  // Dedupe.
+  std::vector<ReP> uniq;
+  for (const auto& k : kids) {
+    bool dup = false;
+    for (const auto& u : uniq) dup = dup || same(u, k);
+    if (!dup) uniq.push_back(k);
+  }
+  if (uniq.size() == 1) return uniq[0];
+  return mk(Re::Kind::Union, std::move(uniq));
+}
+
+ReP re_concat(ReP a, ReP b) {
+  if (a->kind == Re::Kind::Empty || b->kind == Re::Kind::Empty) return re_empty();
+  if (a->kind == Re::Kind::Eps) return b;
+  if (b->kind == Re::Kind::Eps) return a;
+  std::vector<ReP> kids;
+  auto flat = [&](const ReP& x) {
+    if (x->kind == Re::Kind::Concat)
+      kids.insert(kids.end(), x->kids.begin(), x->kids.end());
+    else
+      kids.push_back(x);
+  };
+  flat(a);
+  flat(b);
+  return mk(Re::Kind::Concat, std::move(kids));
+}
+
+ReP re_star(ReP a) {
+  if (a->kind == Re::Kind::Empty || a->kind == Re::Kind::Eps) return re_eps();
+  if (a->kind == Re::Kind::Star) return a;
+  // (x ∪ ε)* = x*.
+  if (a->kind == Re::Kind::Union) {
+    std::vector<ReP> rest;
+    bool had_eps = false;
+    for (const auto& k : a->kids) {
+      if (k->kind == Re::Kind::Eps)
+        had_eps = true;
+      else
+        rest.push_back(k);
+    }
+    if (had_eps && !rest.empty()) {
+      ReP inner = rest[0];
+      for (std::size_t i = 1; i < rest.size(); ++i) inner = re_union(inner, rest[i]);
+      return re_star(inner);
+    }
+  }
+  return mk(Re::Kind::Star, {std::move(a)});
+}
+
+int prec(const ReP& r) {
+  switch (r->kind) {
+    case Re::Kind::Union:
+      return 0;
+    case Re::Kind::Concat:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+void print(const ReP& r, const Alphabet& a, int parent, std::string& out) {
+  const bool parens = prec(r) < parent;
+  if (parens) out += "(";
+  switch (r->kind) {
+    case Re::Kind::Empty:
+      out += "@";
+      break;
+    case Re::Kind::Eps:
+      out += "%";
+      break;
+    case Re::Kind::Sym:
+      out += a.name(r->sym);
+      break;
+    case Re::Kind::Union:
+      for (std::size_t i = 0; i < r->kids.size(); ++i) {
+        if (i) out += "|";
+        print(r->kids[i], a, 1, out);
+      }
+      break;
+    case Re::Kind::Concat:
+      for (const auto& k : r->kids) print(k, a, 2, out);
+      break;
+    case Re::Kind::Star:
+      print(r->kids[0], a, 3, out);
+      out += "*";
+      break;
+  }
+  if (parens) out += ")";
+}
+
+}  // namespace
+
+std::string to_regex(const Dfa& d, std::size_t max_length) {
+  // Generalized NFA over states 0..n+1: n DFA states plus fresh initial I=n
+  // and final F=n+1; edges carry regexes.
+  const std::size_t n = d.state_count();
+  const std::size_t I = n, F = n + 1, total = n + 2;
+  std::vector<std::vector<ReP>> edge(total, std::vector<ReP>(total, re_empty()));
+  for (State q = 0; q < n; ++q)
+    for (Symbol s = 0; s < d.alphabet().size(); ++s) {
+      State t = d.next(q, s);
+      edge[q][t] = re_union(edge[q][t], re_sym(s));
+    }
+  edge[I][d.initial()] = re_eps();
+  for (State q = 0; q < n; ++q)
+    if (d.accepting(q)) edge[q][F] = re_union(edge[q][F], re_eps());
+
+  // Eliminate DFA states one by one (lowest degree first for smaller output).
+  std::vector<bool> alive(total, true);
+  for (std::size_t round = 0; round < n; ++round) {
+    // Pick the live DFA state with the fewest non-empty connections.
+    std::size_t best = total;
+    std::size_t best_deg = ~std::size_t{0};
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!alive[k]) continue;
+      std::size_t deg = 0;
+      for (std::size_t j = 0; j < total; ++j) {
+        if (alive[j] && edge[k][j]->kind != Re::Kind::Empty) ++deg;
+        if (alive[j] && edge[j][k]->kind != Re::Kind::Empty) ++deg;
+      }
+      if (deg < best_deg) {
+        best_deg = deg;
+        best = k;
+      }
+    }
+    MPH_ASSERT(best < total);
+    const std::size_t k = best;
+    alive[k] = false;
+    ReP loop = re_star(edge[k][k]);
+    for (std::size_t i = 0; i < total; ++i) {
+      if (!alive[i] || edge[i][k]->kind == Re::Kind::Empty) continue;
+      for (std::size_t j = 0; j < total; ++j) {
+        if (!alive[j] || edge[k][j]->kind == Re::Kind::Empty) continue;
+        edge[i][j] =
+            re_union(edge[i][j], re_concat(re_concat(edge[i][k], loop), edge[k][j]));
+      }
+    }
+  }
+  std::string out;
+  print(edge[I][F], d.alphabet(), 0, out);
+  MPH_REQUIRE(out.size() <= max_length, "regex rendering exceeds max_length");
+  return out;
+}
+
+}  // namespace mph::lang

@@ -1,0 +1,18 @@
+// DFA → regular expression via state elimination (Brzozowski–McCluskey),
+// with light algebraic simplification. Used to render witness languages in
+// human-readable form; round-trips through compile_regex by construction.
+#pragma once
+
+#include <string>
+
+#include "src/lang/dfa.hpp"
+
+namespace mph::lang {
+
+/// A regular expression (in compile_regex syntax) denoting L(d).
+/// The result is not minimal but is simplified enough to read; for the
+/// canonical corpus it reproduces textbook shapes. `max_length` guards
+/// against blow-up (throws std::invalid_argument when exceeded).
+std::string to_regex(const Dfa& d, std::size_t max_length = 4096);
+
+}  // namespace mph::lang

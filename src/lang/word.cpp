@@ -1,0 +1,34 @@
+#include "src/lang/word.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace mph::lang {
+
+std::string to_string(const Word& w, const Alphabet& a) {
+  if (w.empty()) return "ε";
+  std::string out;
+  for (Symbol s : w) {
+    const std::string& n = a.name(s);
+    if (!out.empty() && (n.size() > 1 || a.prop_based())) out += "·";
+    out += n;
+  }
+  return out;
+}
+
+Word parse_word(std::string_view text, const Alphabet& a) {
+  Word w;
+  for (char c : text) {
+    auto s = a.find(std::string_view(&c, 1));
+    MPH_REQUIRE(s.has_value(), "unknown letter in word: " + std::string(1, c));
+    w.push_back(*s);
+  }
+  return w;
+}
+
+bool is_prefix(const Word& p, const Word& w) {
+  return p.size() <= w.size() && std::equal(p.begin(), p.end(), w.begin());
+}
+
+}  // namespace mph::lang

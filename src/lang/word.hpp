@@ -1,0 +1,24 @@
+// Finite words over an alphabet. Infinite (ultimately periodic) words live in
+// mph::omega as Lasso.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lang/alphabet.hpp"
+
+namespace mph::lang {
+
+using Word = std::vector<Symbol>;
+
+/// Renders a word using the alphabet's letter names; empty word prints as "ε".
+std::string to_string(const Word& w, const Alphabet& a);
+
+/// Parses a word given as concatenated single-character letter names, e.g.
+/// "aab" over the plain alphabet {a,b}. Throws on unknown letters.
+Word parse_word(std::string_view text, const Alphabet& a);
+
+/// True iff `p` is a (not necessarily proper) prefix of `w`.
+bool is_prefix(const Word& p, const Word& w);
+
+}  // namespace mph::lang

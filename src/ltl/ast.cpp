@@ -1,0 +1,279 @@
+#include "src/ltl/ast.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace mph::ltl {
+
+namespace {
+
+std::size_t expected_arity(Op op) {
+  switch (op) {
+    case Op::True:
+    case Op::False:
+    case Op::Atom:
+      return 0;
+    case Op::Not:
+    case Op::Next:
+    case Op::Eventually:
+    case Op::Always:
+    case Op::Prev:
+    case Op::WeakPrev:
+    case Op::Once:
+    case Op::Historically:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace
+
+const std::string& Formula::atom_name() const {
+  MPH_REQUIRE(node_->op == Op::Atom, "atom_name on a non-atom");
+  return node_->atom;
+}
+
+const Formula& Formula::child(std::size_t i) const {
+  MPH_REQUIRE(i < node_->kids.size(), "child index out of range");
+  return node_->kids[i];
+}
+
+bool Formula::operator==(const Formula& other) const {
+  if (node_ == other.node_) return true;
+  if (node_->op != other.node_->op || node_->atom != other.node_->atom ||
+      node_->kids.size() != other.node_->kids.size())
+    return false;
+  for (std::size_t i = 0; i < node_->kids.size(); ++i)
+    if (!(node_->kids[i] == other.node_->kids[i])) return false;
+  return true;
+}
+
+bool Formula::has_future() const {
+  switch (op()) {
+    case Op::Next:
+    case Op::Until:
+    case Op::Release:
+    case Op::WeakUntil:
+    case Op::Eventually:
+    case Op::Always:
+      return true;
+    default:
+      break;
+  }
+  for (const auto& k : node_->kids)
+    if (k.has_future()) return true;
+  return false;
+}
+
+bool Formula::has_past() const {
+  switch (op()) {
+    case Op::Prev:
+    case Op::WeakPrev:
+    case Op::Since:
+    case Op::WeakSince:
+    case Op::Once:
+    case Op::Historically:
+      return true;
+    default:
+      break;
+  }
+  for (const auto& k : node_->kids)
+    if (k.has_past()) return true;
+  return false;
+}
+
+std::vector<std::string> Formula::atoms() const {
+  std::vector<std::string> out;
+  auto walk = [&](const Formula& f, auto&& self) -> void {
+    if (f.op() == Op::Atom) {
+      if (std::find(out.begin(), out.end(), f.atom_name()) == out.end())
+        out.push_back(f.atom_name());
+      return;
+    }
+    for (std::size_t i = 0; i < f.arity(); ++i) self(f.child(i), self);
+  };
+  walk(*this, walk);
+  return out;
+}
+
+std::size_t Formula::size() const {
+  std::size_t n = 1;
+  for (const auto& k : node_->kids) n += k.size();
+  return n;
+}
+
+namespace {
+
+int precedence(Op op) {
+  switch (op) {
+    case Op::Iff:
+      return 0;
+    case Op::Implies:
+      return 1;
+    case Op::Or:
+      return 2;
+    case Op::And:
+      return 3;
+    case Op::Until:
+    case Op::Release:
+    case Op::WeakUntil:
+    case Op::Since:
+    case Op::WeakSince:
+      return 4;
+    default:
+      return 5;  // unary and atoms
+  }
+}
+
+const char* op_token(Op op) {
+  switch (op) {
+    case Op::Not:
+      return "!";
+    case Op::And:
+      return " & ";
+    case Op::Or:
+      return " | ";
+    case Op::Implies:
+      return " -> ";
+    case Op::Iff:
+      return " <-> ";
+    case Op::Next:
+      return "X";
+    case Op::Until:
+      return " U ";
+    case Op::Release:
+      return " R ";
+    case Op::WeakUntil:
+      return " W ";
+    case Op::Eventually:
+      return "F";
+    case Op::Always:
+      return "G";
+    case Op::Prev:
+      return "Y";
+    case Op::WeakPrev:
+      return "Z";
+    case Op::Since:
+      return " S ";
+    case Op::WeakSince:
+      return " B ";
+    case Op::Once:
+      return "O";
+    case Op::Historically:
+      return "H";
+    default:
+      return "?";
+  }
+}
+
+void print(const Formula& f, int parent_prec, std::string& out) {
+  const int prec = precedence(f.op());
+  switch (f.op()) {
+    case Op::True:
+      out += "true";
+      return;
+    case Op::False:
+      out += "false";
+      return;
+    case Op::Atom:
+      out += f.atom_name();
+      return;
+    case Op::Not:
+    case Op::Next:
+    case Op::Eventually:
+    case Op::Always:
+    case Op::Prev:
+    case Op::WeakPrev:
+    case Op::Once:
+    case Op::Historically: {
+      out += op_token(f.op());
+      // Unary operators apply to atoms/unary directly; parenthesize binaries.
+      const Formula& arg = f.child(0);
+      if (precedence(arg.op()) < 5) {
+        out += "(";
+        print(arg, 0, out);
+        out += ")";
+      } else {
+        if (f.op() != Op::Not) out += " ";
+        print(arg, 5, out);
+      }
+      return;
+    }
+    default: {
+      const bool need_parens = prec < parent_prec || prec == 4;
+      if (need_parens && parent_prec > 0) out += "(";
+      // Binary temporal operators are right-associative; booleans associate.
+      print(f.child(0), prec + 1, out);
+      out += op_token(f.op());
+      print(f.child(1), prec, out);
+      if (need_parens && parent_prec > 0) out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Formula::to_string() const {
+  std::string out;
+  print(*this, 0, out);
+  return out;
+}
+
+Formula f_true() {
+  return Formula(std::make_shared<const Formula::Node>(Formula::Node{Op::True, "", {}}));
+}
+
+Formula f_false() {
+  return Formula(std::make_shared<const Formula::Node>(Formula::Node{Op::False, "", {}}));
+}
+
+Formula f_atom(std::string name) {
+  MPH_REQUIRE(!name.empty(), "atom name must be non-empty");
+  return Formula(
+      std::make_shared<const Formula::Node>(Formula::Node{Op::Atom, std::move(name), {}}));
+}
+
+Formula f_unary(Op op, Formula arg) {
+  MPH_REQUIRE(expected_arity(op) == 1, "not a unary operator");
+  return Formula(std::make_shared<const Formula::Node>(
+      Formula::Node{op, "", {std::move(arg)}}));
+}
+
+Formula f_binary(Op op, Formula lhs, Formula rhs) {
+  MPH_REQUIRE(expected_arity(op) == 2, "not a binary operator");
+  return Formula(std::make_shared<const Formula::Node>(
+      Formula::Node{op, "", {std::move(lhs), std::move(rhs)}}));
+}
+
+Formula f_not(Formula f) { return f_unary(Op::Not, std::move(f)); }
+Formula f_and(Formula a, Formula b) { return f_binary(Op::And, std::move(a), std::move(b)); }
+Formula f_or(Formula a, Formula b) { return f_binary(Op::Or, std::move(a), std::move(b)); }
+Formula f_implies(Formula a, Formula b) {
+  return f_binary(Op::Implies, std::move(a), std::move(b));
+}
+Formula f_iff(Formula a, Formula b) { return f_binary(Op::Iff, std::move(a), std::move(b)); }
+Formula f_next(Formula f) { return f_unary(Op::Next, std::move(f)); }
+Formula f_until(Formula a, Formula b) { return f_binary(Op::Until, std::move(a), std::move(b)); }
+Formula f_release(Formula a, Formula b) {
+  return f_binary(Op::Release, std::move(a), std::move(b));
+}
+Formula f_weak_until(Formula a, Formula b) {
+  return f_binary(Op::WeakUntil, std::move(a), std::move(b));
+}
+Formula f_eventually(Formula f) { return f_unary(Op::Eventually, std::move(f)); }
+Formula f_always(Formula f) { return f_unary(Op::Always, std::move(f)); }
+Formula f_prev(Formula f) { return f_unary(Op::Prev, std::move(f)); }
+Formula f_weak_prev(Formula f) { return f_unary(Op::WeakPrev, std::move(f)); }
+Formula f_since(Formula a, Formula b) { return f_binary(Op::Since, std::move(a), std::move(b)); }
+Formula f_weak_since(Formula a, Formula b) {
+  return f_binary(Op::WeakSince, std::move(a), std::move(b));
+}
+Formula f_once(Formula f) { return f_unary(Op::Once, std::move(f)); }
+Formula f_historically(Formula f) { return f_unary(Op::Historically, std::move(f)); }
+
+Formula f_first() { return f_weak_prev(f_false()); }
+
+}  // namespace mph::ltl

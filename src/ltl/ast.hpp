@@ -1,0 +1,123 @@
+// Propositional linear temporal logic with both future and past operators —
+// the language of the paper's §4. Formulae are immutable values sharing
+// subtrees through shared_ptr.
+//
+// Future operators: X (next), U (until), R (release), W (weak until/unless),
+//                   F (eventually), G (henceforth).
+// Past operators:   Y (previous), Z (weak previous), S (since),
+//                   B (weak since / "back to"), O (once), H (historically).
+// The paper's `first` (¬⊙T — "there is no previous position") is Z false.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mph::ltl {
+
+enum class Op {
+  True,
+  False,
+  Atom,
+  Not,
+  And,
+  Or,
+  Implies,
+  Iff,
+  // future
+  Next,
+  Until,
+  Release,
+  WeakUntil,
+  Eventually,
+  Always,
+  // past
+  Prev,
+  WeakPrev,
+  Since,
+  WeakSince,
+  Once,
+  Historically,
+};
+
+class Formula {
+ public:
+  Op op() const { return node_->op; }
+  const std::string& atom_name() const;
+  std::size_t arity() const { return node_->kids.size(); }
+  const Formula& child(std::size_t i) const;
+
+  /// Structural equality.
+  bool operator==(const Formula& other) const;
+
+  /// True iff the formula contains a future (resp. past) temporal operator.
+  bool has_future() const;
+  bool has_past() const;
+  /// State formula: no temporal operators at all.
+  bool is_state() const { return !has_future() && !has_past(); }
+  /// Past formula in the paper's sense: no future operators.
+  bool is_past_formula() const { return !has_future(); }
+
+  /// All atom names, in first-occurrence order.
+  std::vector<std::string> atoms() const;
+
+  /// Number of AST nodes.
+  std::size_t size() const;
+
+  std::string to_string() const;
+
+  // Factories (free-function style constructors).
+  friend Formula f_true();
+  friend Formula f_false();
+  friend Formula f_atom(std::string name);
+  friend Formula f_unary(Op op, Formula arg);
+  friend Formula f_binary(Op op, Formula lhs, Formula rhs);
+
+ private:
+  struct Node {
+    Op op;
+    std::string atom;
+    std::vector<Formula> kids;
+  };
+  explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+Formula f_true();
+Formula f_false();
+Formula f_atom(std::string name);
+Formula f_unary(Op op, Formula arg);
+Formula f_binary(Op op, Formula lhs, Formula rhs);
+
+// Convenience spellings.
+Formula f_not(Formula f);
+Formula f_and(Formula a, Formula b);
+Formula f_or(Formula a, Formula b);
+Formula f_implies(Formula a, Formula b);
+Formula f_iff(Formula a, Formula b);
+Formula f_next(Formula f);
+Formula f_until(Formula a, Formula b);
+Formula f_release(Formula a, Formula b);
+Formula f_weak_until(Formula a, Formula b);
+Formula f_eventually(Formula f);
+Formula f_always(Formula f);
+Formula f_prev(Formula f);
+Formula f_weak_prev(Formula f);
+Formula f_since(Formula a, Formula b);
+Formula f_weak_since(Formula a, Formula b);
+Formula f_once(Formula f);
+Formula f_historically(Formula f);
+
+/// The paper's `first`: true exactly at position 0 (Z false).
+Formula f_first();
+
+/// Parses the syntax produced by to_string():
+///   atoms:     identifiers (letters, digits, '_', starting with a letter)
+///   constants: true, false
+///   unary:     ! X F G Y Z O H
+///   binary:    & | -> <-> U R W S B
+/// Precedence (loosest to tightest): <->, ->, |, &, (U R W S B right-assoc),
+/// unary. Throws std::invalid_argument on syntax errors.
+Formula parse_formula(std::string_view text);
+
+}  // namespace mph::ltl

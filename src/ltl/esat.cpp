@@ -1,0 +1,129 @@
+#include "src/ltl/esat.hpp"
+
+#include <map>
+#include <vector>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::ltl {
+namespace {
+
+void collect(const Formula& f, std::vector<Formula>& out) {
+  for (std::size_t i = 0; i < f.arity(); ++i) collect(f.child(i), out);
+  for (const auto& g : out)
+    if (g == f) return;
+  out.push_back(f);
+}
+
+std::size_t index_of(const std::vector<Formula>& subs, const Formula& f) {
+  for (std::size_t i = 0; i < subs.size(); ++i)
+    if (subs[i] == f) return i;
+  MPH_ASSERT(false);
+}
+
+bool atom_holds(const lang::Alphabet& a, lang::Symbol s, const std::string& name) {
+  if (a.prop_based()) {
+    auto idx = a.prop_index(name);
+    MPH_REQUIRE(idx.has_value(), "unknown proposition: " + name);
+    return a.holds(s, *idx);
+  }
+  auto sym = a.find(name);
+  MPH_REQUIRE(sym.has_value(), "unknown letter: " + name);
+  return s == *sym;
+}
+
+}  // namespace
+
+lang::Dfa esat(const Formula& p, const lang::Alphabet& alphabet) {
+  MPH_REQUIRE(p.is_past_formula(), "esat requires a past formula: " + p.to_string());
+  std::vector<Formula> subs;
+  collect(p, subs);
+  const std::size_t root = index_of(subs, p);
+
+  using Vec = std::vector<bool>;
+  auto step = [&](const Vec* prev, lang::Symbol sym) {
+    Vec cur(subs.size(), false);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const Formula& g = subs[i];
+      auto kid = [&](std::size_t k) { return cur[index_of(subs, g.child(k))]; };
+      auto prev_kid = [&](std::size_t k) {
+        return prev && (*prev)[index_of(subs, g.child(k))];
+      };
+      switch (g.op()) {
+        case Op::True:
+          cur[i] = true;
+          break;
+        case Op::False:
+          cur[i] = false;
+          break;
+        case Op::Atom:
+          cur[i] = atom_holds(alphabet, sym, g.atom_name());
+          break;
+        case Op::Not:
+          cur[i] = !kid(0);
+          break;
+        case Op::And:
+          cur[i] = kid(0) && kid(1);
+          break;
+        case Op::Or:
+          cur[i] = kid(0) || kid(1);
+          break;
+        case Op::Implies:
+          cur[i] = !kid(0) || kid(1);
+          break;
+        case Op::Iff:
+          cur[i] = kid(0) == kid(1);
+          break;
+        case Op::Prev:
+          cur[i] = prev_kid(0);
+          break;
+        case Op::WeakPrev:
+          cur[i] = prev ? (*prev)[index_of(subs, g.child(0))] : true;
+          break;
+        case Op::Since:
+          cur[i] = kid(1) || (kid(0) && prev && (*prev)[i]);
+          break;
+        case Op::WeakSince:
+          cur[i] = kid(1) || (kid(0) && (prev ? (*prev)[i] : true));
+          break;
+        case Op::Once:
+          cur[i] = kid(0) || (prev && (*prev)[i]);
+          break;
+        case Op::Historically:
+          cur[i] = kid(0) && (prev ? (*prev)[i] : true);
+          break;
+        default:
+          MPH_ASSERT(false);
+      }
+    }
+    return cur;
+  };
+
+  // DFA states: 0 is the ε start; 1.. are interned truth vectors.
+  std::map<Vec, lang::State> index;
+  std::vector<Vec> states;
+  auto intern = [&](Vec v) {
+    auto [it, inserted] = index.try_emplace(v, static_cast<lang::State>(states.size() + 1));
+    if (inserted) states.push_back(std::move(v));
+    return it->second;
+  };
+  std::vector<lang::State> start_trans(alphabet.size());
+  for (lang::Symbol s = 0; s < alphabet.size(); ++s) start_trans[s] = intern(step(nullptr, s));
+  std::vector<std::vector<lang::State>> trans;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    Vec cur = states[i];  // copy: states may grow while interning
+    trans.emplace_back(alphabet.size());
+    for (lang::Symbol s = 0; s < alphabet.size(); ++s) trans[i][s] = intern(step(&cur, s));
+  }
+  lang::Dfa out(alphabet, states.size() + 1, 0);
+  for (lang::Symbol s = 0; s < alphabet.size(); ++s) out.set_transition(0, s, start_trans[s]);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    out.set_accepting(static_cast<lang::State>(i + 1), states[i][root]);
+    for (lang::Symbol s = 0; s < alphabet.size(); ++s)
+      out.set_transition(static_cast<lang::State>(i + 1), s, trans[i][s]);
+  }
+  return lang::minimize(out);
+}
+
+}  // namespace mph::ltl

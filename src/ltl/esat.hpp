@@ -1,0 +1,19 @@
+// End-satisfaction of past formulae (§4): the finitary property esat(p) is
+// the set of non-empty finite words whose last position satisfies the past
+// formula p. Because the truth vector of all past subformulae is a
+// deterministic function of the prefix read, esat(p) is recognized by a DFA
+// whose states are reachable truth vectors — the [LPZ85] construction the
+// paper's Proposition 5.3 builds on.
+#pragma once
+
+#include "src/lang/dfa.hpp"
+#include "src/ltl/ast.hpp"
+
+namespace mph::ltl {
+
+/// DFA for esat(p) over the given alphabet. p must be a past formula
+/// (no future operators); atoms are interpreted as in eval.hpp.
+/// The DFA's ε-acceptance is false (esat is a finitary property over Σ⁺).
+lang::Dfa esat(const Formula& p, const lang::Alphabet& alphabet);
+
+}  // namespace mph::ltl

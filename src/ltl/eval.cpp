@@ -1,0 +1,243 @@
+#include "src/ltl/eval.hpp"
+
+#include <map>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace mph::ltl {
+namespace {
+
+/// Subformulas in children-first order, deduplicated structurally.
+void collect(const Formula& f, std::vector<Formula>& out) {
+  for (std::size_t i = 0; i < f.arity(); ++i) collect(f.child(i), out);
+  for (const auto& g : out)
+    if (g == f) return;
+  out.push_back(f);
+}
+
+std::size_t index_of(const std::vector<Formula>& subs, const Formula& f) {
+  for (std::size_t i = 0; i < subs.size(); ++i)
+    if (subs[i] == f) return i;
+  MPH_ASSERT(false);
+}
+
+bool atom_holds(const lang::Alphabet& a, lang::Symbol s, const std::string& name) {
+  if (a.prop_based()) {
+    auto idx = a.prop_index(name);
+    MPH_REQUIRE(idx.has_value(), "unknown proposition: " + name);
+    return a.holds(s, *idx);
+  }
+  auto sym = a.find(name);
+  MPH_REQUIRE(sym.has_value(), "unknown letter: " + name);
+  return s == *sym;
+}
+
+bool is_future_op(Op op) {
+  switch (op) {
+    case Op::Next:
+    case Op::Until:
+    case Op::Release:
+    case Op::WeakUntil:
+    case Op::Eventually:
+    case Op::Always:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_past_op(Op op) {
+  switch (op) {
+    case Op::Prev:
+    case Op::WeakPrev:
+    case Op::Since:
+    case Op::WeakSince:
+    case Op::Once:
+    case Op::Historically:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet& alphabet) {
+  MPH_REQUIRE(!sigma.loop.empty(), "lasso loop must be non-empty");
+  std::vector<Formula> subs;
+  collect(f, subs);
+  for (const auto& g : subs)
+    if (is_past_op(g.op()))
+      MPH_REQUIRE(g.is_past_formula(),
+                  "past operator over a future subformula is not supported: " + g.to_string());
+
+  // Indices of the past-closed subformulas (those with no future operator);
+  // their joint truth vector is a deterministic function of the prefix read.
+  std::vector<std::size_t> past_closed;
+  for (std::size_t i = 0; i < subs.size(); ++i)
+    if (subs[i].is_past_formula()) past_closed.push_back(i);
+
+  // Phase 1: run forward until the (loop-position, past-vector) pair repeats,
+  // producing an expansion with preperiod P and period L on which the
+  // past-closed truths are genuinely periodic.
+  using Vec = std::vector<bool>;
+  auto step = [&](const Vec* prev, lang::Symbol sym) {
+    Vec cur(subs.size(), false);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      const Formula& g = subs[i];
+      if (!g.is_past_formula()) continue;
+      auto kid = [&](std::size_t k) { return cur[index_of(subs, g.child(k))]; };
+      auto prev_of = [&](const Formula& h) { return prev && (*prev)[index_of(subs, h)]; };
+      switch (g.op()) {
+        case Op::True:
+          cur[i] = true;
+          break;
+        case Op::False:
+          cur[i] = false;
+          break;
+        case Op::Atom:
+          cur[i] = atom_holds(alphabet, sym, g.atom_name());
+          break;
+        case Op::Not:
+          cur[i] = !kid(0);
+          break;
+        case Op::And:
+          cur[i] = kid(0) && kid(1);
+          break;
+        case Op::Or:
+          cur[i] = kid(0) || kid(1);
+          break;
+        case Op::Implies:
+          cur[i] = !kid(0) || kid(1);
+          break;
+        case Op::Iff:
+          cur[i] = kid(0) == kid(1);
+          break;
+        case Op::Prev:
+          cur[i] = prev_of(g.child(0));
+          break;
+        case Op::WeakPrev:
+          cur[i] = prev ? (*prev)[index_of(subs, g.child(0))] : true;
+          break;
+        case Op::Since:
+          cur[i] = kid(1) || (kid(0) && prev_of(g));
+          break;
+        case Op::WeakSince:
+          cur[i] = kid(1) || (kid(0) && (prev ? (*prev)[i] : true));
+          break;
+        case Op::Once:
+          cur[i] = kid(0) || prev_of(g);
+          break;
+        case Op::Historically:
+          cur[i] = kid(0) && (prev ? (*prev)[i] : true);
+          break;
+        default:
+          MPH_ASSERT(false);
+      }
+    }
+    return cur;
+  };
+
+  std::vector<Vec> history;  // past-closed truths per position
+  std::map<std::pair<std::size_t, Vec>, std::size_t> seen;  // (loop_pos, vec) -> position
+  std::size_t preperiod = 0, period = 0;
+  {
+    const Vec* prev = nullptr;
+    for (std::size_t pos = 0;; ++pos) {
+      lang::Symbol sym = sigma.at(pos);
+      history.push_back(step(prev, sym));
+      prev = &history.back();
+      if (pos + 1 >= sigma.prefix.size()) {
+        std::size_t loop_pos = (pos + 1 - sigma.prefix.size()) % sigma.loop.size();
+        auto [it, inserted] = seen.try_emplace({loop_pos, history.back()}, pos);
+        if (!inserted) {
+          preperiod = it->second + 1;
+          period = pos - it->second;
+          break;
+        }
+      }
+      MPH_REQUIRE(pos < 1u << 20, "past-truth stabilization exceeded the step cap");
+    }
+  }
+  const std::size_t n_pos = preperiod + period;
+  auto succ = [&](std::size_t i) { return i + 1 < n_pos ? i + 1 : preperiod; };
+
+  // Phase 2: future (and mixed boolean) truths on the wrapped expansion.
+  std::vector<Vec> val(subs.size(), Vec(n_pos, false));
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const Formula& g = subs[i];
+    if (g.is_past_formula()) {
+      for (std::size_t p = 0; p < n_pos; ++p) val[i][p] = history[p][i];
+      continue;
+    }
+    auto v = [&](const Formula& h) -> const Vec& { return val[index_of(subs, h)]; };
+    if (!is_future_op(g.op())) {
+      // Boolean over mixed operands, pointwise.
+      for (std::size_t p = 0; p < n_pos; ++p) {
+        switch (g.op()) {
+          case Op::Not:
+            val[i][p] = !v(g.child(0))[p];
+            break;
+          case Op::And:
+            val[i][p] = v(g.child(0))[p] && v(g.child(1))[p];
+            break;
+          case Op::Or:
+            val[i][p] = v(g.child(0))[p] || v(g.child(1))[p];
+            break;
+          case Op::Implies:
+            val[i][p] = !v(g.child(0))[p] || v(g.child(1))[p];
+            break;
+          case Op::Iff:
+            val[i][p] = v(g.child(0))[p] == v(g.child(1))[p];
+            break;
+          default:
+            MPH_ASSERT(false);
+        }
+      }
+      continue;
+    }
+    // Temporal future operator: fixpoint iteration over the wrapped graph.
+    // Least fixpoint for U/F (init false), greatest for R/G/W (init true).
+    const bool greatest =
+        g.op() == Op::Release || g.op() == Op::Always || g.op() == Op::WeakUntil;
+    for (std::size_t p = 0; p < n_pos; ++p) val[i][p] = greatest;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t pp = n_pos; pp-- > 0;) {
+        bool next_val = val[i][succ(pp)];
+        bool nv = false;
+        switch (g.op()) {
+          case Op::Next:
+            nv = v(g.child(0))[succ(pp)];
+            break;
+          case Op::Eventually:
+            nv = v(g.child(0))[pp] || next_val;
+            break;
+          case Op::Always:
+            nv = v(g.child(0))[pp] && next_val;
+            break;
+          case Op::Until:
+            nv = v(g.child(1))[pp] || (v(g.child(0))[pp] && next_val);
+            break;
+          case Op::WeakUntil:
+            nv = v(g.child(1))[pp] || (v(g.child(0))[pp] && next_val);
+            break;
+          case Op::Release:
+            nv = v(g.child(1))[pp] && (v(g.child(0))[pp] || next_val);
+            break;
+          default:
+            MPH_ASSERT(false);
+        }
+        if (nv != val[i][pp]) {
+          val[i][pp] = nv;
+          changed = true;
+        }
+      }
+    }
+  }
+  return val[index_of(subs, f)][0];
+}
+
+}  // namespace mph::ltl

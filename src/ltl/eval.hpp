@@ -1,0 +1,23 @@
+// Automaton-free evaluation of temporal formulae on ultimately periodic
+// words — the semantic oracle the rest of the LTL pipeline is tested
+// against.
+//
+// Atoms are interpreted against the alphabet: over a propositional alphabet
+// an atom names a proposition; over a plain alphabet an atom names a letter
+// and holds when the current symbol is that letter.
+//
+// Restriction: past operators must not contain future operators beneath them
+// (the paper's canonical forms — future modalities over past kernels — all
+// satisfy this). Violations throw std::invalid_argument.
+#pragma once
+
+#include "src/lang/alphabet.hpp"
+#include "src/ltl/ast.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::ltl {
+
+/// σ ⊨ φ, i.e. φ holds at position 0 of the infinite word.
+bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet& alphabet);
+
+}  // namespace mph::ltl

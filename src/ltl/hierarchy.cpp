@@ -1,0 +1,284 @@
+#include "src/ltl/hierarchy.hpp"
+
+#include "src/ltl/esat.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::ltl {
+
+using omega::DetOmega;
+
+namespace {
+
+bool is_op(const Formula& f, Op op) { return f.op() == op; }
+
+}  // namespace
+
+std::optional<DetOmega> compile_hierarchy_form(const Formula& f, const lang::Alphabet& a) {
+  // Bare past/state formula: holds at position 0 ⇔ E(esat(p ∧ first)).
+  if (f.is_past_formula()) return omega::op_e(esat(f_and(f, f_first()), a));
+  switch (f.op()) {
+    case Op::Always: {
+      const Formula& g = f.child(0);
+      if (g.is_past_formula()) return omega::op_a(esat(g, a));
+      if (is_op(g, Op::Eventually) && g.child(0).is_past_formula())
+        return omega::op_r(esat(g.child(0), a));
+      return std::nullopt;
+    }
+    case Op::Eventually: {
+      const Formula& g = f.child(0);
+      if (g.is_past_formula()) return omega::op_e(esat(g, a));
+      if (is_op(g, Op::Always) && g.child(0).is_past_formula())
+        return omega::op_p(esat(g.child(0), a));
+      return std::nullopt;
+    }
+    case Op::Not: {
+      auto sub = compile_hierarchy_form(f.child(0), a);
+      if (!sub) return std::nullopt;
+      return omega::complement(*sub);
+    }
+    case Op::And: {
+      auto l = compile_hierarchy_form(f.child(0), a);
+      auto r = compile_hierarchy_form(f.child(1), a);
+      if (!l || !r) return std::nullopt;
+      return omega::intersection(*l, *r);
+    }
+    case Op::Or: {
+      auto l = compile_hierarchy_form(f.child(0), a);
+      auto r = compile_hierarchy_form(f.child(1), a);
+      if (!l || !r) return std::nullopt;
+      return omega::union_of(*l, *r);
+    }
+    case Op::Implies:
+      return compile_hierarchy_form(f_or(f_not(f.child(0)), f.child(1)), a);
+    case Op::Iff:
+      return compile_hierarchy_form(
+          f_or(f_and(f.child(0), f.child(1)), f_and(f_not(f.child(0)), f_not(f.child(1)))), a);
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+// The rewriter distinguishes two kinds of temporal equivalences:
+//  - *global* equivalences hold at every position (G(α∧β)=Gα∧Gβ, GG=G,
+//    the response/conditional rules relating anchored shapes), and may be
+//    applied anywhere;
+//  - *initial* equivalences hold at position 0 only (Xp ⇔ ◇(Y first ∧ p),
+//    pUq ⇔ ◇(q ∧ Z H p)), and may be applied only in top-level boolean
+//    context — which is exactly where to_hierarchy_form recurses, since the
+//    compiled property is the set of models at position 0.
+// Pattern matching is on the raw structure, never on rewritten children, so
+// no initial equivalence leaks under a temporal operator.
+
+Formula rewrite(const Formula& f);
+
+/// Rewrites G(body); sound at any position (all rules used here are global).
+Formula rewrite_always(const Formula& body) {
+  if (body.is_past_formula()) return f_always(body);
+  switch (body.op()) {
+    case Op::And:
+      // G(α ∧ β) = Gα ∧ Gβ.
+      return f_and(rewrite_always(body.child(0)), rewrite_always(body.child(1)));
+    case Op::Always:
+      return rewrite_always(body.child(0));
+    case Op::Eventually:
+      if (body.child(0).is_past_formula()) return f_always(body);  // □◇p canonical
+      if (is_op(body.child(0), Op::Eventually))
+        return rewrite_always(f_eventually(body.child(0).child(0)));  // ◇◇ = ◇
+      break;
+    case Op::Next:
+      // □○q ⇔ □(first ∨ q) for past q: q holds at every position ≥ 1.
+      // (Global: at position j it reads "q from j+1 on", and the anchored
+      // compile only ever uses it at 0 where both sides agree; we keep it
+      // because rewrite_always is only invoked in top-level context.)
+      if (body.child(0).is_past_formula())
+        return f_always(f_or(f_first(), body.child(0)));
+      break;
+    case Op::Implies: {
+      const Formula& p = body.child(0);
+      const Formula& q = body.child(1);
+      if (p.is_past_formula()) {
+        if (q.is_past_formula()) return f_always(body);
+        // □(p → ◇q): response ⇔ □◇¬pending, pending = (¬q) S (p ∧ ¬q).
+        if (is_op(q, Op::Eventually) && q.child(0).is_past_formula()) {
+          Formula qq = q.child(0);
+          Formula pending = f_since(f_not(qq), f_and(p, f_not(qq)));
+          return f_always(f_eventually(f_not(pending)));
+        }
+        // □(p → □q) ⇔ □((O p) → q).
+        if (is_op(q, Op::Always) && q.child(0).is_past_formula())
+          return f_always(f_implies(f_once(p), q.child(0)));
+        // □(p → ○q) ⇔ □(Y p → q).
+        if (is_op(q, Op::Next) && q.child(0).is_past_formula())
+          return f_always(f_implies(f_prev(p), q.child(0)));
+        // □(p → ◇□q) ⇔ ◇□((O p) → q)  (conditional persistence, §4).
+        if (is_op(q, Op::Eventually) && is_op(q.child(0), Op::Always) &&
+            q.child(0).child(0).is_past_formula())
+          return f_eventually(f_always(f_implies(f_once(p), q.child(0).child(0))));
+        // □(p → □◇q) ⇔ ◇p → □◇q.
+        if (is_op(q, Op::Always) && is_op(q.child(0), Op::Eventually) &&
+            q.child(0).child(0).is_past_formula())
+          return f_or(f_not(f_eventually(p)), f_always(q.child(0)));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return f_always(body);
+}
+
+Formula rewrite_eventually(const Formula& body) {
+  if (body.is_past_formula()) return f_eventually(body);
+  switch (body.op()) {
+    case Op::Or:
+      // ◇(α ∨ β) = ◇α ∨ ◇β.
+      return f_or(rewrite_eventually(body.child(0)), rewrite_eventually(body.child(1)));
+    case Op::Eventually:
+      return rewrite_eventually(body.child(0));
+    case Op::Always:
+      if (body.child(0).is_past_formula()) return f_eventually(body);  // ◇□p canonical
+      if (is_op(body.child(0), Op::Always))
+        return rewrite_eventually(f_always(body.child(0).child(0)));  // □□ = □
+      break;
+    default:
+      break;
+  }
+  return f_eventually(body);
+}
+
+/// Rewrites X^depth(body) in top-level (initial) context.
+Formula rewrite_next(const Formula& body, std::size_t depth) {
+  auto shifted_first = [&] {
+    // Y^depth first: true exactly at position `depth`.
+    Formula g = f_first();
+    for (std::size_t i = 0; i < depth; ++i) g = f_prev(g);
+    return g;
+  };
+  if (body.is_past_formula()) {
+    // X^k p ⇔ ◇(Y^k first ∧ p): position k satisfies p.
+    return f_eventually(f_and(shifted_first(), body));
+  }
+  switch (body.op()) {
+    case Op::Next:
+      return rewrite_next(body.child(0), depth + 1);
+    case Op::Not:
+      return f_not(rewrite_next(body.child(0), depth));
+    case Op::And:
+      return f_and(rewrite_next(body.child(0), depth), rewrite_next(body.child(1), depth));
+    case Op::Or:
+      return f_or(rewrite_next(body.child(0), depth), rewrite_next(body.child(1), depth));
+    case Op::Implies:
+      return f_implies(rewrite_next(body.child(0), depth), rewrite_next(body.child(1), depth));
+    case Op::Always:
+      // X^k □p ⇔ □((O Y^{k-1} first... ) ∨ p): p at every position ≥ k,
+      // i.e. □(¬(O Y^k first)... — cleaner: □(p ∨ ¬O(Y^k first) is wrong;
+      // "position < k" ⇔ ¬O(Y^{k}first)? O(Y^k first) at j ⇔ j ≥ k. So:
+      // X^k □p ⇔ □(O(Y^k first) → p).
+      if (body.child(0).is_past_formula()) {
+        Formula at_least_k = f_once(shifted_first());
+        return f_always(f_implies(at_least_k, body.child(0)));
+      }
+      // X^k □◇p ⇔ □◇p.
+      if (is_op(body.child(0), Op::Eventually) && body.child(0).child(0).is_past_formula())
+        return f_always(body.child(0));
+      break;
+    case Op::Eventually:
+      // X^k ◇p ⇔ ◇(p ∧ O(Y^k first)): p at some position ≥ k.
+      if (body.child(0).is_past_formula())
+        return f_eventually(f_and(body.child(0), f_once(shifted_first())));
+      // X^k ◇□p ⇔ ◇□p.
+      if (is_op(body.child(0), Op::Always) && body.child(0).child(0).is_past_formula())
+        return f_eventually(body.child(0));
+      break;
+    default:
+      break;
+  }
+  Formula out = body;
+  for (std::size_t i = 0; i < depth; ++i) out = f_next(out);
+  return out;
+}
+
+/// Top-level (initial-context) rewriting.
+Formula rewrite(const Formula& f) {
+  switch (f.op()) {
+    case Op::True:
+    case Op::False:
+    case Op::Atom:
+      return f;
+    case Op::Not:
+      return f_not(rewrite(f.child(0)));
+    case Op::And:
+      return f_and(rewrite(f.child(0)), rewrite(f.child(1)));
+    case Op::Or:
+      return f_or(rewrite(f.child(0)), rewrite(f.child(1)));
+    case Op::Implies:
+      return f_implies(rewrite(f.child(0)), rewrite(f.child(1)));
+    case Op::Iff:
+      return f_iff(rewrite(f.child(0)), rewrite(f.child(1)));
+    case Op::Always:
+      return rewrite_always(f.child(0));
+    case Op::Eventually:
+      return rewrite_eventually(f.child(0));
+    case Op::Next:
+      return rewrite_next(f.child(0), 1);
+    case Op::Until: {
+      const Formula& l = f.child(0);
+      const Formula& r = f.child(1);
+      // p U q at position 0 ⇔ ◇(q ∧ Z(H p)): q at j with p throughout [0,j).
+      if (l.is_past_formula() && r.is_past_formula())
+        return f_eventually(f_and(r, f_weak_prev(f_historically(l))));
+      return f_until(rewrite(l), rewrite(r));
+    }
+    case Op::Release: {
+      // φ R ψ = ¬(¬φ U ¬ψ).
+      if (f.child(0).is_past_formula() && f.child(1).is_past_formula())
+        return f_not(rewrite(f_until(f_not(f.child(0)), f_not(f.child(1)))));
+      return f_release(rewrite(f.child(0)), rewrite(f.child(1)));
+    }
+    case Op::WeakUntil: {
+      // φ W ψ = □φ ∨ (φ U ψ).
+      if (f.child(0).is_past_formula() && f.child(1).is_past_formula())
+        return f_or(rewrite_always(f.child(0)), rewrite(f_until(f.child(0), f.child(1))));
+      return f_weak_until(rewrite(f.child(0)), rewrite(f.child(1)));
+    }
+    // Past operators: left untouched (their subtrees must already be past
+    // for the compile to accept them).
+    case Op::Prev:
+    case Op::WeakPrev:
+    case Op::Once:
+    case Op::Historically:
+    case Op::Since:
+    case Op::WeakSince:
+      return f;
+  }
+  MPH_ASSERT(false);
+}
+
+}  // namespace
+
+Formula to_hierarchy_form(const Formula& f) {
+  Formula g = rewrite(f);
+  // A second pass helps when an inner rewrite exposed a new pattern.
+  return rewrite(g);
+}
+
+DetOmega compile(const Formula& f, const lang::Alphabet& alphabet) {
+  Formula g = to_hierarchy_form(f);
+  auto m = compile_hierarchy_form(g, alphabet);
+  MPH_REQUIRE(m.has_value(),
+              "formula is outside the supported hierarchy fragment: " + f.to_string() +
+                  " (rewritten: " + g.to_string() + ")");
+  return *m;
+}
+
+lang::Alphabet alphabet_of(const Formula& f) {
+  auto atoms = f.atoms();
+  MPH_REQUIRE(!atoms.empty(), "formula has no atoms; pass an alphabet explicitly");
+  return lang::Alphabet::of_props(atoms);
+}
+
+}  // namespace mph::ltl

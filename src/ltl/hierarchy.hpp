@@ -1,0 +1,42 @@
+// The temporal-logic ↔ automata bridge for the hierarchy's canonical forms
+// (§4/§5, Proposition 5.3): boolean combinations of
+//
+//   □p   safety formulae          ◇p   guarantee formulae
+//   □◇p  recurrence formulae      ◇□p  persistence formulae
+//   p    bare past/state formulae (clopen: position-0 conditions)
+//
+// with p a past formula, compile to deterministic ω-automata via esat and
+// the A/E/R/P operators. A rewriter first massages the common specification
+// idioms of §4 (response, conditional safety/persistence, next-shifts,
+// until/release over past kernels) into this shape; every rewrite is a
+// documented temporal equivalence cross-checked against the lasso evaluator
+// in the test suite.
+#pragma once
+
+#include <optional>
+
+#include "src/lang/alphabet.hpp"
+#include "src/ltl/ast.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::ltl {
+
+/// Compiles a formula already in hierarchy form (boolean combination of the
+/// five shapes above). Returns nullopt if the formula is not in that shape.
+std::optional<omega::DetOmega> compile_hierarchy_form(const Formula& f,
+                                                      const lang::Alphabet& alphabet);
+
+/// Rewrites common §4 idioms into hierarchy form. Sound (each rule is an
+/// equivalence); not complete — formulas outside the supported fragment are
+/// returned as far as they got.
+Formula to_hierarchy_form(const Formula& f);
+
+/// to_hierarchy_form + compile_hierarchy_form; throws std::invalid_argument
+/// when the formula is outside the supported fragment.
+omega::DetOmega compile(const Formula& f, const lang::Alphabet& alphabet);
+
+/// The alphabet 2^AP spanned by the formula's atoms (propositional order =
+/// first occurrence). Convenience for single-formula workflows.
+lang::Alphabet alphabet_of(const Formula& f);
+
+}  // namespace mph::ltl

@@ -1,0 +1,125 @@
+#include <cctype>
+#include <string>
+
+#include "src/ltl/ast.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::ltl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Formula parse() {
+    Formula f = parse_iff();
+    skip_ws();
+    MPH_REQUIRE(pos_ == text_.size(),
+                "unexpected trailing input at position " + std::to_string(pos_));
+    return f;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool eat(std::string_view token) {
+    skip_ws();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    // Word-like tokens must not run into identifier characters.
+    if (std::isalpha(static_cast<unsigned char>(token[0]))) {
+      std::size_t end = pos_ + token.size();
+      if (end < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                                 text_[end] == '_'))
+        return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  Formula parse_iff() {
+    Formula lhs = parse_implies();
+    if (eat("<->")) return f_iff(std::move(lhs), parse_iff());
+    return lhs;
+  }
+
+  Formula parse_implies() {
+    Formula lhs = parse_or();
+    if (eat("->")) return f_implies(std::move(lhs), parse_implies());
+    return lhs;
+  }
+
+  Formula parse_or() {
+    Formula lhs = parse_and();
+    while (true) {
+      skip_ws();
+      // Avoid consuming "->"'s minus... '|' is unambiguous.
+      if (!eat("|")) return lhs;
+      lhs = f_or(std::move(lhs), parse_and());
+    }
+  }
+
+  Formula parse_and() {
+    Formula lhs = parse_temporal_binary();
+    while (eat("&")) lhs = f_and(std::move(lhs), parse_temporal_binary());
+    return lhs;
+  }
+
+  Formula parse_temporal_binary() {
+    Formula lhs = parse_unary();
+    if (eat("U")) return f_until(std::move(lhs), parse_temporal_binary());
+    if (eat("R")) return f_release(std::move(lhs), parse_temporal_binary());
+    if (eat("W")) return f_weak_until(std::move(lhs), parse_temporal_binary());
+    if (eat("S")) return f_since(std::move(lhs), parse_temporal_binary());
+    if (eat("B")) return f_weak_since(std::move(lhs), parse_temporal_binary());
+    return lhs;
+  }
+
+  Formula parse_unary() {
+    skip_ws();
+    if (eat("!")) return f_not(parse_unary());
+    if (eat("X")) return f_next(parse_unary());
+    if (eat("F")) return f_eventually(parse_unary());
+    if (eat("G")) return f_always(parse_unary());
+    if (eat("Y")) return f_prev(parse_unary());
+    if (eat("Z")) return f_weak_prev(parse_unary());
+    if (eat("O")) return f_once(parse_unary());
+    if (eat("H")) return f_historically(parse_unary());
+    return parse_atom();
+  }
+
+  Formula parse_atom() {
+    skip_ws();
+    MPH_REQUIRE(pos_ < text_.size(), "unexpected end of formula");
+    if (eat("(")) {
+      Formula inner = parse_iff();
+      MPH_REQUIRE(eat(")"), "expected ')' at position " + std::to_string(pos_));
+      return inner;
+    }
+    if (eat("true")) return f_true();
+    if (eat("false")) return f_false();
+    char c = text_[pos_];
+    MPH_REQUIRE(std::isalpha(static_cast<unsigned char>(c)) || c == '_',
+                std::string("unexpected character '") + c + "' at position " +
+                    std::to_string(pos_));
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_'))
+      ++pos_;
+    std::string name(text_.substr(start, pos_ - start));
+    // Single capital operator letters are reserved.
+    MPH_REQUIRE(name.size() > 1 || std::string("XFGUYRWZSOHB").find(name[0]) == std::string::npos,
+                "'" + name + "' is a reserved operator letter, not an atom");
+    return f_atom(std::move(name));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Formula parse_formula(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace mph::ltl

@@ -1,0 +1,76 @@
+#include "src/ltl/patterns.hpp"
+
+namespace mph::ltl::patterns {
+
+Formula partial_correctness(const std::string& at_terminal, const std::string& post) {
+  return f_always(f_implies(f_atom(at_terminal), f_atom(post)));
+}
+
+Formula full_partial_correctness(const std::string& pre, const std::string& at_terminal,
+                                 const std::string& post) {
+  return f_implies(f_atom(pre), partial_correctness(at_terminal, post));
+}
+
+Formula mutual_exclusion(const std::string& in_c1, const std::string& in_c2) {
+  return f_always(f_not(f_and(f_atom(in_c1), f_atom(in_c2))));
+}
+
+Formula precedence(const std::string& q, const std::string& p) {
+  return f_always(f_implies(f_atom(q), f_once(f_atom(p))));
+}
+
+Formula fifo(const std::string& q, const std::string& q_prime, const std::string& p,
+             const std::string& p_prime) {
+  return f_always(f_implies(f_and(f_atom(q), f_once(f_atom(q_prime))),
+                            f_once(f_and(f_atom(p), f_once(f_atom(p_prime))))));
+}
+
+Formula termination(const std::string& terminal) { return f_eventually(f_atom(terminal)); }
+
+Formula total_correctness(const std::string& pre, const std::string& at_terminal,
+                          const std::string& post) {
+  return f_implies(f_atom(pre), f_eventually(f_and(f_atom(at_terminal), f_atom(post))));
+}
+
+Formula exception(const std::string& p, const std::string& q) {
+  return f_implies(f_eventually(f_atom(p)),
+                   f_eventually(f_and(f_atom(q), f_once(f_atom(p)))));
+}
+
+Formula accessibility(const std::string& in_trying, const std::string& in_critical) {
+  return respond_always(in_trying, in_critical);
+}
+
+Formula weak_fairness(const std::string& enabled, const std::string& taken) {
+  return f_always(f_eventually(f_or(f_not(f_atom(enabled)), f_atom(taken))));
+}
+
+Formula strong_fairness(const std::string& enabled, const std::string& taken) {
+  return respond_infinitely(enabled, taken);
+}
+
+Formula stabilization(const std::string& p, const std::string& q) {
+  return f_always(f_implies(f_atom(p), f_eventually(f_always(f_atom(q)))));
+}
+
+Formula respond_initial(const std::string& p, const std::string& q) {
+  return f_implies(f_atom(p), f_eventually(f_atom(q)));
+}
+
+Formula respond_once(const std::string& p, const std::string& q) {
+  return exception(p, q);
+}
+
+Formula respond_always(const std::string& p, const std::string& q) {
+  return f_always(f_implies(f_atom(p), f_eventually(f_atom(q))));
+}
+
+Formula respond_stabilize(const std::string& p, const std::string& q) {
+  return f_implies(f_atom(p), f_eventually(f_always(f_atom(q))));
+}
+
+Formula respond_infinitely(const std::string& p, const std::string& q) {
+  return f_implies(f_always(f_eventually(f_atom(p))), f_always(f_eventually(f_atom(q))));
+}
+
+}  // namespace mph::ltl::patterns

@@ -1,0 +1,66 @@
+// The specification-pattern library of §4: every worked example in the
+// paper's temporal-logic section, as a formula constructor. Each pattern
+// documents the class the paper assigns to it; the tests and the T5 bench
+// verify that classification both syntactically and semantically.
+#pragma once
+
+#include "src/ltl/ast.hpp"
+
+namespace mph::ltl::patterns {
+
+/// □(at_terminal → post): partial correctness — safety.
+Formula partial_correctness(const std::string& at_terminal, const std::string& post);
+
+/// pre → □(at_terminal → post): full partial correctness — safety-equivalent
+/// conditional safety.
+Formula full_partial_correctness(const std::string& pre, const std::string& at_terminal,
+                                 const std::string& post);
+
+/// □¬(in_c1 ∧ in_c2): mutual exclusion — safety.
+Formula mutual_exclusion(const std::string& in_c1, const std::string& in_c2);
+
+/// □(q → ◇̄p): precedence / causal dependence — safety (past kernel).
+Formula precedence(const std::string& q, const std::string& p);
+
+/// □((q ∧ ◇̄q') → ◇̄(p ∧ ◇̄p')): FIFO response ordering — safety.
+Formula fifo(const std::string& q, const std::string& q_prime, const std::string& p,
+             const std::string& p_prime);
+
+/// ◇terminal: termination — guarantee.
+Formula termination(const std::string& terminal);
+
+/// pre → ◇(at_terminal ∧ post): total correctness — guarantee-equivalent.
+Formula total_correctness(const std::string& pre, const std::string& at_terminal,
+                          const std::string& post);
+
+/// ◇p → ◇(q ∧ ◇̄p): exception handling — obligation (§4's simple obligation
+/// example: if the exceptional event p ever occurs, the handler q runs after
+/// its first occurrence).
+Formula exception(const std::string& p, const std::string& q);
+
+/// □(in_trying → ◇in_critical): accessibility / response — recurrence.
+Formula accessibility(const std::string& in_trying, const std::string& in_critical);
+
+/// □◇(¬enabled ∨ taken): weak fairness (justice) — recurrence.
+Formula weak_fairness(const std::string& enabled, const std::string& taken);
+
+/// □◇enabled → □◇taken: strong fairness (compassion) — simple reactivity.
+Formula strong_fairness(const std::string& enabled, const std::string& taken);
+
+/// □(p → ◇□q): conditional persistence / stabilization — persistence.
+Formula stabilization(const std::string& p, const std::string& q);
+
+// The five responsiveness variants of §4's summary, from weakest trigger to
+// strongest commitment:
+/// p → ◇q — guarantee.
+Formula respond_initial(const std::string& p, const std::string& q);
+/// ◇p → ◇(q ∧ ◇̄p) — obligation.
+Formula respond_once(const std::string& p, const std::string& q);
+/// □(p → ◇q) — recurrence.
+Formula respond_always(const std::string& p, const std::string& q);
+/// p → ◇□q — persistence.
+Formula respond_stabilize(const std::string& p, const std::string& q);
+/// □◇p → □◇q — simple reactivity.
+Formula respond_infinitely(const std::string& p, const std::string& q);
+
+}  // namespace mph::ltl::patterns

@@ -1,0 +1,28 @@
+#include "src/ltl/semantic.hpp"
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/nba.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph::ltl {
+
+bool nba_is_safety(const Formula& f, const lang::Alphabet& alphabet) {
+  // L ⊆ A(Pref L) always; safety ⇔ A(Pref L) ⊆ L ⇔ A(Pref L) ∩ L(¬φ) = ∅.
+  omega::Nba pos = to_nba(f, alphabet);
+  omega::Nba neg = to_nba(f_not(f), alphabet);
+  lang::Dfa prefixes = omega::pref(pos);
+  omega::DetOmega closure = omega::op_a(prefixes);
+  return omega::is_empty(omega::intersect_with_cobuchi(neg, closure));
+}
+
+bool nba_is_guarantee(const Formula& f, const lang::Alphabet& alphabet) {
+  return nba_is_safety(f_not(f), alphabet);
+}
+
+bool nba_is_liveness(const Formula& f, const lang::Alphabet& alphabet) {
+  return lang::is_universal(omega::pref(to_nba(f, alphabet)));
+}
+
+}  // namespace mph::ltl

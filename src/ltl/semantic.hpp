@@ -1,0 +1,24 @@
+// Exact semantic checks for *arbitrary future* LTL — no determinization of
+// ω-automata needed:
+//
+//   safety     L = A(Pref L):   A(Pref L) is a deterministic safety
+//              automaton obtained by a *finitary* subset construction on the
+//              NBA, and the containment A(Pref L) ⊆ L is an emptiness check
+//              of NBA(¬φ) ∩ that automaton.
+//   guarantee  ¬φ is safety.
+//   liveness   Pref(L) = Σ*.
+//
+// For formulas in the hierarchy fragment, prefer hierarchy.hpp + core::classify
+// which decides every class.
+#pragma once
+
+#include "src/lang/alphabet.hpp"
+#include "src/ltl/ast.hpp"
+
+namespace mph::ltl {
+
+bool nba_is_safety(const Formula& f, const lang::Alphabet& alphabet);
+bool nba_is_guarantee(const Formula& f, const lang::Alphabet& alphabet);
+bool nba_is_liveness(const Formula& f, const lang::Alphabet& alphabet);
+
+}  // namespace mph::ltl

@@ -1,0 +1,131 @@
+#include "src/ltl/syntactic.hpp"
+
+namespace mph::ltl {
+namespace {
+
+struct Flags {
+  bool safety = false;
+  bool guarantee = false;
+  bool recurrence = false;
+  bool persistence = false;
+
+  Flags normalized() const {
+    Flags out = *this;
+    // Hierarchy inclusions.
+    if (out.safety || out.guarantee) {
+      out.recurrence = true;
+      out.persistence = true;
+    }
+    return out;
+  }
+
+  static Flags all() { return Flags{true, true, true, true}; }
+
+  Flags dual() const {
+    // Complementation swaps safety↔guarantee and recurrence↔persistence.
+    return Flags{guarantee, safety, persistence, recurrence}.normalized();
+  }
+
+  Flags meet(const Flags& other) const {
+    return Flags{safety && other.safety, guarantee && other.guarantee,
+                 recurrence && other.recurrence, persistence && other.persistence};
+  }
+
+  /// Union of two sound derivations is sound.
+  Flags join(const Flags& other) const {
+    return Flags{safety || other.safety, guarantee || other.guarantee,
+                 recurrence || other.recurrence, persistence || other.persistence};
+  }
+};
+
+Flags infer(const Formula& f) {
+  // Any pure-past formula (a position-0 condition) is clopen: all classes.
+  if (f.is_past_formula()) return Flags::all();
+  switch (f.op()) {
+    case Op::Not:
+      return infer(f.child(0)).dual();
+    case Op::And:
+    case Op::Or:
+      // Every class is closed under both positive boolean operations.
+      return infer(f.child(0)).meet(infer(f.child(1))).normalized();
+    case Op::Implies:
+      return infer(f.child(0)).dual().meet(infer(f.child(1))).normalized();
+    case Op::Iff: {
+      Flags a = infer(f.child(0));
+      Flags b = infer(f.child(1));
+      Flags pos = a.meet(b);
+      Flags neg = a.dual().meet(b.dual());
+      return pos.meet(neg).normalized();
+    }
+    case Op::Next:
+      // X preserves every class.
+      return infer(f.child(0)).normalized();
+    case Op::Always: {
+      // G(safety)=safety; G(recurrence)=recurrence (countable ∩ of G_δ);
+      // G(guarantee) ⊆ recurrence but not guarantee.
+      Flags k = infer(f.child(0));
+      Flags out;
+      out.safety = k.safety;
+      out.recurrence = k.recurrence;
+      return out.normalized();
+    }
+    case Op::Eventually: {
+      // F(guarantee)=guarantee; F(persistence)=persistence (countable ∪ of
+      // F_σ).
+      Flags k = infer(f.child(0));
+      Flags out;
+      out.guarantee = k.guarantee;
+      out.persistence = k.persistence;
+      return out.normalized();
+    }
+    case Op::Until: {
+      // U over guarantee arguments stays guarantee; over persistence
+      // arguments stays persistence (finite intersections + countable
+      // unions of F_σ).
+      Flags a = infer(f.child(0));
+      Flags b = infer(f.child(1));
+      Flags out;
+      out.guarantee = a.guarantee && b.guarantee;
+      out.persistence = a.persistence && b.persistence;
+      return out.normalized();
+    }
+    case Op::Release: {
+      // Dual of Until.
+      Flags a = infer(f.child(0));
+      Flags b = infer(f.child(1));
+      Flags out;
+      out.safety = a.safety && b.safety;
+      out.recurrence = a.recurrence && b.recurrence;
+      return out.normalized();
+    }
+    case Op::WeakUntil: {
+      // Two sound derivations, joined: φWψ = Gφ ∨ φUψ (class of a union is
+      // the meet), and φWψ = ψ R (φ∨ψ) (the release route, which preserves
+      // safety when both arguments are safety).
+      Flags g = infer(f_always(f.child(0)));
+      Flags u = infer(f_until(f.child(0), f.child(1)));
+      Flags union_route = g.meet(u);
+      Flags release_route = infer(f_release(f.child(1), f_or(f.child(0), f.child(1))));
+      return union_route.join(release_route).normalized();
+    }
+    default:
+      // Past operators over future subformulas: no syntactic claim.
+      return Flags{};
+  }
+}
+
+}  // namespace
+
+core::Classification syntactic_classification(const Formula& f) {
+  Flags flags = infer(f).normalized();
+  core::Classification c;
+  c.safety = flags.safety;
+  c.guarantee = flags.guarantee;
+  c.recurrence = flags.recurrence;
+  c.persistence = flags.persistence;
+  c.obligation = c.recurrence && c.persistence;
+  c.liveness = false;  // liveness is not a syntactic notion here
+  return c;
+}
+
+}  // namespace mph::ltl

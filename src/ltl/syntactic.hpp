@@ -1,0 +1,28 @@
+// Syntactic class inference (§4): sound bottom-up rules assigning each
+// formula the hierarchy classes its shape guarantees. Membership claimed
+// here is always semantically true; the converse need not hold (a formula
+// may denote, say, a safety property without being written as one) — the
+// exact decision is core::classify on the compiled automaton.
+//
+// Rules (φ ranges over formulas, kernels are past/state formulas; every
+// kernel is in all classes):
+//   safety:      ∧ ∨ X G, R/W over safety arguments
+//   guarantee:   ∧ ∨ X F, U over guarantee arguments
+//   obligation:  boolean combinations (¬ swaps safety↔guarantee), X
+//   recurrence:  ∧ ∨ X G, R over recurrence arguments
+//   persistence: ∧ ∨ X F, U over persistence arguments
+//   reactivity:  everything
+// plus the hierarchy inclusions (safety/guarantee ⊆ obligation ⊆
+// recurrence ∩ persistence).
+#pragma once
+
+#include "src/core/classify.hpp"
+#include "src/ltl/ast.hpp"
+
+namespace mph::ltl {
+
+/// Sound syntactic classification; `reactivity` in the result means only
+/// that no smaller class could be established syntactically.
+core::Classification syntactic_classification(const Formula& f);
+
+}  // namespace mph::ltl

@@ -1,0 +1,27 @@
+// Future LTL → nondeterministic Büchi automata, via the classical
+// self-consistent-assignment tableau: states are truth assignments to the
+// formula's closure, transitions respect the one-step expansion laws of
+// U/R/X, and each Until contributes a (degeneralized) Büchi obligation.
+//
+// Used for semantic checks on arbitrary future formulae (safety, guarantee,
+// liveness — see semantic.hpp) and for model checking; the deterministic
+// pipeline for hierarchy-form formulae lives in hierarchy.hpp.
+#pragma once
+
+#include "src/lang/alphabet.hpp"
+#include "src/ltl/ast.hpp"
+#include "src/omega/nba.hpp"
+
+namespace mph::ltl {
+
+/// Builds an NBA accepting exactly the models of f. f must be a future
+/// formula (no past operators); the closure is capped (REQUIRE ≤ 16 distinct
+/// temporal/atomic subformulas after NNF) because states range over its
+/// subsets.
+omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet);
+
+/// Negation normal form over {∧,∨,X,U,R} with negations on atoms only.
+/// F/G/W/→/↔ are expanded; past operators are rejected.
+Formula to_nnf(const Formula& f);
+
+}  // namespace mph::ltl

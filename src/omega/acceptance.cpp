@@ -1,0 +1,311 @@
+#include "src/omega/acceptance.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+Acceptance::Acceptance(Kind kind, Mark mark, std::vector<Acceptance> children)
+    : kind_(kind), mark_(mark), children_(std::move(children)) {}
+
+Acceptance Acceptance::t() { return Acceptance(Kind::True, 0, {}); }
+Acceptance Acceptance::f() { return Acceptance(Kind::False, 0, {}); }
+
+Acceptance Acceptance::inf(Mark m) {
+  MPH_REQUIRE(m < 64, "marks are limited to 0..63");
+  return Acceptance(Kind::Inf, m, {});
+}
+
+Acceptance Acceptance::fin(Mark m) {
+  MPH_REQUIRE(m < 64, "marks are limited to 0..63");
+  return Acceptance(Kind::Fin, m, {});
+}
+
+Acceptance Acceptance::conj(Acceptance a, Acceptance b) {
+  if (a.is_false() || b.is_false()) return f();
+  if (a.is_true()) return b;
+  if (b.is_true()) return a;
+  std::vector<Acceptance> kids;
+  auto flatten = [&](Acceptance x) {
+    if (x.kind_ == Kind::And)
+      for (auto& k : x.children_) kids.push_back(std::move(k));
+    else
+      kids.push_back(std::move(x));
+  };
+  flatten(std::move(a));
+  flatten(std::move(b));
+  return Acceptance(Kind::And, 0, std::move(kids));
+}
+
+Acceptance Acceptance::disj(Acceptance a, Acceptance b) {
+  if (a.is_true() || b.is_true()) return t();
+  if (a.is_false()) return b;
+  if (b.is_false()) return a;
+  std::vector<Acceptance> kids;
+  auto flatten = [&](Acceptance x) {
+    if (x.kind_ == Kind::Or)
+      for (auto& k : x.children_) kids.push_back(std::move(k));
+    else
+      kids.push_back(std::move(x));
+  };
+  flatten(std::move(a));
+  flatten(std::move(b));
+  return Acceptance(Kind::Or, 0, std::move(kids));
+}
+
+Acceptance Acceptance::buchi(Mark mark) { return inf(mark); }
+Acceptance Acceptance::co_buchi(Mark mark) { return fin(mark); }
+
+Acceptance Acceptance::streett(std::size_t pairs) {
+  MPH_REQUIRE(pairs > 0, "streett acceptance needs at least one pair");
+  Acceptance out = t();
+  for (std::size_t i = 0; i < pairs; ++i)
+    out = conj(std::move(out), disj(inf(static_cast<Mark>(2 * i)),
+                                    fin(static_cast<Mark>(2 * i + 1))));
+  return out;
+}
+
+Acceptance Acceptance::rabin(std::size_t pairs) {
+  MPH_REQUIRE(pairs > 0, "rabin acceptance needs at least one pair");
+  Acceptance out = f();
+  for (std::size_t i = 0; i < pairs; ++i)
+    out = disj(std::move(out), conj(fin(static_cast<Mark>(2 * i)),
+                                    inf(static_cast<Mark>(2 * i + 1))));
+  return out;
+}
+
+Mark Acceptance::mark() const {
+  MPH_REQUIRE(kind_ == Kind::Inf || kind_ == Kind::Fin, "only atoms carry a mark");
+  return mark_;
+}
+
+Acceptance Acceptance::negate() const {
+  switch (kind_) {
+    case Kind::True:
+      return f();
+    case Kind::False:
+      return t();
+    case Kind::Inf:
+      return fin(mark_);
+    case Kind::Fin:
+      return inf(mark_);
+    case Kind::And: {
+      Acceptance out = f();
+      for (const auto& c : children_) out = disj(std::move(out), c.negate());
+      return out;
+    }
+    case Kind::Or: {
+      Acceptance out = t();
+      for (const auto& c : children_) out = conj(std::move(out), c.negate());
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+bool Acceptance::eval(MarkSet inf_marks) const {
+  switch (kind_) {
+    case Kind::True:
+      return true;
+    case Kind::False:
+      return false;
+    case Kind::Inf:
+      return (inf_marks & mark_bit(mark_)) != 0;
+    case Kind::Fin:
+      return (inf_marks & mark_bit(mark_)) == 0;
+    case Kind::And:
+      for (const auto& c : children_)
+        if (!c.eval(inf_marks)) return false;
+      return true;
+    case Kind::Or:
+      for (const auto& c : children_)
+        if (c.eval(inf_marks)) return true;
+      return false;
+  }
+  MPH_ASSERT(false);
+}
+
+MarkSet Acceptance::mentioned_marks() const {
+  switch (kind_) {
+    case Kind::True:
+    case Kind::False:
+      return 0;
+    case Kind::Inf:
+    case Kind::Fin:
+      return mark_bit(mark_);
+    case Kind::And:
+    case Kind::Or: {
+      MarkSet out = 0;
+      for (const auto& c : children_) out |= c.mentioned_marks();
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+MarkSet Acceptance::fin_marks() const {
+  switch (kind_) {
+    case Kind::True:
+    case Kind::False:
+    case Kind::Inf:
+      return 0;
+    case Kind::Fin:
+      return mark_bit(mark_);
+    case Kind::And:
+    case Kind::Or: {
+      MarkSet out = 0;
+      for (const auto& c : children_) out |= c.fin_marks();
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+Acceptance Acceptance::substitute(Mark m, bool inf_value, bool fin_value) const {
+  switch (kind_) {
+    case Kind::True:
+    case Kind::False:
+      return *this;
+    case Kind::Inf:
+      if (mark_ == m) return inf_value ? t() : f();
+      return *this;
+    case Kind::Fin:
+      if (mark_ == m) return fin_value ? t() : f();
+      return *this;
+    case Kind::And: {
+      Acceptance out = t();
+      for (const auto& c : children_) out = conj(std::move(out), c.substitute(m, inf_value, fin_value));
+      return out;
+    }
+    case Kind::Or: {
+      Acceptance out = f();
+      for (const auto& c : children_) out = disj(std::move(out), c.substitute(m, inf_value, fin_value));
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+Acceptance Acceptance::substitute_fin(Mark m, bool value) const {
+  switch (kind_) {
+    case Kind::True:
+    case Kind::False:
+    case Kind::Inf:
+      return *this;
+    case Kind::Fin:
+      if (mark_ == m) return value ? t() : f();
+      return *this;
+    case Kind::And: {
+      Acceptance out = t();
+      for (const auto& c : children_) out = conj(std::move(out), c.substitute_fin(m, value));
+      return out;
+    }
+    case Kind::Or: {
+      Acceptance out = f();
+      for (const auto& c : children_) out = disj(std::move(out), c.substitute_fin(m, value));
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+Acceptance Acceptance::restrict_to(MarkSet present) const {
+  Acceptance out = *this;
+  MarkSet mentioned = mentioned_marks();
+  for (Mark m = 0; m < 64; ++m) {
+    if ((mentioned & mark_bit(m)) && !(present & mark_bit(m)))
+      out = out.substitute(m, /*inf_value=*/false, /*fin_value=*/true);
+  }
+  return out;
+}
+
+Acceptance Acceptance::shift(Mark offset) const {
+  switch (kind_) {
+    case Kind::True:
+    case Kind::False:
+      return *this;
+    case Kind::Inf:
+      return inf(mark_ + offset);
+    case Kind::Fin:
+      return fin(mark_ + offset);
+    case Kind::And: {
+      Acceptance out = t();
+      for (const auto& c : children_) out = conj(std::move(out), c.shift(offset));
+      return out;
+    }
+    case Kind::Or: {
+      Acceptance out = f();
+      for (const auto& c : children_) out = disj(std::move(out), c.shift(offset));
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+std::vector<Acceptance::DnfClause> Acceptance::dnf(std::size_t max_clauses) const {
+  switch (kind_) {
+    case Kind::True:
+      return {DnfClause{}};
+    case Kind::False:
+      return {};
+    case Kind::Inf:
+      return {DnfClause{0, mark_bit(mark_)}};
+    case Kind::Fin:
+      return {DnfClause{mark_bit(mark_), 0}};
+    case Kind::Or: {
+      std::vector<DnfClause> out;
+      for (const auto& c : children_) {
+        auto sub = c.dnf(max_clauses);
+        out.insert(out.end(), sub.begin(), sub.end());
+        MPH_REQUIRE(out.size() <= max_clauses, "DNF expansion exceeds max_clauses");
+      }
+      return out;
+    }
+    case Kind::And: {
+      std::vector<DnfClause> out{DnfClause{}};
+      for (const auto& c : children_) {
+        auto sub = c.dnf(max_clauses);
+        std::vector<DnfClause> next;
+        for (const auto& left : out)
+          for (const auto& right : sub) {
+            DnfClause merged{left.avoid | right.avoid, left.require | right.require};
+            if (merged.avoid & merged.require) continue;  // unsatisfiable
+            next.push_back(merged);
+            MPH_REQUIRE(next.size() <= max_clauses, "DNF expansion exceeds max_clauses");
+          }
+        out = std::move(next);
+      }
+      return out;
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+std::string Acceptance::to_string() const {
+  switch (kind_) {
+    case Kind::True:
+      return "t";
+    case Kind::False:
+      return "f";
+    case Kind::Inf:
+      return "Inf(" + std::to_string(mark_) + ")";
+    case Kind::Fin:
+      return "Fin(" + std::to_string(mark_) + ")";
+    case Kind::And:
+    case Kind::Or: {
+      std::string sep = kind_ == Kind::And ? " & " : " | ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += sep;
+        out += children_[i].to_string();
+      }
+      return out + ")";
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+bool Acceptance::operator==(const Acceptance& other) const {
+  return kind_ == other.kind_ && mark_ == other.mark_ && children_ == other.children_;
+}
+
+}  // namespace mph::omega

@@ -1,0 +1,113 @@
+// Acceptance conditions for ω-automata, expressed as positive boolean
+// formulae over the atoms Inf(m) ("mark m occurs infinitely often in the
+// run") and Fin(m) ("mark m occurs finitely often"), following the
+// Hanoi-Omega-Automata convention. Marks are small indices attached to
+// automaton states.
+//
+// Every acceptance type in the paper is a special case:
+//   Büchi               Inf(0)                        (recurrence automata)
+//   co-Büchi            Fin(0)                        (persistence automata)
+//   Streett {(R_i,P_i)} ⋀_i (Inf(r_i) ∨ Fin(p_i))     (the paper's automata;
+//                        P_i enters as Fin(p_i) where p_i marks Q − P_i)
+//   Rabin               ⋁_i (Fin(e_i) ∧ Inf(f_i))
+//   parity              nested combinations
+// Because the formula algebra is closed under negation (Inf ↔ Fin, ∧ ↔ ∨),
+// complementing a *deterministic* automaton is just negating its acceptance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mph::omega {
+
+using Mark = std::uint32_t;
+
+/// Set of marks, as a bitmask. Automata carry at most 64 marks.
+using MarkSet = std::uint64_t;
+
+constexpr MarkSet mark_bit(Mark m) { return MarkSet{1} << m; }
+
+class Acceptance {
+ public:
+  enum class Kind { True, False, Inf, Fin, And, Or };
+
+  static Acceptance t();
+  static Acceptance f();
+  static Acceptance inf(Mark m);
+  static Acceptance fin(Mark m);
+
+  /// Conjunction / disjunction with basic constant folding.
+  static Acceptance conj(Acceptance a, Acceptance b);
+  static Acceptance disj(Acceptance a, Acceptance b);
+
+  /// Named acceptance families over consecutive marks.
+  /// Büchi: Inf(mark).
+  static Acceptance buchi(Mark mark = 0);
+  /// co-Büchi: Fin(mark).
+  static Acceptance co_buchi(Mark mark = 0);
+  /// Streett with `pairs` pairs over marks (2i, 2i+1): ⋀ (Inf(2i) ∨ Fin(2i+1)).
+  static Acceptance streett(std::size_t pairs);
+  /// Rabin with `pairs` pairs over marks (2i, 2i+1): ⋁ (Fin(2i) ∧ Inf(2i+1)).
+  static Acceptance rabin(std::size_t pairs);
+
+  Kind kind() const { return kind_; }
+  Mark mark() const;
+  const std::vector<Acceptance>& children() const { return children_; }
+
+  /// Dual condition (language complement for deterministic automata).
+  Acceptance negate() const;
+
+  /// Truth value when the set of marks seen infinitely often is `inf_marks`.
+  bool eval(MarkSet inf_marks) const;
+
+  /// Marks mentioned anywhere in the formula.
+  MarkSet mentioned_marks() const;
+  /// Marks mentioned under Fin atoms.
+  MarkSet fin_marks() const;
+
+  /// Substitute a single mark's atoms by constants and re-simplify:
+  /// Inf(m) := inf_value, Fin(m) := fin_value.
+  Acceptance substitute(Mark m, bool inf_value, bool fin_value) const;
+
+  /// Substitute only Fin(m) := value, leaving Inf(m) atoms untouched.
+  /// Used by the good-loop search when committing to visit mark m: the
+  /// result is a sound strengthening regardless of the loop found.
+  Acceptance substitute_fin(Mark m, bool value) const;
+
+  /// Simplify against an SCC's available marks: atoms over marks not in
+  /// `present` become Inf → false, Fin → true.
+  Acceptance restrict_to(MarkSet present) const;
+
+  bool is_true() const { return kind_ == Kind::True; }
+  bool is_false() const { return kind_ == Kind::False; }
+
+  /// Renumber every mark by adding `offset` (for products).
+  Acceptance shift(Mark offset) const;
+
+  /// One clause of a disjunctive normal form: a loop satisfies the clause
+  /// iff it avoids every `avoid` mark and contains every `require` mark.
+  struct DnfClause {
+    MarkSet avoid = 0;    // marks under Fin atoms
+    MarkSet require = 0;  // marks under Inf atoms
+  };
+
+  /// Disjunctive normal form; unsatisfiable clauses (avoid ∩ require ≠ ∅)
+  /// are dropped. Throws std::invalid_argument if more than `max_clauses`
+  /// clauses would be produced (the expansion is exponential in the worst
+  /// case, but Streett(k) negates to exactly k clauses).
+  std::vector<DnfClause> dnf(std::size_t max_clauses = 256) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Acceptance& other) const;
+
+ private:
+  Acceptance(Kind kind, Mark mark, std::vector<Acceptance> children);
+
+  Kind kind_;
+  Mark mark_ = 0;
+  std::vector<Acceptance> children_;
+};
+
+}  // namespace mph::omega

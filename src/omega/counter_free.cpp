@@ -1,0 +1,74 @@
+#include "src/omega/counter_free.hpp"
+
+#include <map>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+namespace {
+
+using Transform = std::vector<State>;  // q -> δ(q, w) for some word w
+
+Transform compose(const Transform& first, const Transform& then) {
+  Transform out(first.size());
+  for (std::size_t q = 0; q < first.size(); ++q) out[q] = then[first[q]];
+  return out;
+}
+
+/// f is aperiodic iff iterating f reaches an idempotent fixpoint rather than
+/// a non-trivial cycle: f^k = f^(k+1) for some k.
+bool aperiodic(const Transform& f) {
+  std::map<Transform, std::size_t> seen;
+  Transform cur = f;
+  for (std::size_t step = 0;; ++step) {
+    auto [it, inserted] = seen.try_emplace(cur, step);
+    if (!inserted) return step - it->second == 1;
+    cur = compose(cur, f);
+  }
+}
+
+bool monoid_aperiodic(std::size_t n_states, const std::vector<Transform>& generators,
+                      std::size_t max_monoid) {
+  std::map<Transform, bool> seen;
+  std::vector<Transform> queue;
+  Transform identity(n_states);
+  for (std::size_t q = 0; q < n_states; ++q) identity[q] = static_cast<State>(q);
+  for (const auto& g : generators)
+    if (seen.try_emplace(g, true).second) queue.push_back(g);
+  while (!queue.empty()) {
+    Transform f = std::move(queue.back());
+    queue.pop_back();
+    if (!aperiodic(f)) return false;
+    for (const auto& g : generators) {
+      Transform fg = compose(f, g);
+      MPH_REQUIRE(seen.size() < max_monoid, "transition monoid exceeds max_monoid cap");
+      if (seen.try_emplace(fg, true).second) queue.push_back(std::move(fg));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_counter_free(const DetOmega& m, std::size_t max_monoid) {
+  std::vector<Transform> generators;
+  for (Symbol s = 0; s < m.alphabet().size(); ++s) {
+    Transform g(m.state_count());
+    for (State q = 0; q < m.state_count(); ++q) g[q] = m.next(q, s);
+    generators.push_back(std::move(g));
+  }
+  return monoid_aperiodic(m.state_count(), generators, max_monoid);
+}
+
+bool is_counter_free(const lang::Dfa& d, std::size_t max_monoid) {
+  std::vector<Transform> generators;
+  for (Symbol s = 0; s < d.alphabet().size(); ++s) {
+    Transform g(d.state_count());
+    for (State q = 0; q < d.state_count(); ++q) g[q] = d.next(q, s);
+    generators.push_back(std::move(g));
+  }
+  return monoid_aperiodic(d.state_count(), generators, max_monoid);
+}
+
+}  // namespace mph::omega

@@ -1,0 +1,20 @@
+// Counter-freedom test (§5, after [MP71]): an automaton is counter-free iff
+// no state q and finite word σ satisfy δ(q, σⁿ) = q for some n > 1 while
+// δ(q, σ) ≠ q. Counter-free deterministic automata are exactly those whose
+// languages are expressible in (past) temporal logic [Zuc86], so this test
+// gates the automaton→formula direction of the logic/automata bridge.
+#pragma once
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::omega {
+
+/// Decides counter-freedom by generating the transition monoid and checking
+/// that every element is aperiodic (its power sequence enters a fixpoint, not
+/// a cycle of length > 1). `max_monoid` caps the exploration; exceeding it
+/// throws std::invalid_argument (the monoid can reach |Q|^|Q| elements).
+bool is_counter_free(const DetOmega& m, std::size_t max_monoid = 1 << 20);
+bool is_counter_free(const lang::Dfa& d, std::size_t max_monoid = 1 << 20);
+
+}  // namespace mph::omega

@@ -1,0 +1,138 @@
+#include "src/omega/det_omega.hpp"
+
+#include <bit>
+#include <map>
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+DetOmega::DetOmega(lang::Alphabet alphabet, std::size_t n_states, State initial, Acceptance acc)
+    : alphabet_(std::move(alphabet)),
+      trans_(n_states * alphabet_.size()),
+      marks_(n_states, 0),
+      acc_(std::move(acc)),
+      initial_(initial) {
+  MPH_REQUIRE(n_states > 0, "a complete automaton needs at least one state");
+  MPH_REQUIRE(initial < n_states, "initial state out of range");
+  for (State q = 0; q < n_states; ++q)
+    for (Symbol s = 0; s < alphabet_.size(); ++s) trans_[q * alphabet_.size() + s] = q;
+}
+
+void DetOmega::set_transition(State from, Symbol on, State to) {
+  MPH_REQUIRE(from < state_count() && to < state_count(), "state out of range");
+  MPH_REQUIRE(on < alphabet_.size(), "symbol out of range");
+  trans_[from * alphabet_.size() + on] = to;
+}
+
+State DetOmega::next(State from, Symbol on) const {
+  MPH_REQUIRE(from < state_count() && on < alphabet_.size(), "state or symbol out of range");
+  return trans_[from * alphabet_.size() + on];
+}
+
+State DetOmega::run(State from, const lang::Word& w) const {
+  State q = from;
+  for (Symbol s : w) q = next(q, s);
+  return q;
+}
+
+void DetOmega::add_mark(State q, Mark m) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  MPH_REQUIRE(m < 64, "marks are limited to 0..63");
+  marks_[q] |= mark_bit(m);
+}
+
+void DetOmega::clear_marks(State q) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  marks_[q] = 0;
+}
+
+MarkSet DetOmega::marks(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return marks_[q];
+}
+
+bool DetOmega::accepts(const Lasso& l) const {
+  MPH_REQUIRE(!l.loop.empty(), "lasso loop must be non-empty");
+  // Follow the prefix, then iterate the loop until the state at the loop
+  // boundary repeats; the states visited during the repeating cycle are
+  // exactly the states visited infinitely often.
+  State q = run(initial_, l.prefix);
+  std::map<State, std::size_t> seen;  // loop-boundary state -> iteration index
+  std::vector<State> boundary;
+  while (!seen.contains(q)) {
+    seen[q] = boundary.size();
+    boundary.push_back(q);
+    q = run(q, l.loop);
+  }
+  const std::size_t cycle_start = seen[q];
+  MarkSet inf_marks = 0;
+  for (std::size_t i = cycle_start; i < boundary.size(); ++i) {
+    State cur = boundary[i];
+    for (Symbol s : l.loop) {
+      cur = next(cur, s);
+      inf_marks |= marks_[cur];
+    }
+  }
+  return acc_.eval(inf_marks);
+}
+
+bool DetOmega::accepts_text(std::string_view lasso_text) const {
+  return accepts(parse_lasso(lasso_text, alphabet_));
+}
+
+DetOmega complement(const DetOmega& m) {
+  DetOmega out = m;
+  out.set_acceptance(m.acceptance().negate());
+  return out;
+}
+
+DetOmega product(const DetOmega& a, const DetOmega& b,
+                 Acceptance (*combine)(Acceptance, Acceptance)) {
+  MPH_REQUIRE(a.alphabet() == b.alphabet(), "product requires a common alphabet");
+  const std::size_t sigma = a.alphabet().size();
+  // b's marks are shifted past a's.
+  Mark shift = 0;
+  {
+    MarkSet used = a.acceptance().mentioned_marks();
+    for (State q = 0; q < a.state_count(); ++q) used |= a.marks(q);
+    while (used >> shift) ++shift;
+  }
+  MPH_REQUIRE(shift + 64 - std::countl_zero(b.acceptance().mentioned_marks() | MarkSet{1}) <= 64,
+              "product exceeds 64 marks");
+
+  std::map<std::pair<State, State>, State> index;
+  std::vector<std::pair<State, State>> states;
+  auto intern = [&](State qa, State qb) {
+    auto [it, inserted] = index.try_emplace({qa, qb}, static_cast<State>(states.size()));
+    if (inserted) states.push_back({qa, qb});
+    return it->second;
+  };
+  intern(a.initial(), b.initial());
+  std::vector<std::vector<State>> trans;
+  for (State q = 0; q < states.size(); ++q) {
+    auto [qa, qb] = states[q];
+    trans.emplace_back(sigma);
+    for (Symbol s = 0; s < sigma; ++s) trans[q][s] = intern(a.next(qa, s), b.next(qb, s));
+  }
+  Acceptance acc = combine(a.acceptance(), b.acceptance().shift(shift));
+  DetOmega out(a.alphabet(), states.size(), 0, std::move(acc));
+  for (State q = 0; q < states.size(); ++q) {
+    auto [qa, qb] = states[q];
+    MarkSet ms = a.marks(qa) | (b.marks(qb) << shift);
+    for (Mark m = 0; m < 64; ++m)
+      if (ms & mark_bit(m)) out.add_mark(q, m);
+    for (Symbol s = 0; s < sigma; ++s) out.set_transition(q, s, trans[q][s]);
+  }
+  return out;
+}
+
+DetOmega intersection(const DetOmega& a, const DetOmega& b) {
+  return product(a, b, &Acceptance::conj);
+}
+
+DetOmega union_of(const DetOmega& a, const DetOmega& b) {
+  return product(a, b, &Acceptance::disj);
+}
+
+}  // namespace mph::omega

@@ -1,0 +1,70 @@
+// Complete deterministic ω-automata with Emerson–Lei acceptance over state
+// marks — the paper's predicate automata (§5) in explicit form.
+//
+// A run over an infinite word is the unique state sequence; the word is
+// accepted iff the acceptance formula holds of the set of marks visited
+// infinitely often. The paper's Streett automaton ⟨Q, q0, T, L⟩ with pairs
+// (R_i, P_i) is the special case acc = ⋀_i (Inf(r_i) ∨ Fin(p̄_i)) where mark
+// r_i is placed on R_i-states and mark p̄_i on states *outside* P_i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lang/alphabet.hpp"
+#include "src/lang/dfa.hpp"
+#include "src/omega/acceptance.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::omega {
+
+using lang::State;
+using lang::Symbol;
+
+class DetOmega {
+ public:
+  /// All transitions start as self-loops; no marks.
+  DetOmega(lang::Alphabet alphabet, std::size_t n_states, State initial, Acceptance acc);
+
+  const lang::Alphabet& alphabet() const { return alphabet_; }
+  std::size_t state_count() const { return marks_.size(); }
+  State initial() const { return initial_; }
+  const Acceptance& acceptance() const { return acc_; }
+  void set_acceptance(Acceptance acc) { acc_ = std::move(acc); }
+
+  void set_transition(State from, Symbol on, State to);
+  State next(State from, Symbol on) const;
+  State run(State from, const lang::Word& w) const;
+
+  void add_mark(State q, Mark m);
+  void clear_marks(State q);
+  MarkSet marks(State q) const;
+
+  /// Deterministic acceptance of an ultimately periodic word.
+  bool accepts(const Lasso& l) const;
+
+  /// Convenience for plain single-character alphabets: accepts_text("ab(ba)").
+  bool accepts_text(std::string_view lasso_text) const;
+
+ private:
+  lang::Alphabet alphabet_;
+  std::vector<State> trans_;  // row-major
+  std::vector<MarkSet> marks_;
+  Acceptance acc_;
+  State initial_;
+};
+
+/// Language complement: same structure, negated acceptance (valid because the
+/// automaton is deterministic and complete).
+DetOmega complement(const DetOmega& m);
+
+/// Synchronous product. The result's acceptance is
+/// `combine(acc_a, shifted acc_b)` where combine is Acceptance::conj for
+/// intersection or Acceptance::disj for union.
+DetOmega product(const DetOmega& a, const DetOmega& b,
+                 Acceptance (*combine)(Acceptance, Acceptance));
+
+DetOmega intersection(const DetOmega& a, const DetOmega& b);
+DetOmega union_of(const DetOmega& a, const DetOmega& b);
+
+}  // namespace mph::omega

@@ -1,0 +1,35 @@
+// Decision procedures on deterministic ω-automata: emptiness with lasso
+// witnesses, residual-language liveness of states, the Pref operator (§2),
+// and language containment/equivalence via product-with-complement.
+#pragma once
+
+#include <optional>
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::omega {
+
+bool is_empty(const DetOmega& m);
+
+/// An accepted ultimately periodic word, if the language is non-empty.
+std::optional<Lasso> accepting_lasso(const DetOmega& m);
+
+/// Whether any word is accepted starting from state q (q's residual language
+/// is non-empty). Computed for all states at once.
+std::vector<bool> live_states(const DetOmega& m);
+
+/// Pref(L(m)) as a DFA: the finite words extendable to an accepted infinite
+/// word. ε is accepted iff L(m) ≠ ∅.
+lang::Dfa pref(const DetOmega& m);
+
+/// L(a) ⊆ L(b).
+bool contains(const DetOmega& b, const DetOmega& a);
+
+bool equivalent(const DetOmega& a, const DetOmega& b);
+
+/// A lasso in the symmetric difference of the two languages, if any —
+/// the counterexample form of `equivalent`.
+std::optional<Lasso> difference_witness(const DetOmega& a, const DetOmega& b);
+
+}  // namespace mph::omega

@@ -1,0 +1,47 @@
+#include "src/omega/first_order.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+bool fo_satisfies(FoOperator op, const lang::Dfa& phi, const Lasso& sigma) {
+  MPH_REQUIRE(!sigma.loop.empty(), "lasso loop must be non-empty");
+  // Membership of the length-n prefix is determined by the Φ-state reached;
+  // the state sequence at prefix boundaries is ultimately periodic with
+  // preperiod ≤ |prefix| + |loop|·|Q| and period dividing |loop|·|Q|.
+  const std::size_t window = sigma.loop.size() * (phi.state_count() + 1);
+  const std::size_t preperiod = sigma.prefix.size() + window;
+
+  lang::State q = phi.initial();
+  std::vector<bool> member;  // member[n] ⇔ prefix of length n+1 ∈ Φ
+  for (std::size_t i = 0; i < preperiod + window; ++i) {
+    q = phi.next(q, sigma.at(i));
+    member.push_back(phi.accepting(q));
+  }
+  auto all_in = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      if (!member[i]) return false;
+    return true;
+  };
+  auto any_in = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      if (member[i]) return true;
+    return false;
+  };
+  switch (op) {
+    case FoOperator::A:
+      // ∀ prefixes: the initial window plus one full period covers all.
+      return all_in(0, preperiod + window);
+    case FoOperator::E:
+      return any_in(0, preperiod + window);
+    case FoOperator::R:
+      // Infinitely many ⇔ at least one inside the periodic window.
+      return any_in(preperiod, preperiod + window);
+    case FoOperator::P:
+      // All but finitely many ⇔ the whole periodic window qualifies.
+      return all_in(preperiod, preperiod + window);
+  }
+  MPH_ASSERT(false);
+}
+
+}  // namespace mph::omega

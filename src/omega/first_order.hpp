@@ -1,0 +1,26 @@
+// The first-order view of the four operators (§2, "Expression by a First
+// Order Language"): over the structure of finite prefixes ordered by ≺,
+//
+//   χ_A(σ):  ∀σ'≺σ. Φ(σ')
+//   χ_E(σ):  ∃σ'≺σ. Φ(σ')
+//   χ_R(σ):  ∀σ'≺σ. ∃σ'' (σ'≺σ''≺σ). Φ(σ'')
+//   χ_P(σ):  ∃σ'≺σ. ∀σ'' (σ'≺σ''≺σ). Φ(σ'')
+//
+// Evaluated directly by quantifying over prefixes of an ultimately periodic
+// word: prefix membership in a regular Φ is itself ultimately periodic, so
+// bounded windows decide each quantifier exactly. This is an independent
+// fifth implementation of the operators' semantics, used to cross-check the
+// automata view in the test suite.
+#pragma once
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::omega {
+
+enum class FoOperator { A, E, R, P };
+
+/// χ_op^Φ(σ), with Φ given as a DFA (read modulo ε, as everywhere).
+bool fo_satisfies(FoOperator op, const lang::Dfa& phi, const Lasso& sigma);
+
+}  // namespace mph::omega

@@ -1,0 +1,191 @@
+#include "src/omega/graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <set>
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+MarkedGraph to_graph(const DetOmega& m) {
+  MarkedGraph g;
+  g.succ.resize(m.state_count());
+  g.marks.resize(m.state_count());
+  g.initial = m.initial();
+  for (State q = 0; q < m.state_count(); ++q) {
+    g.marks[q] = m.marks(q);
+    std::set<State> targets;
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) targets.insert(m.next(q, s));
+    g.succ[q].assign(targets.begin(), targets.end());
+  }
+  return g;
+}
+
+std::vector<bool> graph_reachable(const MarkedGraph& g) {
+  std::vector<bool> seen(g.size(), false);
+  std::deque<State> queue{g.initial};
+  seen[g.initial] = true;
+  while (!queue.empty()) {
+    State q = queue.front();
+    queue.pop_front();
+    for (State t : g.succ[q])
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+  }
+  return seen;
+}
+
+std::vector<std::vector<State>> nontrivial_sccs(const MarkedGraph& g,
+                                                const std::vector<bool>& allowed) {
+  MPH_REQUIRE(allowed.size() == g.size(), "allowed mask size mismatch");
+  // Iterative Tarjan restricted to `allowed`.
+  const auto n = g.size();
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+  std::vector<std::uint32_t> index(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<State> stack;
+  std::uint32_t counter = 0;
+  std::vector<std::vector<State>> out;
+
+  struct Frame {
+    State q;
+    std::size_t child;
+  };
+  for (State root = 0; root < n; ++root) {
+    if (!allowed[root] || index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < g.succ[f.q].size()) {
+        State t = g.succ[f.q][f.child++];
+        if (!allowed[t]) continue;
+        if (index[t] == kUnvisited) {
+          index[t] = low[t] = counter++;
+          stack.push_back(t);
+          on_stack[t] = true;
+          frames.push_back({t, 0});
+        } else if (on_stack[t]) {
+          low[f.q] = std::min(low[f.q], index[t]);
+        }
+      } else {
+        State q = f.q;
+        frames.pop_back();
+        if (!frames.empty()) low[frames.back().q] = std::min(low[frames.back().q], low[q]);
+        if (low[q] == index[q]) {
+          std::vector<State> scc;
+          for (;;) {
+            State w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == q) break;
+          }
+          // Keep only components that can host a loop.
+          bool nontrivial = scc.size() > 1;
+          if (!nontrivial) {
+            State lone = scc[0];
+            nontrivial = std::find(g.succ[lone].begin(), g.succ[lone].end(), lone) !=
+                         g.succ[lone].end();
+          }
+          if (nontrivial) {
+            std::sort(scc.begin(), scc.end());
+            out.push_back(std::move(scc));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+MarkSet marks_of(const MarkedGraph& g, const std::vector<State>& states) {
+  MarkSet out = 0;
+  for (State q : states) out |= g.marks[q];
+  return out;
+}
+
+Mark lowest_mark(MarkSet ms) {
+  MPH_ASSERT(ms != 0);
+  return static_cast<Mark>(std::countr_zero(ms));
+}
+
+std::vector<bool> mask_of(const MarkedGraph& g, const std::vector<State>& states) {
+  std::vector<bool> mask(g.size(), false);
+  for (State q : states) mask[q] = true;
+  return mask;
+}
+
+// Core recursion shared by find_good_loop and good_loop_states.
+//
+// Searches the subgraph induced by `allowed` for loop sets J with
+// acc.eval(marks(J)). With `collect` null it returns the first good loop
+// found; with `collect` non-null it unions every state lying on some good
+// loop into *collect and returns nullopt.
+std::optional<std::vector<State>> search(const MarkedGraph& g, const std::vector<bool>& allowed,
+                                         const Acceptance& acc, std::vector<bool>* collect) {
+  for (const auto& scc : nontrivial_sccs(g, allowed)) {
+    Acceptance phi = acc.restrict_to(marks_of(g, scc));
+    if (phi.is_false()) continue;
+    if (phi.is_true() || phi.fin_marks() == 0) {
+      // The loop visiting all of the SCC carries every mark present, which
+      // satisfies each remaining Inf atom; with no Fin atoms the formula
+      // holds. Every state of the SCC lies on that loop.
+      if (!collect) return scc;
+      for (State q : scc) (*collect)[q] = true;
+      continue;
+    }
+    const Mark m = lowest_mark(phi.fin_marks());
+    // Branch 1: the loop avoids mark m entirely.
+    {
+      std::vector<bool> sub = mask_of(g, scc);
+      for (State q : scc)
+        if (g.marks[q] & mark_bit(m)) sub[q] = false;
+      auto r = search(g, sub, phi.substitute(m, /*inf=*/false, /*fin=*/true), collect);
+      if (r) return r;
+    }
+    // Branch 2: the loop visits mark m, so Fin(m) is false. Substituting
+    // only the Fin atom (Inf(m) untouched) keeps the formula a sound
+    // strengthening, and the Fin-atom count strictly decreases.
+    {
+      std::vector<bool> sub = mask_of(g, scc);
+      auto r = search(g, sub, phi.substitute_fin(m, false), collect);
+      if (r) return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<State>> find_good_loop(const MarkedGraph& g, const Acceptance& acc) {
+  return search(g, graph_reachable(g), acc, nullptr);
+}
+
+std::vector<bool> good_loop_states(const MarkedGraph& g, const Acceptance& acc) {
+  std::vector<bool> out(g.size(), false);
+  search(g, graph_reachable(g), acc, &out);
+  return out;
+}
+
+bool has_good_loop_within(const MarkedGraph& g, const std::vector<bool>& allowed,
+                          const Acceptance& acc) {
+  return search(g, allowed, acc, nullptr).has_value();
+}
+
+std::vector<bool> good_loop_states_within(const MarkedGraph& g, const std::vector<bool>& allowed,
+                                          const Acceptance& acc) {
+  std::vector<bool> out(g.size(), false);
+  search(g, allowed, acc, &out);
+  return out;
+}
+
+}  // namespace mph::omega

@@ -1,0 +1,57 @@
+// Graph-level machinery shared by every ω-automaton decision procedure:
+// SCC decomposition, and the search for "good loops" — loop sets J whose
+// infinitely-visited marks satisfy an acceptance formula. This is the
+// cycle/F-family analysis of the paper's §5.1 (after Landweber and Wagner),
+// generalized from Streett pairs to arbitrary Emerson–Lei conditions by
+// branching on Fin-marks (avoid the mark, or commit to visiting it).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/omega/acceptance.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::omega {
+
+/// Symbol-free view of an automaton: successor sets plus per-state marks.
+struct MarkedGraph {
+  std::vector<std::vector<State>> succ;  // deduplicated
+  std::vector<MarkSet> marks;
+  State initial = 0;
+
+  std::size_t size() const { return succ.size(); }
+};
+
+MarkedGraph to_graph(const DetOmega& m);
+
+/// States reachable from the graph's initial state.
+std::vector<bool> graph_reachable(const MarkedGraph& g);
+
+/// Strongly connected components of the subgraph induced by `allowed`
+/// (Tarjan, iterative). Trivial one-state components without a self-loop are
+/// omitted: only components that can host a loop are returned.
+std::vector<std::vector<State>> nontrivial_sccs(const MarkedGraph& g,
+                                                const std::vector<bool>& allowed);
+
+/// Some reachable loop set J with acc satisfied by marks(J), or nullopt.
+/// A "loop set" is a set of states traversed by a single cyclic path.
+std::optional<std::vector<State>> find_good_loop(const MarkedGraph& g, const Acceptance& acc);
+
+/// Exactly the reachable states lying on at least one good loop. This is the
+/// set the paper calls "states on accepting cycles"; it drives both the
+/// residual-language (liveness/Pref) computation and Landweber's recurrence
+/// test.
+std::vector<bool> good_loop_states(const MarkedGraph& g, const Acceptance& acc);
+
+/// Is there a good loop lying entirely within `allowed`? Reachability from
+/// the initial state is NOT required — this probes an arbitrary region.
+bool has_good_loop_within(const MarkedGraph& g, const std::vector<bool>& allowed,
+                          const Acceptance& acc);
+
+/// All states on good loops lying entirely within `allowed` (again ignoring
+/// reachability from the initial state).
+std::vector<bool> good_loop_states_within(const MarkedGraph& g, const std::vector<bool>& allowed,
+                                          const Acceptance& acc);
+
+}  // namespace mph::omega

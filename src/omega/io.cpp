@@ -1,0 +1,139 @@
+#include "src/omega/io.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const lang::Dfa& d, const std::string& title) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(title) << "\" {\n  rankdir=LR;\n"
+      << "  init [shape=point];\n";
+  for (lang::State q = 0; q < d.state_count(); ++q)
+    out << "  s" << q << " [shape=" << (d.accepting(q) ? "doublecircle" : "circle")
+        << ", label=\"" << q << "\"];\n";
+  out << "  init -> s" << d.initial() << ";\n";
+  for (lang::State q = 0; q < d.state_count(); ++q)
+    for (lang::Symbol s = 0; s < d.alphabet().size(); ++s)
+      out << "  s" << q << " -> s" << d.next(q, s) << " [label=\""
+          << escape(d.alphabet().name(s)) << "\"];\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const DetOmega& m, const std::string& title) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(title) << "\" {\n  rankdir=LR;\n"
+      << "  label=\"acceptance: " << escape(m.acceptance().to_string()) << "\";\n"
+      << "  init [shape=point];\n";
+  for (State q = 0; q < m.state_count(); ++q) {
+    std::string marks;
+    for (Mark b = 0; b < 64; ++b)
+      if (m.marks(q) & mark_bit(b)) marks += (marks.empty() ? "" : ",") + std::to_string(b);
+    out << "  s" << q << " [shape=circle, label=\"" << q
+        << (marks.empty() ? "" : "\\n{" + marks + "}") << "\"];\n";
+  }
+  out << "  init -> s" << m.initial() << ";\n";
+  for (State q = 0; q < m.state_count(); ++q)
+    for (Symbol s = 0; s < m.alphabet().size(); ++s)
+      out << "  s" << q << " -> s" << m.next(q, s) << " [label=\""
+          << escape(m.alphabet().name(s)) << "\"];\n";
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+/// HOA acceptance syntax for our formulas.
+std::string hoa_acceptance(const Acceptance& acc) {
+  switch (acc.kind()) {
+    case Acceptance::Kind::True:
+      return "t";
+    case Acceptance::Kind::False:
+      return "f";
+    case Acceptance::Kind::Inf:
+      return "Inf(" + std::to_string(acc.mark()) + ")";
+    case Acceptance::Kind::Fin:
+      return "Fin(" + std::to_string(acc.mark()) + ")";
+    case Acceptance::Kind::And:
+    case Acceptance::Kind::Or: {
+      std::string sep = acc.kind() == Acceptance::Kind::And ? " & " : " | ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < acc.children().size(); ++i) {
+        if (i) out += sep;
+        out += hoa_acceptance(acc.children()[i]);
+      }
+      return out + ")";
+    }
+  }
+  MPH_ASSERT(false);
+}
+
+}  // namespace
+
+std::string to_hoa(const DetOmega& m, const std::string& name) {
+  const auto& a = m.alphabet();
+  // AP layout.
+  std::size_t n_ap;
+  std::vector<std::string> ap_names;
+  if (a.prop_based()) {
+    n_ap = a.prop_count();
+    for (std::size_t i = 0; i < n_ap; ++i) ap_names.push_back(a.prop_name(i));
+  } else {
+    n_ap = a.size() <= 1 ? 1 : static_cast<std::size_t>(std::bit_width(a.size() - 1));
+    for (std::size_t i = 0; i < n_ap; ++i) ap_names.push_back("b" + std::to_string(i));
+  }
+  auto label = [&](Symbol s) {
+    std::string out;
+    for (std::size_t i = 0; i < n_ap; ++i) {
+      if (i) out += "&";
+      bool bit = a.prop_based() ? a.holds(s, i) : ((s >> i) & 1);
+      out += (bit ? "" : "!") + std::to_string(i);
+    }
+    return out;
+  };
+
+  MarkSet used = m.acceptance().mentioned_marks();
+  for (State q = 0; q < m.state_count(); ++q) used |= m.marks(q);
+  const int n_marks = used ? 64 - std::countl_zero(used) : 0;
+
+  std::ostringstream out;
+  out << "HOA: v1\n";
+  out << "name: \"" << escape(name) << "\"\n";
+  out << "States: " << m.state_count() << "\n";
+  out << "Start: " << m.initial() << "\n";
+  out << "AP: " << n_ap;
+  for (const auto& ap : ap_names) out << " \"" << escape(ap) << "\"";
+  out << "\n";
+  out << "Acceptance: " << n_marks << " " << hoa_acceptance(m.acceptance()) << "\n";
+  out << "properties: deterministic complete state-acc\n";
+  out << "--BODY--\n";
+  for (State q = 0; q < m.state_count(); ++q) {
+    out << "State: " << q;
+    std::string marks;
+    for (Mark b = 0; b < 64; ++b)
+      if (m.marks(q) & mark_bit(b)) marks += (marks.empty() ? "" : " ") + std::to_string(b);
+    if (!marks.empty()) out << " {" << marks << "}";
+    out << "\n";
+    for (Symbol s = 0; s < a.size(); ++s)
+      out << "  [" << label(s) << "] " << m.next(q, s) << "\n";
+  }
+  out << "--END--\n";
+  return out.str();
+}
+
+}  // namespace mph::omega

@@ -1,0 +1,23 @@
+// Interop and visualization output:
+//  - Graphviz DOT for quick inspection of DFAs and ω-automata;
+//  - the Hanoi Omega-Automata (HOA v1) format for deterministic automata,
+//    so results can be cross-checked against external tools (Spot's
+//    autfilt accepts this output). Export only; we never need to import.
+#pragma once
+
+#include <string>
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::omega {
+
+std::string to_dot(const lang::Dfa& d, const std::string& title = "dfa");
+std::string to_dot(const DetOmega& m, const std::string& title = "omega");
+
+/// HOA v1 with state-based acceptance marks. Propositional alphabets map
+/// their propositions to HOA APs; plain alphabets are binary-encoded into
+/// ⌈log₂|Σ|⌉ synthetic APs named b0, b1, …
+std::string to_hoa(const DetOmega& m, const std::string& name = "mph");
+
+}  // namespace mph::omega

@@ -1,0 +1,64 @@
+#include "src/omega/lasso.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+std::string Lasso::to_string(const lang::Alphabet& alphabet) const {
+  MPH_REQUIRE(!loop.empty(), "lasso loop must be non-empty");
+  std::string out;
+  if (!prefix.empty()) out += lang::to_string(prefix, alphabet);
+  out += "(" + lang::to_string(loop, alphabet) + ")^ω";
+  return out;
+}
+
+lang::Symbol Lasso::at(std::size_t i) const {
+  MPH_REQUIRE(!loop.empty(), "lasso loop must be non-empty");
+  if (i < prefix.size()) return prefix[i];
+  return loop[(i - prefix.size()) % loop.size()];
+}
+
+bool Lasso::same_word(const Lasso& other) const {
+  // Two ultimately periodic words are equal iff they agree on a prefix of
+  // length max(|u1|,|u2|) + lcm-bounded tail; comparing up to
+  // max-prefix + |v1|·|v2| positions suffices.
+  const std::size_t horizon =
+      std::max(prefix.size(), other.prefix.size()) + loop.size() * other.loop.size();
+  for (std::size_t i = 0; i < horizon; ++i)
+    if (at(i) != other.at(i)) return false;
+  return true;
+}
+
+Lasso parse_lasso(std::string_view text, const lang::Alphabet& alphabet) {
+  auto open = text.find('(');
+  MPH_REQUIRE(open != std::string_view::npos && text.back() == ')',
+              "lasso syntax is prefix(loop)");
+  Lasso l;
+  l.prefix = lang::parse_word(text.substr(0, open), alphabet);
+  l.loop = lang::parse_word(text.substr(open + 1, text.size() - open - 2), alphabet);
+  MPH_REQUIRE(!l.loop.empty(), "lasso loop must be non-empty");
+  return l;
+}
+
+std::vector<Lasso> enumerate_lassos(const lang::Alphabet& alphabet, std::size_t max_prefix,
+                                    std::size_t max_loop) {
+  std::vector<std::vector<lang::Word>> levels{{lang::Word{}}};
+  for (std::size_t len = 1; len <= std::max(max_prefix, max_loop); ++len) {
+    std::vector<lang::Word> level;
+    for (const auto& w : levels.back())
+      for (lang::Symbol s = 0; s < alphabet.size(); ++s) {
+        lang::Word e = w;
+        e.push_back(s);
+        level.push_back(std::move(e));
+      }
+    levels.push_back(std::move(level));
+  }
+  std::vector<Lasso> out;
+  for (std::size_t pl = 0; pl <= max_prefix; ++pl)
+    for (std::size_t ll = 1; ll <= max_loop; ++ll)
+      for (const auto& p : levels[pl])
+        for (const auto& v : levels[ll]) out.push_back(Lasso{p, v});
+  return out;
+}
+
+}  // namespace mph::omega

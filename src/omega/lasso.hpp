@@ -1,0 +1,38 @@
+// Ultimately periodic infinite words u·v^ω — the computable witnesses of
+// ω-regular languages. Two ω-regular languages are equal iff they agree on
+// all lassos, which makes lasso enumeration the cross-checking oracle of the
+// test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/lang/alphabet.hpp"
+#include "src/lang/word.hpp"
+
+namespace mph::omega {
+
+struct Lasso {
+  lang::Word prefix;
+  lang::Word loop;  // must be non-empty
+
+  /// u·v^ω with the loop rolled forward: prints as e.g. "ab(ba)^ω".
+  std::string to_string(const lang::Alphabet& alphabet) const;
+
+  /// The symbol at position i (0-based) of the infinite word.
+  lang::Symbol at(std::size_t i) const;
+
+  /// Two lassos may denote the same infinite word with different splits;
+  /// this compares the denoted words (via a bounded unrolling argument).
+  bool same_word(const Lasso& other) const;
+};
+
+/// Parses "prefix(loop)" over single-character letters, e.g. "ab(ba)".
+Lasso parse_lasso(std::string_view text, const lang::Alphabet& alphabet);
+
+/// All lassos with |prefix| ≤ max_prefix and 1 ≤ |loop| ≤ max_loop.
+/// Grows as |Σ|^(max_prefix+max_loop); intended for tiny alphabets in tests.
+std::vector<Lasso> enumerate_lassos(const lang::Alphabet& alphabet, std::size_t max_prefix,
+                                    std::size_t max_loop);
+
+}  // namespace mph::omega

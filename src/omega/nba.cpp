@@ -1,0 +1,409 @@
+#include "src/omega/nba.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/nfa.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+Nba::Nba(lang::Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+State Nba::add_state() {
+  edges_.emplace_back();
+  accepting_.push_back(false);
+  return static_cast<State>(edges_.size() - 1);
+}
+
+void Nba::add_edge(State from, Symbol on, State to) {
+  MPH_REQUIRE(from < state_count() && to < state_count(), "state out of range");
+  MPH_REQUIRE(on < alphabet_.size(), "symbol out of range");
+  edges_[from].push_back({on, to});
+}
+
+void Nba::add_initial(State q) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  initial_.push_back(q);
+}
+
+void Nba::set_accepting(State q, bool accepting) {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  accepting_[q] = accepting;
+}
+
+bool Nba::accepting(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return accepting_[q];
+}
+
+const std::vector<std::pair<Symbol, State>>& Nba::edges(State q) const {
+  MPH_REQUIRE(q < state_count(), "state out of range");
+  return edges_[q];
+}
+
+namespace {
+
+/// For each NBA state p: the states q reachable by reading `loop` once, with
+/// a flag recording whether an accepting state was visited strictly along
+/// the way (positions 1..|loop| of the leg, i.e. including the endpoint).
+std::vector<std::vector<std::pair<State, bool>>> loop_relation(const Nba& n,
+                                                               const lang::Word& loop) {
+  const std::size_t ns = n.state_count();
+  std::vector<std::vector<std::pair<State, bool>>> rel(ns);
+  for (State p = 0; p < ns; ++p) {
+    // (state, seen-accepting) pairs after each loop position.
+    std::set<std::pair<State, bool>> cur{{p, false}};
+    for (Symbol s : loop) {
+      std::set<std::pair<State, bool>> next;
+      for (auto [q, seen] : cur)
+        for (auto [sym, t] : n.edges(q))
+          if (sym == s) next.insert({t, seen || n.accepting(t)});
+      cur = std::move(next);
+    }
+    // Keep the strongest flag per endpoint.
+    std::map<State, bool> best;
+    for (auto [q, seen] : cur) {
+      auto [it, inserted] = best.try_emplace(q, seen);
+      if (!inserted) it->second = it->second || seen;
+    }
+    // Keep both flag variants: a "false" edge may combine with another leg's
+    // "true" edge around a longer cycle, but a true edge dominates a false
+    // one between the same endpoints, so best-flag-only is sufficient for
+    // cycle detection *except* that cycles need at least one true edge —
+    // keeping the maximal flag loses nothing.
+    for (auto [q, seen] : best) rel[p].push_back({q, seen});
+  }
+  return rel;
+}
+
+}  // namespace
+
+bool Nba::accepts(const Lasso& l) const {
+  MPH_REQUIRE(!l.loop.empty(), "lasso loop must be non-empty");
+  // States reachable after the prefix.
+  std::set<State> boundary;
+  {
+    std::set<State> cur(initial_.begin(), initial_.end());
+    for (Symbol s : l.prefix) {
+      std::set<State> next;
+      for (State q : cur)
+        for (auto [sym, t] : edges_[q])
+          if (sym == s) next.insert(t);
+      cur = std::move(next);
+    }
+    boundary = std::move(cur);
+  }
+  if (boundary.empty()) return false;
+  auto rel = loop_relation(*this, l.loop);
+  // Search for a reachable cycle in the loop-relation graph containing at
+  // least one accepting-flagged edge. Nodes: NBA states; we do a simple
+  // fixpoint: a node is "good" if it can reach a flagged edge lying on a
+  // cycle. Detect via: for every flagged edge (p,q), check q can reach p.
+  const std::size_t ns = state_count();
+  // reach[p] = set of nodes reachable from p in rel (transitive closure on
+  // ≤ ~hundreds of states; fine for our sizes).
+  std::vector<std::set<State>> reach(ns);
+  for (State p = 0; p < ns; ++p) {
+    std::deque<State> queue{p};
+    std::set<State>& r = reach[p];
+    r.insert(p);
+    while (!queue.empty()) {
+      State q = queue.front();
+      queue.pop_front();
+      for (auto [t, seen] : rel[q]) {
+        (void)seen;
+        if (r.insert(t).second) queue.push_back(t);
+      }
+    }
+  }
+  for (State b : boundary)
+    for (State p : reach[b])
+      for (auto [q, seen] : rel[p])
+        if (seen && reach[q].contains(p)) return true;
+  return false;
+}
+
+bool Nba::accepts_text(std::string_view lasso_text) const {
+  return accepts(parse_lasso(lasso_text, alphabet_));
+}
+
+namespace {
+
+std::vector<bool> nba_reachable(const Nba& n) {
+  std::vector<bool> seen(n.state_count(), false);
+  std::deque<State> queue;
+  for (State q : n.initial_states())
+    if (!seen[q]) {
+      seen[q] = true;
+      queue.push_back(q);
+    }
+  while (!queue.empty()) {
+    State q = queue.front();
+    queue.pop_front();
+    for (auto [s, t] : n.edges(q)) {
+      (void)s;
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Tarjan SCCs over the NBA graph (symbols ignored).
+std::vector<std::vector<State>> nba_sccs(const Nba& n) {
+  const std::size_t ns = n.state_count();
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+  std::vector<std::uint32_t> index(ns, kUnvisited), low(ns, 0);
+  std::vector<bool> on_stack(ns, false);
+  std::vector<State> stack;
+  std::uint32_t counter = 0;
+  std::vector<std::vector<State>> out;
+  struct Frame {
+    State q;
+    std::size_t child;
+  };
+  for (State root = 0; root < ns; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < n.edges(f.q).size()) {
+        State t = n.edges(f.q)[f.child++].second;
+        if (index[t] == kUnvisited) {
+          index[t] = low[t] = counter++;
+          stack.push_back(t);
+          on_stack[t] = true;
+          frames.push_back({t, 0});
+        } else if (on_stack[t]) {
+          low[f.q] = std::min(low[f.q], index[t]);
+        }
+      } else {
+        State q = f.q;
+        frames.pop_back();
+        if (!frames.empty()) low[frames.back().q] = std::min(low[frames.back().q], low[q]);
+        if (low[q] == index[q]) {
+          std::vector<State> scc;
+          for (;;) {
+            State w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == q) break;
+          }
+          out.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// States lying in a nontrivial SCC that contains an accepting state
+/// ("accepting-cycle states").
+std::vector<bool> accepting_cycle_states(const Nba& n) {
+  std::vector<bool> out(n.state_count(), false);
+  for (const auto& scc : nba_sccs(n)) {
+    bool nontrivial = scc.size() > 1;
+    if (!nontrivial) {
+      State q = scc[0];
+      for (auto [s, t] : n.edges(q)) {
+        (void)s;
+        if (t == q) nontrivial = true;
+      }
+    }
+    if (!nontrivial) continue;
+    bool has_acc = std::any_of(scc.begin(), scc.end(), [&](State q) { return n.accepting(q); });
+    if (has_acc)
+      for (State q : scc) out[q] = true;
+  }
+  return out;
+}
+
+/// States from which some accepting cycle is reachable.
+std::vector<bool> nba_live(const Nba& n) {
+  auto good = accepting_cycle_states(n);
+  std::vector<std::vector<State>> preds(n.state_count());
+  for (State q = 0; q < n.state_count(); ++q)
+    for (auto [s, t] : n.edges(q)) {
+      (void)s;
+      preds[t].push_back(q);
+    }
+  std::vector<bool> live = good;
+  std::deque<State> queue;
+  for (State q = 0; q < n.state_count(); ++q)
+    if (live[q]) queue.push_back(q);
+  while (!queue.empty()) {
+    State q = queue.front();
+    queue.pop_front();
+    for (State p : preds[q])
+      if (!live[p]) {
+        live[p] = true;
+        queue.push_back(p);
+      }
+  }
+  return live;
+}
+
+std::optional<lang::Word> nba_symbol_path(const Nba& n, const std::vector<State>& from,
+                                          const std::vector<bool>& targets,
+                                          const std::vector<bool>* within) {
+  struct Back {
+    State prev;
+    Symbol sym;
+    bool is_seed;
+  };
+  std::vector<std::optional<Back>> back(n.state_count());
+  std::deque<State> queue;
+  for (State q : from) {
+    if (targets[q]) return lang::Word{};
+    if (!back[q].has_value()) {
+      back[q] = Back{q, 0, true};
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    State q = queue.front();
+    queue.pop_front();
+    for (auto [s, t] : n.edges(q)) {
+      if (back[t].has_value()) continue;
+      if (within && !(*within)[t]) continue;
+      back[t] = Back{q, s, false};
+      if (targets[t]) {
+        lang::Word w;
+        for (State cur = t; !back[cur]->is_seed;) {
+          w.push_back(back[cur]->sym);
+          cur = back[cur]->prev;
+        }
+        std::reverse(w.begin(), w.end());
+        return w;
+      }
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool is_empty(const Nba& n) {
+  auto reach = nba_reachable(n);
+  auto good = accepting_cycle_states(n);
+  for (State q = 0; q < n.state_count(); ++q)
+    if (reach[q] && good[q]) return false;
+  return true;
+}
+
+std::optional<Lasso> accepting_lasso(const Nba& n) {
+  auto reach = nba_reachable(n);
+  // Find a reachable accepting state inside a nontrivial SCC.
+  auto cyc = accepting_cycle_states(n);
+  std::optional<State> anchor;
+  for (State q = 0; q < n.state_count(); ++q)
+    if (reach[q] && cyc[q] && n.accepting(q)) {
+      anchor = q;
+      break;
+    }
+  if (!anchor) return std::nullopt;
+  std::vector<bool> target(n.state_count(), false);
+  target[*anchor] = true;
+  auto prefix = nba_symbol_path(n, n.initial_states(), target, nullptr);
+  MPH_ASSERT(prefix.has_value());
+  // Close a cycle anchor → anchor: try each outgoing edge, then BFS back.
+  for (auto [s, t] : n.edges(*anchor)) {
+    lang::Word loop{s};
+    if (t != *anchor) {
+      auto tail = nba_symbol_path(n, {t}, target, nullptr);
+      if (!tail) continue;
+      loop.insert(loop.end(), tail->begin(), tail->end());
+    }
+    Lasso l{*prefix, loop};
+    if (n.accepts(l)) return l;
+  }
+  // The anchor lies on a cycle, so one of the edges above must close it.
+  MPH_ASSERT(false);
+  return std::nullopt;
+}
+
+Nba to_nba(const DetOmega& m) {
+  MPH_REQUIRE(m.acceptance().kind() == Acceptance::Kind::Inf,
+              "to_nba requires Büchi (Inf) acceptance");
+  const Mark mark = m.acceptance().mark();
+  Nba out(m.alphabet());
+  for (State q = 0; q < m.state_count(); ++q) {
+    State added = out.add_state();
+    MPH_ASSERT(added == q);
+    out.set_accepting(q, (m.marks(q) & mark_bit(mark)) != 0);
+  }
+  for (State q = 0; q < m.state_count(); ++q)
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) out.add_edge(q, s, m.next(q, s));
+  out.add_initial(m.initial());
+  return out;
+}
+
+Nba intersect_with_cobuchi(const Nba& n, const DetOmega& d) {
+  MPH_REQUIRE(n.alphabet() == d.alphabet(), "product requires a common alphabet");
+  const auto& acc = d.acceptance();
+  MPH_REQUIRE(acc.kind() == Acceptance::Kind::Fin || acc.is_true(),
+              "right side must be co-Büchi (Fin) or trivially accepting");
+  const bool trivial = acc.is_true();
+  const MarkSet bad = trivial ? 0 : mark_bit(acc.mark());
+  // Two phases: phase 0 tracks the product freely; at any point the run may
+  // jump to phase 1, where bad-marked d-states are forbidden. Accepting
+  // states are phase-1 states whose NBA component is accepting.
+  Nba out(n.alphabet());
+  const std::size_t nd = d.state_count();
+  auto id = [&](State qn, State qd, int phase) {
+    return static_cast<State>((qn * nd + qd) * 2 + static_cast<State>(phase));
+  };
+  for (State qn = 0; qn < n.state_count(); ++qn)
+    for (State qd = 0; qd < nd; ++qd)
+      for (int phase = 0; phase < 2; ++phase) {
+        State added = out.add_state();
+        MPH_ASSERT(added == id(qn, qd, phase));
+        out.set_accepting(added, phase == 1 && n.accepting(qn));
+      }
+  for (State qn = 0; qn < n.state_count(); ++qn)
+    for (State qd = 0; qd < nd; ++qd)
+      for (auto [s, tn] : n.edges(qn)) {
+        State td = d.next(qd, s);
+        out.add_edge(id(qn, qd, 0), s, id(tn, td, 0));
+        if ((d.marks(td) & bad) == 0) {
+          out.add_edge(id(qn, qd, 0), s, id(tn, td, 1));  // commit now
+          out.add_edge(id(qn, qd, 1), s, id(tn, td, 1));
+        }
+      }
+  for (State qn : n.initial_states()) {
+    out.add_initial(id(qn, d.initial(), 0));
+    if ((d.marks(d.initial()) & bad) == 0) out.add_initial(id(qn, d.initial(), 1));
+  }
+  return out;
+}
+
+lang::Dfa pref(const Nba& n) {
+  auto live = nba_live(n);
+  // Subset construction; a subset is accepting iff it contains a live state.
+  lang::Nfa skeleton(n.alphabet());
+  for (State q = 1; q < n.state_count(); ++q) skeleton.add_state();
+  if (n.state_count() == 0) return lang::Dfa(n.alphabet(), 1, 0);
+  // Mark live states accepting, copy edges; add a fresh initial state with
+  // ε-edges to all NBA initial states.
+  for (State q = 0; q < n.state_count(); ++q) {
+    skeleton.set_accepting(q, live[q]);
+    for (auto [s, t] : n.edges(q)) skeleton.add_edge(q, s, t);
+  }
+  State fresh = skeleton.add_state();
+  skeleton.set_initial(fresh);
+  for (State q : n.initial_states()) skeleton.add_epsilon(fresh, q);
+  return lang::minimize(lang::determinize(skeleton));
+}
+
+}  // namespace mph::omega

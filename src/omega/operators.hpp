@@ -1,0 +1,47 @@
+// The paper's four operators A, E, R, P (§2) taking a finitary property Φ
+// (a DFA, read modulo ε) to an infinitary property over the same alphabet,
+// plus the derived safety-closure and liveness constructions:
+//
+//   A(Φ) — all non-empty prefixes in Φ           (safety;     closed sets)
+//   E(Φ) — some non-empty prefix in Φ            (guarantee;  open sets)
+//   R(Φ) — infinitely many prefixes in Φ         (recurrence; G_δ sets)
+//   P(Φ) — all but finitely many prefixes in Φ   (persistence; F_σ sets)
+//
+// Each result is a deterministic ω-automaton whose acceptance shape matches
+// the paper's §5 κ-automaton definitions (A: dead states absorb, co-Büchi;
+// E: good states absorb, Büchi; R: Büchi; P: co-Büchi).
+#pragma once
+
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+
+namespace mph::omega {
+
+DetOmega op_a(const lang::Dfa& phi);
+DetOmega op_e(const lang::Dfa& phi);
+DetOmega op_r(const lang::Dfa& phi);
+DetOmega op_p(const lang::Dfa& phi);
+
+/// The safety closure A(Pref(Π)) — topologically, cl(Π) (§3).
+DetOmega safety_closure(const DetOmega& m);
+
+/// Liveness: Pref(Π) = Σ⁺, equivalently Π is dense in Σ^ω (§2/§3).
+bool is_liveness(const DetOmega& m);
+
+/// The liveness extension 𝓛(Π) = Π ∪ E(complement of Pref(Π)) used by the
+/// safety–liveness decomposition theorem (§2).
+DetOmega liveness_extension(const DetOmega& m);
+
+/// Streett pairs in the paper's state-set form. Acceptance requires, for
+/// every pair: inf(r) ∩ R ≠ ∅ or inf(r) ⊆ P.
+struct StreettPair {
+  std::vector<State> r;
+  std::vector<State> p;
+};
+
+/// Installs Streett acceptance onto `m`: mark 2i on R_i-states, mark 2i+1 on
+/// states outside P_i, acceptance ⋀_i (Inf(2i) ∨ Fin(2i+1)). Clears any
+/// existing marks.
+void apply_streett_pairs(DetOmega& m, const std::vector<StreettPair>& pairs);
+
+}  // namespace mph::omega

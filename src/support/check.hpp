@@ -1,0 +1,35 @@
+// Lightweight contract checking used across the library.
+//
+// MPH_REQUIRE guards public API preconditions and throws std::invalid_argument
+// so misuse is reportable; MPH_ASSERT guards internal invariants and throws
+// std::logic_error (it stays on in release builds — every algorithm here is a
+// decision procedure whose wrong answer is worse than a slow answer).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mph {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed: " + cond + (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void assert_failed(const char* cond, const char* file, int line) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": internal invariant violated: " + cond);
+}
+
+}  // namespace mph
+
+#define MPH_REQUIRE(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) ::mph::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define MPH_ASSERT(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::mph::assert_failed(#cond, __FILE__, __LINE__); \
+  } while (0)

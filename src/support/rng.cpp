@@ -1,0 +1,59 @@
+#include "src/support/rng.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mph {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // A state of all zeros would be a fixed point; splitmix64 never yields it
+  // for four consecutive draws, but keep the guard explicit.
+  MPH_ASSERT(s_[0] || s_[1] || s_[2] || s_[3]);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  MPH_REQUIRE(bound > 0, "empty range");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  MPH_REQUIRE(lo <= hi, "inverted range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  MPH_REQUIRE(den > 0 && num <= den, "probability out of range");
+  return below(den) < num;
+}
+
+}  // namespace mph

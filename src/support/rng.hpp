@@ -1,0 +1,37 @@
+// Deterministic, seedable random source (xoshiro256**) used by fuzz-style
+// property tests and benchmark workload generators. We avoid std::mt19937 in
+// public interfaces so that sequences are stable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mph {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw: true with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) {
+    return xs[static_cast<std::size_t>(below(xs.size()))];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mph

@@ -1,0 +1,40 @@
+#include "src/support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace mph {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MPH_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MPH_REQUIRE(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  out << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace mph

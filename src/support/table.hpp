@@ -1,0 +1,24 @@
+// Minimal fixed-width text table used by examples and benchmark reports to
+// print paper-style result rows without dragging in a formatting library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mph {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule; every column sized to fit.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mph

@@ -1,0 +1,35 @@
+#include "src/topology/topology.hpp"
+
+#include <cmath>
+
+#include "src/core/classify.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph::topology {
+
+double distance(const omega::Lasso& a, const omega::Lasso& b) {
+  if (a.same_word(b)) return 0.0;
+  std::size_t j = 0;
+  while (a.at(j) == b.at(j)) ++j;
+  return std::ldexp(1.0, -static_cast<int>(j));
+}
+
+omega::DetOmega closure(const omega::DetOmega& m) { return omega::safety_closure(m); }
+
+omega::DetOmega interior(const omega::DetOmega& m) {
+  return omega::complement(omega::safety_closure(omega::complement(m)));
+}
+
+bool is_limit_point(const omega::DetOmega& m, const omega::Lasso& sigma) {
+  return closure(m).accepts(sigma);
+}
+
+bool is_closed(const omega::DetOmega& m) { return core::is_safety(m); }
+bool is_open(const omega::DetOmega& m) { return core::is_guarantee(m); }
+bool is_clopen(const omega::DetOmega& m) { return is_closed(m) && is_open(m); }
+bool is_g_delta(const omega::DetOmega& m) { return core::is_recurrence(m); }
+bool is_f_sigma(const omega::DetOmega& m) { return core::is_persistence(m); }
+bool is_dense(const omega::DetOmega& m) { return omega::is_liveness(m); }
+
+}  // namespace mph::topology

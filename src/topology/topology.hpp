@@ -1,0 +1,38 @@
+// The topological view (§3): Σ^ω as a complete metric space under the
+// common-prefix metric, with the paper's correspondences
+//
+//   safety      = closed sets        guarantee   = open sets
+//   recurrence  = G_δ sets           persistence = F_σ sets
+//   obligation  = sets that are both G_δ and F_σ
+//   liveness    = dense sets
+//
+// These functions are the §3 vocabulary over the automata machinery: the
+// topological closure *is* the safety closure A(Pref(Π)), proved in §3.
+#pragma once
+
+#include "src/omega/det_omega.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::topology {
+
+/// μ(σ, σ') = 2^{-j} where j is the length of the longest common prefix;
+/// 0 when the two lassos denote the same word.
+double distance(const omega::Lasso& a, const omega::Lasso& b);
+
+/// Topological closure cl(Π) = A(Pref(Π)).
+omega::DetOmega closure(const omega::DetOmega& m);
+
+/// Topological interior: complement of the closure of the complement.
+omega::DetOmega interior(const omega::DetOmega& m);
+
+/// σ is a limit point of Π iff σ ∈ cl(Π).
+bool is_limit_point(const omega::DetOmega& m, const omega::Lasso& sigma);
+
+bool is_closed(const omega::DetOmega& m);    // ⇔ safety
+bool is_open(const omega::DetOmega& m);      // ⇔ guarantee
+bool is_clopen(const omega::DetOmega& m);    // closed ∧ open
+bool is_g_delta(const omega::DetOmega& m);   // ⇔ recurrence
+bool is_f_sigma(const omega::DetOmega& m);   // ⇔ persistence
+bool is_dense(const omega::DetOmega& m);     // ⇔ liveness
+
+}  // namespace mph::topology

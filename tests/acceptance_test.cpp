@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/omega/acceptance.hpp"
+
+namespace mph::omega {
+namespace {
+
+TEST(Acceptance, ConstantsEval) {
+  EXPECT_TRUE(Acceptance::t().eval(0));
+  EXPECT_FALSE(Acceptance::f().eval(0));
+  EXPECT_TRUE(Acceptance::t().eval(~MarkSet{0}));
+}
+
+TEST(Acceptance, AtomsEval) {
+  auto i0 = Acceptance::inf(0);
+  auto f0 = Acceptance::fin(0);
+  EXPECT_TRUE(i0.eval(mark_bit(0)));
+  EXPECT_FALSE(i0.eval(0));
+  EXPECT_FALSE(f0.eval(mark_bit(0)));
+  EXPECT_TRUE(f0.eval(mark_bit(1)));
+}
+
+TEST(Acceptance, ConjDisjFolding) {
+  EXPECT_TRUE(Acceptance::conj(Acceptance::t(), Acceptance::t()).is_true());
+  EXPECT_TRUE(Acceptance::conj(Acceptance::t(), Acceptance::f()).is_false());
+  EXPECT_TRUE(Acceptance::disj(Acceptance::f(), Acceptance::f()).is_false());
+  EXPECT_TRUE(Acceptance::disj(Acceptance::t(), Acceptance::inf(3)).is_true());
+  EXPECT_EQ(Acceptance::conj(Acceptance::t(), Acceptance::inf(3)), Acceptance::inf(3));
+}
+
+TEST(Acceptance, StreettShape) {
+  auto acc = Acceptance::streett(2);
+  // ⋀ (Inf(2i) ∨ Fin(2i+1)): satisfied with all R-marks present.
+  EXPECT_TRUE(acc.eval(mark_bit(0) | mark_bit(2)));
+  // Pair 0 violated: no Inf(0) and mark 1 present.
+  EXPECT_FALSE(acc.eval(mark_bit(1) | mark_bit(2)));
+  // Pair 0 satisfied via Fin(1), pair 1 via Fin(3).
+  EXPECT_TRUE(acc.eval(0));
+}
+
+TEST(Acceptance, RabinIsStreettDual) {
+  auto streett = Acceptance::streett(2);
+  auto rabin = streett.negate();
+  for (MarkSet ms = 0; ms < 16; ++ms) EXPECT_EQ(rabin.eval(ms), !streett.eval(ms)) << ms;
+}
+
+TEST(Acceptance, NegateIsInvolution) {
+  auto acc = Acceptance::conj(Acceptance::disj(Acceptance::inf(0), Acceptance::fin(1)),
+                              Acceptance::disj(Acceptance::inf(2), Acceptance::fin(3)));
+  auto back = acc.negate().negate();
+  for (MarkSet ms = 0; ms < 16; ++ms) EXPECT_EQ(acc.eval(ms), back.eval(ms));
+}
+
+TEST(Acceptance, RabinNamedMatchesDefinition) {
+  auto rabin = Acceptance::rabin(1);  // Fin(0) ∧ Inf(1)
+  EXPECT_TRUE(rabin.eval(mark_bit(1)));
+  EXPECT_FALSE(rabin.eval(mark_bit(0) | mark_bit(1)));
+  EXPECT_FALSE(rabin.eval(0));
+}
+
+TEST(Acceptance, SubstituteBothAtoms) {
+  auto acc = Acceptance::disj(Acceptance::inf(0), Acceptance::fin(1));
+  EXPECT_TRUE(acc.substitute(0, true, false).is_true());
+  auto acc2 = acc.substitute(0, false, true);
+  // Remaining: Fin(1).
+  EXPECT_TRUE(acc2.eval(0));
+  EXPECT_FALSE(acc2.eval(mark_bit(1)));
+}
+
+TEST(Acceptance, SubstituteFinLeavesInf) {
+  auto acc = Acceptance::conj(Acceptance::inf(0), Acceptance::fin(0));
+  auto sub = acc.substitute_fin(0, false);
+  EXPECT_TRUE(sub.is_false());
+  auto acc2 = Acceptance::disj(Acceptance::inf(0), Acceptance::fin(0));
+  auto sub2 = acc2.substitute_fin(0, false);
+  // Inf(0) survives.
+  EXPECT_TRUE(sub2.eval(mark_bit(0)));
+  EXPECT_FALSE(sub2.eval(0));
+}
+
+TEST(Acceptance, RestrictToAbsentMarks) {
+  auto acc = Acceptance::disj(Acceptance::inf(5), Acceptance::fin(6));
+  // Mark 5 absent: Inf(5) → false; mark 6 absent: Fin(6) → true.
+  EXPECT_TRUE(acc.restrict_to(0).is_true());
+  auto only5 = acc.restrict_to(mark_bit(5) | mark_bit(6));
+  EXPECT_FALSE(only5.is_true());
+  EXPECT_FALSE(only5.is_false());
+}
+
+TEST(Acceptance, ShiftRenumbersMarks) {
+  auto acc = Acceptance::disj(Acceptance::inf(0), Acceptance::fin(1)).shift(10);
+  EXPECT_TRUE(acc.eval(mark_bit(10)));
+  EXPECT_FALSE(acc.eval(mark_bit(0) | mark_bit(11)));
+  EXPECT_EQ(acc.mentioned_marks(), mark_bit(10) | mark_bit(11));
+}
+
+TEST(Acceptance, MarkQueries) {
+  auto acc = Acceptance::streett(2);
+  EXPECT_EQ(acc.mentioned_marks(), MarkSet{0b1111});
+  EXPECT_EQ(acc.fin_marks(), mark_bit(1) | mark_bit(3));
+  EXPECT_EQ(Acceptance::buchi(0).fin_marks(), MarkSet{0});
+}
+
+TEST(Acceptance, ToStringReadable) {
+  EXPECT_EQ(Acceptance::buchi(0).to_string(), "Inf(0)");
+  EXPECT_EQ(Acceptance::co_buchi(2).to_string(), "Fin(2)");
+  auto s = Acceptance::streett(1).to_string();
+  EXPECT_NE(s.find("Inf(0)"), std::string::npos);
+  EXPECT_NE(s.find("Fin(1)"), std::string::npos);
+}
+
+TEST(Acceptance, MarkOutOfRangeThrows) {
+  EXPECT_THROW(Acceptance::inf(64), std::invalid_argument);
+  EXPECT_THROW(Acceptance::streett(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mph::omega

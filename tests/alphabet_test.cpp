@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/alphabet.hpp"
+#include "src/lang/word.hpp"
+
+namespace mph::lang {
+namespace {
+
+TEST(Alphabet, PlainBasics) {
+  auto a = Alphabet::plain({"a", "b", "c"});
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.name(0), "a");
+  EXPECT_EQ(a.name(2), "c");
+  EXPECT_FALSE(a.prop_based());
+  EXPECT_EQ(a.find("b"), Symbol{1});
+  EXPECT_FALSE(a.find("z").has_value());
+}
+
+TEST(Alphabet, PlainRejectsDuplicates) {
+  EXPECT_THROW(Alphabet::plain({"a", "a"}), std::invalid_argument);
+}
+
+TEST(Alphabet, PlainRejectsEmpty) { EXPECT_THROW(Alphabet::plain({}), std::invalid_argument); }
+
+TEST(Alphabet, PropBasedSizeIsPowerOfTwo) {
+  auto a = Alphabet::of_props({"p", "q"});
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_TRUE(a.prop_based());
+  EXPECT_EQ(a.prop_count(), 2u);
+}
+
+TEST(Alphabet, PropHolds) {
+  auto a = Alphabet::of_props({"p", "q"});
+  // Symbol 0b01 = {p}, 0b10 = {q}, 0b11 = {p,q}.
+  EXPECT_TRUE(a.holds(1, 0));
+  EXPECT_FALSE(a.holds(1, 1));
+  EXPECT_TRUE(a.holds(3, 0));
+  EXPECT_TRUE(a.holds(3, 1));
+  EXPECT_FALSE(a.holds(0, 0));
+}
+
+TEST(Alphabet, PropNames) {
+  auto a = Alphabet::of_props({"p", "q"});
+  EXPECT_EQ(a.name(0), "{}");
+  EXPECT_EQ(a.name(1), "{p}");
+  EXPECT_EQ(a.name(3), "{p,q}");
+  EXPECT_EQ(a.prop_index("q"), std::size_t{1});
+  EXPECT_FALSE(a.prop_index("r").has_value());
+}
+
+TEST(Alphabet, PropCountLimit) {
+  EXPECT_THROW(Alphabet::of_props({"a", "b", "c", "d", "e", "f", "g"}), std::invalid_argument);
+}
+
+TEST(Alphabet, Equality) {
+  EXPECT_EQ(Alphabet::plain({"a", "b"}), Alphabet::plain({"a", "b"}));
+  EXPECT_NE(Alphabet::plain({"a", "b"}), Alphabet::plain({"b", "a"}));
+  EXPECT_NE(Alphabet::plain({"a", "b"}), Alphabet::of_props({"x"}));
+}
+
+TEST(Word, ParseAndPrintRoundTrip) {
+  auto a = Alphabet::plain({"a", "b"});
+  Word w = parse_word("abba", a);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(to_string(w, a), "abba");
+  EXPECT_EQ(to_string(Word{}, a), "ε");
+}
+
+TEST(Word, ParseUnknownLetterThrows) {
+  auto a = Alphabet::plain({"a", "b"});
+  EXPECT_THROW(parse_word("abc", a), std::invalid_argument);
+}
+
+TEST(Word, PropBasedPrinting) {
+  auto a = Alphabet::of_props({"p", "q"});
+  Word w{0, 1, 3};
+  EXPECT_EQ(to_string(w, a), "{}·{p}·{p,q}");
+}
+
+TEST(Word, IsPrefix) {
+  auto a = Alphabet::plain({"a", "b"});
+  EXPECT_TRUE(is_prefix(parse_word("ab", a), parse_word("abb", a)));
+  EXPECT_TRUE(is_prefix(Word{}, parse_word("a", a)));
+  EXPECT_TRUE(is_prefix(parse_word("ab", a), parse_word("ab", a)));
+  EXPECT_FALSE(is_prefix(parse_word("ba", a), parse_word("abb", a)));
+  EXPECT_FALSE(is_prefix(parse_word("abb", a), parse_word("ab", a)));
+}
+
+}  // namespace
+}  // namespace mph::lang

@@ -1,0 +1,207 @@
+// Wagner chain analysis: the reactivity (Streett) index, its Rabin dual, and
+// the obligation alternation grading, on the canonical strictness families.
+#include <gtest/gtest.h>
+
+#include "src/core/chains.hpp"
+#include "src/core/classify.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::core {
+namespace {
+
+using lang::compile_regex;
+using omega::Acceptance;
+using omega::DetOmega;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+/// "The highest letter seen infinitely often has even index" over an
+/// alphabet of 2n letters — the canonical Wagner witness with Streett chain
+/// exactly n. States remember the last letter; any letter set is a loop.
+DetOmega parity_language(std::size_t n) {
+  std::vector<std::string> letters;
+  for (std::size_t i = 0; i < 2 * n; ++i) letters.push_back("l" + std::to_string(i));
+  auto sigma = lang::Alphabet::plain(std::move(letters));
+  // Acceptance over marks 0..2n-1 (mark i on state i): the max mark seen
+  // infinitely often is odd-indexed (letters l1, l3, ... are "good" so that
+  // B={l0} ⊂ J={l0,l1} ⊂ ... alternates starting rejecting).
+  // acc = max-mark-is-odd: ⋁_{odd i} (Inf(i) ∧ ⋀_{j>i} Fin(j)).
+  Acceptance acc = Acceptance::f();
+  for (std::size_t i = 1; i < 2 * n; i += 2) {
+    Acceptance clause = Acceptance::inf(static_cast<omega::Mark>(i));
+    for (std::size_t j = i + 1; j < 2 * n; ++j)
+      clause = Acceptance::conj(std::move(clause), Acceptance::fin(static_cast<omega::Mark>(j)));
+    acc = Acceptance::disj(std::move(acc), std::move(clause));
+  }
+  DetOmega m(sigma, 2 * n, 0, std::move(acc));
+  for (omega::State q = 0; q < 2 * n; ++q) {
+    m.add_mark(q, static_cast<omega::Mark>(q));
+    for (omega::Symbol s = 0; s < 2 * n; ++s) m.set_transition(q, s, s);
+  }
+  return m;
+}
+
+/// Product automaton for ⋀_{i<n} (□pᵢ ∨ ◇qᵢ) over 2n propositions —
+/// the obligation hierarchy witness with independent propositions.
+DetOmega obligation_family(std::size_t n) {
+  std::vector<std::string> props;
+  for (std::size_t i = 0; i < n; ++i) {
+    props.push_back("p" + std::to_string(i));
+    props.push_back("q" + std::to_string(i));
+  }
+  auto sigma = lang::Alphabet::of_props(props);
+  // Per factor i: state 0 = p held so far, no q (accepting);
+  //              state 1 = violated p before q (rejecting);
+  //              state 2 = q seen (accepting, absorbing).
+  // Product state encodes all factors base 3.
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= 3;
+  Acceptance acc = Acceptance::t();
+  for (std::size_t i = 0; i < n; ++i)
+    acc = Acceptance::conj(std::move(acc), Acceptance::fin(static_cast<omega::Mark>(i)));
+  DetOmega m(sigma, total, 0, std::move(acc));
+  for (omega::State q = 0; q < total; ++q) {
+    std::vector<int> dig(n);
+    {
+      omega::State rest = q;
+      for (std::size_t i = 0; i < n; ++i) {
+        dig[i] = static_cast<int>(rest % 3);
+        rest /= 3;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      if (dig[i] == 1) m.add_mark(q, static_cast<omega::Mark>(i));
+    for (omega::Symbol s = 0; s < sigma.size(); ++s) {
+      omega::State next = 0;
+      std::size_t mult = 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool p = sigma.holds(s, 2 * i);
+        const bool qq = sigma.holds(s, 2 * i + 1);
+        int d = dig[i];
+        if (d != 2) {
+          if (qq)
+            d = 2;
+          else if (!p)
+            d = 1;
+        }
+        next += static_cast<omega::State>(static_cast<std::size_t>(d) * mult);
+        mult *= 3;
+      }
+      m.set_transition(q, s, next);
+    }
+  }
+  return m;
+}
+
+TEST(Chains, SafetyAutomatonHasNoChains) {
+  auto m = omega::op_a(compile_regex("a+b*", ab()));
+  auto c = alternation_chains(m);
+  EXPECT_EQ(c.streett_chain, 0u);
+  EXPECT_EQ(c.rabin_chain, 0u);
+}
+
+TEST(Chains, RecurrenceHasStreettChainOne) {
+  auto m = omega::op_r(compile_regex("(a*b)+", ab()));
+  auto c = alternation_chains(m);
+  EXPECT_EQ(c.streett_chain, 1u);
+  EXPECT_EQ(c.rabin_chain, 0u);  // recurrence ⇔ accepting loops upward closed
+}
+
+TEST(Chains, PersistenceHasRabinChainOne) {
+  auto m = omega::op_p(compile_regex("(a|b)*a", ab()));
+  auto c = alternation_chains(m);
+  EXPECT_EQ(c.streett_chain, 0u);
+  EXPECT_EQ(c.rabin_chain, 1u);
+}
+
+TEST(Chains, ChainsAgreeWithLandweberTests) {
+  // rabin_chain = 0 ⇔ recurrence; streett_chain = 0 ⇔ persistence.
+  Rng rng(83);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 4);
+    for (const DetOmega& m : {omega::op_r(phi), omega::op_p(phi),
+                              union_of(omega::op_r(phi), omega::op_p(phi))}) {
+      auto c = alternation_chains(m);
+      EXPECT_EQ(c.rabin_chain == 0, is_recurrence(m));
+      EXPECT_EQ(c.streett_chain == 0, is_persistence(m));
+    }
+  }
+}
+
+TEST(Chains, SimpleReactivityHasChainOne) {
+  auto sigma = lang::Alphabet::plain({"a", "b", "c"});
+  DetOmega m = union_of(omega::op_r(compile_regex("(a|b|c)*a", sigma)),
+                        omega::op_p(compile_regex("(a|b|c)*b", sigma)));
+  auto c = alternation_chains(m);
+  EXPECT_EQ(c.streett_chain, 1u);
+}
+
+TEST(Chains, ParityFamilyHasExactStreettChain) {
+  for (std::size_t n = 1; n <= 5; ++n) {
+    auto m = parity_language(n);
+    auto c = alternation_chains(m, /*max_scc_size=*/2 * n);
+    EXPECT_EQ(c.streett_chain, n) << "n=" << n;
+    // The dual chain is n-1 or n depending on the top value; here the
+    // largest loop (all letters) has max letter l_{2n-1} (odd → accepting),
+    // so rejecting-topped chains stop one short.
+    EXPECT_EQ(c.rabin_chain, n - 1) << "n=" << n;
+  }
+}
+
+TEST(Chains, SccSizeCapThrows) {
+  auto m = parity_language(4);
+  EXPECT_THROW(alternation_chains(m, /*max_scc_size=*/4), std::invalid_argument);
+}
+
+TEST(Chains, ObligationFamilyHasExactAlternation) {
+  for (std::size_t n = 1; n <= 3; ++n) {
+    auto m = obligation_family(n);
+    EXPECT_TRUE(is_obligation(m)) << "n=" << n;
+    EXPECT_EQ(obligation_chain(m), n) << "n=" << n;
+  }
+}
+
+TEST(Chains, ObligationChainOfPureSafetyIsZero) {
+  auto m = omega::op_a(compile_regex("a+b*", ab()));
+  EXPECT_EQ(obligation_chain(m), 0u);
+}
+
+TEST(Chains, ObligationChainRejectsMixedScc) {
+  // (a*b)^ω is not an obligation property: its single SCC has both
+  // accepting and rejecting loops.
+  auto m = omega::op_r(compile_regex("(a*b)+", ab()));
+  EXPECT_THROW(obligation_chain(m), std::invalid_argument);
+}
+
+TEST(Chains, IndexConvenienceWrappers) {
+  // streett_index/rabin_index floor at 1 (even chain-0 languages need one
+  // pair to write down); is_simple_reactivity ⇔ streett_chain ≤ 1.
+  auto safety = omega::op_a(compile_regex("a+b*", ab()));
+  EXPECT_EQ(streett_index(safety), 1u);
+  EXPECT_EQ(rabin_index(safety), 1u);
+  EXPECT_TRUE(is_simple_reactivity(safety));
+  auto sigma3 = lang::Alphabet::plain({"a", "b", "c"});
+  DetOmega simple = union_of(omega::op_r(compile_regex("(a|b|c)*a", sigma3)),
+                             omega::op_p(compile_regex("(a|b|c)*b", sigma3)));
+  EXPECT_EQ(streett_index(simple), 1u);
+  EXPECT_TRUE(is_simple_reactivity(simple));
+  for (std::size_t n = 2; n <= 4; ++n) {
+    auto m = parity_language(n);
+    EXPECT_EQ(streett_index(m, 2 * n), n);
+    EXPECT_EQ(rabin_index(m, 2 * n), n - 1);
+    EXPECT_FALSE(is_simple_reactivity(m, 2 * n));
+  }
+}
+
+TEST(Chains, GuaranteeObligationChainIsOne) {
+  // E(Σ*b): rejecting pre-region reaching the accepting sink → one flip.
+  auto m = omega::op_e(compile_regex("(a|b)*b", ab()));
+  EXPECT_EQ(obligation_chain(m), 1u);
+}
+
+}  // namespace
+}  // namespace mph::core

@@ -1,0 +1,226 @@
+// Semantic classification on the paper's canonical corpus (§2–§4) plus the
+// orthogonality of the Borel and safety–liveness classifications.
+#include <gtest/gtest.h>
+
+#include "src/core/classify.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph::core {
+namespace {
+
+using lang::compile_regex;
+using omega::DetOmega;
+using omega::op_a;
+using omega::op_e;
+using omega::op_p;
+using omega::op_r;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+lang::Alphabet abc() { return lang::Alphabet::plain({"a", "b", "c"}); }
+
+TEST(Classify, SafetyWitness) {
+  // a^ω + a⁺b^ω = A(a⁺b*) — the paper's safety example.
+  auto c = classify(op_a(compile_regex("a+b*", ab())));
+  EXPECT_TRUE(c.safety);
+  EXPECT_FALSE(c.guarantee);
+  EXPECT_TRUE(c.obligation);   // hierarchy: safety ⊆ obligation
+  EXPECT_TRUE(c.recurrence);   // safety ⊆ recurrence
+  EXPECT_TRUE(c.persistence);  // safety ⊆ persistence
+  EXPECT_FALSE(c.liveness);
+  EXPECT_EQ(c.lowest(), PropertyClass::Safety);
+}
+
+TEST(Classify, GuaranteeWitness) {
+  // ◇b = E(Σ*b) = Σ*·b·Σ^ω: strictly guarantee (a^ω is a limit point of the
+  // complement's closure... of the language, so not closed).
+  auto c = classify(op_e(compile_regex("(a|b)*b", ab())));
+  EXPECT_TRUE(c.guarantee);
+  EXPECT_FALSE(c.safety);
+  EXPECT_TRUE(c.obligation);
+  EXPECT_TRUE(c.liveness);
+  EXPECT_EQ(c.lowest(), PropertyClass::Guarantee);
+}
+
+TEST(Classify, PaperGuaranteeExampleIsClopen) {
+  // The paper's guarantee example E(a⁺b*) = a⁺b*·Σ^ω actually collapses to
+  // a·Σ^ω (the one-letter prefix "a" is already in a⁺b*), which is clopen —
+  // both safety and guarantee. A reminder that witnesses need care.
+  auto c = classify(op_e(compile_regex("a+b*", ab())));
+  EXPECT_TRUE(c.guarantee);
+  EXPECT_TRUE(c.safety);
+}
+
+TEST(Classify, RecurrenceWitness) {
+  // (a*b)^ω = R((a*b)⁺): infinitely many b's. Strictly recurrence.
+  auto c = classify(op_r(compile_regex("(a*b)+", ab())));
+  EXPECT_FALSE(c.safety);
+  EXPECT_FALSE(c.guarantee);
+  EXPECT_FALSE(c.persistence);
+  EXPECT_FALSE(c.obligation);
+  EXPECT_TRUE(c.recurrence);
+  EXPECT_TRUE(c.liveness);  // every finite word extends with b^ω
+  EXPECT_EQ(c.lowest(), PropertyClass::Recurrence);
+}
+
+TEST(Classify, PersistenceWitness) {
+  // (a+b)*a^ω = P((a|b)*a): eventually only a's. Strictly persistence.
+  auto c = classify(op_p(compile_regex("(a|b)*a", ab())));
+  EXPECT_FALSE(c.safety);
+  EXPECT_FALSE(c.guarantee);
+  EXPECT_FALSE(c.recurrence);
+  EXPECT_FALSE(c.obligation);
+  EXPECT_TRUE(c.persistence);
+  EXPECT_TRUE(c.liveness);
+  EXPECT_EQ(c.lowest(), PropertyClass::Persistence);
+}
+
+TEST(Classify, ObligationWitness) {
+  // a*b^ω + Σ*·c·Σ^ω (§2's obligation example): a union of an obligation
+  // part (a*b^ω, which is safety ∩ guarantee pieces) and a guarantee.
+  auto sigma = abc();
+  DetOmega a_star_b = intersection(op_a(compile_regex("a*b*", sigma)),
+                                   op_e(compile_regex("a*b", sigma)));
+  DetOmega with_c = union_of(a_star_b, op_e(compile_regex("(a|b|c)*c", sigma)));
+  auto c = classify(with_c);
+  EXPECT_FALSE(c.safety);
+  EXPECT_FALSE(c.guarantee);
+  EXPECT_TRUE(c.obligation);
+  EXPECT_TRUE(c.recurrence);
+  EXPECT_TRUE(c.persistence);
+  EXPECT_EQ(c.lowest(), PropertyClass::Obligation);
+}
+
+TEST(Classify, SimpleReactivityWitness) {
+  // R(Σ*a) ∪ P(Σ*b) over {a,b,c}: infinitely many a's or eventually only
+  // b's. Strictly reactivity.
+  auto sigma = abc();
+  DetOmega m = union_of(op_r(compile_regex("(a|b|c)*a", sigma)),
+                        op_p(compile_regex("(a|b|c)*b", sigma)));
+  auto c = classify(m);
+  EXPECT_FALSE(c.recurrence);
+  EXPECT_FALSE(c.persistence);
+  EXPECT_FALSE(c.obligation);
+  EXPECT_EQ(c.lowest(), PropertyClass::Reactivity);
+}
+
+TEST(Classify, TrivialProperties) {
+  auto sigma = ab();
+  // Σ^ω: everything; in every class.
+  auto all = classify(op_a(compile_regex("(a|b)+", sigma)));
+  EXPECT_TRUE(all.safety);
+  EXPECT_TRUE(all.guarantee);
+  EXPECT_TRUE(all.liveness);
+  // ∅: also in every class, not liveness.
+  auto none = classify(op_a(lang::empty_dfa(sigma)));
+  EXPECT_TRUE(none.safety);
+  EXPECT_TRUE(none.guarantee);
+  EXPECT_FALSE(none.liveness);
+}
+
+TEST(Classify, OperatorsLandInTheirClasses) {
+  // Everything built by A/E/R/P lands in (at least) the matching class.
+  Rng rng(61);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    EXPECT_TRUE(classify(op_a(phi)).safety);
+    EXPECT_TRUE(classify(op_e(phi)).guarantee);
+    EXPECT_TRUE(classify(op_r(phi)).recurrence);
+    EXPECT_TRUE(classify(op_p(phi)).persistence);
+  }
+}
+
+TEST(Classify, HierarchyInclusionsNeverViolated) {
+  // Figure 1: safety/guarantee ⊆ obligation ⊆ recurrence/persistence.
+  Rng rng(67);
+  auto sigma = ab();
+  for (int trial = 0; trial < 12; ++trial) {
+    lang::Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    lang::Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    for (const DetOmega& m :
+         {op_a(p1), op_e(p1), op_r(p1), op_p(p1), union_of(op_a(p1), op_e(p2)),
+          intersection(op_r(p1), op_p(p2))}) {
+      auto c = classify(m);
+      if (c.safety || c.guarantee) {
+        EXPECT_TRUE(c.obligation) << c.describe();
+      }
+      if (c.obligation) {
+        EXPECT_TRUE(c.recurrence) << c.describe();
+        EXPECT_TRUE(c.persistence) << c.describe();
+      }
+      EXPECT_EQ(c.obligation, c.recurrence && c.persistence);
+      EXPECT_TRUE(c.is(PropertyClass::Reactivity));
+    }
+  }
+}
+
+TEST(Classify, DualityBetweenClasses) {
+  // Π safety iff Π̄ guarantee; Π recurrence iff Π̄ persistence (§2).
+  Rng rng(71);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    for (const DetOmega& m : {op_a(phi), op_e(phi), op_r(phi), op_p(phi)}) {
+      auto c = classify(m);
+      auto cc = classify(omega::complement(m));
+      EXPECT_EQ(c.safety, cc.guarantee);
+      EXPECT_EQ(c.guarantee, cc.safety);
+      EXPECT_EQ(c.recurrence, cc.persistence);
+      EXPECT_EQ(c.persistence, cc.recurrence);
+      EXPECT_EQ(c.obligation, cc.obligation);
+    }
+  }
+}
+
+TEST(Classify, BooleanClosureOfClasses) {
+  // §2 closure: each basic class closed under ∪ and ∩.
+  Rng rng(73);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    lang::Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    lang::Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    EXPECT_TRUE(classify(union_of(op_a(p1), op_a(p2))).safety);
+    EXPECT_TRUE(classify(intersection(op_a(p1), op_a(p2))).safety);
+    EXPECT_TRUE(classify(union_of(op_e(p1), op_e(p2))).guarantee);
+    EXPECT_TRUE(classify(intersection(op_e(p1), op_e(p2))).guarantee);
+    EXPECT_TRUE(classify(union_of(op_r(p1), op_r(p2))).recurrence);
+    EXPECT_TRUE(classify(intersection(op_r(p1), op_r(p2))).recurrence);
+    EXPECT_TRUE(classify(union_of(op_p(p1), op_p(p2))).persistence);
+    EXPECT_TRUE(classify(intersection(op_p(p1), op_p(p2))).persistence);
+    // Mixed: safety ∪ guarantee is an obligation.
+    EXPECT_TRUE(classify(union_of(op_a(p1), op_e(p2))).obligation);
+  }
+}
+
+TEST(Classify, LivenessOrthogonality) {
+  // The recurrence witness is live; intersecting with its safety closure
+  // does not change it; classification is about the Borel axis only.
+  auto sigma = ab();
+  DetOmega rec = op_r(compile_regex("(a*b)+", sigma));
+  auto c = classify(rec);
+  EXPECT_TRUE(c.liveness);
+  EXPECT_TRUE(c.recurrence);
+  // A non-live recurrence property: (a*b)^ω ∩ A(a⁺...) — e.g. must start
+  // with a and have infinitely many b's.
+  DetOmega guarded = intersection(rec, op_a(compile_regex("a(a|b)*", sigma)));
+  auto c2 = classify(guarded);
+  EXPECT_FALSE(c2.liveness);
+  EXPECT_TRUE(c2.recurrence);
+  EXPECT_FALSE(c2.safety);
+}
+
+TEST(Classify, DescribeMentionsClassesAndLiveness) {
+  auto sigma = ab();
+  auto c = classify(op_r(compile_regex("(a*b)+", sigma)));
+  std::string d = c.describe();
+  EXPECT_NE(d.find("recurrence"), std::string::npos);
+  EXPECT_NE(d.find("liveness"), std::string::npos);
+  EXPECT_EQ(d.find("safety"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mph::core

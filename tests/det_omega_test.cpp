@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/counter_free.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/graph.hpp"
+#include "src/omega/operators.hpp"
+#include "tests/omega_test_util.hpp"
+
+namespace mph::omega {
+namespace {
+
+using lang::compile_regex;
+using testutil::expect_same_language;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(DetOmega, AcceptsFollowsRunDeterministically) {
+  // Büchi automaton for "infinitely many a".
+  auto sigma = ab();
+  DetOmega m(sigma, 2, 0, Acceptance::buchi(0));
+  m.set_transition(0, 0, 1);
+  m.set_transition(0, 1, 0);
+  m.set_transition(1, 0, 1);
+  m.set_transition(1, 1, 0);
+  m.add_mark(1, 0);
+  EXPECT_TRUE(m.accepts_text("(a)"));
+  EXPECT_TRUE(m.accepts_text("(ab)"));
+  EXPECT_TRUE(m.accepts_text("bbbb(ba)"));
+  EXPECT_FALSE(m.accepts_text("(b)"));
+  EXPECT_FALSE(m.accepts_text("aaaa(b)"));
+}
+
+TEST(DetOmega, LoopSplitInvariance) {
+  // Acceptance must not depend on how the same word is split into a lasso.
+  auto sigma = ab();
+  DetOmega m = op_r(compile_regex("(a|b)*b", sigma));
+  EXPECT_EQ(m.accepts_text("(ab)"), m.accepts_text("ab(ab)"));
+  EXPECT_EQ(m.accepts_text("(ab)"), m.accepts_text("a(ba)"));
+  EXPECT_EQ(m.accepts_text("(ab)"), m.accepts_text("(abab)"));
+  EXPECT_EQ(m.accepts_text("(b)"), m.accepts_text("bbb(bb)"));
+}
+
+TEST(DetOmega, ComplementIsPointwiseNegation) {
+  Rng rng(41);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    DetOmega m = op_r(phi);
+    DetOmega c = complement(m);
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2))
+      ASSERT_NE(m.accepts(l), c.accepts(l)) << l.to_string(sigma);
+  }
+}
+
+TEST(DetOmega, ProductIntersectionAndUnionPointwise) {
+  Rng rng(43);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    DetOmega m1 = op_r(lang::random_dfa(rng, sigma, 3));
+    DetOmega m2 = op_p(lang::random_dfa(rng, sigma, 3));
+    DetOmega inter = intersection(m1, m2);
+    DetOmega uni = union_of(m1, m2);
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) {
+      ASSERT_EQ(inter.accepts(l), m1.accepts(l) && m2.accepts(l)) << l.to_string(sigma);
+      ASSERT_EQ(uni.accepts(l), m1.accepts(l) || m2.accepts(l)) << l.to_string(sigma);
+    }
+  }
+}
+
+TEST(DetOmega, EmptinessBasics) {
+  auto sigma = ab();
+  EXPECT_TRUE(is_empty(op_e(lang::empty_dfa(sigma))));
+  EXPECT_FALSE(is_empty(op_r(compile_regex("(a|b)*b", sigma))));
+  // A(Φ) with no valid first symbol: Φ = b·Σ* means words must start with b
+  // and all prefixes in Φ... A(b(a|b)*) = b·Σ^ω which is non-empty.
+  EXPECT_FALSE(is_empty(op_a(compile_regex("b(a|b)*", sigma))));
+  // A(@) is empty.
+  EXPECT_TRUE(is_empty(op_a(lang::empty_dfa(sigma))));
+}
+
+TEST(DetOmega, AcceptingLassoWitnessIsAccepted) {
+  Rng rng(47);
+  auto sigma = ab();
+  int nonempty_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 4);
+    for (const DetOmega& m : {op_a(phi), op_e(phi), op_r(phi), op_p(phi)}) {
+      auto l = accepting_lasso(m);
+      EXPECT_EQ(l.has_value(), !is_empty(m));
+      if (l) {
+        EXPECT_TRUE(m.accepts(*l));
+        ++nonempty_seen;
+      }
+    }
+  }
+  EXPECT_GT(nonempty_seen, 20);
+}
+
+TEST(DetOmega, StreettEmptinessWithMultiplePairs) {
+  auto sigma = lang::Alphabet::plain({"a", "b", "c"});
+  // Three states cycling a→b→c; Streett pairs demand visiting state 1 i.o.
+  // and state 2 i.o.
+  DetOmega m(sigma, 3, 0, Acceptance::streett(2));
+  for (State q = 0; q < 3; ++q)
+    for (Symbol s = 0; s < 3; ++s) m.set_transition(q, s, s);
+  m.add_mark(1, 0);
+  m.add_mark(2, 2);
+  // With no Fin escape (P sets empty => marks 1,3 on all states):
+  for (State q = 0; q < 3; ++q) {
+    m.add_mark(q, 1);
+    m.add_mark(q, 3);
+  }
+  EXPECT_FALSE(is_empty(m));
+  auto l = accepting_lasso(m);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(m.accepts(*l));
+  // The witness loop must contain both b and c.
+  bool has_b = false, has_c = false;
+  for (auto s : l->loop) {
+    has_b |= (s == 1);
+    has_c |= (s == 2);
+  }
+  EXPECT_TRUE(has_b && has_c);
+}
+
+TEST(DetOmega, RabinEmptiness) {
+  auto sigma = ab();
+  // Rabin: Fin(0) ∧ Inf(1). State 0 marked 0, state 1 marked 1.
+  DetOmega m(sigma, 2, 0, Acceptance::rabin(1));
+  m.set_transition(0, 0, 0);
+  m.set_transition(0, 1, 1);
+  m.set_transition(1, 0, 0);
+  m.set_transition(1, 1, 1);
+  m.add_mark(0, 0);
+  m.add_mark(1, 1);
+  // Accept iff eventually avoid state 0 and hit state 1 i.o. → b^ω tail.
+  EXPECT_TRUE(m.accepts_text("(b)"));
+  EXPECT_TRUE(m.accepts_text("abab(b)"));
+  EXPECT_FALSE(m.accepts_text("(ab)"));
+  EXPECT_FALSE(m.accepts_text("(a)"));
+  EXPECT_FALSE(is_empty(m));
+  auto l = accepting_lasso(m);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(m.accepts(*l));
+}
+
+TEST(DetOmega, ContainmentAndEquivalence) {
+  auto sigma = ab();
+  DetOmega inf_b = op_r(compile_regex("(a|b)*b", sigma));
+  DetOmega ev_b = op_e(compile_regex("(a|b)*b", sigma));
+  EXPECT_TRUE(contains(ev_b, inf_b));   // ∞ b's ⊆ some b
+  EXPECT_FALSE(contains(inf_b, ev_b));  // not conversely
+  EXPECT_TRUE(equivalent(inf_b, inf_b));
+  auto w = difference_witness(inf_b, ev_b);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NE(inf_b.accepts(*w), ev_b.accepts(*w));
+}
+
+TEST(DetOmega, LiveStatesResiduals) {
+  auto sigma = ab();
+  // op_a(a+b*): sink state is dead, others live.
+  DetOmega m = op_a(compile_regex("a+b*", sigma));
+  auto live = live_states(m);
+  int dead = 0;
+  for (State q = 0; q < m.state_count(); ++q) dead += !live[q];
+  EXPECT_GE(dead, 1);
+  EXPECT_TRUE(live[m.initial()]);
+}
+
+TEST(Graph, GoodLoopStatesOnButterfly) {
+  // Two loops sharing no state: one accepting (mark 0), one not.
+  auto sigma = ab();
+  DetOmega m(sigma, 3, 0, Acceptance::buchi(0));
+  // 0 -a-> 1 -a-> 1 (marked); 0 -b-> 2 -b-> 2 (unmarked).
+  m.set_transition(0, 0, 1);
+  m.set_transition(0, 1, 2);
+  m.set_transition(1, 0, 1);
+  m.set_transition(1, 1, 1);
+  m.set_transition(2, 0, 2);
+  m.set_transition(2, 1, 2);
+  m.add_mark(1, 0);
+  auto good = good_loop_states(to_graph(m), m.acceptance());
+  EXPECT_TRUE(good[1]);
+  EXPECT_FALSE(good[0]);
+  EXPECT_FALSE(good[2]);
+}
+
+TEST(Graph, NontrivialSccsRespectAllowedMask) {
+  auto sigma = ab();
+  DetOmega m(sigma, 3, 0, Acceptance::t());
+  // Cycle 0→1→2→0 on 'a'; self-loops on 'b'.
+  m.set_transition(0, 0, 1);
+  m.set_transition(1, 0, 2);
+  m.set_transition(2, 0, 0);
+  auto g = to_graph(m);
+  std::vector<bool> all(3, true);
+  auto sccs = nontrivial_sccs(g, all);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), 3u);
+  // Remove state 1: states 0 and 2 keep only their b self-loops.
+  std::vector<bool> mask{true, false, true};
+  auto sccs2 = nontrivial_sccs(g, mask);
+  EXPECT_EQ(sccs2.size(), 2u);
+  for (const auto& s : sccs2) EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CounterFree, Examples) {
+  auto sigma = ab();
+  // a*b-style languages are counter-free.
+  EXPECT_TRUE(is_counter_free(compile_regex("a*b", sigma)));
+  EXPECT_TRUE(is_counter_free(compile_regex("(a|b)*b", sigma)));
+  EXPECT_TRUE(is_counter_free(op_r(compile_regex("(a|b)*b", sigma))));
+  // "Even number of a's" is the canonical counter.
+  lang::Dfa even(sigma, 2, 0);
+  even.set_transition(0, 0, 1);
+  even.set_transition(1, 0, 0);
+  even.set_accepting(0);
+  EXPECT_FALSE(is_counter_free(even));
+  EXPECT_FALSE(is_counter_free(op_r(even)));
+}
+
+TEST(CounterFree, CapThrows) {
+  // A counter-free automaton whose monoid has more than two elements: the
+  // exploration must hit the cap instead of finishing or rejecting.
+  auto sigma = ab();
+  lang::Dfa d = compile_regex("a*b", sigma);
+  EXPECT_THROW(is_counter_free(d, /*max_monoid=*/2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mph::omega

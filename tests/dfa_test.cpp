@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/nfa.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+
+namespace mph::lang {
+namespace {
+
+Alphabet ab() { return Alphabet::plain({"a", "b"}); }
+
+// DFA for "even number of a's".
+Dfa even_a() {
+  Dfa d(ab(), 2, 0);
+  d.set_transition(0, 0, 1);
+  d.set_transition(1, 0, 0);
+  d.set_transition(0, 1, 0);
+  d.set_transition(1, 1, 1);
+  d.set_accepting(0);
+  return d;
+}
+
+TEST(Dfa, RunAndAccept) {
+  Dfa d = even_a();
+  EXPECT_TRUE(d.accepts_text(""));
+  EXPECT_FALSE(d.accepts_text("a"));
+  EXPECT_TRUE(d.accepts_text("aa"));
+  EXPECT_TRUE(d.accepts_text("aba"));
+  EXPECT_TRUE(d.accepts_text("aab"));
+  EXPECT_FALSE(d.accepts_text("aaab"));
+}
+
+TEST(Dfa, AcceptingCount) {
+  Dfa d = even_a();
+  EXPECT_EQ(d.accepting_count(), 1u);
+  d.set_accepting(1);
+  EXPECT_EQ(d.accepting_count(), 2u);
+  d.set_accepting(0, false);
+  EXPECT_EQ(d.accepting_count(), 1u);
+}
+
+TEST(Dfa, CompleteByConstruction) {
+  Dfa d(ab(), 3, 1);
+  EXPECT_EQ(d.initial(), State{1});
+  for (State q = 0; q < 3; ++q)
+    for (Symbol s = 0; s < 2; ++s) EXPECT_EQ(d.next(q, s), q);  // default self-loops
+}
+
+TEST(Dfa, OutOfRangeThrows) {
+  Dfa d(ab(), 2, 0);
+  EXPECT_THROW(d.set_transition(2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(d.set_transition(0, 5, 0), std::invalid_argument);
+  EXPECT_THROW(d.next(0, 9), std::invalid_argument);
+  EXPECT_THROW((Dfa{ab(), 2, 7}), std::invalid_argument);
+}
+
+TEST(DfaOps, Complement) {
+  Dfa d = complement(even_a());
+  EXPECT_FALSE(d.accepts_text(""));
+  EXPECT_TRUE(d.accepts_text("a"));
+  EXPECT_FALSE(d.accepts_text("aa"));
+}
+
+TEST(DfaOps, ProductIntersectionUnionDifference) {
+  auto sigma = ab();
+  Dfa even = even_a();
+  Dfa ends_b = compile_regex(".*b", sigma);
+  Dfa both = intersection(even, ends_b);
+  EXPECT_TRUE(both.accepts_text("aab"));
+  EXPECT_FALSE(both.accepts_text("ab"));
+  EXPECT_FALSE(both.accepts_text("aa"));
+  Dfa either = union_of(even, ends_b);
+  EXPECT_TRUE(either.accepts_text("ab"));
+  EXPECT_TRUE(either.accepts_text("aa"));
+  EXPECT_FALSE(either.accepts_text("a"));
+  Dfa diff = difference(even, ends_b);
+  EXPECT_TRUE(diff.accepts_text("aa"));
+  EXPECT_FALSE(diff.accepts_text("aab"));
+}
+
+TEST(DfaOps, ProductAlphabetMismatchThrows) {
+  Dfa d1 = even_a();
+  Dfa d2(Alphabet::plain({"x", "y"}), 1, 0);
+  EXPECT_THROW(intersection(d1, d2), std::invalid_argument);
+}
+
+TEST(DfaOps, EmptinessAndUniversality) {
+  auto sigma = ab();
+  EXPECT_TRUE(is_empty(empty_dfa(sigma)));
+  EXPECT_FALSE(is_empty(even_a()));
+  EXPECT_TRUE(is_universal(universal_dfa(sigma)));
+  EXPECT_FALSE(is_universal(even_a()));
+}
+
+TEST(DfaOps, EmptyNonEpsilon) {
+  auto sigma = ab();
+  Dfa only_eps = compile_regex("%", sigma);
+  EXPECT_FALSE(is_empty(only_eps));
+  EXPECT_TRUE(is_empty_nonepsilon(only_eps));
+}
+
+TEST(DfaOps, EquivalenceAndSubset) {
+  auto sigma = ab();
+  Dfa r1 = compile_regex("(a|b)*a(a|b)*", sigma);  // contains an a
+  Dfa r2 = complement(compile_regex("b*", sigma));
+  EXPECT_TRUE(equivalent(r1, r2));
+  EXPECT_TRUE(subset(compile_regex("a+", sigma), r1));
+  EXPECT_FALSE(subset(r1, compile_regex("a+", sigma)));
+}
+
+TEST(DfaOps, MinimizeIsCanonicalAndEquivalent) {
+  Rng rng(11);
+  auto sigma = ab();
+  for (int trial = 0; trial < 25; ++trial) {
+    Dfa d = random_dfa(rng, sigma, 8);
+    Dfa m = minimize(d);
+    EXPECT_TRUE(equivalent(d, m));
+    EXPECT_LE(m.state_count(), d.state_count() + 1);  // +1 for possible dead state
+    // Minimizing twice yields the same number of states.
+    EXPECT_EQ(minimize(m).state_count(), m.state_count());
+  }
+}
+
+TEST(DfaOps, MinimizeCollapsesRedundantStates) {
+  auto sigma = ab();
+  // Two equivalent copies of "ends in b" glued together.
+  Dfa d(sigma, 4, 0);
+  for (State q : {State{0}, State{2}}) {
+    d.set_transition(q, 0, q);
+    d.set_transition(q, 1, q + 1);
+  }
+  for (State q : {State{1}, State{3}}) {
+    d.set_transition(q, 0, static_cast<State>(q == 1 ? 2 : 0));
+    d.set_transition(q, 1, q);
+    d.set_accepting(q);
+  }
+  Dfa m = minimize(d);
+  EXPECT_EQ(m.state_count(), 2u);
+  EXPECT_TRUE(m.accepts_text("ab"));
+  EXPECT_FALSE(m.accepts_text("ba"));
+}
+
+TEST(DfaOps, ShortestAccepted) {
+  auto sigma = ab();
+  Dfa d = compile_regex("aab(a|b)*", sigma);
+  auto w = shortest_accepted(d);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(to_string(*w, sigma), "aab");
+  EXPECT_FALSE(shortest_accepted(empty_dfa(sigma)).has_value());
+}
+
+TEST(DfaOps, ShortestAcceptedNonEmptyWitness) {
+  auto sigma = ab();
+  Dfa star = compile_regex("a*", sigma);  // accepts ε
+  auto w0 = shortest_accepted(star);
+  ASSERT_TRUE(w0.has_value());
+  EXPECT_TRUE(w0->empty());
+  auto w1 = shortest_accepted(star, /*require_nonempty=*/true);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(to_string(*w1, sigma), "a");
+}
+
+TEST(DfaOps, EnumerateAccepted) {
+  auto sigma = ab();
+  Dfa d = compile_regex("a+b", sigma);
+  auto words = enumerate_accepted(d, 4);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(to_string(words[0], sigma), "ab");
+  EXPECT_EQ(to_string(words[1], sigma), "aab");
+  EXPECT_EQ(to_string(words[2], sigma), "aaab");
+}
+
+TEST(DfaOps, PrefixesAndPrefixClosed) {
+  auto sigma = ab();
+  Dfa d = compile_regex("aab", sigma);
+  Dfa p = prefixes(d);
+  EXPECT_TRUE(p.accepts_text(""));
+  EXPECT_TRUE(p.accepts_text("a"));
+  EXPECT_TRUE(p.accepts_text("aa"));
+  EXPECT_TRUE(p.accepts_text("aab"));
+  EXPECT_FALSE(p.accepts_text("ab"));
+  EXPECT_FALSE(p.accepts_text("aaba"));
+  EXPECT_FALSE(is_prefix_closed(d));
+  EXPECT_TRUE(is_prefix_closed(p));
+  EXPECT_TRUE(is_prefix_closed(compile_regex("a*", sigma)));
+}
+
+TEST(DfaOps, SingleWord) {
+  auto sigma = ab();
+  Dfa d = single_word(sigma, parse_word("aba", sigma));
+  EXPECT_TRUE(d.accepts_text("aba"));
+  EXPECT_FALSE(d.accepts_text("ab"));
+  EXPECT_FALSE(d.accepts_text("abaa"));
+  EXPECT_FALSE(d.accepts_text(""));
+}
+
+TEST(DfaOps, ReachableAndCoreachable) {
+  auto sigma = ab();
+  Dfa d(sigma, 3, 0);
+  d.set_transition(0, 0, 1);
+  d.set_transition(0, 1, 1);
+  d.set_transition(1, 0, 1);
+  d.set_transition(1, 1, 1);
+  // State 2 is unreachable and the only accepting state.
+  d.set_accepting(2);
+  auto reach = reachable_states(d);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+  auto live = coreachable_states(d);
+  EXPECT_FALSE(live[0]);
+  EXPECT_FALSE(live[1]);
+  EXPECT_TRUE(live[2]);
+  EXPECT_TRUE(is_empty(d));
+}
+
+TEST(Nfa, DeterminizeMatchesNfaSemantics) {
+  auto sigma = ab();
+  // NFA for (a|b)*ab: guess the final "ab".
+  Nfa n(sigma);
+  State s1 = n.add_state();
+  State s2 = n.add_state();
+  n.add_edge(n.initial(), 0, n.initial());
+  n.add_edge(n.initial(), 1, n.initial());
+  n.add_edge(n.initial(), 0, s1);
+  n.add_edge(s1, 1, s2);
+  n.set_accepting(s2);
+  Dfa d = determinize(n);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Word w = random_word(rng, sigma, rng.below(8));
+    EXPECT_EQ(n.accepts(w), d.accepts(w)) << to_string(w, sigma);
+  }
+  EXPECT_TRUE(equivalent(minimize(d), compile_regex("(a|b)*ab", sigma)));
+}
+
+TEST(Nfa, EpsilonClosureChains) {
+  auto sigma = ab();
+  Nfa n(sigma);
+  State s1 = n.add_state();
+  State s2 = n.add_state();
+  n.add_epsilon(n.initial(), s1);
+  n.add_epsilon(s1, s2);
+  n.add_edge(s2, 0, s2);
+  n.set_accepting(s2);
+  EXPECT_TRUE(n.accepts(parse_word("", sigma)));
+  EXPECT_TRUE(n.accepts(parse_word("a", sigma)));
+  EXPECT_FALSE(n.accepts(parse_word("b", sigma)));
+  Dfa d = determinize(n);
+  EXPECT_TRUE(equivalent(d, compile_regex("a*", sigma)));
+}
+
+TEST(Nfa, ToNfaRoundTrip) {
+  Rng rng(23);
+  auto sigma = ab();
+  for (int trial = 0; trial < 20; ++trial) {
+    Dfa d = random_dfa(rng, sigma, 5);
+    EXPECT_TRUE(equivalent(d, determinize(to_nfa(d))));
+  }
+}
+
+}  // namespace
+}  // namespace mph::lang

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/finitary_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+
+namespace mph::lang {
+namespace {
+
+Alphabet ab() { return Alphabet::plain({"a", "b"}); }
+
+// Brute-force A_f membership per the §2 definition: every non-empty prefix
+// (including the word itself) lies in Φ.
+bool a_f_reference(const Dfa& phi, const Word& w) {
+  if (w.empty()) return false;
+  for (std::size_t len = 1; len <= w.size(); ++len)
+    if (!phi.accepts(Word(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(len)))) return false;
+  return true;
+}
+
+bool e_f_reference(const Dfa& phi, const Word& w) {
+  for (std::size_t len = 1; len <= w.size(); ++len)
+    if (phi.accepts(Word(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(len)))) return true;
+  return false;
+}
+
+TEST(FinitaryOps, AfPaperExample) {
+  // A_f(a⁺b*) = a⁺b* (§2).
+  auto sigma = ab();
+  Dfa phi = compile_regex("a+b*", sigma);
+  Dfa result = a_f(phi);
+  // Compare within Σ⁺.
+  Dfa expected = compile_regex("a+b*", sigma);
+  for (const Word& w : enumerate_accepted(universal_dfa(sigma), 7)) {
+    if (w.empty()) continue;
+    EXPECT_EQ(result.accepts(w), expected.accepts(w)) << to_string(w, sigma);
+  }
+}
+
+TEST(FinitaryOps, EfPaperExample) {
+  // E_f(a⁺b*) = a⁺b*·Σ* (§2).
+  auto sigma = ab();
+  Dfa result = e_f(compile_regex("a+b*", sigma));
+  Dfa expected = compile_regex("a+b*(a|b)*", sigma);
+  for (const Word& w : enumerate_accepted(universal_dfa(sigma), 7)) {
+    if (w.empty()) continue;
+    EXPECT_EQ(result.accepts(w), expected.accepts(w)) << to_string(w, sigma);
+  }
+}
+
+TEST(FinitaryOps, AfEfAgainstReferenceRandomized) {
+  Rng rng(77);
+  auto sigma = ab();
+  for (int trial = 0; trial < 20; ++trial) {
+    Dfa phi = random_dfa(rng, sigma, 4);
+    Dfa af = a_f(phi);
+    Dfa ef = e_f(phi);
+    for (const Word& w : enumerate_accepted(universal_dfa(sigma), 6)) {
+      if (w.empty()) continue;
+      EXPECT_EQ(af.accepts(w), a_f_reference(phi, w)) << "A_f @ " << to_string(w, sigma);
+      EXPECT_EQ(ef.accepts(w), e_f_reference(phi, w)) << "E_f @ " << to_string(w, sigma);
+    }
+  }
+}
+
+TEST(FinitaryOps, AfIsIdempotent) {
+  Rng rng(13);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    Dfa phi = random_dfa(rng, sigma, 4);
+    Dfa once = a_f(phi);
+    Dfa twice = a_f(once);
+    for (const Word& w : enumerate_accepted(universal_dfa(sigma), 6)) {
+      if (w.empty()) continue;
+      EXPECT_EQ(once.accepts(w), twice.accepts(w));
+    }
+  }
+}
+
+TEST(FinitaryOps, EfIsExtensionClosed) {
+  // E_f(Φ) = Φ·Σ*: appending anything to an E_f word stays inside.
+  Rng rng(99);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    Dfa phi = random_dfa(rng, sigma, 4);
+    Dfa ef = e_f(phi);
+    for (const Word& w : enumerate_accepted(ef, 5)) {
+      if (w.empty()) continue;
+      for (Symbol s = 0; s < sigma.size(); ++s) {
+        Word e = w;
+        e.push_back(s);
+        EXPECT_TRUE(ef.accepts(e));
+      }
+    }
+  }
+}
+
+TEST(FinitaryOps, ComplementNonEpsilon) {
+  auto sigma = ab();
+  Dfa phi = compile_regex("a+", sigma);
+  Dfa comp = complement_nonepsilon(phi);
+  EXPECT_FALSE(comp.accepts_text(""));
+  EXPECT_FALSE(comp.accepts_text("aa"));
+  EXPECT_TRUE(comp.accepts_text("b"));
+  EXPECT_TRUE(comp.accepts_text("ab"));
+  // Double complement within Σ⁺ is the identity on Σ⁺.
+  Dfa back = complement_nonepsilon(comp);
+  for (const Word& w : enumerate_accepted(universal_dfa(sigma), 6)) {
+    if (w.empty()) continue;
+    EXPECT_EQ(back.accepts(w), phi.accepts(w));
+  }
+}
+
+TEST(FinitaryOps, FinitaryDualityAfEf) {
+  // complement(A_f(Φ)) = E_f(complement(Φ)) within Σ⁺ (§2 duality).
+  Rng rng(31);
+  auto sigma = ab();
+  for (int trial = 0; trial < 15; ++trial) {
+    Dfa phi = random_dfa(rng, sigma, 4);
+    Dfa lhs = complement_nonepsilon(a_f(phi));
+    Dfa rhs = e_f(complement_nonepsilon(phi));
+    for (const Word& w : enumerate_accepted(universal_dfa(sigma), 6)) {
+      if (w.empty()) continue;
+      EXPECT_EQ(lhs.accepts(w), rhs.accepts(w)) << to_string(w, sigma);
+    }
+  }
+}
+
+TEST(Minex, FirstPaperExampleCorrected) {
+  // §2 gives minex((a³)⁺, (a²)⁺) = (a⁶)*a² + (a⁶)*a⁴. Following the paper's
+  // own definition, a² has no proper (a³)⁺-prefix, so the (a⁶)*a² component
+  // needs at least one a⁶ repetition; the definition yields
+  // (a⁶)⁺a² + (a⁶)*a⁴ — see EXPERIMENTS.md (erratum E1).
+  auto sigma = Alphabet::plain({"a"});
+  Dfa phi1 = compile_regex("(aaa)+", sigma);
+  Dfa phi2 = compile_regex("(aa)+", sigma);
+  Dfa m = minex(phi1, phi2);
+  Dfa expected = compile_regex("(aaaaaa)+aa|(aaaaaa)*aaaa", sigma);
+  for (const Word& w : enumerate_accepted(universal_dfa(sigma), 26)) {
+    if (w.empty()) continue;
+    EXPECT_EQ(m.accepts(w), expected.accepts(w)) << w.size();
+    EXPECT_EQ(m.accepts(w), minex_member_reference(phi1, phi2, w)) << w.size();
+  }
+}
+
+TEST(Minex, SecondPaperExampleCorrected) {
+  // §2 states minex((a²)⁺, (a³)⁺) = (a⁶)⁺ + (a⁶)*a³ "= Φ₁"; the set written
+  // equals (a³)⁺ = Φ₂, and the definition indeed yields Φ₂ here — see
+  // EXPERIMENTS.md (erratum E2).
+  auto sigma = Alphabet::plain({"a"});
+  Dfa phi1 = compile_regex("(aa)+", sigma);
+  Dfa phi2 = compile_regex("(aaa)+", sigma);
+  Dfa m = minex(phi1, phi2);
+  for (const Word& w : enumerate_accepted(universal_dfa(sigma), 26)) {
+    if (w.empty()) continue;
+    EXPECT_EQ(m.accepts(w), phi2.accepts(w)) << w.size();
+    EXPECT_EQ(m.accepts(w), minex_member_reference(phi1, phi2, w)) << w.size();
+  }
+}
+
+TEST(Minex, SubsetOfPhi2) {
+  Rng rng(55);
+  auto sigma = ab();
+  for (int trial = 0; trial < 15; ++trial) {
+    Dfa phi1 = random_dfa(rng, sigma, 3);
+    Dfa phi2 = random_dfa(rng, sigma, 3);
+    Dfa m = minex(phi1, phi2);
+    for (const Word& w : enumerate_accepted(m, 6)) {
+      EXPECT_FALSE(w.empty());
+      EXPECT_TRUE(phi2.accepts(w));
+    }
+  }
+}
+
+TEST(Minex, MatchesReferenceRandomized) {
+  Rng rng(101);
+  auto sigma = ab();
+  for (int trial = 0; trial < 20; ++trial) {
+    Dfa phi1 = random_dfa(rng, sigma, 3);
+    Dfa phi2 = random_dfa(rng, sigma, 3);
+    Dfa m = minex(phi1, phi2);
+    for (const Word& w : enumerate_accepted(universal_dfa(sigma), 6)) {
+      if (w.empty()) continue;
+      EXPECT_EQ(m.accepts(w), minex_member_reference(phi1, phi2, w))
+          << to_string(w, sigma) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Minex, NeverAcceptsEpsilon) {
+  Rng rng(3);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    Dfa phi1 = random_dfa(rng, sigma, 3, 3, 4);
+    Dfa phi2 = random_dfa(rng, sigma, 3, 3, 4);
+    EXPECT_FALSE(minex(phi1, phi2).accepts(Word{}));
+  }
+}
+
+}  // namespace
+}  // namespace mph::lang

@@ -1,0 +1,92 @@
+// The first-order view (§2) cross-checked against the automata view: the
+// χ-formulas and the A/E/R/P operators must agree on every lasso.
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/finitary_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/first_order.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::omega {
+namespace {
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(FirstOrder, PaperExamples) {
+  auto sigma = ab();
+  lang::Dfa phi = lang::compile_regex("a+b*", sigma);
+  // χ_A on a^ω and a⁺b^ω, not on words leaving a⁺b*.
+  EXPECT_TRUE(fo_satisfies(FoOperator::A, phi, parse_lasso("(a)", sigma)));
+  EXPECT_TRUE(fo_satisfies(FoOperator::A, phi, parse_lasso("aa(b)", sigma)));
+  EXPECT_FALSE(fo_satisfies(FoOperator::A, phi, parse_lasso("(b)", sigma)));
+  EXPECT_FALSE(fo_satisfies(FoOperator::A, phi, parse_lasso("ab(a)", sigma)));
+  // χ_R on Σ*b: infinitely many b's.
+  lang::Dfa ends_b = lang::compile_regex("(a|b)*b", sigma);
+  EXPECT_TRUE(fo_satisfies(FoOperator::R, ends_b, parse_lasso("(ab)", sigma)));
+  EXPECT_FALSE(fo_satisfies(FoOperator::R, ends_b, parse_lasso("b(a)", sigma)));
+  // χ_P on Σ*b: eventually always ending in b.
+  EXPECT_TRUE(fo_satisfies(FoOperator::P, ends_b, parse_lasso("aaa(b)", sigma)));
+  EXPECT_FALSE(fo_satisfies(FoOperator::P, ends_b, parse_lasso("(ab)", sigma)));
+}
+
+TEST(FirstOrder, QuantifierDuality) {
+  // ¬χ_A^Φ = χ_E^Φ̄ and ¬χ_R^Φ = χ_P^Φ̄ pointwise.
+  Rng rng(112);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    lang::Dfa bar = lang::complement_nonepsilon(phi);
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) {
+      EXPECT_NE(fo_satisfies(FoOperator::A, phi, l), fo_satisfies(FoOperator::E, bar, l));
+      EXPECT_NE(fo_satisfies(FoOperator::R, phi, l), fo_satisfies(FoOperator::P, bar, l));
+    }
+  }
+}
+
+TEST(FirstOrder, AgreesWithAutomataViewRandomized) {
+  // The two views of §2 coincide: χ_O^Φ(σ) ⇔ σ ∈ O(Φ).
+  Rng rng(113);
+  auto sigma = ab();
+  for (int trial = 0; trial < 12; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    DetOmega a = op_a(phi), e = op_e(phi), r = op_r(phi), p = op_p(phi);
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) {
+      ASSERT_EQ(fo_satisfies(FoOperator::A, phi, l), a.accepts(l)) << l.to_string(sigma);
+      ASSERT_EQ(fo_satisfies(FoOperator::E, phi, l), e.accepts(l)) << l.to_string(sigma);
+      ASSERT_EQ(fo_satisfies(FoOperator::R, phi, l), r.accepts(l)) << l.to_string(sigma);
+      ASSERT_EQ(fo_satisfies(FoOperator::P, phi, l), p.accepts(l)) << l.to_string(sigma);
+    }
+  }
+}
+
+TEST(FirstOrder, ImplicationLattice) {
+  // Pointwise (same Φ!): χ_A ⇒ χ_E, χ_A ⇒ χ_P ⇒ χ_R ⇒ χ_E.
+  Rng rng(114);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) {
+      if (fo_satisfies(FoOperator::A, phi, l)) {
+        EXPECT_TRUE(fo_satisfies(FoOperator::P, phi, l));
+      }
+      if (fo_satisfies(FoOperator::P, phi, l)) {
+        EXPECT_TRUE(fo_satisfies(FoOperator::R, phi, l));
+      }
+      if (fo_satisfies(FoOperator::R, phi, l)) {
+        EXPECT_TRUE(fo_satisfies(FoOperator::E, phi, l));
+      }
+    }
+  }
+}
+
+TEST(FirstOrder, RejectsEmptyLoop) {
+  auto sigma = ab();
+  lang::Dfa phi = lang::compile_regex("a", sigma);
+  EXPECT_THROW(fo_satisfies(FoOperator::A, phi, Lasso{{0}, {}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mph::omega

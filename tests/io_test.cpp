@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/regex.hpp"
+#include "src/omega/io.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph::omega {
+namespace {
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(Dot, DfaContainsStatesAndEdges) {
+  lang::Dfa d = lang::compile_regex("a+b*", ab());
+  std::string dot = to_dot(d, "phi");
+  EXPECT_NE(dot.find("digraph \"phi\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // accepting state
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("init ->"), std::string::npos);
+}
+
+TEST(Dot, OmegaShowsAcceptanceAndMarks) {
+  DetOmega m = op_r(lang::compile_regex("(a*b)+", ab()));
+  std::string dot = to_dot(m);
+  EXPECT_NE(dot.find("acceptance: Inf(0)"), std::string::npos);
+  EXPECT_NE(dot.find("{0}"), std::string::npos);  // marked state
+}
+
+TEST(Hoa, HeaderFieldsForPlainAlphabet) {
+  DetOmega m = op_r(lang::compile_regex("(a*b)+", ab()));
+  std::string hoa = to_hoa(m, "recurrence-witness");
+  EXPECT_NE(hoa.find("HOA: v1"), std::string::npos);
+  EXPECT_NE(hoa.find("name: \"recurrence-witness\""), std::string::npos);
+  EXPECT_NE(hoa.find("Start: "), std::string::npos);
+  EXPECT_NE(hoa.find("Acceptance: 1 Inf(0)"), std::string::npos);
+  // Plain 2-letter alphabet → 1 synthetic AP.
+  EXPECT_NE(hoa.find("AP: 1 \"b0\""), std::string::npos);
+  EXPECT_NE(hoa.find("--BODY--"), std::string::npos);
+  EXPECT_NE(hoa.find("--END--"), std::string::npos);
+}
+
+TEST(Hoa, PropositionalAlphabetUsesPropNames) {
+  auto sigma = lang::Alphabet::of_props({"p", "q"});
+  DetOmega m(sigma, 1, 0, Acceptance::buchi(0));
+  m.add_mark(0, 0);
+  std::string hoa = to_hoa(m);
+  EXPECT_NE(hoa.find("AP: 2 \"p\" \"q\""), std::string::npos);
+  // Four symbols → four labelled edges from state 0; check the {p,q} label.
+  EXPECT_NE(hoa.find("[0&1] 0"), std::string::npos);
+  EXPECT_NE(hoa.find("[!0&!1] 0"), std::string::npos);
+  // Marked state.
+  EXPECT_NE(hoa.find("State: 0 {0}"), std::string::npos);
+}
+
+TEST(Hoa, StreettAcceptanceRendered) {
+  auto sigma = ab();
+  DetOmega m(sigma, 2, 0, Acceptance::streett(2));
+  std::string hoa = to_hoa(m);
+  EXPECT_NE(hoa.find("Acceptance: 4"), std::string::npos);
+  EXPECT_NE(hoa.find("Inf(0)"), std::string::npos);
+  EXPECT_NE(hoa.find("Fin(3)"), std::string::npos);
+}
+
+TEST(Hoa, EveryStateListsAllSymbols) {
+  auto sigma = lang::Alphabet::plain({"a", "b", "c"});
+  DetOmega m = op_e(lang::compile_regex("(a|b|c)*c", sigma));
+  std::string hoa = to_hoa(m);
+  // 3 letters → 2 synthetic APs; each state lists 3 edges.
+  std::size_t count = 0, pos = 0;
+  while ((pos = hoa.find("\n  [", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, m.state_count() * 3);
+}
+
+}  // namespace
+}  // namespace mph::omega

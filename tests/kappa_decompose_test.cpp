@@ -1,0 +1,173 @@
+// Structural κ-automaton checks, the Proposition 5.1 constructions, and the
+// safety–liveness decomposition (§2) with uniform liveness.
+#include <gtest/gtest.h>
+
+#include "src/core/decompose.hpp"
+#include "src/core/kappa_automata.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "tests/omega_test_util.hpp"
+
+namespace mph::core {
+namespace {
+
+using lang::compile_regex;
+using omega::DetOmega;
+using omega::StreettPair;
+using omega::testutil::expect_same_language;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(KappaShapes, StructuralChecks) {
+  auto sigma = ab();
+  // 3-state automaton: 0 ↔ 1 cycle, 2 absorbing.
+  DetOmega m(sigma, 3, 0, omega::Acceptance::t());
+  m.set_transition(0, 0, 1);
+  m.set_transition(0, 1, 2);
+  m.set_transition(1, 0, 0);
+  m.set_transition(1, 1, 2);
+  m.set_transition(2, 0, 2);
+  m.set_transition(2, 1, 2);
+  // G = {0,1}: transitions G→B={2} exist but none B→G: safety shape.
+  StreettPair safety_pair{{0, 1}, {}};
+  EXPECT_TRUE(is_safety_shaped(m, safety_pair));
+  EXPECT_FALSE(is_guarantee_shaped(m, safety_pair));
+  // G = {2}: guarantee shape (once in 2, never out).
+  StreettPair guarantee_pair{{2}, {}};
+  EXPECT_TRUE(is_guarantee_shaped(m, guarantee_pair));
+  EXPECT_FALSE(is_safety_shaped(m, guarantee_pair));
+  // Recurrence/persistence shapes are about the pair itself.
+  EXPECT_TRUE(is_recurrence_shaped(StreettPair{{0}, {}}));
+  EXPECT_FALSE(is_recurrence_shaped(StreettPair{{0}, {1}}));
+  EXPECT_TRUE(is_persistence_shaped(StreettPair{{}, {1}}));
+  EXPECT_FALSE(is_persistence_shaped(StreettPair{{0}, {1}}));
+}
+
+TEST(KappaShapes, SimpleObligationShape) {
+  auto sigma = ab();
+  // 0 (in P) → 1 (in B) → 2 (in R), no way back: simple obligation shape.
+  DetOmega m(sigma, 3, 0, omega::Acceptance::t());
+  m.set_transition(0, 0, 0);
+  m.set_transition(0, 1, 1);
+  m.set_transition(1, 0, 1);
+  m.set_transition(1, 1, 2);
+  m.set_transition(2, 0, 2);
+  m.set_transition(2, 1, 2);
+  EXPECT_TRUE(is_simple_obligation_shaped(m, StreettPair{{2}, {0}}));
+  // A pair allowing return into P violates the shape.
+  DetOmega back = m;
+  back.set_transition(1, 0, 0);
+  EXPECT_FALSE(is_simple_obligation_shaped(back, StreettPair{{2}, {0}}));
+}
+
+TEST(KappaConstructions, RoundTripPreservesLanguage) {
+  Rng rng(91);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    DetOmega a = omega::op_a(phi);
+    DetOmega e = omega::op_e(phi);
+    DetOmega r = omega::op_r(phi);
+    DetOmega p = omega::op_p(phi);
+    expect_same_language(to_safety_automaton(a), a, "safety construction");
+    expect_same_language(to_guarantee_automaton(e), e, "guarantee construction");
+    expect_same_language(to_recurrence_automaton(r), r, "recurrence construction");
+    expect_same_language(to_persistence_automaton(p), p, "persistence construction");
+    // Cross-class constructions also succeed when the language admits them:
+    // safety ⊆ recurrence, so a recurrence automaton for `a` must exist.
+    expect_same_language(to_recurrence_automaton(a), a, "safety as recurrence");
+    expect_same_language(to_persistence_automaton(e), e, "guarantee as persistence");
+  }
+}
+
+TEST(KappaConstructions, ProducedShapesAreCanonical) {
+  auto sigma = ab();
+  DetOmega a = to_safety_automaton(omega::op_a(compile_regex("a+b*", sigma)));
+  EXPECT_EQ(a.acceptance().kind(), omega::Acceptance::Kind::Fin);
+  DetOmega r = to_recurrence_automaton(omega::op_r(compile_regex("(a*b)+", sigma)));
+  EXPECT_EQ(r.acceptance().kind(), omega::Acceptance::Kind::Inf);
+  DetOmega p = to_persistence_automaton(omega::op_p(compile_regex("(a|b)*a", sigma)));
+  EXPECT_EQ(p.acceptance().kind(), omega::Acceptance::Kind::Fin);
+}
+
+TEST(KappaConstructions, ThrowOutsideTheClass) {
+  auto sigma = ab();
+  DetOmega rec = omega::op_r(compile_regex("(a*b)+", sigma));       // strictly recurrence
+  DetOmega pers = omega::op_p(compile_regex("(a|b)*a", sigma));     // strictly persistence
+  EXPECT_THROW(to_safety_automaton(rec), std::invalid_argument);
+  EXPECT_THROW(to_guarantee_automaton(rec), std::invalid_argument);
+  EXPECT_THROW(to_persistence_automaton(rec), std::invalid_argument);
+  EXPECT_THROW(to_recurrence_automaton(pers), std::invalid_argument);
+}
+
+TEST(Decompose, PartsHaveTheRightCharacter) {
+  Rng rng(97);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    lang::Dfa phi = lang::random_dfa(rng, sigma, 3);
+    for (const DetOmega& m : {omega::op_e(phi), omega::op_r(phi), omega::op_p(phi)}) {
+      if (omega::is_empty(m)) continue;
+      auto parts = sl_decompose(m);
+      EXPECT_TRUE(is_safety(parts.safety_part));
+      EXPECT_TRUE(omega::is_liveness(parts.liveness_part));
+      expect_same_language(intersection(parts.safety_part, parts.liveness_part), m,
+                           "Π = Π_S ∩ Π_L");
+    }
+  }
+}
+
+TEST(Decompose, LiveKappaPreservation) {
+  // If Π is recurrence, its liveness extension stays recurrence (§2: the
+  // non-safety classes are closed under union with guarantee properties).
+  auto sigma = ab();
+  DetOmega rec = omega::op_r(compile_regex("(a*b)+", sigma));
+  DetOmega guarded = intersection(rec, omega::op_a(compile_regex("a(a|b)*", sigma)));
+  auto parts = sl_decompose(guarded);
+  EXPECT_TRUE(is_recurrence(parts.liveness_part));
+  // Dually for persistence.
+  DetOmega pers = intersection(omega::op_p(compile_regex("(a|b)*a", sigma)),
+                               omega::op_a(compile_regex("a(a|b)*", sigma)));
+  auto parts2 = sl_decompose(pers);
+  EXPECT_TRUE(is_persistence(parts2.liveness_part));
+}
+
+TEST(Decompose, UniformLivenessExamples) {
+  auto sigma = ab();
+  // ◇b: any word extends with b^ω — the same σ' works for all: uniform.
+  EXPECT_TRUE(is_uniform_liveness(omega::op_e(compile_regex("(a|b)*b", sigma))));
+  // □◇b: uniform (append b^ω).
+  EXPECT_TRUE(is_uniform_liveness(omega::op_r(compile_regex("(a|b)*b", sigma))));
+  // Safety a^ω+a⁺b^ω: not even liveness, certainly not uniform.
+  EXPECT_FALSE(is_uniform_liveness(omega::op_a(compile_regex("a+b*", sigma))));
+}
+
+TEST(Decompose, PaperWitnessIsActuallyUniform) {
+  // §2 offers a·Σ*·aa·Σ^ω + b·Σ*·bb·Σ^ω as live-but-not-uniformly-live, but
+  // σ' = aabb·b^ω extends *every* non-empty finite word into the property
+  // (erratum E5, see EXPERIMENTS.md). We assert the fact the paper intended
+  // with a corrected witness below.
+  auto sigma = ab();
+  DetOmega m = union_of(omega::op_e(compile_regex("a(a|b)*aa", sigma)),
+                        omega::op_e(compile_regex("b(a|b)*bb", sigma)));
+  EXPECT_TRUE(omega::is_liveness(m));
+  EXPECT_TRUE(is_uniform_liveness(m));
+}
+
+TEST(Decompose, CorrectedNonUniformLivenessWitness) {
+  // "The first letter occurs only finitely often": live (extend a-words by
+  // b^ω and vice versa) but no single σ' can be both eventually a-free and
+  // eventually b-free.
+  auto sigma = ab();
+  DetOmega starts_a = omega::op_a(compile_regex("a(a|b)*", sigma));
+  DetOmega starts_b = omega::op_a(compile_regex("b(a|b)*", sigma));
+  DetOmega fin_a = omega::op_p(compile_regex("(a|b)*b", sigma));
+  DetOmega fin_b = omega::op_p(compile_regex("(a|b)*a", sigma));
+  DetOmega m = union_of(intersection(starts_a, fin_a), intersection(starts_b, fin_b));
+  EXPECT_TRUE(omega::is_liveness(m));
+  EXPECT_FALSE(is_uniform_liveness(m));
+}
+
+}  // namespace
+}  // namespace mph::core

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/omega/lasso.hpp"
+
+namespace mph::omega {
+namespace {
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(Lasso, AtIndexesThroughLoop) {
+  Lasso l = parse_lasso("ab(ba)", ab());
+  // a b | b a b a b a ...
+  EXPECT_EQ(l.at(0), 0u);
+  EXPECT_EQ(l.at(1), 1u);
+  EXPECT_EQ(l.at(2), 1u);
+  EXPECT_EQ(l.at(3), 0u);
+  EXPECT_EQ(l.at(4), 1u);
+  EXPECT_EQ(l.at(100), 1u);  // (100-2) % 2 == 0 → loop[0] = b
+}
+
+TEST(Lasso, AtExactLoopSymbols) {
+  Lasso l = parse_lasso("(ab)", ab());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(l.at(i), i % 2 == 0 ? 0u : 1u);
+}
+
+TEST(Lasso, ToString) {
+  EXPECT_EQ(parse_lasso("ab(ba)", ab()).to_string(ab()), "ab(ba)^ω");
+  EXPECT_EQ(parse_lasso("(a)", ab()).to_string(ab()), "(a)^ω");
+}
+
+TEST(Lasso, ParseRejectsEmptyLoop) {
+  EXPECT_THROW(parse_lasso("ab()", ab()), std::invalid_argument);
+  EXPECT_THROW(parse_lasso("ab", ab()), std::invalid_argument);
+}
+
+TEST(Lasso, SameWordDifferentSplits) {
+  // a(ba)^ω = ab(ab)^ω = (ab... wait: a·bababa... = ab·ababa...
+  Lasso l1 = parse_lasso("a(ba)", ab());
+  Lasso l2 = parse_lasso("ab(ab)", ab());
+  EXPECT_TRUE(l1.same_word(l2));
+  Lasso l3 = parse_lasso("(abab)", ab());
+  Lasso l4 = parse_lasso("(ab)", ab());
+  EXPECT_TRUE(l3.same_word(l4));
+  // a(ba)^ω denotes the same word as (ab)^ω:
+  EXPECT_TRUE(l1.same_word(l4));
+  EXPECT_FALSE(parse_lasso("b(ab)", ab()).same_word(l4));
+  EXPECT_FALSE(parse_lasso("(aab)", ab()).same_word(l4));
+}
+
+TEST(Lasso, SameWordUnrolledLoop) {
+  Lasso l1 = parse_lasso("(aab)", ab());
+  Lasso l2 = parse_lasso("aab(aabaab)", ab());
+  EXPECT_TRUE(l1.same_word(l2));
+}
+
+TEST(Lasso, EnumerateCounts) {
+  // prefixes of length ≤1 over 2 letters: 1 + 2 = 3; loops of length 1..2:
+  // 2 + 4 = 6 → 18 lassos.
+  auto ls = enumerate_lassos(ab(), 1, 2);
+  EXPECT_EQ(ls.size(), 18u);
+  for (const auto& l : ls) EXPECT_FALSE(l.loop.empty());
+}
+
+TEST(Lasso, EnumerateDistinctAsSplits) {
+  auto ls = enumerate_lassos(ab(), 0, 2);
+  // loops: a, b, aa, ab, ba, bb → 6 lassos with empty prefix.
+  EXPECT_EQ(ls.size(), 6u);
+}
+
+}  // namespace
+}  // namespace mph::omega

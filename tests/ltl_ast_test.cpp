@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/ltl/ast.hpp"
+
+namespace mph::ltl {
+namespace {
+
+TEST(Ast, FactoriesAndAccessors) {
+  Formula f = f_until(f_atom("p"), f_and(f_atom("q"), f_not(f_atom("p"))));
+  EXPECT_EQ(f.op(), Op::Until);
+  EXPECT_EQ(f.arity(), 2u);
+  EXPECT_EQ(f.child(0).atom_name(), "p");
+  EXPECT_EQ(f.size(), 6u);
+  auto atoms = f.atoms();
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0], "p");
+  EXPECT_EQ(atoms[1], "q");
+}
+
+TEST(Ast, StructuralEquality) {
+  EXPECT_EQ(f_and(f_atom("p"), f_atom("q")), f_and(f_atom("p"), f_atom("q")));
+  EXPECT_FALSE(f_and(f_atom("p"), f_atom("q")) == f_and(f_atom("q"), f_atom("p")));
+  EXPECT_EQ(f_first(), f_weak_prev(f_false()));
+}
+
+TEST(Ast, FutureAndPastDetection) {
+  EXPECT_TRUE(f_eventually(f_atom("p")).has_future());
+  EXPECT_FALSE(f_eventually(f_atom("p")).has_past());
+  EXPECT_TRUE(f_once(f_atom("p")).has_past());
+  EXPECT_TRUE(f_once(f_atom("p")).is_past_formula());
+  EXPECT_TRUE(f_atom("p").is_state());
+  EXPECT_FALSE(f_always(f_once(f_atom("p"))).is_past_formula());
+  EXPECT_TRUE(f_and(f_atom("p"), f_since(f_atom("q"), f_atom("r"))).is_past_formula());
+}
+
+TEST(Ast, WrongArityThrows) {
+  EXPECT_THROW(f_unary(Op::Until, f_atom("p")), std::invalid_argument);
+  EXPECT_THROW(f_binary(Op::Next, f_atom("p"), f_atom("q")), std::invalid_argument);
+  EXPECT_THROW(f_atom(""), std::invalid_argument);
+}
+
+TEST(Parser, AtomsAndConstants) {
+  EXPECT_EQ(parse_formula("p"), f_atom("p"));
+  EXPECT_EQ(parse_formula("in_critical1"), f_atom("in_critical1"));
+  EXPECT_EQ(parse_formula("true"), f_true());
+  EXPECT_EQ(parse_formula("false"), f_false());
+}
+
+TEST(Parser, PrecedenceBooleans) {
+  // & binds tighter than |, which binds tighter than ->.
+  EXPECT_EQ(parse_formula("p & q | r"), f_or(f_and(f_atom("p"), f_atom("q")), f_atom("r")));
+  EXPECT_EQ(parse_formula("p -> q | r"), f_implies(f_atom("p"), f_or(f_atom("q"), f_atom("r"))));
+  EXPECT_EQ(parse_formula("p <-> q -> r"),
+            f_iff(f_atom("p"), f_implies(f_atom("q"), f_atom("r"))));
+}
+
+TEST(Parser, TemporalOperators) {
+  EXPECT_EQ(parse_formula("G F p"), f_always(f_eventually(f_atom("p"))));
+  EXPECT_EQ(parse_formula("p U q"), f_until(f_atom("p"), f_atom("q")));
+  EXPECT_EQ(parse_formula("p U q U r"),
+            f_until(f_atom("p"), f_until(f_atom("q"), f_atom("r"))));  // right-assoc
+  EXPECT_EQ(parse_formula("X !p"), f_next(f_not(f_atom("p"))));
+  EXPECT_EQ(parse_formula("p S q"), f_since(f_atom("p"), f_atom("q")));
+  EXPECT_EQ(parse_formula("H (p -> O q)"),
+            f_historically(f_implies(f_atom("p"), f_once(f_atom("q")))));
+}
+
+TEST(Parser, TemporalBindsTighterThanAnd) {
+  EXPECT_EQ(parse_formula("p U q & r"), f_and(f_until(f_atom("p"), f_atom("q")), f_atom("r")));
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_formula(""), std::invalid_argument);
+  EXPECT_THROW(parse_formula("(p"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("p q"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("p &"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("U p"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("G"), std::invalid_argument);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  const char* samples[] = {
+      "p",
+      "!p",
+      "p & q | r",
+      "G(p -> F q)",
+      "G F p | F G q",
+      "(p U q) & (r W s)",
+      "X X p",
+      "G(q -> O p)",
+      "F(q & Z H p)",
+      "p S (q B r)",
+      "(p -> q) <-> (!q -> !p)",
+  };
+  for (const char* s : samples) {
+    Formula f = parse_formula(s);
+    Formula g = parse_formula(f.to_string());
+    EXPECT_EQ(f, g) << s << " printed as " << f.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace mph::ltl

@@ -1,0 +1,159 @@
+// Syntactic vs semantic classification of formulas, including the paper's
+// responsiveness summary (§4) and fairness notions.
+#include <gtest/gtest.h>
+
+#include "src/core/classify.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/ltl/patterns.hpp"
+#include "src/ltl/semantic.hpp"
+#include "src/ltl/syntactic.hpp"
+
+namespace mph::ltl {
+namespace {
+
+using core::Classification;
+using core::PropertyClass;
+
+lang::Alphabet pq() { return lang::Alphabet::of_props({"p", "q"}); }
+
+Classification semantic(const Formula& f, const lang::Alphabet& a) {
+  return core::classify(compile(f, a));
+}
+
+TEST(Syntactic, CanonicalFormsGetTheirClasses) {
+  EXPECT_EQ(syntactic_classification(parse_formula("G p")).lowest(), PropertyClass::Safety);
+  EXPECT_EQ(syntactic_classification(parse_formula("F p")).lowest(), PropertyClass::Guarantee);
+  EXPECT_EQ(syntactic_classification(parse_formula("G p | F q")).lowest(),
+            PropertyClass::Obligation);
+  EXPECT_EQ(syntactic_classification(parse_formula("G F p")).lowest(),
+            PropertyClass::Recurrence);
+  EXPECT_EQ(syntactic_classification(parse_formula("F G p")).lowest(),
+            PropertyClass::Persistence);
+  EXPECT_EQ(syntactic_classification(parse_formula("G F p | F G q")).lowest(),
+            PropertyClass::Reactivity);
+}
+
+TEST(Syntactic, GrammarRules) {
+  // U over guarantee args is guarantee; R over safety args is safety.
+  EXPECT_TRUE(syntactic_classification(parse_formula("p U (q U p)")).guarantee);
+  EXPECT_TRUE(syntactic_classification(parse_formula("p R (q R p)")).safety);
+  EXPECT_TRUE(syntactic_classification(parse_formula("p W q")).safety);
+  // X preserves class.
+  EXPECT_TRUE(syntactic_classification(parse_formula("X G p")).safety);
+  EXPECT_TRUE(syntactic_classification(parse_formula("X F p")).guarantee);
+  // G of recurrence stays recurrence; F of persistence stays persistence.
+  EXPECT_TRUE(syntactic_classification(parse_formula("G(G F p)")).recurrence);
+  EXPECT_TRUE(syntactic_classification(parse_formula("F(F G p)")).persistence);
+  // G of guarantee is recurrence (but not guarantee).
+  auto c = syntactic_classification(parse_formula("G F p"));
+  EXPECT_TRUE(c.recurrence);
+  EXPECT_FALSE(c.guarantee);
+  // Negation dualizes.
+  EXPECT_TRUE(syntactic_classification(parse_formula("!(G p)")).guarantee);
+  EXPECT_TRUE(syntactic_classification(parse_formula("!(G F p)")).persistence);
+}
+
+TEST(Syntactic, SoundnessAgainstSemantics) {
+  auto a = pq();
+  const char* corpus[] = {
+      "G p",         "F p",           "G F p",        "F G p",      "G p | F q",
+      "G p & F q",   "!(F p)",        "p U q",        "p W q",      "p R q",
+      "G(p -> F q)", "G F p | F G q", "G F p & G F q", "F p -> F q",
+  };
+  for (const char* s : corpus) {
+    Formula f = parse_formula(s);
+    Classification syn = syntactic_classification(f);
+    Classification sem = semantic(f, a);
+    // Syntactic membership must imply semantic membership.
+    for (PropertyClass c : {PropertyClass::Safety, PropertyClass::Guarantee,
+                            PropertyClass::Obligation, PropertyClass::Recurrence,
+                            PropertyClass::Persistence}) {
+      if (syn.is(c)) {
+        EXPECT_TRUE(sem.is(c)) << s << " claimed " << to_string(c);
+      }
+    }
+  }
+}
+
+TEST(Responsiveness, SummaryTableClasses) {
+  // The §4 summary: five responsiveness variants land in five classes.
+  auto a = pq();
+  EXPECT_EQ(semantic(patterns::respond_initial("p", "q"), a).lowest(),
+            PropertyClass::Guarantee);
+  EXPECT_EQ(semantic(patterns::respond_once("p", "q"), a).lowest(), PropertyClass::Obligation);
+  EXPECT_EQ(semantic(patterns::respond_always("p", "q"), a).lowest(),
+            PropertyClass::Recurrence);
+  EXPECT_EQ(semantic(patterns::respond_stabilize("p", "q"), a).lowest(),
+            PropertyClass::Persistence);
+  EXPECT_EQ(semantic(patterns::respond_infinitely("p", "q"), a).lowest(),
+            PropertyClass::Reactivity);
+}
+
+TEST(Responsiveness, OrderedByStrengthOfTrigger) {
+  // Stronger commitments imply weaker ones where the paper's hierarchy says
+  // so: □(p→◇q) ⊆ ◇p→◇(q∧◇̄p)? Not in general — but all imply the initial
+  // response p→◇q.
+  auto a = pq();
+  auto always = compile(patterns::respond_always("p", "q"), a);
+  auto initial = compile(patterns::respond_initial("p", "q"), a);
+  EXPECT_TRUE(omega::contains(initial, always));
+}
+
+TEST(Fairness, WeakIsRecurrenceStrongIsReactivity) {
+  auto a = lang::Alphabet::of_props({"en", "tk"});
+  auto weak = semantic(patterns::weak_fairness("en", "tk"), a);
+  EXPECT_EQ(weak.lowest(), PropertyClass::Recurrence);
+  auto strong = semantic(patterns::strong_fairness("en", "tk"), a);
+  EXPECT_EQ(strong.lowest(), PropertyClass::Reactivity);
+  // Weak fairness follows from strong fairness... no: strong fairness implies
+  // weak fairness as a *requirement on schedulers*; as languages, strong ⊆
+  // weak — check it.
+  EXPECT_TRUE(omega::contains(compile(patterns::weak_fairness("en", "tk"), a),
+                              compile(patterns::strong_fairness("en", "tk"), a)));
+}
+
+TEST(Patterns, SafetyPatterns) {
+  auto a2 = lang::Alphabet::of_props({"t", "post"});
+  EXPECT_TRUE(semantic(patterns::partial_correctness("t", "post"), a2).safety);
+  auto a3 = lang::Alphabet::of_props({"pre", "t", "post"});
+  EXPECT_TRUE(semantic(patterns::full_partial_correctness("pre", "t", "post"), a3).safety);
+  auto am = lang::Alphabet::of_props({"c1", "c2"});
+  EXPECT_TRUE(semantic(patterns::mutual_exclusion("c1", "c2"), am).safety);
+  EXPECT_TRUE(semantic(patterns::precedence("q", "p"), pq()).safety);
+}
+
+TEST(Patterns, FifoIsSafety) {
+  auto a = lang::Alphabet::of_props({"q1", "q2", "p1", "p2"});
+  EXPECT_TRUE(semantic(patterns::fifo("q1", "q2", "p1", "p2"), a).safety);
+}
+
+TEST(Patterns, GuaranteeAndBeyond) {
+  auto a2 = lang::Alphabet::of_props({"t", "post"});
+  EXPECT_TRUE(semantic(patterns::termination("t"), a2).guarantee);
+  auto a3 = lang::Alphabet::of_props({"pre", "t", "post"});
+  EXPECT_TRUE(semantic(patterns::total_correctness("pre", "t", "post"), a3).guarantee);
+  auto c = semantic(patterns::exception("p", "q"), pq());
+  EXPECT_TRUE(c.obligation);
+  EXPECT_FALSE(c.safety);
+  EXPECT_FALSE(c.guarantee);
+  EXPECT_TRUE(semantic(patterns::accessibility("p", "q"), pq()).recurrence);
+  EXPECT_TRUE(semantic(patterns::stabilization("p", "q"), pq()).persistence);
+  EXPECT_FALSE(semantic(patterns::stabilization("p", "q"), pq()).recurrence);
+}
+
+TEST(NbaChecks, AgreeWithDeterministicPipeline) {
+  auto a = pq();
+  const char* corpus[] = {"G p", "F p", "G F p", "F G p", "G p | F q", "p U q",
+                          "G(p -> F q)", "p W q"};
+  for (const char* s : corpus) {
+    Formula f = parse_formula(s);
+    Classification sem = semantic(f, a);
+    EXPECT_EQ(nba_is_safety(f, a), sem.safety) << s;
+    EXPECT_EQ(nba_is_guarantee(f, a), sem.guarantee) << s;
+    EXPECT_EQ(nba_is_liveness(f, a), sem.liveness) << s;
+  }
+}
+
+}  // namespace
+}  // namespace mph::ltl

@@ -1,0 +1,269 @@
+// Cross-validation of the whole LTL pipeline: esat, the hierarchy-form
+// compiler + rewriter, and the NBA tableau are each checked against the
+// independent lasso evaluator on exhaustive small lassos and randomized
+// formulas.
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/ltl/esat.hpp"
+#include "src/ltl/eval.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::ltl {
+namespace {
+
+lang::Alphabet pq() { return lang::Alphabet::of_props({"p", "q"}); }
+
+void expect_compiles_correctly(const Formula& f, const lang::Alphabet& a) {
+  omega::DetOmega m = compile(f, a);
+  for (const omega::Lasso& l : omega::enumerate_lassos(a, 2, 2))
+    ASSERT_EQ(m.accepts(l), evaluates(f, l, a))
+        << f.to_string() << " @ " << l.to_string(a)
+        << " (rewritten: " << to_hierarchy_form(f).to_string() << ")";
+}
+
+TEST(Esat, PaperExampleAStarB) {
+  // §4: the finitary property a*b is esat(b ∧ ⊙̃□̃a) — here, over letters,
+  // esat(b & Z H a).
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  lang::Dfa d = esat(parse_formula("b & Z H a"), sigma);
+  EXPECT_TRUE(d.accepts_text("b"));
+  EXPECT_TRUE(d.accepts_text("ab"));
+  EXPECT_TRUE(d.accepts_text("aaab"));
+  EXPECT_FALSE(d.accepts_text("a"));
+  EXPECT_FALSE(d.accepts_text("ba"));
+  EXPECT_FALSE(d.accepts_text("abb"));
+  EXPECT_FALSE(d.accepts_text(""));
+}
+
+TEST(Esat, PropositionalKernels) {
+  auto sigma = pq();
+  // esat(O p): words containing a p somewhere.
+  lang::Dfa d = esat(parse_formula("O p"), sigma);
+  EXPECT_TRUE(d.accepts({1}));
+  EXPECT_TRUE(d.accepts({0, 3, 0}));
+  EXPECT_FALSE(d.accepts({0, 2}));
+  // esat(first ∧ p) = length-1 words satisfying p.
+  lang::Dfa e = esat(f_and(f_first(), f_atom("p")), sigma);
+  EXPECT_TRUE(e.accepts({1}));
+  EXPECT_TRUE(e.accepts({3}));
+  EXPECT_FALSE(e.accepts({2}));
+  EXPECT_FALSE(e.accepts({1, 1}));
+}
+
+TEST(Esat, SinceKernel) {
+  auto sigma = pq();
+  // esat(p S q): q happened, p ever since.
+  lang::Dfa d = esat(parse_formula("p S q"), sigma);
+  EXPECT_TRUE(d.accepts({2}));
+  EXPECT_TRUE(d.accepts({0, 2, 1, 1}));
+  EXPECT_FALSE(d.accepts({0, 2, 0, 1}));
+  EXPECT_FALSE(d.accepts({1}));
+}
+
+TEST(Esat, RejectsFutureFormulas) {
+  EXPECT_THROW(esat(parse_formula("F p"), pq()), std::invalid_argument);
+}
+
+TEST(Esat, MinimalityOnKernels) {
+  // The truth-vector construction followed by minimization should give the
+  // canonical automaton; O p needs exactly 3 states (pre, seen, start).
+  auto sigma = pq();
+  lang::Dfa d = esat(parse_formula("O p"), sigma);
+  EXPECT_LE(d.state_count(), 3u);
+}
+
+TEST(HierarchyCompile, CanonicalForms) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("G p"), a);
+  expect_compiles_correctly(parse_formula("F p"), a);
+  expect_compiles_correctly(parse_formula("G F p"), a);
+  expect_compiles_correctly(parse_formula("F G p"), a);
+  expect_compiles_correctly(parse_formula("p"), a);
+  expect_compiles_correctly(parse_formula("O p"), a);  // bare past formula
+}
+
+TEST(HierarchyCompile, BooleanCombinations) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("G p | F q"), a);
+  expect_compiles_correctly(parse_formula("G F p & F G q"), a);
+  expect_compiles_correctly(parse_formula("!(G F p)"), a);
+  expect_compiles_correctly(parse_formula("F p -> F q"), a);
+  expect_compiles_correctly(parse_formula("G F p -> G F q"), a);
+  expect_compiles_correctly(parse_formula("G p <-> F q"), a);
+}
+
+TEST(HierarchyCompile, PastKernels) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("G(q -> O p)"), a);
+  expect_compiles_correctly(parse_formula("G F (p S q)"), a);
+  expect_compiles_correctly(parse_formula("F G (q -> O p)"), a);
+  expect_compiles_correctly(parse_formula("F(q & Z H p)"), a);
+}
+
+TEST(HierarchyCompile, RewriterResponse) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("G(p -> F q)"), a);
+  expect_compiles_correctly(parse_formula("G((p & !q) -> F q)"), a);
+}
+
+TEST(HierarchyCompile, RewriterConditionalForms) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("G(p -> G q)"), a);
+  expect_compiles_correctly(parse_formula("G(p -> X q)"), a);
+  expect_compiles_correctly(parse_formula("G(p -> F G q)"), a);
+  expect_compiles_correctly(parse_formula("G(p -> G F q)"), a);
+  expect_compiles_correctly(parse_formula("p -> G q"), a);
+  expect_compiles_correctly(parse_formula("p -> F q"), a);
+  expect_compiles_correctly(parse_formula("p -> F G q"), a);
+}
+
+TEST(HierarchyCompile, RewriterNextForms) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("X p"), a);
+  expect_compiles_correctly(parse_formula("X X p"), a);
+  expect_compiles_correctly(parse_formula("X G p"), a);
+  expect_compiles_correctly(parse_formula("X F p"), a);
+  expect_compiles_correctly(parse_formula("X G F p"), a);
+  expect_compiles_correctly(parse_formula("X F G p"), a);
+  expect_compiles_correctly(parse_formula("X(p | G q)"), a);
+}
+
+TEST(HierarchyCompile, RewriterUntilRelease) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("p U q"), a);
+  expect_compiles_correctly(parse_formula("p W q"), a);
+  expect_compiles_correctly(parse_formula("p R q"), a);
+  expect_compiles_correctly(parse_formula("(O p) U q"), a);
+  expect_compiles_correctly(parse_formula("(p U q) | G p"), a);
+}
+
+TEST(HierarchyCompile, DistributionRules) {
+  auto a = pq();
+  expect_compiles_correctly(parse_formula("G(p & F q)"), a);
+  expect_compiles_correctly(parse_formula("F(p | G q)"), a);
+  expect_compiles_correctly(parse_formula("G(p & (q -> F p))"), a);
+}
+
+TEST(HierarchyCompile, UnsupportedThrows) {
+  auto a = pq();
+  // Nested untils over future operands are outside the fragment.
+  EXPECT_THROW(compile(parse_formula("(F p) U (G q)"), a), std::invalid_argument);
+}
+
+TEST(HierarchyCompile, RandomFragmentFormulas) {
+  // Random formulas built inside the fragment: boolean combinations of
+  // hierarchy shapes over random past kernels.
+  Rng rng(1234);
+  auto a = pq();
+  auto random_past = [&](auto&& self, int depth) -> Formula {
+    if (depth == 0 || rng.chance(1, 3)) return rng.chance(1, 2) ? f_atom("p") : f_atom("q");
+    switch (rng.below(7)) {
+      case 0:
+        return f_not(self(self, depth - 1));
+      case 1:
+        return f_and(self(self, depth - 1), self(self, depth - 1));
+      case 2:
+        return f_or(self(self, depth - 1), self(self, depth - 1));
+      case 3:
+        return f_prev(self(self, depth - 1));
+      case 4:
+        return f_once(self(self, depth - 1));
+      case 5:
+        return f_historically(self(self, depth - 1));
+      default:
+        return f_since(self(self, depth - 1), self(self, depth - 1));
+    }
+  };
+  auto random_shape = [&](auto&& self, int depth) -> Formula {
+    Formula kernel = random_past(random_past, 2);
+    if (depth > 0 && rng.chance(1, 2)) {
+      Formula l = self(self, depth - 1);
+      Formula r = self(self, depth - 1);
+      return rng.chance(1, 2) ? f_and(l, r) : f_or(l, r);
+    }
+    switch (rng.below(5)) {
+      case 0:
+        return f_always(kernel);
+      case 1:
+        return f_eventually(kernel);
+      case 2:
+        return f_always(f_eventually(kernel));
+      case 3:
+        return f_eventually(f_always(kernel));
+      default:
+        return kernel;
+    }
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    Formula f = random_shape(random_shape, 2);
+    expect_compiles_correctly(f, a);
+  }
+}
+
+TEST(ToNba, MatchesEvaluatorOnCorpus) {
+  auto a = pq();
+  const char* corpus[] = {
+      "p", "!p", "X p", "F p", "G p", "G F p", "F G p", "p U q", "p R q",
+      "p W q", "G(p -> F q)", "F p & F q", "G p | G q", "(p U q) U p",
+      "G F p -> G F q", "X(p U q)",
+  };
+  for (const char* s : corpus) {
+    Formula f = parse_formula(s);
+    omega::Nba n = to_nba(f, a);
+    for (const omega::Lasso& l : omega::enumerate_lassos(a, 2, 2))
+      ASSERT_EQ(n.accepts(l), evaluates(f, l, a)) << s << " @ " << l.to_string(a);
+  }
+}
+
+TEST(ToNba, RandomFutureFormulas) {
+  Rng rng(4321);
+  auto a = pq();
+  auto random_future = [&](auto&& self, int depth) -> Formula {
+    if (depth == 0 || rng.chance(1, 4)) return rng.chance(1, 2) ? f_atom("p") : f_atom("q");
+    switch (rng.below(8)) {
+      case 0:
+        return f_not(self(self, depth - 1));
+      case 1:
+        return f_and(self(self, depth - 1), self(self, depth - 1));
+      case 2:
+        return f_or(self(self, depth - 1), self(self, depth - 1));
+      case 3:
+        return f_next(self(self, depth - 1));
+      case 4:
+        return f_eventually(self(self, depth - 1));
+      case 5:
+        return f_always(self(self, depth - 1));
+      case 6:
+        return f_until(self(self, depth - 1), self(self, depth - 1));
+      default:
+        return f_release(self(self, depth - 1), self(self, depth - 1));
+    }
+  };
+  for (int trial = 0; trial < 25; ++trial) {
+    Formula f = random_future(random_future, 2);
+    omega::Nba n = to_nba(f, a);
+    for (const omega::Lasso& l : omega::enumerate_lassos(a, 2, 2))
+      ASSERT_EQ(n.accepts(l), evaluates(f, l, a))
+          << f.to_string() << " @ " << l.to_string(a);
+  }
+}
+
+TEST(ToNba, NnfPreservesSemantics) {
+  Rng rng(99);
+  auto a = pq();
+  const char* corpus[] = {"!(p U q)", "!(G(p -> F q))", "!(p W q)", "!(p <-> q)", "!X!p"};
+  for (const char* s : corpus) {
+    Formula f = parse_formula(s);
+    Formula g = to_nnf(f);
+    for (const omega::Lasso& l : omega::enumerate_lassos(a, 2, 2))
+      ASSERT_EQ(evaluates(f, l, a), evaluates(g, l, a)) << s << " vs " << g.to_string();
+  }
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace mph::ltl

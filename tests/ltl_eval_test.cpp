@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/ltl/eval.hpp"
+
+namespace mph::ltl {
+namespace {
+
+// Two propositions p, q; symbols are bitmasks: 0={}, 1={p}, 2={q}, 3={p,q}.
+lang::Alphabet pq() { return lang::Alphabet::of_props({"p", "q"}); }
+
+omega::Lasso mk(std::vector<lang::Symbol> prefix, std::vector<lang::Symbol> loop) {
+  return omega::Lasso{std::move(prefix), std::move(loop)};
+}
+
+bool ev(const std::string& f, const omega::Lasso& l) {
+  return evaluates(parse_formula(f), l, pq());
+}
+
+TEST(Eval, StateFormulaAtPositionZero) {
+  EXPECT_TRUE(ev("p", mk({}, {1})));
+  EXPECT_FALSE(ev("p", mk({}, {2})));
+  EXPECT_TRUE(ev("p & !q", mk({1}, {3})));
+  EXPECT_FALSE(ev("p & q", mk({1}, {3})));
+}
+
+TEST(Eval, NextShiftsOnePosition) {
+  EXPECT_TRUE(ev("X p", mk({0, 1}, {0})));
+  EXPECT_FALSE(ev("X p", mk({1, 0}, {0})));
+  EXPECT_TRUE(ev("X X p", mk({0, 0}, {1})));
+}
+
+TEST(Eval, AlwaysAndEventually) {
+  EXPECT_TRUE(ev("G p", mk({1}, {1, 3})));
+  EXPECT_FALSE(ev("G p", mk({1}, {1, 2})));
+  EXPECT_TRUE(ev("F q", mk({0, 0}, {0, 2})));
+  EXPECT_FALSE(ev("F q", mk({0}, {1})));
+  // Eventually in the prefix only.
+  EXPECT_TRUE(ev("F q", mk({2}, {0})));
+}
+
+TEST(Eval, InfinitelyOftenVsEventuallyAlways) {
+  EXPECT_TRUE(ev("G F p", mk({}, {1, 0})));
+  EXPECT_FALSE(ev("G F p", mk({1, 1}, {0})));
+  EXPECT_TRUE(ev("F G p", mk({0, 2}, {1})));
+  EXPECT_FALSE(ev("F G p", mk({}, {1, 0})));
+  // GFp but not FGp.
+  EXPECT_TRUE(ev("G F p & !F G p", mk({}, {1, 0})));
+}
+
+TEST(Eval, UntilSemantics) {
+  // p U q: q at position 2, p before.
+  EXPECT_TRUE(ev("p U q", mk({1, 1, 2}, {0})));
+  // q immediately: p irrelevant.
+  EXPECT_TRUE(ev("p U q", mk({2}, {0})));
+  // p fails before q arrives.
+  EXPECT_FALSE(ev("p U q", mk({1, 0, 2}, {0})));
+  // q never arrives: strong until fails, weak until holds if G p.
+  EXPECT_FALSE(ev("p U q", mk({}, {1})));
+  EXPECT_TRUE(ev("p W q", mk({}, {1})));
+  EXPECT_FALSE(ev("p W q", mk({}, {0})));
+}
+
+TEST(Eval, ReleaseSemantics) {
+  // p R q: q holds up to and including the first p (or forever).
+  EXPECT_TRUE(ev("p R q", mk({}, {2})));
+  EXPECT_TRUE(ev("p R q", mk({2, 3}, {0})));
+  EXPECT_FALSE(ev("p R q", mk({2, 0}, {2})));
+  // Duality with until.
+  EXPECT_EQ(ev("!(p U q)", mk({1, 0}, {2})), ev("!p R !q", mk({1, 0}, {2})));
+}
+
+TEST(Eval, PastOperatorsViaFutureWrappers) {
+  // F(q & O p): some q preceded (weakly) by some earlier-or-equal p.
+  EXPECT_TRUE(ev("F(q & O p)", mk({1, 0, 2}, {0})));
+  EXPECT_FALSE(ev("F(q & O p)", mk({2, 1}, {0})));
+  // G(q -> O p): every q preceded by a p (precedence pattern).
+  EXPECT_TRUE(ev("G(q -> O p)", mk({1}, {2})));
+  EXPECT_FALSE(ev("G(q -> O p)", mk({2}, {1})));
+  // first = Z false holds only at position 0: G(first -> p) ⇔ p at 0.
+  EXPECT_TRUE(ev("G(Z false -> p)", mk({1}, {0})));
+  EXPECT_FALSE(ev("G(Z false -> p)", mk({0}, {1})));
+}
+
+TEST(Eval, SinceAndHistorically) {
+  // F(p S q): at some position, q happened and p held since then.
+  EXPECT_TRUE(ev("F(p S q)", mk({2, 1, 1}, {0})));
+  // After q, p breaks, then the since is dead (no new q).
+  EXPECT_FALSE(ev("G(p S q)", mk({2, 1, 0}, {1})));
+  // H p at position k means p on [0..k]: F(H p) at pos 0 ⇔ p at 0.
+  EXPECT_TRUE(ev("F H p", mk({1}, {0})));
+  EXPECT_FALSE(ev("F H p", mk({0}, {1})));
+}
+
+TEST(Eval, YPrevIsFalseAtOrigin) {
+  EXPECT_FALSE(ev("Y true", mk({}, {1})));
+  EXPECT_TRUE(ev("Z false", mk({}, {1})));  // `first` at position 0
+  EXPECT_TRUE(ev("X Y p", mk({1}, {0})));
+  EXPECT_FALSE(ev("X Y p", mk({0}, {1})));
+}
+
+TEST(Eval, StabilizationNeedsLongUnrolling) {
+  // pending-request pattern truth depends on history deep into the loop:
+  // G(p -> F q) on (p q)^ω is true; on p(p)^ω false; on p q (p)^ω false.
+  EXPECT_TRUE(ev("G(p -> F q)", mk({}, {1, 2})));
+  EXPECT_FALSE(ev("G(p -> F q)", mk({}, {1})));
+  EXPECT_FALSE(ev("G(p -> F q)", mk({1, 2}, {1})));
+  // Same property via the past kernel (response rewrite target).
+  EXPECT_TRUE(ev("G F !(!q S (p & !q))", mk({}, {1, 2})));
+  EXPECT_FALSE(ev("G F !(!q S (p & !q))", mk({}, {1})));
+}
+
+TEST(Eval, PastOverFutureRejected) {
+  EXPECT_THROW(ev("O F p", mk({}, {1})), std::invalid_argument);
+  EXPECT_THROW(ev("Y X p", mk({}, {1})), std::invalid_argument);
+}
+
+TEST(Eval, PlainAlphabetAtomsAreLetters) {
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  omega::Lasso l{lang::parse_word("ab", sigma), lang::parse_word("b", sigma)};
+  EXPECT_TRUE(evaluates(parse_formula("a"), l, sigma));
+  EXPECT_TRUE(evaluates(parse_formula("X G b"), l, sigma));
+  EXPECT_FALSE(evaluates(parse_formula("G a"), l, sigma));
+}
+
+TEST(Eval, LoopSplitInvariance) {
+  // Same infinite word, different lasso splits, same verdicts.
+  for (const char* f : {"G F p", "F G !p", "p U q", "G(q -> O p)"}) {
+    bool v1 = ev(f, mk({1}, {2, 1}));
+    bool v2 = ev(f, mk({1, 2}, {1, 2}));
+    bool v3 = ev(f, mk({1, 2, 1}, {2, 1, 2, 1}));
+    EXPECT_EQ(v1, v2) << f;
+    EXPECT_EQ(v1, v3) << f;
+  }
+}
+
+}  // namespace
+}  // namespace mph::ltl

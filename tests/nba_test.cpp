@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/nba.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph::omega {
+namespace {
+
+using lang::compile_regex;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+// NBA for "finitely many a" (guesses the last a): needs nondeterminism.
+Nba finitely_many_a() {
+  Nba n(ab());
+  State s0 = n.add_state();
+  State s1 = n.add_state();
+  n.add_edge(s0, 0, s0);
+  n.add_edge(s0, 1, s0);
+  n.add_edge(s0, 1, s1);
+  n.add_edge(s1, 1, s1);
+  n.set_accepting(s1);
+  n.add_initial(s0);
+  n.add_initial(s1);  // allow immediate commitment (pure b^ω)
+  return n;
+}
+
+TEST(Nba, NondeterministicAcceptance) {
+  Nba n = finitely_many_a();
+  EXPECT_TRUE(n.accepts_text("(b)"));
+  EXPECT_TRUE(n.accepts_text("aaab(b)"));
+  EXPECT_TRUE(n.accepts_text("ababab(bb)"));
+  EXPECT_FALSE(n.accepts_text("(a)"));
+  EXPECT_FALSE(n.accepts_text("(ab)"));
+  EXPECT_FALSE(n.accepts_text("bbbb(ba)"));
+}
+
+TEST(Nba, AgreesWithDeterministicCoBuchi) {
+  // "Finitely many a" = P(Σ*b ∪ ...) — compare against op_p over words
+  // ending in b... precisely: all but finitely many prefixes end in b.
+  auto sigma = ab();
+  DetOmega det = op_p(compile_regex("(a|b)*b", sigma));
+  Nba n = finitely_many_a();
+  for (const Lasso& l : enumerate_lassos(sigma, 3, 3))
+    ASSERT_EQ(n.accepts(l), det.accepts(l)) << l.to_string(sigma);
+}
+
+TEST(Nba, EmptinessAndWitness) {
+  Nba n = finitely_many_a();
+  EXPECT_FALSE(is_empty(n));
+  auto l = accepting_lasso(n);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(n.accepts(*l));
+}
+
+TEST(Nba, EmptyAutomaton) {
+  Nba n(ab());
+  State s0 = n.add_state();
+  n.add_edge(s0, 0, s0);
+  n.add_initial(s0);  // no accepting states
+  EXPECT_TRUE(is_empty(n));
+  EXPECT_FALSE(accepting_lasso(n).has_value());
+  EXPECT_FALSE(n.accepts_text("(a)"));
+}
+
+TEST(Nba, AcceptingStateWithoutCycleIsEmpty) {
+  Nba n(ab());
+  State s0 = n.add_state();
+  State s1 = n.add_state();
+  n.add_edge(s0, 0, s1);  // s1 has no outgoing edges
+  n.set_accepting(s1);
+  n.add_initial(s0);
+  EXPECT_TRUE(is_empty(n));
+}
+
+TEST(Nba, ToNbaFromDeterministicBuchi) {
+  auto sigma = ab();
+  DetOmega det = op_r(compile_regex("(a|b)*b", sigma));
+  Nba n = to_nba(det);
+  for (const Lasso& l : enumerate_lassos(sigma, 3, 3))
+    ASSERT_EQ(n.accepts(l), det.accepts(l)) << l.to_string(sigma);
+}
+
+TEST(Nba, ToNbaRejectsNonBuchi) {
+  auto sigma = ab();
+  DetOmega det = op_p(compile_regex("(a|b)*b", sigma));
+  EXPECT_THROW(to_nba(det), std::invalid_argument);
+}
+
+TEST(Nba, IntersectWithSafetyAutomaton) {
+  auto sigma = ab();
+  // "Infinitely many b" ∩ A(a⁺b*): must be a⁺b^ω.
+  Nba inf_b = to_nba(op_r(compile_regex("(a|b)*b", sigma)));
+  DetOmega safety = op_a(compile_regex("a+b*", sigma));
+  Nba inter = intersect_with_cobuchi(inf_b, safety);
+  EXPECT_TRUE(inter.accepts_text("a(b)"));
+  EXPECT_TRUE(inter.accepts_text("aaab(b)"));
+  EXPECT_FALSE(inter.accepts_text("(a)"));     // no b's
+  EXPECT_FALSE(inter.accepts_text("b(b)"));    // violates safety
+  EXPECT_FALSE(inter.accepts_text("ab(ab)"));  // leaves a⁺b* prefix set
+  for (const Lasso& l : enumerate_lassos(sigma, 3, 3))
+    ASSERT_EQ(inter.accepts(l), inf_b.accepts(l) && safety.accepts(l)) << l.to_string(sigma);
+}
+
+TEST(Nba, IntersectWithCoBuchiGeneral) {
+  auto sigma = ab();
+  // "Infinitely many b" ∩ P(Σ*b) = Σ*b^ω.
+  Nba inf_b = to_nba(op_r(compile_regex("(a|b)*b", sigma)));
+  DetOmega pers = op_p(compile_regex("(a|b)*b", sigma));
+  Nba inter = intersect_with_cobuchi(inf_b, pers);
+  for (const Lasso& l : enumerate_lassos(sigma, 3, 3))
+    ASSERT_EQ(inter.accepts(l), inf_b.accepts(l) && pers.accepts(l)) << l.to_string(sigma);
+}
+
+TEST(Nba, PrefOfNba) {
+  auto sigma = ab();
+  Nba n = finitely_many_a();
+  // Every finite word extends to a word with finitely many a's: Pref = Σ*.
+  EXPECT_TRUE(lang::is_universal(pref(n)));
+  // An NBA whose language is a·b^ω has Pref = ε + a·b*.
+  Nba m(sigma);
+  State s0 = m.add_state();
+  State s1 = m.add_state();
+  m.add_edge(s0, 0, s1);
+  m.add_edge(s1, 1, s1);
+  m.set_accepting(s1);
+  m.add_initial(s0);
+  lang::Dfa p = pref(m);
+  EXPECT_TRUE(p.accepts_text(""));
+  EXPECT_TRUE(p.accepts_text("a"));
+  EXPECT_TRUE(p.accepts_text("abb"));
+  EXPECT_FALSE(p.accepts_text("b"));
+  EXPECT_FALSE(p.accepts_text("aba"));
+}
+
+}  // namespace
+}  // namespace mph::omega

@@ -1,0 +1,179 @@
+// The §2 obligation normal-form theorem, executable: CNF/DNF extraction,
+// term counts matching the Obl_n grading, and realization equivalence.
+#include <gtest/gtest.h>
+
+#include "src/core/chains.hpp"
+#include "src/core/classify.hpp"
+#include "src/core/normal_form.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::core {
+namespace {
+
+using lang::compile_regex;
+using omega::DetOmega;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+/// ⋀_{i<n}(□pᵢ ∨ ◇qᵢ) product automaton (same construction as the bench).
+DetOmega obligation_family(std::size_t n) {
+  std::vector<std::string> props;
+  for (std::size_t i = 0; i < n; ++i) {
+    props.push_back("p" + std::to_string(i));
+    props.push_back("q" + std::to_string(i));
+  }
+  auto sigma = lang::Alphabet::of_props(props);
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < n; ++i) total *= 3;
+  omega::Acceptance acc = omega::Acceptance::t();
+  for (std::size_t i = 0; i < n; ++i)
+    acc = omega::Acceptance::conj(std::move(acc),
+                                  omega::Acceptance::fin(static_cast<omega::Mark>(i)));
+  DetOmega m(sigma, total, 0, std::move(acc));
+  for (omega::State q = 0; q < total; ++q) {
+    std::vector<int> dig(n);
+    omega::State rest = q;
+    for (std::size_t i = 0; i < n; ++i) {
+      dig[i] = static_cast<int>(rest % 3);
+      rest /= 3;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      if (dig[i] == 1) m.add_mark(q, static_cast<omega::Mark>(i));
+    for (omega::Symbol s = 0; s < sigma.size(); ++s) {
+      omega::State next = 0;
+      std::size_t mult = 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool p = sigma.holds(s, 2 * i);
+        const bool qq = sigma.holds(s, 2 * i + 1);
+        int d = dig[i];
+        if (d != 2) {
+          if (qq)
+            d = 2;
+          else if (!p)
+            d = 1;
+        }
+        next += static_cast<omega::State>(static_cast<std::size_t>(d) * mult);
+        mult *= 3;
+      }
+      m.set_transition(q, s, next);
+    }
+  }
+  return m;
+}
+
+TEST(NormalForm, SafetyRealizesWithAtMostTwoConjuncts) {
+  // A(a⁺b*) has runs that die (rejecting wave) before ever entering an
+  // accepting wave, which costs the construction its one extra conjunct.
+  DetOmega m = omega::op_a(compile_regex("a+b*", ab()));
+  auto nf = obligation_cnf(m);
+  EXPECT_LE(nf.terms.size(), 2u);
+  EXPECT_GE(nf.terms.size(), 1u);
+  EXPECT_TRUE(omega::equivalent(nf.realize(ab()), m));
+}
+
+TEST(NormalForm, SafetyStartingAcceptingHasOneConjunct) {
+  // A(a*): the run starts inside the accepting wave, so the CNF is minimal.
+  DetOmega m = omega::op_a(compile_regex("a*", ab()));
+  auto nf = obligation_cnf(m);
+  EXPECT_EQ(nf.terms.size(), 1u);
+  EXPECT_TRUE(omega::equivalent(nf.realize(ab()), m));
+  // The E side of the single conjunct is empty for pure safety.
+  EXPECT_TRUE(lang::is_empty_nonepsilon(nf.terms[0].psi));
+}
+
+TEST(NormalForm, GuaranteeHasOneConjunct) {
+  DetOmega m = omega::op_e(compile_regex("(a|b)*b", ab()));
+  auto nf = obligation_cnf(m);
+  EXPECT_EQ(nf.terms.size(), 1u);
+  EXPECT_TRUE(omega::equivalent(nf.realize(ab()), m));
+}
+
+TEST(NormalForm, SimpleObligationWitness) {
+  // a*b^ω + Σ*cΣ^ω over {a,b,c} — the §2 obligation example.
+  auto sigma = lang::Alphabet::plain({"a", "b", "c"});
+  DetOmega m = union_of(intersection(omega::op_a(compile_regex("a*b*", sigma)),
+                                     omega::op_e(compile_regex("a*b", sigma))),
+                        omega::op_e(compile_regex("(a|b|c)*c", sigma)));
+  auto nf = obligation_cnf(m);
+  EXPECT_TRUE(omega::equivalent(nf.realize(sigma), m));
+  EXPECT_LE(nf.terms.size(), 2u);
+}
+
+TEST(NormalForm, FamilyTermCountsMatchTheGrading) {
+  for (std::size_t n = 1; n <= 3; ++n) {
+    DetOmega m = obligation_family(n);
+    auto nf = obligation_cnf(m);
+    EXPECT_EQ(nf.terms.size(), n) << "n=" << n;
+    EXPECT_EQ(obligation_chain(m), n);
+    EXPECT_TRUE(omega::equivalent(nf.realize(m.alphabet()), m)) << "n=" << n;
+  }
+}
+
+TEST(NormalForm, DnfDualizesCnf) {
+  for (std::size_t n = 1; n <= 2; ++n) {
+    DetOmega m = obligation_family(n);
+    auto dnf = obligation_dnf(m);
+    EXPECT_FALSE(dnf.conjunctive);
+    EXPECT_TRUE(omega::equivalent(dnf.realize(m.alphabet()), m)) << "n=" << n;
+  }
+}
+
+TEST(NormalForm, RandomBooleanCombinationsRealize) {
+  Rng rng(654);
+  auto sigma = ab();
+  for (int trial = 0; trial < 12; ++trial) {
+    lang::Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    lang::Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    // Arbitrary positive boolean combinations of safety and guarantee are
+    // obligations.
+    DetOmega m = union_of(intersection(omega::op_a(p1), omega::op_e(p2)),
+                          omega::op_a(p2));
+    auto nf = obligation_cnf(m);
+    EXPECT_TRUE(omega::equivalent(nf.realize(sigma), m));
+    auto dnf = obligation_dnf(m);
+    EXPECT_TRUE(omega::equivalent(dnf.realize(sigma), m));
+  }
+}
+
+TEST(NormalForm, TermCountIsMinimalOnTheFamily) {
+  // The CNF size equals obligation_chain, which grades Obl_n — so the
+  // extraction is optimal on the canonical family (no padding conjuncts).
+  DetOmega m = obligation_family(2);
+  EXPECT_EQ(obligation_cnf(m).terms.size(), obligation_chain(m));
+}
+
+TEST(NormalForm, RejectsNonObligation) {
+  DetOmega rec = omega::op_r(compile_regex("(a*b)+", ab()));
+  EXPECT_THROW(obligation_cnf(rec), std::invalid_argument);
+  DetOmega pers = omega::op_p(compile_regex("(a|b)*a", ab()));
+  EXPECT_THROW(obligation_cnf(pers), std::invalid_argument);
+}
+
+TEST(NormalForm, EmptyAndUniversal) {
+  auto sigma = ab();
+  DetOmega empty = omega::op_a(lang::empty_dfa(sigma));
+  auto nf_e = obligation_cnf(empty);
+  EXPECT_TRUE(omega::is_empty(nf_e.realize(sigma)));
+  DetOmega all = omega::op_a(compile_regex("(a|b)+", sigma));
+  auto nf_a = obligation_cnf(all);
+  EXPECT_TRUE(omega::is_liveness(nf_a.realize(sigma)));
+}
+
+TEST(NormalForm, ConjunctsAreThemselvesSimpleObligations) {
+  DetOmega m = obligation_family(2);
+  auto nf = obligation_cnf(m);
+  for (const auto& term : nf.terms) {
+    DetOmega t = union_of(omega::op_a(term.phi), omega::op_e(term.psi));
+    auto c = classify(t);
+    EXPECT_TRUE(c.obligation);
+    EXPECT_LE(obligation_chain(t), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mph::core

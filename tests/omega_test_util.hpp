@@ -1,0 +1,35 @@
+// Shared helpers for ω-automata tests: language comparison both by decision
+// procedure (product + emptiness) and by brute-force lasso enumeration, so
+// the two mechanisms cross-check each other.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/omega/det_omega.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::omega::testutil {
+
+/// Asserts L(a) = L(b) via the decision procedure and via all lassos with
+/// |prefix| ≤ 3 and |loop| ≤ 3.
+inline void expect_same_language(const DetOmega& a, const DetOmega& b,
+                                 const std::string& what) {
+  EXPECT_TRUE(equivalent(a, b)) << what << ": decision procedure disagrees; witness: "
+                                << [&] {
+                                     auto w = difference_witness(a, b);
+                                     return w ? w->to_string(a.alphabet()) : std::string("none");
+                                   }();
+  for (const Lasso& l : enumerate_lassos(a.alphabet(), 3, 3))
+    ASSERT_EQ(a.accepts(l), b.accepts(l)) << what << " @ " << l.to_string(a.alphabet());
+}
+
+/// Asserts the automaton's language agrees with `oracle` on all small lassos.
+template <typename Oracle>
+void expect_language_is(const DetOmega& a, Oracle&& oracle, const std::string& what,
+                        std::size_t max_prefix = 3, std::size_t max_loop = 3) {
+  for (const Lasso& l : enumerate_lassos(a.alphabet(), max_prefix, max_loop))
+    ASSERT_EQ(a.accepts(l), oracle(l)) << what << " @ " << l.to_string(a.alphabet());
+}
+
+}  // namespace mph::omega::testutil

@@ -1,0 +1,282 @@
+// Tests for the §2 operators A/E/R/P and the §2 laws: duality, closure of
+// each class under ∪/∩ (including the minex identity), the characterization
+// claims, and the inclusion equalities between classes.
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/finitary_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+#include "tests/omega_test_util.hpp"
+
+namespace mph::omega {
+namespace {
+
+using lang::Dfa;
+using lang::compile_regex;
+using testutil::expect_language_is;
+using testutil::expect_same_language;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+// Oracle helpers: decide prefix membership of the unrolled lasso.
+bool prefix_in(const Dfa& phi, const Lasso& l, std::size_t len) {
+  lang::Word w(len);
+  for (std::size_t i = 0; i < len; ++i) w[i] = l.at(i);
+  return phi.accepts(w);
+}
+
+// Unrolling horizon after which lasso prefix-membership becomes periodic:
+// |prefix| + |loop| * |phi states| covers a full period of the product.
+std::size_t horizon(const Dfa& phi, const Lasso& l) {
+  return l.prefix.size() + l.loop.size() * (phi.state_count() + 1);
+}
+
+TEST(Operators, APaperExample) {
+  // A(a⁺b*) = a^ω + a⁺b^ω.
+  DetOmega m = op_a(compile_regex("a+b*", ab()));
+  EXPECT_TRUE(m.accepts_text("(a)"));
+  EXPECT_TRUE(m.accepts_text("a(b)"));
+  EXPECT_TRUE(m.accepts_text("aaab(b)"));
+  EXPECT_FALSE(m.accepts_text("(b)"));
+  EXPECT_FALSE(m.accepts_text("ab(a)"));
+  EXPECT_FALSE(m.accepts_text("aba(b)"));
+}
+
+TEST(Operators, EPaperExample) {
+  // E(a⁺b*) = a⁺b*·Σ^ω.
+  DetOmega m = op_e(compile_regex("a+b*", ab()));
+  EXPECT_TRUE(m.accepts_text("(a)"));
+  EXPECT_TRUE(m.accepts_text("a(b)"));
+  EXPECT_TRUE(m.accepts_text("ab(ab)"));
+  EXPECT_FALSE(m.accepts_text("(b)"));
+  EXPECT_TRUE(m.accepts_text("ba(a)") == false);  // never has an a⁺b* prefix
+}
+
+TEST(Operators, RPaperExample) {
+  // R(Σ*b) = (Σ*b)^ω = infinitely many b's.
+  DetOmega m = op_r(compile_regex("(a|b)*b", ab()));
+  EXPECT_TRUE(m.accepts_text("(b)"));
+  EXPECT_TRUE(m.accepts_text("(ab)"));
+  EXPECT_TRUE(m.accepts_text("aaa(ba)"));
+  EXPECT_FALSE(m.accepts_text("(a)"));
+  EXPECT_FALSE(m.accepts_text("bbb(a)"));
+}
+
+TEST(Operators, PPaperExample) {
+  // P(Σ*b) = Σ*b^ω.
+  DetOmega m = op_p(compile_regex("(a|b)*b", ab()));
+  EXPECT_TRUE(m.accepts_text("(b)"));
+  EXPECT_TRUE(m.accepts_text("aaba(b)"));
+  EXPECT_FALSE(m.accepts_text("(ab)"));
+  EXPECT_FALSE(m.accepts_text("(a)"));
+}
+
+TEST(Operators, DefinitionsAgainstOraclesRandomized) {
+  Rng rng(2024);
+  auto sigma = ab();
+  for (int trial = 0; trial < 10; ++trial) {
+    Dfa phi = lang::random_dfa(rng, sigma, 3);
+    DetOmega a = op_a(phi), e = op_e(phi), r = op_r(phi), p = op_p(phi);
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) {
+      const std::size_t h = horizon(phi, l);
+      bool all = true, some = false;
+      for (std::size_t len = 1; len <= h; ++len) {
+        bool in = prefix_in(phi, l, len);
+        all = all && in;
+        some = some || in;
+      }
+      // Recurrence/persistence decided on the periodic tail: positions in
+      // (|prefix|+k·|loop|·cycle) — sample one full period after stabilizing.
+      bool inf_many = false, almost_all = true;
+      for (std::size_t len = h + 1; len <= h + l.loop.size() * (phi.state_count() + 1); ++len) {
+        bool in = prefix_in(phi, l, len);
+        inf_many = inf_many || in;
+        almost_all = almost_all && in;
+      }
+      ASSERT_EQ(a.accepts(l), all) << "A @ " << l.to_string(sigma);
+      ASSERT_EQ(e.accepts(l), some) << "E @ " << l.to_string(sigma);
+      ASSERT_EQ(r.accepts(l), inf_many) << "R @ " << l.to_string(sigma);
+      ASSERT_EQ(p.accepts(l), almost_all) << "P @ " << l.to_string(sigma);
+    }
+  }
+}
+
+TEST(Operators, DualityAEandRP) {
+  // complement(A(Φ)) = E(Φ̄) and complement(R(Φ)) = P(Φ̄) (§2).
+  Rng rng(7);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa phi = lang::random_dfa(rng, sigma, 3);
+    Dfa bar = lang::complement_nonepsilon(phi);
+    expect_same_language(complement(op_a(phi)), op_e(bar), "¬A(Φ) = E(Φ̄)");
+    expect_same_language(complement(op_e(phi)), op_a(bar), "¬E(Φ) = A(Φ̄)");
+    expect_same_language(complement(op_r(phi)), op_p(bar), "¬R(Φ) = P(Φ̄)");
+    expect_same_language(complement(op_p(phi)), op_r(bar), "¬P(Φ) = R(Φ̄)");
+  }
+}
+
+TEST(Operators, GuaranteeClosureLaws) {
+  // E(Φ1) ∪ E(Φ2) = E(Φ1 ∪ Φ2); E(Φ1) ∩ E(Φ2) = E(E_f(Φ1) ∩ E_f(Φ2)).
+  Rng rng(17);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    expect_same_language(union_of(op_e(p1), op_e(p2)), op_e(lang::union_of(p1, p2)),
+                         "E∪E = E(∪)");
+    expect_same_language(intersection(op_e(p1), op_e(p2)),
+                         op_e(lang::intersection(lang::e_f(p1), lang::e_f(p2))),
+                         "E∩E = E(E_f∩E_f)");
+  }
+}
+
+TEST(Operators, SafetyClosureLaws) {
+  // A(Φ1) ∩ A(Φ2) = A(Φ1 ∩ Φ2); A(Φ1) ∪ A(Φ2) = A(A_f(Φ1) ∪ A_f(Φ2)).
+  Rng rng(18);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    expect_same_language(intersection(op_a(p1), op_a(p2)), op_a(lang::intersection(p1, p2)),
+                         "A∩A = A(∩)");
+    expect_same_language(union_of(op_a(p1), op_a(p2)),
+                         op_a(lang::union_of(lang::a_f(p1), lang::a_f(p2))),
+                         "A∪A = A(A_f∪A_f)");
+  }
+}
+
+TEST(Operators, RecurrenceClosureLawsIncludingMinex) {
+  // R(Φ1) ∪ R(Φ2) = R(Φ1 ∪ Φ2); R(Φ1) ∩ R(Φ2) = R(minex(Φ1, Φ2)).
+  Rng rng(19);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    expect_same_language(union_of(op_r(p1), op_r(p2)), op_r(lang::union_of(p1, p2)),
+                         "R∪R = R(∪)");
+    expect_same_language(intersection(op_r(p1), op_r(p2)), op_r(lang::minex(p1, p2)),
+                         "R∩R = R(minex)");
+  }
+}
+
+TEST(Operators, PersistenceClosureLaws) {
+  // P(Φ1) ∩ P(Φ2) = P(Φ1 ∩ Φ2);
+  // P(Φ1) ∪ P(Φ2) = P(complement(minex(Φ̄1, Φ̄2))) — note the paper prints
+  // the minex arguments uncomplemented (erratum E3, see EXPERIMENTS.md);
+  // duality with the recurrence law forces the form below.
+  Rng rng(20);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa p1 = lang::random_dfa(rng, sigma, 3);
+    Dfa p2 = lang::random_dfa(rng, sigma, 3);
+    expect_same_language(intersection(op_p(p1), op_p(p2)), op_p(lang::intersection(p1, p2)),
+                         "P∩P = P(∩)");
+    Dfa m = lang::minex(lang::complement_nonepsilon(p1), lang::complement_nonepsilon(p2));
+    expect_same_language(union_of(op_p(p1), op_p(p2)), op_p(lang::complement_nonepsilon(m)),
+                         "P∪P = P(~minex(~Φ1,~Φ2))");
+  }
+}
+
+TEST(Operators, InclusionEqualities) {
+  // A(Φ) = R(A_f(Φ)) = P(A_f(Φ)); E(Φ) = R(E_f(Φ)) = P(E_f(Φ)) (§2).
+  Rng rng(21);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa phi = lang::random_dfa(rng, sigma, 3);
+    expect_same_language(op_a(phi), op_r(lang::a_f(phi)), "A = R(A_f)");
+    expect_same_language(op_a(phi), op_p(lang::a_f(phi)), "A = P(A_f)");
+    expect_same_language(op_e(phi), op_r(lang::e_f(phi)), "E = R(E_f)");
+    expect_same_language(op_e(phi), op_p(lang::e_f(phi)), "E = P(E_f)");
+  }
+}
+
+TEST(Operators, SafetyCharacterizationClaim) {
+  // Π safety ⇒ Π = A(Pref(Π)); and (a*b)^ω ≠ its safety closure.
+  auto sigma = ab();
+  DetOmega safety = op_a(compile_regex("a+b*", sigma));
+  expect_same_language(safety, safety_closure(safety), "safety = its closure");
+  DetOmega rec = op_r(compile_regex("(a*b)+", sigma));  // (a*b)^ω
+  EXPECT_FALSE(equivalent(rec, safety_closure(rec)));
+  // Its closure is all of Σ^ω (Pref = (a+b)*).
+  DetOmega closure = safety_closure(rec);
+  for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) EXPECT_TRUE(closure.accepts(l));
+}
+
+TEST(Operators, SafetyClosureContainsLanguage) {
+  Rng rng(29);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa phi = lang::random_dfa(rng, sigma, 3);
+    for (const DetOmega& m : {op_e(phi), op_r(phi), op_p(phi)})
+      EXPECT_TRUE(contains(safety_closure(m), m));
+  }
+}
+
+TEST(Operators, PrefComputesFinitePrefixes) {
+  auto sigma = ab();
+  // Pref((a*b)^ω) = (a+b)* (§2: every finite word extends to one with ∞ b's).
+  DetOmega rec = op_r(compile_regex("(a*b)+", sigma));
+  EXPECT_TRUE(lang::is_universal(pref(rec)));
+  // Pref(a^ω + a⁺b^ω) = a⁺b* (+ ε).
+  DetOmega saf = op_a(compile_regex("a+b*", sigma));
+  lang::Dfa p = pref(saf);
+  EXPECT_TRUE(p.accepts_text("a"));
+  EXPECT_TRUE(p.accepts_text("aab"));
+  EXPECT_TRUE(p.accepts_text("abb"));
+  EXPECT_FALSE(p.accepts_text("b"));
+  EXPECT_FALSE(p.accepts_text("aba"));
+  EXPECT_TRUE(p.accepts_text(""));  // ε since the language is non-empty
+}
+
+TEST(Operators, LivenessExamples) {
+  auto sigma = ab();
+  // ◇b = Σ*·b·Σ^ω is live; a^ω is not; (a*b)^ω is live.
+  EXPECT_TRUE(is_liveness(op_e(compile_regex("(a|b)*b", sigma))));
+  EXPECT_FALSE(is_liveness(op_a(compile_regex("a+", sigma))));
+  EXPECT_TRUE(is_liveness(op_r(compile_regex("(a*b)+", sigma))));
+  // □a is not live; Σ^ω is (trivially).
+  EXPECT_FALSE(is_liveness(op_a(compile_regex("a+b*", sigma))));
+  EXPECT_TRUE(is_liveness(op_a(compile_regex("(a|b)+", sigma))));
+}
+
+TEST(Operators, LivenessExtensionIsLiveAndDecomposes) {
+  // Π = A(Pref(Π)) ∩ 𝓛(Π) for arbitrary Π (§2 decomposition claim).
+  Rng rng(33);
+  auto sigma = ab();
+  for (int trial = 0; trial < 8; ++trial) {
+    Dfa phi = lang::random_dfa(rng, sigma, 3);
+    for (const DetOmega& m : {op_e(phi), op_r(phi), op_p(phi), op_a(phi)}) {
+      if (is_empty(m)) continue;  // decomposition of ∅ is degenerate
+      DetOmega ext = liveness_extension(m);
+      EXPECT_TRUE(is_liveness(ext));
+      expect_same_language(intersection(safety_closure(m), ext), m, "Π = cl(Π) ∩ 𝓛(Π)");
+    }
+  }
+}
+
+TEST(Operators, StreettPairsInstallMarks) {
+  auto sigma = ab();
+  // Two-state automaton: state 0 on 'a', state 1 on 'b'.
+  DetOmega m(sigma, 2, 0, Acceptance::t());
+  m.set_transition(0, 0, 0);
+  m.set_transition(0, 1, 1);
+  m.set_transition(1, 0, 0);
+  m.set_transition(1, 1, 1);
+  // Pair: R = {1}, P = {} — "visit state 1 infinitely often".
+  apply_streett_pairs(m, {{{1}, {}}});
+  EXPECT_TRUE(m.accepts_text("(ab)"));
+  EXPECT_TRUE(m.accepts_text("(b)"));
+  EXPECT_FALSE(m.accepts_text("(a)"));
+  EXPECT_FALSE(m.accepts_text("b(a)"));
+  // Pair: R = {}, P = {0} — "eventually stay in state 0".
+  apply_streett_pairs(m, {{{}, {0}}});
+  EXPECT_TRUE(m.accepts_text("(a)"));
+  EXPECT_TRUE(m.accepts_text("bbb(a)"));
+  EXPECT_FALSE(m.accepts_text("(ab)"));
+}
+
+}  // namespace
+}  // namespace mph::omega

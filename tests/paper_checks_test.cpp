@@ -1,0 +1,106 @@
+// Probing the §5.1 procedures as literally printed (Proposition 5.2):
+// sound for one Streett pair, unsound for two — erratum E6.
+#include <gtest/gtest.h>
+
+#include "src/core/classify.hpp"
+#include "src/core/paper_checks.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::core {
+namespace {
+
+using omega::DetOmega;
+using omega::StreettPair;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(PaperChecks, SinglePairAgreesWithSemanticsOnRandomAutomata) {
+  // For k = 1 the literal checks are sufficient: whenever the structural
+  // test passes, the language is semantically in the class.
+  Rng rng(1905);
+  auto sigma = ab();
+  int structural_hits = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    DetOmega m(sigma, 4, 0, omega::Acceptance::t());
+    for (omega::State q = 0; q < 4; ++q)
+      for (omega::Symbol s = 0; s < 2; ++s)
+        m.set_transition(q, s, static_cast<omega::State>(rng.below(4)));
+    StreettPair pair;
+    for (omega::State q = 0; q < 4; ++q) {
+      if (rng.chance(1, 3)) pair.r.push_back(q);
+      if (rng.chance(1, 3)) pair.p.push_back(q);
+    }
+    omega::apply_streett_pairs(m, {pair});
+    if (paper::literal_safety_check(m, {pair})) {
+      ++structural_hits;
+      EXPECT_TRUE(is_safety(m)) << "k=1 literal safety check over-approximated";
+    }
+    if (paper::literal_guarantee_check(m, {pair})) {
+      EXPECT_TRUE(is_guarantee(m)) << "k=1 literal guarantee check over-approximated";
+    }
+  }
+  EXPECT_GT(structural_hits, 0);  // the sweep actually exercised the check
+}
+
+TEST(PaperChecks, TwoPairCounterexampleErratumE6) {
+  // Two states q0 ↔ q1 (complete, both letters move): the only infinite
+  // behaviours end up visiting both states forever or one forever.
+  //   pair 1: R₁ = {0}, P₁ = ∅      pair 2: R₂ = {1}, P₂ = ∅
+  // G = (R₁∪P₁) ∩ (R₂∪P₂) = ∅, so B = Q and B̂∩G = ∅: the literal check
+  // declares *safety*. But the loop {0,1} satisfies both pairs through
+  // different states, so the language is "visit 0 and 1 infinitely often" —
+  // which is not closed (limit of words committing to 0 forever).
+  auto sigma = ab();
+  DetOmega m(sigma, 2, 0, omega::Acceptance::t());
+  m.set_transition(0, 0, 1);
+  m.set_transition(0, 1, 0);
+  m.set_transition(1, 0, 0);
+  m.set_transition(1, 1, 1);
+  std::vector<StreettPair> pairs = {{{0}, {}}, {{1}, {}}};
+  omega::apply_streett_pairs(m, pairs);
+  // Sanity: the language is "both states visited infinitely often".
+  EXPECT_TRUE(m.accepts_text("(a)"));   // a alternates 0,1,0,1,...
+  EXPECT_FALSE(m.accepts_text("(b)"));  // b keeps the current state
+  EXPECT_FALSE(m.accepts_text("a(b)"));
+  // The literal §5.1 check claims safety...
+  EXPECT_TRUE(paper::literal_safety_check(m, pairs));
+  // ...but the language is not a safety property (nor guarantee).
+  EXPECT_FALSE(is_safety(m));
+  EXPECT_FALSE(is_guarantee(m));
+  // It is in fact a recurrence property (generalized Büchi).
+  EXPECT_TRUE(is_recurrence(m));
+}
+
+TEST(PaperChecks, SinglePairCanonicalShapes) {
+  // The operator-built automata carry the expected structural verdicts.
+  auto sigma = ab();
+  // op_a produces the safety shape: dead sink = B, live = G.
+  DetOmega a = omega::op_a(lang::compile_regex("a+b*", sigma));
+  // Recover the pair from the co-Büchi mark: P = unmarked states.
+  StreettPair pair_a;
+  for (omega::State q = 0; q < a.state_count(); ++q)
+    if (a.marks(q) == 0) pair_a.p.push_back(q);
+  EXPECT_TRUE(paper::literal_safety_check(a, {pair_a}));
+  EXPECT_FALSE(paper::literal_guarantee_check(a, {pair_a}));
+  // op_e produces the guarantee shape.
+  DetOmega e = omega::op_e(lang::compile_regex("(a|b)*b", sigma));
+  StreettPair pair_e;
+  for (omega::State q = 0; q < e.state_count(); ++q)
+    if (e.marks(q) != 0) pair_e.r.push_back(q);
+  EXPECT_TRUE(paper::literal_guarantee_check(e, {pair_e}));
+  EXPECT_FALSE(paper::literal_safety_check(e, {pair_e}));
+}
+
+TEST(PaperChecks, InputValidation) {
+  auto sigma = ab();
+  DetOmega m(sigma, 2, 0, omega::Acceptance::t());
+  EXPECT_THROW(paper::literal_safety_check(m, {}), std::invalid_argument);
+  EXPECT_THROW(paper::literal_safety_check(m, {StreettPair{{7}, {}}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mph::core

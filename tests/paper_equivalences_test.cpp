@@ -1,0 +1,116 @@
+// The §4 temporal equivalences, checked semantically: each claimed
+// equivalence must agree on every small lasso over its propositions. This
+// reproduces the paper's equational reasoning (closure of the specifiable
+// classes, the responsiveness kernels, inclusion of the lower classes) and
+// pins down erratum E7 in the conditional-guarantee kernel.
+#include <gtest/gtest.h>
+
+#include "src/ltl/eval.hpp"
+
+namespace mph::ltl {
+namespace {
+
+lang::Alphabet pq() { return lang::Alphabet::of_props({"p", "q"}); }
+
+void expect_equivalent(const std::string& lhs, const std::string& rhs) {
+  Formula f = parse_formula(lhs);
+  Formula g = parse_formula(rhs);
+  auto a = pq();
+  for (const omega::Lasso& l : omega::enumerate_lassos(a, 3, 3))
+    ASSERT_EQ(evaluates(f, l, a), evaluates(g, l, a))
+        << lhs << "  ~  " << rhs << "  @  " << l.to_string(a);
+}
+
+void expect_not_equivalent(const std::string& lhs, const std::string& rhs) {
+  Formula f = parse_formula(lhs);
+  Formula g = parse_formula(rhs);
+  auto a = pq();
+  for (const omega::Lasso& l : omega::enumerate_lassos(a, 3, 3))
+    if (evaluates(f, l, a) != evaluates(g, l, a)) return;  // found a separator
+  FAIL() << lhs << " and " << rhs << " agree on all small lassos";
+}
+
+TEST(PaperEquivalences, SafetyClosureUnderConjunction) {
+  // (□p ∧ □q) ∼ □(p ∧ q).
+  expect_equivalent("G p & G q", "G(p & q)");
+}
+
+TEST(PaperEquivalences, SafetyClosureUnderDisjunction) {
+  // (□p ∨ □q) ∼ □(□̃p ∨ □̃q) — past boxes inside.
+  expect_equivalent("G p | G q", "G(H p | H q)");
+}
+
+TEST(PaperEquivalences, GuaranteeClosureUnderConjunction) {
+  // (◇p ∧ ◇q) ∼ ◇(◇̃p ∧ ◇̃q).
+  expect_equivalent("F p & F q", "F(O p & O q)");
+}
+
+TEST(PaperEquivalences, ResponseKernel) {
+  // □(p → ◇q) ∼ □◇((¬p) B q): "no pending request" recurs.
+  expect_equivalent("G(p -> F q)", "G F ((!p) B q)");
+  // ...and equals the library's own kernel.
+  expect_equivalent("G(p -> F q)", "G F !((!q) S (p & !q))");
+}
+
+TEST(PaperEquivalences, RecurrenceIntersectionKernel) {
+  // □◇p ∧ □◇q ∼ □◇(q ∧ ⊙((¬q) S p)) — the minex kernel of §4.
+  expect_equivalent("G F p & G F q", "G F (q & Y((!q) S p))");
+}
+
+TEST(PaperEquivalences, PersistenceUnionKernel) {
+  // (◇□p ∨ ◇□q) ∼ ◇□(q ∨ ⊙(p S (p ∧ ¬q))) (§4).
+  expect_equivalent("F G p | F G q", "F G (q | Y(p S (p & !q)))");
+}
+
+TEST(PaperEquivalences, LowerClassInclusionKernels) {
+  // □p ∼ □◇(□̃p) and ◇p ∼ □◇(◇̃p): safety/guarantee inside recurrence.
+  expect_equivalent("G p", "G F H p");
+  expect_equivalent("F p", "G F O p");
+  // And inside persistence.
+  expect_equivalent("G p", "F G H p");
+  expect_equivalent("F p", "F G O p");
+}
+
+TEST(PaperEquivalences, ConditionalSafety) {
+  // (p → □q) ∼ □(◇̃(p ∧ first) → q).
+  expect_equivalent("p -> G q", "G(O(p & Z false) -> q)");
+}
+
+TEST(PaperEquivalences, ConditionalPersistence) {
+  // □(p → ◇□q) ∼ ◇□(◇̃p → q) (§4).
+  expect_equivalent("G(p -> F G q)", "F G (O p -> q)");
+}
+
+TEST(PaperEquivalences, DualityOfRecurrenceAndPersistence) {
+  expect_equivalent("!(G F p)", "F G !p");
+  expect_equivalent("!(F G p)", "G F !p");
+}
+
+TEST(PaperEquivalences, ConditionalGuaranteeErratumE7) {
+  // §4 claims (p → ◇q) ∼ ◇(first ∧ p → q). Under either reading of the
+  // scope, the right side is wrong:
+  //  - ◇((first ∧ p) → q) is a tautology (any position ≥ 1 falsifies
+  //    `first`), while p → ◇q is not;
+  expect_not_equivalent("p -> F q", "F((Z false & p) -> q)");
+  expect_equivalent("F((Z false & p) -> q)", "true");
+  //  - ◇(first ∧ (p → q)) forces q at position 0 whenever p holds there,
+  //    which is stronger than p → ◇q.
+  expect_not_equivalent("p -> F q", "F(Z false & (p -> q))");
+  // A correct conditional-guarantee kernel:
+  expect_equivalent("p -> F q", "F((q & O(Z false & p)) | (Z false & !p))");
+}
+
+TEST(PaperEquivalences, ObligationResponseKernel) {
+  // §4's exception pattern: ◇p → ◇(q ∧ ◇̃p): the first occurrence of p is
+  // (weakly) followed by a q.
+  expect_equivalent("F p -> F(q & O p)", "G(p -> F q) | (F p & F(q & O p)) | G !p");
+}
+
+TEST(PaperEquivalences, WeakUntilDecompositions) {
+  expect_equivalent("p W q", "G p | (p U q)");
+  expect_equivalent("p W q", "q R (p | q)");
+  expect_equivalent("!(p U q)", "(!p) R (!q)");
+}
+
+}  // namespace
+}  // namespace mph::ltl

@@ -1,0 +1,198 @@
+// Parameterized property sweeps (TEST_P): broad randomized and corpus-driven
+// cross-checks of the whole stack — each parameter is an independent test so
+// failures localize.
+#include <gtest/gtest.h>
+
+#include "src/core/classify.hpp"
+#include "src/core/kappa_automata.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/finitary_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/ltl/eval.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/semantic.hpp"
+#include "src/ltl/syntactic.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+
+namespace mph {
+namespace {
+
+using core::PropertyClass;
+
+// ---------------------------------------------------------------------------
+// Sweep 1: the §2 operator laws, one seed per test case.
+
+class OperatorLawSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OperatorLawSweep, LawsHoldOnRandomLanguages) {
+  Rng rng(GetParam());
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  lang::Dfa p1 = lang::random_dfa(rng, sigma, 4);
+  lang::Dfa p2 = lang::random_dfa(rng, sigma, 4);
+  lang::Dfa b1 = lang::complement_nonepsilon(p1);
+  using namespace omega;
+  EXPECT_TRUE(equivalent(complement(op_a(p1)), op_e(b1)));
+  EXPECT_TRUE(equivalent(complement(op_r(p1)), op_p(b1)));
+  EXPECT_TRUE(equivalent(intersection(op_r(p1), op_r(p2)), op_r(lang::minex(p1, p2))));
+  EXPECT_TRUE(equivalent(union_of(op_a(p1), op_a(p2)),
+                         op_a(lang::union_of(lang::a_f(p1), lang::a_f(p2)))));
+  EXPECT_TRUE(equivalent(op_a(p1), op_r(lang::a_f(p1))));
+  EXPECT_TRUE(equivalent(op_e(p1), op_p(lang::e_f(p1))));
+  // Safety closure is a closure operator: extensive, monotone, idempotent.
+  auto m = op_r(p1);
+  auto cl = safety_closure(m);
+  EXPECT_TRUE(contains(cl, m));
+  EXPECT_TRUE(equivalent(safety_closure(cl), cl));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorLawSweep,
+                         ::testing::Range<std::uint64_t>(1000, 1020));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: formula corpus — expected exact class, checked through the
+// deterministic pipeline, with syntactic soundness and NBA-check agreement.
+
+struct FormulaCase {
+  const char* text;
+  PropertyClass expected;
+  bool live;
+};
+
+void PrintTo(const FormulaCase& c, std::ostream* os) { *os << c.text; }
+
+class FormulaClassSweep : public ::testing::TestWithParam<FormulaCase> {};
+
+TEST_P(FormulaClassSweep, ExactClassAndAgreement) {
+  const auto& param = GetParam();
+  ltl::Formula f = ltl::parse_formula(param.text);
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  auto m = ltl::compile(f, alphabet);
+  auto sem = core::classify(m);
+  EXPECT_EQ(sem.lowest(), param.expected) << sem.describe();
+  EXPECT_EQ(sem.liveness, param.live);
+  // Syntactic claims are semantically sound.
+  auto syn = ltl::syntactic_classification(f);
+  for (auto cls : {PropertyClass::Safety, PropertyClass::Guarantee, PropertyClass::Obligation,
+                   PropertyClass::Recurrence, PropertyClass::Persistence}) {
+    if (syn.is(cls)) {
+      EXPECT_TRUE(sem.is(cls)) << "syntactic over-claimed " << core::to_string(cls);
+    }
+  }
+  // NBA-based checks agree where defined (future-only formulas).
+  if (!f.has_past()) {
+    EXPECT_EQ(ltl::nba_is_safety(f, alphabet), sem.safety);
+    EXPECT_EQ(ltl::nba_is_guarantee(f, alphabet), sem.guarantee);
+    EXPECT_EQ(ltl::nba_is_liveness(f, alphabet), sem.liveness);
+  }
+  // Compiled automaton matches the evaluator on small lassos.
+  for (const omega::Lasso& l : omega::enumerate_lassos(alphabet, 2, 2))
+    ASSERT_EQ(m.accepts(l), ltl::evaluates(f, l, alphabet)) << l.to_string(alphabet);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FormulaClassSweep,
+    ::testing::Values(
+        FormulaCase{"G p", PropertyClass::Safety, false},
+        FormulaCase{"G !p", PropertyClass::Safety, false},
+        FormulaCase{"G(p | q)", PropertyClass::Safety, false},
+        FormulaCase{"F q", PropertyClass::Guarantee, true},
+        FormulaCase{"F(p & q)", PropertyClass::Guarantee, true},
+        FormulaCase{"!(G p)", PropertyClass::Guarantee, true},
+        FormulaCase{"G p | F q", PropertyClass::Obligation, true},
+        FormulaCase{"G p & F q", PropertyClass::Obligation, false},
+        FormulaCase{"F p -> F q", PropertyClass::Obligation, true},
+        FormulaCase{"G F p", PropertyClass::Recurrence, true},
+        FormulaCase{"G(p -> F q)", PropertyClass::Recurrence, true},
+        FormulaCase{"G F (p & q)", PropertyClass::Recurrence, true},
+        FormulaCase{"F G p", PropertyClass::Persistence, true},
+        FormulaCase{"p -> F G q", PropertyClass::Persistence, true},
+        FormulaCase{"!(G F p)", PropertyClass::Persistence, true},
+        FormulaCase{"G F p | F G q", PropertyClass::Reactivity, true},
+        FormulaCase{"G F p -> G F q", PropertyClass::Reactivity, true},
+        FormulaCase{"G F p & F G q", PropertyClass::Reactivity, true},
+        FormulaCase{"p U q", PropertyClass::Guarantee, false},
+        FormulaCase{"p W q", PropertyClass::Safety, false},
+        FormulaCase{"p R q", PropertyClass::Safety, false},
+        FormulaCase{"X p", PropertyClass::Safety, false},
+        FormulaCase{"X F p", PropertyClass::Guarantee, true},
+        FormulaCase{"G(q -> O p)", PropertyClass::Safety, false},
+        FormulaCase{"F(q & Z H p)", PropertyClass::Guarantee, false},
+        FormulaCase{"G(p -> G q)", PropertyClass::Safety, false},
+        FormulaCase{"G(p -> X q)", PropertyClass::Safety, false},
+        FormulaCase{"G(p -> F G q)", PropertyClass::Persistence, true},
+        // □(p → □◇q) = □¬p ∨ □◇q: a union of safety and recurrence,
+        // hence recurrence (not merely reactivity).
+        FormulaCase{"G(p -> G F q)", PropertyClass::Recurrence, true},
+        FormulaCase{"true U q", PropertyClass::Guarantee, true}));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: κ-automaton constructions round-trip per seed.
+
+class KappaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KappaSweep, ConstructionsPreserveLanguages) {
+  Rng rng(GetParam());
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  lang::Dfa phi = lang::random_dfa(rng, sigma, 4);
+  auto a = omega::op_a(phi);
+  auto e = omega::op_e(phi);
+  auto r = omega::op_r(phi);
+  auto p = omega::op_p(phi);
+  EXPECT_TRUE(omega::equivalent(core::to_safety_automaton(a), a));
+  EXPECT_TRUE(omega::equivalent(core::to_guarantee_automaton(e), e));
+  EXPECT_TRUE(omega::equivalent(core::to_recurrence_automaton(r), r));
+  EXPECT_TRUE(omega::equivalent(core::to_persistence_automaton(p), p));
+  // Boolean combinations of safety and guarantee are obligations, hence both
+  // recurrence- and persistence-realizable.
+  auto obl = union_of(a, e);
+  EXPECT_TRUE(omega::equivalent(core::to_recurrence_automaton(obl), obl));
+  EXPECT_TRUE(omega::equivalent(core::to_persistence_automaton(obl), obl));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KappaSweep, ::testing::Range<std::uint64_t>(2000, 2015));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: classification invariants on random Streett-style automata.
+
+class StreettInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreettInvariantSweep, FigureOneInvariants) {
+  Rng rng(GetParam());
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  // Random 2-pair Streett automaton via the public builder.
+  omega::DetOmega m(sigma, 6, 0, omega::Acceptance::t());
+  for (omega::State q = 0; q < 6; ++q)
+    for (omega::Symbol s = 0; s < 2; ++s)
+      m.set_transition(q, s, static_cast<omega::State>(rng.below(6)));
+  std::vector<omega::StreettPair> pairs(2);
+  for (auto& pr : pairs) {
+    for (omega::State q = 0; q < 6; ++q) {
+      if (rng.chance(1, 4)) pr.r.push_back(q);
+      if (rng.chance(1, 2)) pr.p.push_back(q);
+    }
+  }
+  omega::apply_streett_pairs(m, pairs);
+  auto c = core::classify(m);
+  EXPECT_EQ(c.obligation, c.recurrence && c.persistence);
+  if (c.safety || c.guarantee) {
+    EXPECT_TRUE(c.obligation);
+  }
+  auto cc = core::classify(omega::complement(m));
+  EXPECT_EQ(c.safety, cc.guarantee);
+  EXPECT_EQ(c.guarantee, cc.safety);
+  EXPECT_EQ(c.recurrence, cc.persistence);
+  EXPECT_EQ(c.persistence, cc.recurrence);
+  // The language and its closure agree on liveness orthogonality:
+  // cl(Π) ⊇ Π and cl is safety.
+  auto cl = omega::safety_closure(m);
+  EXPECT_TRUE(omega::contains(cl, m));
+  EXPECT_TRUE(core::is_safety(cl));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreettInvariantSweep,
+                         ::testing::Range<std::uint64_t>(3000, 3025));
+
+}  // namespace
+}  // namespace mph

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/lang/regex.hpp"
+#include "src/lang/regex_print.hpp"
+
+namespace mph::lang {
+namespace {
+
+Alphabet ab() { return Alphabet::plain({"a", "b"}); }
+
+TEST(RegexPrint, RoundTripsCanonicalLanguages) {
+  auto sigma = ab();
+  const char* corpus[] = {"a",        "ab",         "a*",    "a+b*",      "(a|b)*b",
+                          "(a*b)+",   "a(a|b)*",    "%",     "a|%",       "(a|b)(a|b)",
+                          "!(b*)",    "a*b*&(a|b)a*"};
+  for (const char* re : corpus) {
+    Dfa original = compile_regex(re, sigma);
+    std::string printed = to_regex(original);
+    Dfa reparsed = compile_regex(printed, sigma);
+    EXPECT_TRUE(equivalent(original, reparsed)) << re << " printed as " << printed;
+  }
+}
+
+TEST(RegexPrint, RoundTripsRandomDfas) {
+  Rng rng(2718);
+  auto sigma = ab();
+  for (int trial = 0; trial < 30; ++trial) {
+    Dfa d = random_dfa(rng, sigma, 4);
+    std::string printed = to_regex(d);
+    EXPECT_TRUE(equivalent(d, compile_regex(printed, sigma))) << printed;
+  }
+}
+
+TEST(RegexPrint, EmptyAndUniversal) {
+  auto sigma = ab();
+  EXPECT_EQ(to_regex(empty_dfa(sigma)), "@");
+  Dfa all = universal_dfa(sigma);
+  EXPECT_TRUE(equivalent(all, compile_regex(to_regex(all), sigma)));
+}
+
+TEST(RegexPrint, ThreeLetterAlphabet) {
+  auto sigma = Alphabet::plain({"a", "b", "c"});
+  Dfa d = compile_regex("(a|b)*c(a|b|c)*", sigma);
+  EXPECT_TRUE(equivalent(d, compile_regex(to_regex(d), sigma)));
+}
+
+TEST(RegexPrint, LengthCapThrows) {
+  Rng rng(3141);
+  auto sigma = Alphabet::plain({"a", "b", "c"});
+  Dfa d = random_dfa(rng, sigma, 10);
+  EXPECT_THROW(to_regex(d, /*max_length=*/4), std::invalid_argument);
+}
+
+TEST(RegexPrint, SimplificationsKeepOutputReadable) {
+  auto sigma = ab();
+  // a* should print as something short, not a union tower.
+  std::string printed = to_regex(compile_regex("a*", sigma));
+  EXPECT_LE(printed.size(), 8u) << printed;
+}
+
+}  // namespace
+}  // namespace mph::lang

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/regex.hpp"
+
+namespace mph::lang {
+namespace {
+
+Alphabet ab() { return Alphabet::plain({"a", "b"}); }
+
+TEST(Regex, SingleLetter) {
+  Dfa d = compile_regex("a", ab());
+  EXPECT_TRUE(d.accepts_text("a"));
+  EXPECT_FALSE(d.accepts_text("b"));
+  EXPECT_FALSE(d.accepts_text(""));
+  EXPECT_FALSE(d.accepts_text("aa"));
+}
+
+TEST(Regex, Concatenation) {
+  Dfa d = compile_regex("ab", ab());
+  EXPECT_TRUE(d.accepts_text("ab"));
+  EXPECT_FALSE(d.accepts_text("ba"));
+  EXPECT_FALSE(d.accepts_text("a"));
+}
+
+TEST(Regex, UnionBindsLoosest) {
+  Dfa d = compile_regex("ab|ba", ab());
+  EXPECT_TRUE(d.accepts_text("ab"));
+  EXPECT_TRUE(d.accepts_text("ba"));
+  EXPECT_FALSE(d.accepts_text("aa"));
+}
+
+TEST(Regex, StarPlusOptional) {
+  auto sigma = ab();
+  Dfa star = compile_regex("a*", sigma);
+  EXPECT_TRUE(star.accepts_text(""));
+  EXPECT_TRUE(star.accepts_text("aaa"));
+  EXPECT_FALSE(star.accepts_text("ab"));
+  Dfa plus = compile_regex("a+", sigma);
+  EXPECT_FALSE(plus.accepts_text(""));
+  EXPECT_TRUE(plus.accepts_text("a"));
+  Dfa opt = compile_regex("ab?", sigma);
+  EXPECT_TRUE(opt.accepts_text("a"));
+  EXPECT_TRUE(opt.accepts_text("ab"));
+  EXPECT_FALSE(opt.accepts_text("abb"));
+}
+
+TEST(Regex, PaperExampleAPlusBStar) {
+  // Φ = a⁺b* from §2.
+  Dfa d = compile_regex("a+b*", ab());
+  EXPECT_TRUE(d.accepts_text("a"));
+  EXPECT_TRUE(d.accepts_text("aab"));
+  EXPECT_TRUE(d.accepts_text("abbb"));
+  EXPECT_FALSE(d.accepts_text("b"));
+  EXPECT_FALSE(d.accepts_text("aba"));
+}
+
+TEST(Regex, DotMatchesAnySymbol) {
+  auto sigma = Alphabet::plain({"a", "b", "c"});
+  Dfa d = compile_regex(".*c", sigma);
+  EXPECT_TRUE(d.accepts_text("abc"));
+  EXPECT_TRUE(d.accepts_text("c"));
+  EXPECT_FALSE(d.accepts_text("ab"));
+}
+
+TEST(Regex, EpsilonAndEmpty) {
+  auto sigma = ab();
+  Dfa eps = compile_regex("%", sigma);
+  EXPECT_TRUE(eps.accepts_text(""));
+  EXPECT_FALSE(eps.accepts_text("a"));
+  Dfa none = compile_regex("@", sigma);
+  EXPECT_TRUE(is_empty(none));
+  Dfa combo = compile_regex("%|a", sigma);
+  EXPECT_TRUE(combo.accepts_text(""));
+  EXPECT_TRUE(combo.accepts_text("a"));
+}
+
+TEST(Regex, IntersectionOperator) {
+  auto sigma = ab();
+  Dfa d = compile_regex("(a|b)*a&a(a|b)*", sigma);  // starts and ends with a
+  EXPECT_TRUE(d.accepts_text("a"));
+  EXPECT_TRUE(d.accepts_text("aba"));
+  EXPECT_FALSE(d.accepts_text("ab"));
+  EXPECT_FALSE(d.accepts_text("ba"));
+}
+
+TEST(Regex, ComplementOperator) {
+  auto sigma = ab();
+  Dfa d = compile_regex("!(b*)", sigma);  // contains an a
+  EXPECT_TRUE(d.accepts_text("a"));
+  EXPECT_TRUE(d.accepts_text("bab"));
+  EXPECT_FALSE(d.accepts_text(""));
+  EXPECT_FALSE(d.accepts_text("bbb"));
+  EXPECT_TRUE(equivalent(d, compile_regex("(a|b)*a(a|b)*", sigma)));
+}
+
+TEST(Regex, PrecedenceStarBeforeConcatBeforeUnion) {
+  auto sigma = ab();
+  // ab* = a(b*), not (ab)*.
+  Dfa d = compile_regex("ab*", sigma);
+  EXPECT_TRUE(d.accepts_text("a"));
+  EXPECT_TRUE(d.accepts_text("abb"));
+  EXPECT_FALSE(d.accepts_text("abab"));
+  // a|b* accepts ε (right side), unlike (a|b)*... which also accepts ε; use bb.
+  Dfa e = compile_regex("a|b*", sigma);
+  EXPECT_TRUE(e.accepts_text("bb"));
+  EXPECT_FALSE(e.accepts_text("ab"));
+}
+
+TEST(Regex, NestedGroups) {
+  auto sigma = ab();
+  Dfa d = compile_regex("((a|b)b)+", sigma);
+  EXPECT_TRUE(d.accepts_text("ab"));
+  EXPECT_TRUE(d.accepts_text("bbab"));
+  EXPECT_FALSE(d.accepts_text("aab"));
+}
+
+TEST(Regex, SyntaxErrorsThrow) {
+  auto sigma = ab();
+  EXPECT_THROW(compile_regex("(a", sigma), std::invalid_argument);
+  EXPECT_THROW(compile_regex("a)", sigma), std::invalid_argument);
+  EXPECT_THROW(compile_regex("x", sigma), std::invalid_argument);
+  EXPECT_THROW(compile_regex("*a", sigma), std::invalid_argument);
+  EXPECT_THROW(compile_regex("a||b", sigma), std::invalid_argument);
+}
+
+TEST(Regex, ResultIsMinimal) {
+  auto sigma = ab();
+  Dfa d = compile_regex("(a|b)(a|b)", sigma);
+  // Minimal DFA for exactly-two-symbols over a 2-letter alphabet: 4 states
+  // (0, 1, 2-accepting, dead).
+  EXPECT_EQ(d.state_count(), 4u);
+}
+
+TEST(Regex, DeMorganOnLanguages) {
+  auto sigma = ab();
+  Dfa lhs = compile_regex("!(a*&(a|b)*b)", sigma);
+  Dfa rhs = compile_regex("!(a*)|!((a|b)*b)", sigma);
+  EXPECT_TRUE(equivalent(lhs, rhs));
+}
+
+}  // namespace
+}  // namespace mph::lang

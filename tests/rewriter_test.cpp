@@ -1,0 +1,60 @@
+// The hierarchy-form rewriter in isolation: every rewrite must preserve
+// position-0 semantics (checked against the lasso evaluator), and the
+// rewriter must be idempotent on its own output.
+#include <gtest/gtest.h>
+
+#include "src/ltl/eval.hpp"
+#include "src/ltl/hierarchy.hpp"
+
+namespace mph::ltl {
+namespace {
+
+class RewriterSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RewriterSweep, PreservesSemanticsAndIsIdempotent) {
+  Formula f = parse_formula(GetParam());
+  Formula g = to_hierarchy_form(f);
+  auto a = lang::Alphabet::of_props({"p", "q"});
+  for (const omega::Lasso& l : omega::enumerate_lassos(a, 2, 3))
+    ASSERT_EQ(evaluates(f, l, a), evaluates(g, l, a))
+        << GetParam() << " rewrote to " << g.to_string() << " @ " << l.to_string(a);
+  // A fixpoint: rewriting the output changes nothing.
+  EXPECT_EQ(to_hierarchy_form(g), g) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RewriterSweep,
+    ::testing::Values(
+        // Response and conditional shapes.
+        "G(p -> F q)", "G(q -> F p)", "G((p & q) -> F(p | q))", "G(p -> G q)",
+        "G(p -> X q)", "G(p -> F G q)", "G(p -> G F q)",
+        // Next shifts, individually and stacked.
+        "X p", "X X p", "X X X p", "X G p", "X F p", "X G F p", "X F G p",
+        "X(p & G q)", "X !p", "X(p -> q)",
+        // Until family over past kernels.
+        "p U q", "p W q", "p R q", "(O p) U q", "p U (q & O p)",
+        // Distribution.
+        "G(p & F q)", "F(p | G q)", "G(G p)", "F(F p)", "G F F p", "F G G p",
+        // Boolean shells.
+        "!(G(p -> F q))", "G p -> F q", "(p U q) | G p", "G p <-> F q",
+        // Already-canonical forms pass through.
+        "G p", "F p", "G F p", "F G p", "p", "O p", "G(q -> O p)"));
+
+TEST(Rewriter, ResponseKernelShape) {
+  // The response rewrite produces the documented □◇ kernel.
+  Formula g = to_hierarchy_form(parse_formula("G(p -> F q)"));
+  EXPECT_EQ(g.op(), Op::Always);
+  EXPECT_EQ(g.child(0).op(), Op::Eventually);
+  EXPECT_TRUE(g.child(0).child(0).is_past_formula());
+}
+
+TEST(Rewriter, LeavesUnsupportedShapesIntact) {
+  // Until over future operands cannot be rewritten; the formula survives
+  // unchanged (and compile() then throws).
+  Formula f = parse_formula("(F p) U (G q)");
+  Formula g = to_hierarchy_form(f);
+  EXPECT_EQ(g.op(), Op::Until);
+}
+
+}  // namespace
+}  // namespace mph::ltl

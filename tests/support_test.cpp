@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/check.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/table.hpp"
+
+namespace mph {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(3);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= (v == -2);
+    hi_seen |= (v == 2);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng r(1);
+  EXPECT_THROW(r.below(0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(r.chance(1, 1));
+    EXPECT_FALSE(r.chance(0, 1));
+  }
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(MPH_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(MPH_REQUIRE(true, ""));
+}
+
+TEST(Check, AssertThrowsLogicError) {
+  EXPECT_THROW(MPH_ASSERT(false), std::logic_error);
+  EXPECT_NO_THROW(MPH_ASSERT(true));
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"class", "witness"});
+  t.add_row({"safety", "a^ω + a⁺b^ω"});
+  t.add_row({"guarantee", "a⁺b*·Σ^ω"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| class"), std::string::npos);
+  EXPECT_NE(s.find("| safety"), std::string::npos);
+  EXPECT_NE(s.find("guarantee"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mph

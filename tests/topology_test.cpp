@@ -1,0 +1,147 @@
+// The topological view (§3): metric properties, closure = safety closure,
+// the G_δ example, and the class↔topology correspondences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/regex.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+#include "src/topology/topology.hpp"
+
+namespace mph::topology {
+namespace {
+
+using lang::compile_regex;
+using omega::DetOmega;
+using omega::Lasso;
+using omega::parse_lasso;
+
+lang::Alphabet ab() { return lang::Alphabet::plain({"a", "b"}); }
+
+TEST(Topology, DistanceBasics) {
+  auto sigma = ab();
+  Lasso aw = parse_lasso("(a)", sigma);
+  Lasso bw = parse_lasso("(b)", sigma);
+  EXPECT_EQ(distance(aw, aw), 0.0);
+  EXPECT_EQ(distance(aw, bw), 1.0);  // differ at position 0: 2^0
+  // a^n b^ω vs a^{2n} b^ω: differ first at position n → 2^{-n} (§3 example).
+  for (int n = 1; n <= 5; ++n) {
+    Lasso l1{lang::parse_word(std::string(n, 'a'), sigma), lang::parse_word("b", sigma)};
+    Lasso l2{lang::parse_word(std::string(2 * n, 'a'), sigma), lang::parse_word("b", sigma)};
+    EXPECT_DOUBLE_EQ(distance(l1, l2), std::ldexp(1.0, -n));
+  }
+}
+
+TEST(Topology, DistanceIsSymmetricAndUltrametric) {
+  auto sigma = ab();
+  auto ls = omega::enumerate_lassos(sigma, 2, 2);
+  for (std::size_t i = 0; i < ls.size(); i += 7)
+    for (std::size_t j = 0; j < ls.size(); j += 11) {
+      double dij = distance(ls[i], ls[j]);
+      EXPECT_EQ(dij, distance(ls[j], ls[i]));
+      for (std::size_t k = 0; k < ls.size(); k += 13) {
+        // Ultrametric inequality: d(x,z) ≤ max(d(x,y), d(y,z)).
+        EXPECT_LE(distance(ls[i], ls[k]),
+                  std::max(dij, distance(ls[j], ls[k])) + 1e-12);
+      }
+    }
+}
+
+TEST(Topology, ClosureAddsLimitPoints) {
+  // cl(a⁺b^ω) = a⁺b^ω + a^ω (§3's example).
+  auto sigma = ab();
+  DetOmega m = intersection(omega::op_a(compile_regex("a+b*", sigma)),
+                            omega::op_e(compile_regex("a+b", sigma)));  // a⁺b^ω
+  EXPECT_FALSE(m.accepts_text("(a)"));
+  DetOmega cl = closure(m);
+  EXPECT_TRUE(cl.accepts_text("(a)"));  // the limit point a^ω
+  EXPECT_TRUE(cl.accepts_text("a(b)"));
+  EXPECT_FALSE(cl.accepts_text("(b)"));
+  EXPECT_FALSE(cl.accepts_text("ab(a)"));
+}
+
+TEST(Topology, LimitPointViaConvergingSequence) {
+  // b^ω, ab^ω, aab^ω, … converges to a^ω (§3): a^ω is a limit point of
+  // a*b^ω even though it is not in the set.
+  auto sigma = ab();
+  DetOmega m = intersection(omega::op_a(compile_regex("a*b*", sigma)),
+                            omega::op_e(compile_regex("a*b", sigma)));  // a*b^ω
+  Lasso limit = parse_lasso("(a)", sigma);
+  EXPECT_FALSE(m.accepts(limit));
+  EXPECT_TRUE(is_limit_point(m, limit));
+  // Distances to the sequence members shrink to 0.
+  double prev = 2.0;
+  for (int n = 0; n < 6; ++n) {
+    Lasso member{lang::parse_word(std::string(n, 'a'), sigma), lang::parse_word("b", sigma)};
+    ASSERT_TRUE(m.accepts(member));
+    double d = distance(limit, member);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Topology, ClosedOpenCorrespondence) {
+  auto sigma = ab();
+  EXPECT_TRUE(is_closed(omega::op_a(compile_regex("a+b*", sigma))));
+  EXPECT_FALSE(is_open(omega::op_a(compile_regex("a+b*", sigma))));
+  EXPECT_TRUE(is_open(omega::op_e(compile_regex("(a|b)*b", sigma))));
+  EXPECT_FALSE(is_closed(omega::op_e(compile_regex("(a|b)*b", sigma))));
+  // a·Σ^ω is clopen.
+  EXPECT_TRUE(is_clopen(omega::op_a(compile_regex("a(a|b)*", sigma))));
+}
+
+TEST(Topology, GDeltaExample) {
+  // §3: G_k = (a*b)^k·Σ^ω are open; their intersection (a*b)^ω is G_δ but
+  // neither closed nor open.
+  auto sigma = ab();
+  DetOmega h = omega::op_r(compile_regex("(a*b)+", sigma));
+  EXPECT_TRUE(is_g_delta(h));
+  EXPECT_FALSE(is_closed(h));
+  EXPECT_FALSE(is_open(h));
+  EXPECT_FALSE(is_f_sigma(h));
+  // Finite intersections of the opens stay open.
+  DetOmega g1 = omega::op_e(compile_regex("a*b", sigma));
+  DetOmega g2 = omega::op_e(compile_regex("a*ba*b", sigma));
+  EXPECT_TRUE(is_open(intersection(g1, g2)));
+  // And each G_k contains H.
+  EXPECT_TRUE(omega::contains(g1, h));
+  EXPECT_TRUE(omega::contains(g2, h));
+}
+
+TEST(Topology, FSigmaExample) {
+  auto sigma = ab();
+  DetOmega p = omega::op_p(compile_regex("(a|b)*a", sigma));  // Σ*a^ω
+  EXPECT_TRUE(is_f_sigma(p));
+  EXPECT_FALSE(is_g_delta(p));
+}
+
+TEST(Topology, DensenessIsLiveness) {
+  auto sigma = ab();
+  EXPECT_TRUE(is_dense(omega::op_r(compile_regex("(a*b)+", sigma))));
+  EXPECT_FALSE(is_dense(omega::op_a(compile_regex("a+b*", sigma))));
+  // The whole space is dense and clopen.
+  DetOmega all = omega::op_a(compile_regex("(a|b)+", sigma));
+  EXPECT_TRUE(is_dense(all));
+  EXPECT_TRUE(is_clopen(all));
+}
+
+TEST(Topology, InteriorIsDualToClosure) {
+  auto sigma = ab();
+  DetOmega m = omega::op_r(compile_regex("(a*b)+", sigma));
+  // interior ⊆ Π ⊆ closure; interior open, closure closed.
+  DetOmega in = interior(m);
+  DetOmega cl = closure(m);
+  EXPECT_TRUE(omega::contains(m, in));
+  EXPECT_TRUE(omega::contains(cl, m));
+  EXPECT_TRUE(is_open(in));
+  EXPECT_TRUE(is_closed(cl));
+  // For (a*b)^ω the interior is empty and the closure is everything.
+  EXPECT_TRUE(omega::is_empty(in));
+  EXPECT_TRUE(omega::is_liveness(cl));
+  EXPECT_TRUE(is_clopen(closure(in)));
+}
+
+}  // namespace
+}  // namespace mph::topology
