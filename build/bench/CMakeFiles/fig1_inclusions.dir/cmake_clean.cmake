@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_inclusions.dir/fig1_inclusions.cpp.o"
+  "CMakeFiles/fig1_inclusions.dir/fig1_inclusions.cpp.o.d"
+  "fig1_inclusions"
+  "fig1_inclusions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_inclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab10_verification.dir/tab10_verification.cpp.o"
+  "CMakeFiles/tab10_verification.dir/tab10_verification.cpp.o.d"
+  "tab10_verification"
+  "tab10_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab10_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

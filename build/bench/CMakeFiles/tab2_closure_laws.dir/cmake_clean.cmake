@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_closure_laws.dir/tab2_closure_laws.cpp.o"
+  "CMakeFiles/tab2_closure_laws.dir/tab2_closure_laws.cpp.o.d"
+  "tab2_closure_laws"
+  "tab2_closure_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_closure_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_obligation_hierarchy.dir/tab3_obligation_hierarchy.cpp.o"
+  "CMakeFiles/tab3_obligation_hierarchy.dir/tab3_obligation_hierarchy.cpp.o.d"
+  "tab3_obligation_hierarchy"
+  "tab3_obligation_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_obligation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

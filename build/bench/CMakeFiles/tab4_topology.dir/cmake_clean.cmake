@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_topology.dir/tab4_topology.cpp.o"
+  "CMakeFiles/tab4_topology.dir/tab4_topology.cpp.o.d"
+  "tab4_topology"
+  "tab4_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

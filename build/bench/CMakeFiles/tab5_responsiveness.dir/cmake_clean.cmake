@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_responsiveness.dir/tab5_responsiveness.cpp.o"
+  "CMakeFiles/tab5_responsiveness.dir/tab5_responsiveness.cpp.o.d"
+  "tab5_responsiveness"
+  "tab5_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_reactivity_hierarchy.dir/tab6_reactivity_hierarchy.cpp.o"
+  "CMakeFiles/tab6_reactivity_hierarchy.dir/tab6_reactivity_hierarchy.cpp.o.d"
+  "tab6_reactivity_hierarchy"
+  "tab6_reactivity_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_reactivity_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_decision_procedures.dir/tab7_decision_procedures.cpp.o"
+  "CMakeFiles/tab7_decision_procedures.dir/tab7_decision_procedures.cpp.o.d"
+  "tab7_decision_procedures"
+  "tab7_decision_procedures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_decision_procedures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab8_sl_decomposition.dir/tab8_sl_decomposition.cpp.o"
+  "CMakeFiles/tab8_sl_decomposition.dir/tab8_sl_decomposition.cpp.o.d"
+  "tab8_sl_decomposition"
+  "tab8_sl_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab8_sl_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

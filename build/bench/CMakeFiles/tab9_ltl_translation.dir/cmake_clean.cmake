@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab9_ltl_translation.dir/tab9_ltl_translation.cpp.o"
+  "CMakeFiles/tab9_ltl_translation.dir/tab9_ltl_translation.cpp.o.d"
+  "tab9_ltl_translation"
+  "tab9_ltl_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab9_ltl_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

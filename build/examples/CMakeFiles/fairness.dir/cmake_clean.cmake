@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness.dir/fairness.cpp.o"
+  "CMakeFiles/fairness.dir/fairness.cpp.o.d"
+  "fairness"
+  "fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

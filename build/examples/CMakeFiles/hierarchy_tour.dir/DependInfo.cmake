@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hierarchy_tour.cpp" "examples/CMakeFiles/hierarchy_tour.dir/hierarchy_tour.cpp.o" "gcc" "examples/CMakeFiles/hierarchy_tour.dir/hierarchy_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/mph_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/mph_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mph_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

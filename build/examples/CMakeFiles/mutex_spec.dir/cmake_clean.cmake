@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_spec.dir/mutex_spec.cpp.o"
+  "CMakeFiles/mutex_spec.dir/mutex_spec.cpp.o.d"
+  "mutex_spec"
+  "mutex_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

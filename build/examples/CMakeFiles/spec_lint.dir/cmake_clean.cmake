@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_lint.dir/spec_lint.cpp.o"
+  "CMakeFiles/spec_lint.dir/spec_lint.cpp.o.d"
+  "spec_lint"
+  "spec_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

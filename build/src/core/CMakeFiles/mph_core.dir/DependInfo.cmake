@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chains.cpp" "src/core/CMakeFiles/mph_core.dir/chains.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/chains.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/mph_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/decompose.cpp" "src/core/CMakeFiles/mph_core.dir/decompose.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/decompose.cpp.o.d"
+  "/root/repo/src/core/kappa_automata.cpp" "src/core/CMakeFiles/mph_core.dir/kappa_automata.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/kappa_automata.cpp.o.d"
+  "/root/repo/src/core/normal_form.cpp" "src/core/CMakeFiles/mph_core.dir/normal_form.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/normal_form.cpp.o.d"
+  "/root/repo/src/core/operator_forms.cpp" "src/core/CMakeFiles/mph_core.dir/operator_forms.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/operator_forms.cpp.o.d"
+  "/root/repo/src/core/paper_checks.cpp" "src/core/CMakeFiles/mph_core.dir/paper_checks.cpp.o" "gcc" "src/core/CMakeFiles/mph_core.dir/paper_checks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omega/CMakeFiles/mph_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mph_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_core.dir/chains.cpp.o"
+  "CMakeFiles/mph_core.dir/chains.cpp.o.d"
+  "CMakeFiles/mph_core.dir/classify.cpp.o"
+  "CMakeFiles/mph_core.dir/classify.cpp.o.d"
+  "CMakeFiles/mph_core.dir/decompose.cpp.o"
+  "CMakeFiles/mph_core.dir/decompose.cpp.o.d"
+  "CMakeFiles/mph_core.dir/kappa_automata.cpp.o"
+  "CMakeFiles/mph_core.dir/kappa_automata.cpp.o.d"
+  "CMakeFiles/mph_core.dir/normal_form.cpp.o"
+  "CMakeFiles/mph_core.dir/normal_form.cpp.o.d"
+  "CMakeFiles/mph_core.dir/operator_forms.cpp.o"
+  "CMakeFiles/mph_core.dir/operator_forms.cpp.o.d"
+  "CMakeFiles/mph_core.dir/paper_checks.cpp.o"
+  "CMakeFiles/mph_core.dir/paper_checks.cpp.o.d"
+  "libmph_core.a"
+  "libmph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_fts.dir/checker.cpp.o"
+  "CMakeFiles/mph_fts.dir/checker.cpp.o.d"
+  "CMakeFiles/mph_fts.dir/fts.cpp.o"
+  "CMakeFiles/mph_fts.dir/fts.cpp.o.d"
+  "CMakeFiles/mph_fts.dir/programs.cpp.o"
+  "CMakeFiles/mph_fts.dir/programs.cpp.o.d"
+  "CMakeFiles/mph_fts.dir/proof_rules.cpp.o"
+  "CMakeFiles/mph_fts.dir/proof_rules.cpp.o.d"
+  "libmph_fts.a"
+  "libmph_fts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_fts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

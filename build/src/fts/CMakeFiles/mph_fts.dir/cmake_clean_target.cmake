@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmph_fts.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/alphabet.cpp" "src/lang/CMakeFiles/mph_lang.dir/alphabet.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/alphabet.cpp.o.d"
+  "/root/repo/src/lang/dfa.cpp" "src/lang/CMakeFiles/mph_lang.dir/dfa.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/dfa.cpp.o.d"
+  "/root/repo/src/lang/dfa_ops.cpp" "src/lang/CMakeFiles/mph_lang.dir/dfa_ops.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/dfa_ops.cpp.o.d"
+  "/root/repo/src/lang/finitary_ops.cpp" "src/lang/CMakeFiles/mph_lang.dir/finitary_ops.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/finitary_ops.cpp.o.d"
+  "/root/repo/src/lang/nfa.cpp" "src/lang/CMakeFiles/mph_lang.dir/nfa.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/nfa.cpp.o.d"
+  "/root/repo/src/lang/random_lang.cpp" "src/lang/CMakeFiles/mph_lang.dir/random_lang.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/random_lang.cpp.o.d"
+  "/root/repo/src/lang/regex.cpp" "src/lang/CMakeFiles/mph_lang.dir/regex.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/regex.cpp.o.d"
+  "/root/repo/src/lang/regex_print.cpp" "src/lang/CMakeFiles/mph_lang.dir/regex_print.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/regex_print.cpp.o.d"
+  "/root/repo/src/lang/word.cpp" "src/lang/CMakeFiles/mph_lang.dir/word.cpp.o" "gcc" "src/lang/CMakeFiles/mph_lang.dir/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

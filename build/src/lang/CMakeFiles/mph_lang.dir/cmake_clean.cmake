@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_lang.dir/alphabet.cpp.o"
+  "CMakeFiles/mph_lang.dir/alphabet.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/dfa.cpp.o"
+  "CMakeFiles/mph_lang.dir/dfa.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/dfa_ops.cpp.o"
+  "CMakeFiles/mph_lang.dir/dfa_ops.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/finitary_ops.cpp.o"
+  "CMakeFiles/mph_lang.dir/finitary_ops.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/nfa.cpp.o"
+  "CMakeFiles/mph_lang.dir/nfa.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/random_lang.cpp.o"
+  "CMakeFiles/mph_lang.dir/random_lang.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/regex.cpp.o"
+  "CMakeFiles/mph_lang.dir/regex.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/regex_print.cpp.o"
+  "CMakeFiles/mph_lang.dir/regex_print.cpp.o.d"
+  "CMakeFiles/mph_lang.dir/word.cpp.o"
+  "CMakeFiles/mph_lang.dir/word.cpp.o.d"
+  "libmph_lang.a"
+  "libmph_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltl/ast.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/ast.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/ast.cpp.o.d"
+  "/root/repo/src/ltl/esat.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/esat.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/esat.cpp.o.d"
+  "/root/repo/src/ltl/eval.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/eval.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/eval.cpp.o.d"
+  "/root/repo/src/ltl/hierarchy.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/hierarchy.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/ltl/parser.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/parser.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/parser.cpp.o.d"
+  "/root/repo/src/ltl/patterns.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/patterns.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/patterns.cpp.o.d"
+  "/root/repo/src/ltl/semantic.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/semantic.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/semantic.cpp.o.d"
+  "/root/repo/src/ltl/syntactic.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/syntactic.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/syntactic.cpp.o.d"
+  "/root/repo/src/ltl/to_nba.cpp" "src/ltl/CMakeFiles/mph_ltl.dir/to_nba.cpp.o" "gcc" "src/ltl/CMakeFiles/mph_ltl.dir/to_nba.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/mph_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mph_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_ltl.dir/ast.cpp.o"
+  "CMakeFiles/mph_ltl.dir/ast.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/esat.cpp.o"
+  "CMakeFiles/mph_ltl.dir/esat.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/eval.cpp.o"
+  "CMakeFiles/mph_ltl.dir/eval.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/hierarchy.cpp.o"
+  "CMakeFiles/mph_ltl.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/parser.cpp.o"
+  "CMakeFiles/mph_ltl.dir/parser.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/patterns.cpp.o"
+  "CMakeFiles/mph_ltl.dir/patterns.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/semantic.cpp.o"
+  "CMakeFiles/mph_ltl.dir/semantic.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/syntactic.cpp.o"
+  "CMakeFiles/mph_ltl.dir/syntactic.cpp.o.d"
+  "CMakeFiles/mph_ltl.dir/to_nba.cpp.o"
+  "CMakeFiles/mph_ltl.dir/to_nba.cpp.o.d"
+  "libmph_ltl.a"
+  "libmph_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

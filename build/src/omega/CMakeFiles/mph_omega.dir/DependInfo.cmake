@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omega/acceptance.cpp" "src/omega/CMakeFiles/mph_omega.dir/acceptance.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/acceptance.cpp.o.d"
+  "/root/repo/src/omega/counter_free.cpp" "src/omega/CMakeFiles/mph_omega.dir/counter_free.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/counter_free.cpp.o.d"
+  "/root/repo/src/omega/det_omega.cpp" "src/omega/CMakeFiles/mph_omega.dir/det_omega.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/det_omega.cpp.o.d"
+  "/root/repo/src/omega/emptiness.cpp" "src/omega/CMakeFiles/mph_omega.dir/emptiness.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/emptiness.cpp.o.d"
+  "/root/repo/src/omega/first_order.cpp" "src/omega/CMakeFiles/mph_omega.dir/first_order.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/first_order.cpp.o.d"
+  "/root/repo/src/omega/graph.cpp" "src/omega/CMakeFiles/mph_omega.dir/graph.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/graph.cpp.o.d"
+  "/root/repo/src/omega/io.cpp" "src/omega/CMakeFiles/mph_omega.dir/io.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/io.cpp.o.d"
+  "/root/repo/src/omega/lasso.cpp" "src/omega/CMakeFiles/mph_omega.dir/lasso.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/lasso.cpp.o.d"
+  "/root/repo/src/omega/nba.cpp" "src/omega/CMakeFiles/mph_omega.dir/nba.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/nba.cpp.o.d"
+  "/root/repo/src/omega/operators.cpp" "src/omega/CMakeFiles/mph_omega.dir/operators.cpp.o" "gcc" "src/omega/CMakeFiles/mph_omega.dir/operators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/mph_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

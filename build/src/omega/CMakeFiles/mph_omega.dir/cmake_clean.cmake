@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_omega.dir/acceptance.cpp.o"
+  "CMakeFiles/mph_omega.dir/acceptance.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/counter_free.cpp.o"
+  "CMakeFiles/mph_omega.dir/counter_free.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/det_omega.cpp.o"
+  "CMakeFiles/mph_omega.dir/det_omega.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/emptiness.cpp.o"
+  "CMakeFiles/mph_omega.dir/emptiness.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/first_order.cpp.o"
+  "CMakeFiles/mph_omega.dir/first_order.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/graph.cpp.o"
+  "CMakeFiles/mph_omega.dir/graph.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/io.cpp.o"
+  "CMakeFiles/mph_omega.dir/io.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/lasso.cpp.o"
+  "CMakeFiles/mph_omega.dir/lasso.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/nba.cpp.o"
+  "CMakeFiles/mph_omega.dir/nba.cpp.o.d"
+  "CMakeFiles/mph_omega.dir/operators.cpp.o"
+  "CMakeFiles/mph_omega.dir/operators.cpp.o.d"
+  "libmph_omega.a"
+  "libmph_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_support.dir/rng.cpp.o"
+  "CMakeFiles/mph_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mph_support.dir/table.cpp.o"
+  "CMakeFiles/mph_support.dir/table.cpp.o.d"
+  "libmph_support.a"
+  "libmph_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

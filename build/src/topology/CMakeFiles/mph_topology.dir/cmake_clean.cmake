@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_topology.dir/topology.cpp.o"
+  "CMakeFiles/mph_topology.dir/topology.cpp.o.d"
+  "libmph_topology.a"
+  "libmph_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

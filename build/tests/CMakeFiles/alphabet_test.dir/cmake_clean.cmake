@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphabet_test.dir/alphabet_test.cpp.o"
+  "CMakeFiles/alphabet_test.dir/alphabet_test.cpp.o.d"
+  "alphabet_test"
+  "alphabet_test.pdb"
+  "alphabet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphabet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_replay_test.dir/checker_replay_test.cpp.o"
+  "CMakeFiles/checker_replay_test.dir/checker_replay_test.cpp.o.d"
+  "checker_replay_test"
+  "checker_replay_test.pdb"
+  "checker_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

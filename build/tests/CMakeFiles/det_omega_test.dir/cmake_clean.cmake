@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/det_omega_test.dir/det_omega_test.cpp.o"
+  "CMakeFiles/det_omega_test.dir/det_omega_test.cpp.o.d"
+  "det_omega_test"
+  "det_omega_test.pdb"
+  "det_omega_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/det_omega_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finitary_ops_test.dir/finitary_ops_test.cpp.o"
+  "CMakeFiles/finitary_ops_test.dir/finitary_ops_test.cpp.o.d"
+  "finitary_ops_test"
+  "finitary_ops_test.pdb"
+  "finitary_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finitary_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_extended_test.dir/fts_extended_test.cpp.o"
+  "CMakeFiles/fts_extended_test.dir/fts_extended_test.cpp.o.d"
+  "fts_extended_test"
+  "fts_extended_test.pdb"
+  "fts_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

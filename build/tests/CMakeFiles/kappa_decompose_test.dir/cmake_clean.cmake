@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kappa_decompose_test.dir/kappa_decompose_test.cpp.o"
+  "CMakeFiles/kappa_decompose_test.dir/kappa_decompose_test.cpp.o.d"
+  "kappa_decompose_test"
+  "kappa_decompose_test.pdb"
+  "kappa_decompose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kappa_decompose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ltl_ast_test.cpp" "tests/CMakeFiles/ltl_ast_test.dir/ltl_ast_test.cpp.o" "gcc" "tests/CMakeFiles/ltl_ast_test.dir/ltl_ast_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ltl/CMakeFiles/mph_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/mph_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mph_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl_ast_test.dir/ltl_ast_test.cpp.o"
+  "CMakeFiles/ltl_ast_test.dir/ltl_ast_test.cpp.o.d"
+  "ltl_ast_test"
+  "ltl_ast_test.pdb"
+  "ltl_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl_class_test.dir/ltl_class_test.cpp.o"
+  "CMakeFiles/ltl_class_test.dir/ltl_class_test.cpp.o.d"
+  "ltl_class_test"
+  "ltl_class_test.pdb"
+  "ltl_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl_compile_test.dir/ltl_compile_test.cpp.o"
+  "CMakeFiles/ltl_compile_test.dir/ltl_compile_test.cpp.o.d"
+  "ltl_compile_test"
+  "ltl_compile_test.pdb"
+  "ltl_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltl_eval_test.dir/ltl_eval_test.cpp.o"
+  "CMakeFiles/ltl_eval_test.dir/ltl_eval_test.cpp.o.d"
+  "ltl_eval_test"
+  "ltl_eval_test.pdb"
+  "ltl_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltl_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nba_test.dir/nba_test.cpp.o"
+  "CMakeFiles/nba_test.dir/nba_test.cpp.o.d"
+  "nba_test"
+  "nba_test.pdb"
+  "nba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

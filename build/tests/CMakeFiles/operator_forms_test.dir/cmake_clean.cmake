@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_forms_test.dir/operator_forms_test.cpp.o"
+  "CMakeFiles/operator_forms_test.dir/operator_forms_test.cpp.o.d"
+  "operator_forms_test"
+  "operator_forms_test.pdb"
+  "operator_forms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_forms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_checks_test.dir/paper_checks_test.cpp.o"
+  "CMakeFiles/paper_checks_test.dir/paper_checks_test.cpp.o.d"
+  "paper_checks_test"
+  "paper_checks_test.pdb"
+  "paper_checks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_equivalences_test.dir/paper_equivalences_test.cpp.o"
+  "CMakeFiles/paper_equivalences_test.dir/paper_equivalences_test.cpp.o.d"
+  "paper_equivalences_test"
+  "paper_equivalences_test.pdb"
+  "paper_equivalences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_equivalences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_rule_premises_test.dir/proof_rule_premises_test.cpp.o"
+  "CMakeFiles/proof_rule_premises_test.dir/proof_rule_premises_test.cpp.o.d"
+  "proof_rule_premises_test"
+  "proof_rule_premises_test.pdb"
+  "proof_rule_premises_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_rule_premises_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

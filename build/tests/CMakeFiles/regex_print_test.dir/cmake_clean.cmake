@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_print_test.dir/regex_print_test.cpp.o"
+  "CMakeFiles/regex_print_test.dir/regex_print_test.cpp.o.d"
+  "regex_print_test"
+  "regex_print_test.pdb"
+  "regex_print_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_print_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
