@@ -3,15 +3,16 @@
 // a completeness checklist ("for each type of property: is there one
 // relevant to my system? have I specified it?").
 //
+// Since the analysis subsystem landed this example is a thin front-end over
+// mph::analysis::lint_spec_texts — the full linter (redundancy, downgrades,
+// contradictions, ...) lives in tools/mph-lint.
+//
 //   ./spec_lint                          # lints the faulty mutex spec
 //   ./spec_lint 'G !(c1 & c2)' 'G(t1 -> F c1)' ...
-#include <algorithm>
 #include <iostream>
-#include <map>
 
+#include "src/analysis/spec_lint.hpp"
 #include "src/core/classify.hpp"
-#include "src/ltl/hierarchy.hpp"
-#include "src/omega/emptiness.hpp"
 #include "src/support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -26,69 +27,47 @@ int main(int argc, char** argv) {
     inputs = {"G !(c1 & c2)", "G(c1 -> O t1)"};
   }
 
-  // Shared alphabet over all atoms.
-  std::vector<std::string> atoms;
-  std::vector<ltl::Formula> formulas;
-  for (const auto& text : inputs) {
-    formulas.push_back(ltl::parse_formula(text));
-    for (const auto& a : formulas.back().atoms())
-      if (std::find(atoms.begin(), atoms.end(), a) == atoms.end()) atoms.push_back(a);
-  }
-  if (atoms.empty() || atoms.size() > 6) {
-    std::cerr << "spec_lint supports 1..6 distinct atoms (got " << atoms.size() << ")\n";
+  analysis::DiagnosticEngine diagnostics;
+  analysis::SpecLintResult result;
+  try {
+    result = analysis::lint_spec_texts(inputs, diagnostics);
+  } catch (const std::exception& e) {
+    std::cerr << "spec_lint: " << e.what() << "\n";
     return 1;
   }
-  auto alphabet = lang::Alphabet::of_props(atoms);
 
   TextTable t({"requirement", "least class", "live?"});
-  std::map<PropertyClass, int> histogram;
-  std::optional<omega::DetOmega> conjunction;
-  for (const auto& f : formulas) {
-    auto m = ltl::compile(f, alphabet);
-    auto c = core::classify(m);
-    histogram[c.lowest()]++;
-    t.add_row({f.to_string(), core::to_string(c.lowest()), c.liveness ? "yes" : "no"});
-    conjunction = conjunction ? intersection(*conjunction, m) : m;
+  bool ticked[6] = {false, false, false, false, false, false};
+  for (const auto& item : result.items) {
+    const auto& c = item.best();
+    ticked[static_cast<int>(c.lowest())] = true;
+    t.add_row({item.text, core::to_string(c.lowest()), c.liveness ? "yes" : "no"});
   }
   std::cout << t.to_string() << "\n";
 
   std::cout << "Checklist (one line per class of the hierarchy):\n\n";
-  struct Hint {
-    PropertyClass cls;
-    const char* question;
+  const PropertyClass classes[] = {
+      PropertyClass::Safety,     PropertyClass::Guarantee,   PropertyClass::Obligation,
+      PropertyClass::Recurrence, PropertyClass::Persistence, PropertyClass::Reactivity,
   };
-  const Hint hints[] = {
-      {PropertyClass::Safety, "something bad never happens (invariants, exclusion, precedence)"},
-      {PropertyClass::Guarantee, "something good happens at least once (termination)"},
-      {PropertyClass::Obligation, "a conditional one-shot promise (exceptions)"},
-      {PropertyClass::Recurrence, "something good happens again and again (response, justice)"},
-      {PropertyClass::Persistence, "the system eventually stabilizes"},
-      {PropertyClass::Reactivity, "infinitely many stimuli get infinitely many responses (compassion)"},
-  };
-  for (const auto& h : hints) {
-    int n = histogram.count(h.cls) ? histogram[h.cls] : 0;
-    std::cout << "  [" << (n > 0 ? "x" : " ") << "] " << core::to_string(h.cls) << " — "
-              << h.question << "\n";
+  for (auto cls : classes) {
+    std::cout << "  [" << (ticked[static_cast<int>(cls)] ? "x" : " ") << "] "
+              << core::to_string(cls) << " — " << analysis::checklist_question(cls) << "\n";
   }
   std::cout << "\n";
 
-  bool has_non_safety = false;
-  for (const auto& [cls, n] : histogram)
-    has_non_safety = has_non_safety || (cls != PropertyClass::Safety && n > 0);
-  if (!has_non_safety) {
+  if (diagnostics.has_code("MPH-S006")) {
     std::cout << "WARNING: every requirement is a safety property. A system that\n"
               << "does nothing satisfies this specification (the paper's classic\n"
               << "underspecification trap) — consider adding a progress property\n"
               << "such as G(request -> F grant).\n\n";
   }
-  if (conjunction) {
-    if (omega::is_empty(*conjunction)) {
-      std::cout << "ERROR: the requirements are contradictory — no computation can\n"
-                << "satisfy all of them.\n";
-    } else if (auto w = omega::accepting_lasso(*conjunction)) {
-      std::cout << "The conjunction is satisfiable; a model: "
-                << w->to_string(alphabet) << "\n";
-    }
+  if (diagnostics.has_code("MPH-S005")) {
+    std::cout << "ERROR: the requirements are contradictory — no computation can\n"
+              << "satisfy all of them.\n";
+  } else if (result.model && result.alphabet) {
+    std::cout << "The conjunction is satisfiable; a model: "
+              << result.model->to_string(*result.alphabet) << "\n";
   }
-  return 0;
+  return diagnostics.has_errors() ? 1 : 0;
 }

@@ -1,0 +1,34 @@
+// Automaton lint: static well-formedness and degeneracy findings over the
+// three automaton IRs, reusing the §5.1 cycle machinery (graph.hpp) for the
+// SCC-level analyses.
+//
+// DetOmega passes (each independently callable for the pass framework):
+//   structure  MPH-A001 unreachable states, MPH-A003 marks on unreachable
+//              states, MPH-A006 acceptance mentions an unplaced mark
+//   language   MPH-A004 empty, MPH-A005 universal, MPH-A002 dead states
+//   scc        MPH-A007 weak (acceptance constant per SCC),
+//              MPH-A011 acceptance-shape vs semantic-class downgrade
+// Nba pass:    MPH-A008 no initial, MPH-A009 duplicate edges, MPH-A010
+//              non-total, plus A001/A002/A003/A004 analogues
+// Dfa pass:    A001, A004 (no accepting state reachable), A005 (all
+//              reachable states accepting), MPH-A012 non-minimal trap region
+#pragma once
+
+#include <string_view>
+
+#include "src/analysis/diagnostics.hpp"
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+#include "src/omega/nba.hpp"
+
+namespace mph::analysis {
+
+void lint_det_structure(const omega::DetOmega& m, std::string_view subject, DiagnosticEngine& out);
+void lint_det_language(const omega::DetOmega& m, std::string_view subject, DiagnosticEngine& out);
+void lint_det_scc(const omega::DetOmega& m, std::string_view subject, DiagnosticEngine& out);
+
+void lint_automaton(const omega::DetOmega& m, std::string_view subject, DiagnosticEngine& out);
+void lint_automaton(const omega::Nba& n, std::string_view subject, DiagnosticEngine& out);
+void lint_automaton(const lang::Dfa& d, std::string_view subject, DiagnosticEngine& out);
+
+}  // namespace mph::analysis

@@ -1,0 +1,93 @@
+// Structured diagnostics for the static-analysis subsystem (the paper's §1
+// motivation turned into tooling: underspecification and ill-formed models
+// should be *findings*, not prints).
+//
+// Every finding is a Diagnostic with a stable registered code ("MPH-A004"),
+// a severity, the subject it is about, and optional location / witness /
+// fix-hint payloads. A DiagnosticEngine collects findings and renders them
+// as text or JSON; it depends only on src/support so any layer (the model
+// checker, the paper-literal procedures, the lint passes) can emit through
+// it without dependency cycles.
+//
+// Code families:  MPH-Axxx  automata (DetOmega / Nba / Dfa)
+//                 MPH-Fxxx  fair transition systems
+//                 MPH-Sxxx  LTL property-list specifications
+//                 MPH-Vxxx  model-checker notes
+//                 MPH-Pxxx  paper-literal procedure caveats
+// The full registry with default severities lives in diagnostics.cpp and is
+// documented in docs/ANALYSIS.md; emitting an unregistered code throws.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mph::analysis {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  std::string code;      // stable registry code, e.g. "MPH-A004"
+  Severity severity;     // defaulted from the registry at emit time
+  std::string subject;   // the IR object, e.g. "automaton 'G(p -> F q)'"
+  std::string message;   // one-sentence human description
+  std::string location;  // optional: "state 4", "transition 'enter1'", "requirement 2"
+  std::string witness;   // optional: lasso / valuation text demonstrating the finding
+  std::string fix_hint;  // optional: what to change
+};
+
+/// Registry entry for a diagnostic code.
+struct CodeInfo {
+  std::string_view code;
+  Severity severity;
+  std::string_view title;  // short generic description of the finding
+};
+
+/// All registered codes, ordered by code.
+std::span<const CodeInfo> code_registry();
+
+/// Lookup; nullptr if the code is not registered.
+const CodeInfo* find_code(std::string_view code);
+
+class DiagnosticEngine {
+ public:
+  /// Emits a diagnostic under a registered code; severity defaults from the
+  /// registry. The returned reference is valid until the next emit and lets
+  /// callers fill the optional fields in place:
+  ///   engine.emit("MPH-A001", subject, "2 states unreachable").location = "states 3, 5";
+  Diagnostic& emit(std::string_view code, std::string_view subject, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::Error) > 0; }
+  /// All diagnostics emitted under `code`.
+  std::size_t count_code(std::string_view code) const;
+  bool has_code(std::string_view code) const { return count_code(code) > 0; }
+
+  void clear() { diags_.clear(); }
+
+  /// Human-readable rendering, one finding per stanza, ending with a
+  /// "summary: E errors, W warnings, N notes" line.
+  std::string to_text() const;
+
+  /// Machine-readable rendering:
+  ///   {"diagnostics": [{code, severity, subject, message, ...}, ...],
+  ///    "counts": {"error": E, "warning": W, "note": N}}
+  /// Optional fields are omitted when empty.
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// JSON string escaping (shared by to_json and the CLI).
+std::string json_escape(std::string_view s);
+
+}  // namespace mph::analysis

@@ -1,0 +1,222 @@
+#include "src/analysis/spec_lint.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/ltl/hierarchy.hpp"
+#include "src/ltl/syntactic.hpp"
+#include "src/omega/emptiness.hpp"
+
+namespace mph::analysis {
+
+namespace {
+
+using core::Classification;
+using core::PropertyClass;
+
+std::string subject_of(std::size_t i, const std::string& text) {
+  std::string shown = text.size() <= 60 ? text : text.substr(0, 57) + "…";
+  return "requirement " + std::to_string(i + 1) + " '" + shown + "'";
+}
+
+/// Strict hierarchy-membership comparison ignoring the liveness axis: does
+/// the semantic classification establish a class the syntactic one missed?
+bool is_downgrade(const Classification& syntactic, const Classification& semantic) {
+  auto more = [](bool syn, bool sem) { return sem && !syn; };
+  return more(syntactic.safety, semantic.safety) ||
+         more(syntactic.guarantee, semantic.guarantee) ||
+         more(syntactic.obligation, semantic.obligation) ||
+         more(syntactic.recurrence, semantic.recurrence) ||
+         more(syntactic.persistence, semantic.persistence);
+}
+
+}  // namespace
+
+std::string_view checklist_question(PropertyClass c) {
+  switch (c) {
+    case PropertyClass::Safety:
+      return "something bad never happens (invariants, exclusion, precedence)";
+    case PropertyClass::Guarantee:
+      return "something good happens at least once (termination)";
+    case PropertyClass::Obligation:
+      return "a conditional one-shot promise (exceptions)";
+    case PropertyClass::Recurrence:
+      return "something good happens again and again (response, justice)";
+    case PropertyClass::Persistence:
+      return "the system eventually stabilizes";
+    case PropertyClass::Reactivity:
+      return "infinitely many stimuli get infinitely many responses (compassion)";
+  }
+  return "";
+}
+
+SpecLintResult lint_spec(const std::vector<ltl::Formula>& requirements, DiagnosticEngine& out,
+                         const SpecLintOptions& options) {
+  SpecLintResult result;
+  if (requirements.empty()) return result;
+
+  // Shared alphabet over every requirement's atoms.
+  std::vector<std::string> atoms;
+  for (const auto& f : requirements)
+    for (const auto& a : f.atoms())
+      if (std::find(atoms.begin(), atoms.end(), a) == atoms.end()) atoms.push_back(a);
+
+  for (std::size_t i = 0; i < requirements.size(); ++i) {
+    SpecLintResult::Item item;
+    item.text = requirements[i].to_string();
+    item.syntactic = ltl::syntactic_classification(requirements[i]);
+    result.items.push_back(std::move(item));
+  }
+
+  // Structural duplicates.
+  for (std::size_t i = 0; i < requirements.size(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      if (requirements[i] == requirements[j]) {
+        auto& d = out.emit("MPH-S009", subject_of(i, result.items[i].text),
+                           "structurally identical to requirement " + std::to_string(j + 1));
+        d.fix_hint = "delete the duplicate";
+        break;
+      }
+
+  const bool semantic_ok = atoms.size() <= options.max_atoms;
+  if (!semantic_ok) {
+    auto& d = out.emit("MPH-S010", "specification",
+                       "the requirements mention " + std::to_string(atoms.size()) +
+                           " distinct atoms; the explicit alphabet supports at most " +
+                           std::to_string(options.max_atoms) +
+                           " — semantic passes skipped");
+    d.fix_hint = "split the specification into per-component property lists";
+  }
+
+  std::vector<std::optional<omega::DetOmega>> automata(requirements.size());
+  if (semantic_ok) {
+    result.semantic_ran = true;
+    auto alphabet =
+        lang::Alphabet::of_props(atoms.empty() ? std::vector<std::string>{"p"} : atoms);
+    result.alphabet = alphabet;
+
+    for (std::size_t i = 0; i < requirements.size(); ++i) {
+      try {
+        automata[i] = ltl::compile(requirements[i], alphabet);
+      } catch (const std::invalid_argument&) {
+        auto& d = out.emit("MPH-S008", subject_of(i, result.items[i].text),
+                           "outside the supported hierarchy fragment; only syntactic "
+                           "classification applies");
+        d.fix_hint = "rewrite as a boolean combination of □p, ◇p, □◇p, ◇□p over past formulas";
+        continue;
+      }
+      const auto& m = *automata[i];
+      if (omega::is_empty(m)) {
+        auto& d = out.emit("MPH-S001", subject_of(i, result.items[i].text),
+                           "no computation satisfies this requirement");
+        d.fix_hint = "an unsatisfiable requirement makes the whole specification vacuous";
+      } else if (omega::is_empty(complement(m))) {
+        auto& d = out.emit("MPH-S002", subject_of(i, result.items[i].text),
+                           "every computation satisfies this requirement (tautology)");
+        d.fix_hint = "a tautological requirement documents nothing; tighten or delete it";
+      }
+      result.items[i].semantic = core::classify(m);
+      if (is_downgrade(result.items[i].syntactic, *result.items[i].semantic)) {
+        auto& d = out.emit(
+            "MPH-S004", subject_of(i, result.items[i].text),
+            "written as " + core::to_string(result.items[i].syntactic.lowest()) +
+                " but semantically " + core::to_string(result.items[i].semantic->lowest()));
+        d.fix_hint =
+            "restate the requirement in its real class; lower classes admit simpler "
+            "automata and proof rules";
+      }
+    }
+
+    // Cross-requirement passes need the compiled conjunctions; products can
+    // outgrow the 64-mark budget, in which case the passes degrade silently.
+    std::vector<std::size_t> compiled;
+    for (std::size_t i = 0; i < automata.size(); ++i)
+      if (automata[i]) compiled.push_back(i);
+
+    bool all_individually_sat = true;
+    for (std::size_t i : compiled)
+      if (omega::is_empty(*automata[i])) all_individually_sat = false;
+
+    if (compiled.size() >= 2) {
+      // Redundancy: requirement i implied by the conjunction of the others.
+      // Tautologies are trivially implied and already carry MPH-S002.
+      for (std::size_t i : compiled) {
+        if (omega::is_empty(complement(*automata[i]))) continue;
+        try {
+          std::optional<omega::DetOmega> others;
+          for (std::size_t j : compiled) {
+            if (j == i) continue;
+            others = others ? intersection(*others, *automata[j]) : *automata[j];
+          }
+          if (others && !omega::is_empty(*others) &&
+              omega::contains(*automata[i], *others)) {
+            auto& d = out.emit("MPH-S003", subject_of(i, result.items[i].text),
+                               "implied by the conjunction of the other requirements");
+            d.fix_hint = "redundant requirements hide which property actually constrains "
+                         "the system";
+          }
+        } catch (const std::invalid_argument&) {
+          break;  // product outgrew the mark budget; skip redundancy lint
+        }
+      }
+    }
+
+    // Whole-specification satisfiability.
+    try {
+      std::optional<omega::DetOmega> conjunction;
+      for (std::size_t i : compiled)
+        conjunction = conjunction ? intersection(*conjunction, *automata[i]) : *automata[i];
+      if (conjunction) {
+        if (omega::is_empty(*conjunction)) {
+          if (all_individually_sat && compiled.size() >= 2) {
+            auto& d = out.emit("MPH-S005", "specification",
+                               "each requirement is satisfiable but their conjunction is "
+                               "not — the requirements contradict each other");
+            d.fix_hint = "no system can implement this specification";
+          }
+        } else {
+          result.model = omega::accepting_lasso(*conjunction);
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      // Conjunction outgrew the mark budget; satisfiability not decided.
+    }
+  }
+
+  // Class histogram over the best available classification.
+  std::map<PropertyClass, std::size_t> histogram;
+  for (const auto& item : result.items) histogram[item.best().lowest()]++;
+
+  bool all_safety = true;
+  for (const auto& [cls, n] : histogram)
+    if (cls != PropertyClass::Safety && n > 0) all_safety = false;
+  if (all_safety) {
+    auto& d = out.emit("MPH-S006", "specification",
+                       "every requirement is a safety property; a system that does "
+                       "nothing satisfies the specification (the paper's §1 "
+                       "underspecification trap)");
+    d.fix_hint = "add a progress requirement such as G(request -> F grant)";
+  }
+
+  if (options.checklist) {
+    for (PropertyClass c :
+         {PropertyClass::Safety, PropertyClass::Guarantee, PropertyClass::Obligation,
+          PropertyClass::Recurrence, PropertyClass::Persistence, PropertyClass::Reactivity}) {
+      if (histogram.contains(c)) continue;
+      auto& d = out.emit("MPH-S007", "specification",
+                         "no requirement is (least-class) " + core::to_string(c));
+      d.fix_hint = std::string("checklist: ") + std::string(checklist_question(c));
+    }
+  }
+  return result;
+}
+
+SpecLintResult lint_spec_texts(const std::vector<std::string>& texts, DiagnosticEngine& out,
+                               const SpecLintOptions& options) {
+  std::vector<ltl::Formula> formulas;
+  formulas.reserve(texts.size());
+  for (const auto& t : texts) formulas.push_back(ltl::parse_formula(t));
+  return lint_spec(formulas, out, options);
+}
+
+}  // namespace mph::analysis

@@ -1,0 +1,73 @@
+// Specification lint: the paper's §1 underspecification checklist as a set
+// of analysis passes over an LTL property list.
+//
+// Per requirement:
+//   MPH-S001  unsatisfiable (error)
+//   MPH-S002  tautological
+//   MPH-S004  class downgrade: written in a higher hierarchy class than the
+//             language it denotes (§4.2 gap between syntactic and semantic
+//             classification; detecting it buys cheaper automata downstream)
+//   MPH-S008  outside the supported hierarchy fragment (semantic passes
+//             skipped for it)
+//   MPH-S009  structural duplicate of an earlier requirement
+// Across the list:
+//   MPH-S003  requirement implied by the conjunction of the others
+//   MPH-S005  requirements mutually contradictory (error)
+//   MPH-S006  every requirement is safety — the "do nothing" trap of §1
+//   MPH-S007  hierarchy-completeness checklist gaps (one note per class with
+//             no requirement)
+//   MPH-S010  too many distinct atoms for the explicit alphabet
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.hpp"
+#include "src/core/classify.hpp"
+#include "src/lang/alphabet.hpp"
+#include "src/ltl/ast.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::analysis {
+
+struct SpecLintOptions {
+  /// Alphabet cap: 2^max_atoms explicit symbols. Beyond it, semantic passes
+  /// are skipped (MPH-S010) and only syntactic passes run.
+  std::size_t max_atoms = 6;
+  /// Emit MPH-S007 checklist-gap notes.
+  bool checklist = true;
+};
+
+struct SpecLintResult {
+  struct Item {
+    std::string text;
+    core::Classification syntactic;
+    /// Present iff the requirement compiled through the hierarchy fragment.
+    std::optional<core::Classification> semantic;
+
+    /// Semantic when available, else the sound syntactic approximation.
+    const core::Classification& best() const { return semantic ? *semantic : syntactic; }
+  };
+  std::vector<Item> items;
+  std::optional<lang::Alphabet> alphabet;
+  /// A computation satisfying the whole specification, when one exists and
+  /// the conjunction stayed analyzable.
+  std::optional<omega::Lasso> model;
+  bool semantic_ran = false;
+};
+
+/// Runs every spec pass, emitting findings into `out`.
+SpecLintResult lint_spec(const std::vector<ltl::Formula>& requirements, DiagnosticEngine& out,
+                         const SpecLintOptions& options = {});
+
+/// Parses each text (throwing std::invalid_argument on syntax errors), then
+/// lints. The texts are used verbatim as diagnostic subjects.
+SpecLintResult lint_spec_texts(const std::vector<std::string>& texts, DiagnosticEngine& out,
+                               const SpecLintOptions& options = {});
+
+/// The checklist question for a hierarchy class ("something bad never
+/// happens …"), shared by MPH-S007 notes and the CLI checklist rendering.
+std::string_view checklist_question(core::PropertyClass c);
+
+}  // namespace mph::analysis

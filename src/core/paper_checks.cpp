@@ -52,9 +52,25 @@ std::vector<bool> closure(const DetOmega& m, const std::vector<bool>& seed) {
   return out;
 }
 
+/// The printed §5.1 procedures are only sound for a single Streett pair
+/// (erratum E6): with k ≥ 2, a loop of B-states can satisfy every pair
+/// through different states.
+void warn_if_multi_pair(std::size_t n_pairs, const char* which,
+                        analysis::DiagnosticEngine* diagnostics) {
+  if (!diagnostics || n_pairs < 2) return;
+  auto& d = diagnostics->emit(
+      "MPH-P001", std::string("literal ") + which + " check",
+      "invoked with " + std::to_string(n_pairs) +
+          " Streett pairs; the procedure as printed in §5.1 is unsound for k ≥ 2 "
+          "(erratum E6) — its verdict may be wrong");
+  d.fix_hint = "use core::classify, which decides every class exactly";
+}
+
 }  // namespace
 
-bool literal_safety_check(const DetOmega& m, const std::vector<StreettPair>& pairs) {
+bool literal_safety_check(const DetOmega& m, const std::vector<StreettPair>& pairs,
+                          analysis::DiagnosticEngine* diagnostics) {
+  warn_if_multi_pair(pairs.size(), "safety", diagnostics);
   auto g = good_states(m, pairs);
   std::vector<bool> b(m.state_count());
   for (State q = 0; q < m.state_count(); ++q) b[q] = !g[q];
@@ -64,7 +80,9 @@ bool literal_safety_check(const DetOmega& m, const std::vector<StreettPair>& pai
   return true;
 }
 
-bool literal_guarantee_check(const DetOmega& m, const std::vector<StreettPair>& pairs) {
+bool literal_guarantee_check(const DetOmega& m, const std::vector<StreettPair>& pairs,
+                             analysis::DiagnosticEngine* diagnostics) {
+  warn_if_multi_pair(pairs.size(), "guarantee", diagnostics);
   auto g = good_states(m, pairs);
   auto g_hat = closure(m, g);
   for (State q = 0; q < m.state_count(); ++q)

@@ -14,16 +14,21 @@
 // literal transcriptions exist to document and probe the paper's text.
 #pragma once
 
+#include "src/analysis/diagnostics.hpp"
 #include "src/omega/operators.hpp"
 
 namespace mph::core::paper {
 
-/// B̂ ∩ G = ∅ with G = ⋂ᵢ (Rᵢ ∪ Pᵢ), as printed.
+/// B̂ ∩ G = ∅ with G = ⋂ᵢ (Rᵢ ∪ Pᵢ), as printed. When `diagnostics` is
+/// given and k ≥ 2 pairs are passed, emits MPH-P001 (the printed procedure
+/// is unsound in that regime — erratum E6).
 bool literal_safety_check(const omega::DetOmega& structure,
-                          const std::vector<omega::StreettPair>& pairs);
+                          const std::vector<omega::StreettPair>& pairs,
+                          analysis::DiagnosticEngine* diagnostics = nullptr);
 
-/// Ĝ ∩ B = ∅, as printed.
+/// Ĝ ∩ B = ∅, as printed. Same MPH-P001 caveat as literal_safety_check.
 bool literal_guarantee_check(const omega::DetOmega& structure,
-                             const std::vector<omega::StreettPair>& pairs);
+                             const std::vector<omega::StreettPair>& pairs,
+                             analysis::DiagnosticEngine* diagnostics = nullptr);
 
 }  // namespace mph::core::paper

@@ -73,13 +73,14 @@ NegSpecView nba_view(std::shared_ptr<omega::Nba> n) {
 }  // namespace
 
 CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
-                  std::size_t max_states) {
+                  std::size_t max_states, analysis::DiagnosticEngine* diagnostics) {
   // Alphabet over the spec's atoms.
   auto atom_names = spec.atoms();
   MPH_REQUIRE(!atom_names.empty(), "specification must mention at least one atom");
   for (const auto& name : atom_names)
     MPH_REQUIRE(atoms.contains(name), "specification atom not defined: " + name);
   auto alphabet = lang::Alphabet::of_props(atom_names);
+  const std::string subject = "check '" + spec.to_string() + "'";
 
   // Compile ¬spec: deterministic route first, NBA tableau as fallback.
   NegSpecView neg;
@@ -88,6 +89,13 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
         std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), alphabet)));
   } catch (const std::invalid_argument&) {
     neg = nba_view(std::make_shared<omega::Nba>(ltl::to_nba(f_not(spec), alphabet)));
+    if (diagnostics)
+      diagnostics
+          ->emit("MPH-V001", subject,
+                 "¬spec is outside the deterministic hierarchy fragment; using the "
+                 "NBA tableau (product acceptance stays Büchi-shaped)")
+          .fix_hint = "rewriting the specification into hierarchy form gives a "
+                      "deterministic, usually smaller product";
   }
 
   StateGraph sg = explore(system, max_states);
@@ -174,12 +182,22 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
 
   CheckResult result;
   result.product_states = nodes.size();
+  if (diagnostics)
+    diagnostics->emit("MPH-V002", subject,
+                      "product of " + std::to_string(sg.nodes.size()) + " system states × " +
+                          "the ¬spec automaton has " + std::to_string(nodes.size()) +
+                          " states");
   auto loop = omega::find_good_loop(g, acc);
   if (!loop) {
     result.holds = true;
     return result;
   }
   result.holds = false;
+  if (diagnostics) {
+    auto& d = diagnostics->emit("MPH-V003", subject,
+                                "a fair computation violates the specification");
+    d.witness = "fair loop through " + std::to_string(loop->size()) + " product state(s)";
+  }
   // Counterexample: shortest path from some initial product node to the
   // loop, then a cycle covering it.
   std::vector<bool> in_loop(g.size(), false);

@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "src/analysis/diagnostics.hpp"
 #include "src/fts/fts.hpp"
 #include "src/ltl/ast.hpp"
 
@@ -31,7 +32,11 @@ struct CheckResult {
 /// deterministically when it lies in the hierarchy fragment; otherwise, for
 /// future-only formulas, a nondeterministic Büchi tableau is used. Throws if
 /// neither route applies.
+///
+/// When `diagnostics` is given, the checker reports through it: MPH-V001
+/// (tableau fallback), MPH-V002 (product size), MPH-V003 (violation found).
 CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
-                  std::size_t max_states = 200000);
+                  std::size_t max_states = 200000,
+                  analysis::DiagnosticEngine* diagnostics = nullptr);
 
 }  // namespace mph::fts

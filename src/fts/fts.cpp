@@ -27,6 +27,16 @@ const std::string& Fts::var_name(std::size_t v) const {
   return vars_[v].name;
 }
 
+int Fts::var_lo(std::size_t v) const {
+  MPH_REQUIRE(v < vars_.size(), "variable index out of range");
+  return vars_[v].lo;
+}
+
+int Fts::var_hi(std::size_t v) const {
+  MPH_REQUIRE(v < vars_.size(), "variable index out of range");
+  return vars_[v].hi;
+}
+
 const std::string& Fts::transition_name(std::size_t t) const {
   MPH_REQUIRE(t < transitions_.size(), "transition index out of range");
   return transitions_[t].name;

@@ -37,6 +37,9 @@ class Fts {
   std::size_t var_count() const { return vars_.size(); }
   std::size_t transition_count() const { return transitions_.size(); }
   const std::string& var_name(std::size_t v) const;
+  /// Inclusive domain bounds of variable v.
+  int var_lo(std::size_t v) const;
+  int var_hi(std::size_t v) const;
   const std::string& transition_name(std::size_t t) const;
   Fairness transition_fairness(std::size_t t) const;
   std::size_t var_index(std::string_view name) const;

@@ -1,0 +1,206 @@
+// mph-lint — the static-diagnostics CLI over the repo's IRs.
+//
+//   mph-lint 'G !(c1 & c2)' 'G(t1 -> F c1)'     lint a property list
+//   mph-lint --spec examples/specs/mutex_faulty.spec
+//   mph-lint --model peterson                   lint a built-in FTS model
+//   mph-lint --models                           lint every built-in model
+//   mph-lint --json ...                         machine-readable output
+//   mph-lint --list-codes | --list-passes       registry introspection
+//
+// Exit status: 0 = no error-severity diagnostics, 1 = errors found
+// (with --werror, warnings too), 2 = usage or parse failure.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/automaton_lint.hpp"
+#include "src/analysis/passes.hpp"
+#include "src/fts/programs.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/support/table.hpp"
+
+namespace {
+
+using namespace mph;
+
+struct ModelEntry {
+  const char* name;
+  fts::programs::Program (*make)();
+};
+
+const ModelEntry kModels[] = {
+    {"peterson", [] { return fts::programs::peterson(); }},
+    {"trivial-mutex", [] { return fts::programs::trivial_mutex(); }},
+    {"semaphore-weak", [] { return fts::programs::semaphore_mutex(3, fts::Fairness::Weak); }},
+    {"semaphore-strong",
+     [] { return fts::programs::semaphore_mutex(3, fts::Fairness::Strong); }},
+    {"producer-consumer", [] { return fts::programs::producer_consumer(3); }},
+    {"dining-3", [] { return fts::programs::dining_philosophers(3); }},
+};
+
+int usage(std::ostream& out, int code) {
+  out << "usage: mph-lint [options] [FORMULA...]\n"
+         "  --spec FILE     lint a spec file (one LTL requirement per line, '#' comments)\n"
+         "  --model NAME    lint a built-in model (--list-models)\n"
+         "  --models        lint every built-in model\n"
+         "  --automata      additionally lint each requirement's compiled automaton\n"
+         "  --json          machine-readable output\n"
+         "  --no-checklist  suppress MPH-S007 hierarchy-checklist notes\n"
+         "  --quiet         diagnostics only (no classification table)\n"
+         "  --werror        exit 1 on warnings as well as errors\n"
+         "  --list-codes    print the diagnostic code registry\n"
+         "  --list-passes   print the pass registry\n"
+         "  --list-models   print the built-in models\n";
+  return code;
+}
+
+std::vector<std::string> read_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open spec file: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    auto last = line.find_last_not_of(" \t\r");
+    lines.push_back(line.substr(first, last - first + 1));
+  }
+  return lines;
+}
+
+void print_classification_table(const analysis::SpecLintResult& result) {
+  TextTable t({"requirement", "syntactic", "semantic", "live?"});
+  for (const auto& item : result.items) {
+    t.add_row({item.text, core::to_string(item.syntactic.lowest()),
+               item.semantic ? core::to_string(item.semantic->lowest()) : "(not compiled)",
+               item.semantic ? (item.semantic->liveness ? "yes" : "no") : "-"});
+  }
+  std::cout << t.to_string() << "\n";
+  if (result.model && result.alphabet)
+    std::cout << "the specification is satisfiable; a model: "
+              << result.model->to_string(*result.alphabet) << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> formulas;
+  std::vector<std::string> spec_files;
+  std::vector<std::string> model_names;
+  bool all_models = false, json = false, quiet = false, werror = false;
+  bool lint_automata = false;
+  analysis::AnalysisOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "mph-lint: " << flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--spec") {
+      spec_files.push_back(next("--spec"));
+    } else if (arg == "--model") {
+      model_names.push_back(next("--model"));
+    } else if (arg == "--models") {
+      all_models = true;
+    } else if (arg == "--automata") {
+      lint_automata = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-checklist") {
+      options.spec.checklist = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--list-codes") {
+      TextTable t({"code", "severity", "finding"});
+      for (const auto& info : analysis::code_registry())
+        t.add_row({std::string(info.code), std::string(analysis::to_string(info.severity)),
+                   std::string(info.title)});
+      std::cout << t.to_string();
+      return 0;
+    } else if (arg == "--list-passes") {
+      TextTable t({"pass", "description"});
+      for (const auto& pass : analysis::registered_passes())
+        t.add_row({std::string(pass.id), std::string(pass.description)});
+      std::cout << t.to_string();
+      return 0;
+    } else if (arg == "--list-models") {
+      for (const auto& m : kModels) std::cout << m.name << "\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mph-lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      formulas.push_back(arg);
+    }
+  }
+  if (all_models)
+    for (const auto& m : kModels) model_names.emplace_back(m.name);
+  if (formulas.empty() && spec_files.empty() && model_names.empty())
+    return usage(std::cerr, 2);
+
+  analysis::DiagnosticEngine engine;
+  try {
+    // Models first, then spec files, then command-line formulas (one shared
+    // engine: subjects keep the findings apart).
+    for (const auto& name : model_names) {
+      const ModelEntry* entry = nullptr;
+      for (const auto& m : kModels)
+        if (name == m.name) entry = &m;
+      if (!entry) {
+        std::cerr << "mph-lint: unknown model '" << name << "' (see --list-models)\n";
+        return 2;
+      }
+      auto program = entry->make();
+      analysis::run_passes(analysis::Subject::of(program.system, "model '" + name + "'"),
+                           engine, options);
+    }
+
+    auto lint_formula_list = [&](const std::vector<std::string>& texts,
+                                 const std::string& label) {
+      auto result = analysis::lint_spec_texts(texts, engine, options.spec);
+      if (!json && !quiet) {
+        if (!label.empty()) std::cout << "== " << label << " ==\n";
+        print_classification_table(result);
+      }
+      if (lint_automata && result.alphabet) {
+        for (std::size_t i = 0; i < texts.size(); ++i) {
+          try {
+            auto m = ltl::compile(ltl::parse_formula(texts[i]), *result.alphabet);
+            analysis::lint_automaton(m, "automaton of '" + texts[i] + "'", engine);
+          } catch (const std::invalid_argument&) {
+            // MPH-S008 already reported by the spec pass.
+          }
+        }
+      }
+    };
+    for (const auto& path : spec_files) lint_formula_list(read_spec_file(path), path);
+    if (!formulas.empty()) lint_formula_list(formulas, "");
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "mph-lint: " << e.what() << "\n";
+    return 2;
+  } catch (const std::runtime_error& e) {
+    std::cerr << "mph-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (json)
+    std::cout << engine.to_json() << "\n";
+  else
+    std::cout << engine.to_text();
+
+  if (engine.has_errors()) return 1;
+  if (werror && engine.count(analysis::Severity::Warning) > 0) return 1;
+  return 0;
+}
