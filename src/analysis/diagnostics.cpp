@@ -90,6 +90,10 @@ Diagnostic& DiagnosticEngine::emit(std::string_view code, std::string_view subje
   return diags_.back();
 }
 
+void DiagnosticEngine::merge(const DiagnosticEngine& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
 std::size_t DiagnosticEngine::count(Severity s) const {
   std::size_t n = 0;
   for (const auto& d : diags_)

@@ -73,6 +73,10 @@ class DiagnosticEngine {
 
   void clear() { diags_.clear(); }
 
+  /// Appends every diagnostic of `other`, preserving order. Lets concurrent
+  /// checks collect into private engines and combine deterministically.
+  void merge(const DiagnosticEngine& other);
+
   /// Human-readable rendering, one finding per stanza, ending with a
   /// "summary: E errors, W warnings, N notes" line.
   std::string to_text() const;

@@ -1,14 +1,21 @@
 #include "src/fts/checker.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "src/ltl/hierarchy.hpp"
 #include "src/ltl/to_nba.hpp"
 #include "src/omega/graph.hpp"
 #include "src/omega/nba.hpp"
 #include "src/support/check.hpp"
+#include "src/support/flat_hash.hpp"
 
 namespace mph::fts {
 
@@ -34,6 +41,12 @@ std::string Counterexample::to_string(const Fts& system) const {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
 /// A uniform view over the two automaton back-ends for ¬spec: the
 /// deterministic hierarchy-fragment compiler and the NBA tableau.
 struct NegSpecView {
@@ -41,6 +54,7 @@ struct NegSpecView {
   std::function<std::vector<omega::State>(omega::State, lang::Symbol)> step;
   std::function<MarkSet(omega::State)> marks;
   Acceptance acceptance = Acceptance::t();
+  std::size_t state_count = 0;
 };
 
 NegSpecView deterministic_view(std::shared_ptr<omega::DetOmega> m) {
@@ -51,6 +65,7 @@ NegSpecView deterministic_view(std::shared_ptr<omega::DetOmega> m) {
   };
   v.marks = [m](omega::State q) { return m->marks(q); };
   v.acceptance = m->acceptance();
+  v.state_count = m->state_count();
   return v;
 }
 
@@ -67,28 +82,314 @@ NegSpecView nba_view(std::shared_ptr<omega::Nba> n) {
     return n->accepting(q) ? omega::mark_bit(0) : MarkSet{0};
   };
   v.acceptance = Acceptance::buchi(0);
+  v.state_count = n->state_count();
   return v;
 }
 
-}  // namespace
+/// Fairness marks: one per weak transition ("ok": disabled or just taken),
+/// two per strong transition (taken / enabled). ¬spec marks are shifted
+/// past them. The frame depends only on the system, so a batch computes it
+/// once and shares it across specs.
+struct FairnessFrame {
+  std::vector<std::size_t> weak, strong;
+  Mark mark_count = 0;
+  Acceptance acceptance = Acceptance::t();  // the fairness conjuncts only
+};
 
-CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
-                  std::size_t max_states, analysis::DiagnosticEngine* diagnostics) {
-  // Alphabet over the spec's atoms.
-  auto atom_names = spec.atoms();
-  MPH_REQUIRE(!atom_names.empty(), "specification must mention at least one atom");
-  for (const auto& name : atom_names)
-    MPH_REQUIRE(atoms.contains(name), "specification atom not defined: " + name);
-  auto alphabet = lang::Alphabet::of_props(atom_names);
+FairnessFrame fairness_frame(const Fts& system) {
+  FairnessFrame f;
+  for (std::size_t t = 0; t < system.transition_count(); ++t) {
+    if (system.transition_fairness(t) == Fairness::Weak) f.weak.push_back(t);
+    if (system.transition_fairness(t) == Fairness::Strong) f.strong.push_back(t);
+  }
+  f.mark_count = static_cast<Mark>(f.weak.size() + 2 * f.strong.size());
+  for (std::size_t i = 0; i < f.weak.size(); ++i)
+    f.acceptance =
+        Acceptance::conj(std::move(f.acceptance), Acceptance::inf(static_cast<Mark>(i)));
+  for (std::size_t i = 0; i < f.strong.size(); ++i) {
+    const Mark taken_mark = static_cast<Mark>(f.weak.size() + 2 * i);
+    const Mark enabled_mark = static_cast<Mark>(f.weak.size() + 2 * i + 1);
+    f.acceptance = Acceptance::conj(
+        std::move(f.acceptance),
+        Acceptance::disj(Acceptance::inf(taken_mark), Acceptance::fin(enabled_mark)));
+  }
+  return f;
+}
+
+/// Per-node fairness marks, computed once per state graph.
+std::vector<MarkSet> fair_node_marks(const StateGraph& sg, const FairnessFrame& fair) {
+  std::vector<MarkSet> out(sg.nodes.size(), 0);
+  for (std::size_t n = 0; n < sg.nodes.size(); ++n) {
+    MarkSet marks = 0;
+    for (std::size_t i = 0; i < fair.weak.size(); ++i) {
+      bool ok = !sg.enabled[n][fair.weak[i]] ||
+                sg.nodes[n].last_taken == static_cast<int>(fair.weak[i]);
+      if (ok) marks |= omega::mark_bit(static_cast<Mark>(i));
+    }
+    for (std::size_t i = 0; i < fair.strong.size(); ++i) {
+      if (sg.nodes[n].last_taken == static_cast<int>(fair.strong[i]))
+        marks |= omega::mark_bit(static_cast<Mark>(fair.weak.size() + 2 * i));
+      if (sg.enabled[n][fair.strong[i]])
+        marks |= omega::mark_bit(static_cast<Mark>(fair.weak.size() + 2 * i + 1));
+    }
+    out[n] = marks;
+  }
+  return out;
+}
+
+/// Atom labels computed once per state-graph node per vocabulary (the
+/// product pairs every automaton state with node n — without the cache every
+/// pairing re-evaluates all atoms on n).
+std::vector<lang::Symbol> label_nodes(const Fts& system, const StateGraph& sg,
+                                      const AtomMap& atoms,
+                                      const std::vector<std::string>& atom_names) {
+  std::vector<const AtomFn*> fns;
+  fns.reserve(atom_names.size());
+  for (const auto& name : atom_names) fns.push_back(&atoms.at(name));
+  std::vector<lang::Symbol> labels(sg.nodes.size(), 0);
+  for (std::size_t n = 0; n < sg.nodes.size(); ++n)
+    for (std::size_t i = 0; i < fns.size(); ++i)
+      if ((*fns[i])(system, sg.nodes[n].valuation, sg.nodes[n].last_taken))
+        labels[n] |= lang::Symbol{1} << i;
+  return labels;
+}
+
+/// If acc is a pure conjunction of Inf atoms (generalized Büchi), collects
+/// the required marks and returns true; otherwise the product needs the
+/// general Emerson–Lei good-loop engine.
+bool collect_inf_conjuncts(const Acceptance& acc, std::vector<Mark>& out) {
+  switch (acc.kind()) {
+    case Acceptance::Kind::True:
+      return true;
+    case Acceptance::Kind::Inf:
+      out.push_back(acc.mark());
+      return true;
+    case Acceptance::Kind::And: {
+      for (const auto& c : acc.children())
+        if (!collect_inf_conjuncts(c, out)) return false;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+constexpr std::uint64_t pack(std::size_t n, omega::State q) {
+  return (static_cast<std::uint64_t>(n) << 32) | q;
+}
+constexpr std::size_t node_of(std::uint64_t key) { return key >> 32; }
+constexpr omega::State aut_of(std::uint64_t key) {
+  return static_cast<omega::State>(key & 0xffffffffu);
+}
+
+/// On-the-fly emptiness for generalized-Büchi product acceptance: the
+/// product is interned lazily while a nested DFS (CVWY with the blue-stack
+/// shortcut) searches for an accepting lasso, so a violation is reported
+/// before the full product exists. Degeneralization is by counter: a cell is
+/// (product state, index of the next required mark to see); the counter
+/// advances on marked cells and a cell is accepting when it completes the
+/// round.
+class OnTheFlyEngine {
+ public:
+  struct Cell {
+    std::uint32_t pid;  // index of the (node, automaton state) pair
+    std::uint32_t c;    // degeneralization counter
+    bool operator==(const Cell&) const = default;
+  };
+
+  OnTheFlyEngine(const StateGraph& sg, const std::vector<lang::Symbol>& labels,
+                 const std::vector<MarkSet>& fair_marks, Mark shift, const NegSpecView& neg,
+                 std::vector<Mark> req, std::size_t max_states)
+      : sg_(sg),
+        labels_(labels),
+        fair_marks_(fair_marks),
+        shift_(shift),
+        neg_(neg),
+        req_(std::move(req)),
+        k_(std::max<std::size_t>(req_.size(), 1)),
+        max_states_(max_states) {}
+
+  /// Some accepting product lasso as (prefix cells, loop cells), or nullopt
+  /// when every fair computation satisfies the spec.
+  std::optional<std::pair<std::vector<Cell>, std::vector<Cell>>> run() {
+    for (omega::State q0 : neg_.initial) {
+      Cell root{intern(0, q0), 0};
+      if (flags(root) & kBlue) continue;
+      if (auto lasso = blue_dfs(root)) return lasso;
+    }
+    return std::nullopt;
+  }
+
+  /// Distinct (node, automaton state) pairs interned so far.
+  std::size_t product_states() const { return pids_.size(); }
+
+  std::size_t node_of_cell(Cell cell) const { return node_of(pids_[cell.pid]); }
+
+ private:
+  static constexpr std::uint8_t kBlue = 1, kRed = 2, kOnStack = 4;
+
+  struct Frame {
+    std::uint32_t pid;
+    std::uint32_t c;
+    std::vector<std::uint32_t> succ;
+    std::size_t i = 0;
+  };
+
+  std::uint32_t intern(std::size_t n, omega::State q) {
+    auto [idx, inserted] = pids_.intern(pack(n, q));
+    if (inserted) {
+      MPH_REQUIRE(pids_.size() <= max_states_, "product exceeds max_states");
+      marks_.push_back(fair_marks_[n] | (neg_.marks(q) << shift_));
+      cell_flags_.resize(pids_.size() * k_, 0);
+    }
+    return static_cast<std::uint32_t>(idx);
+  }
+
+  std::vector<std::uint32_t> successors(std::uint32_t pid) {
+    const std::uint64_t key = pids_[pid];
+    const std::size_t n = node_of(key);
+    std::vector<std::uint32_t> out;
+    for (omega::State q2 : neg_.step(aut_of(key), labels_[n]))
+      for (auto [target, t] : sg_.edges[n]) {
+        (void)t;
+        out.push_back(intern(target, q2));
+      }
+    return out;
+  }
+
+  bool has_required_mark(std::uint32_t pid, std::size_t i) const {
+    return req_.empty() || (marks_[pid] & omega::mark_bit(req_[i]));
+  }
+  std::uint32_t advance(std::uint32_t pid, std::uint32_t c) const {
+    return has_required_mark(pid, c) ? static_cast<std::uint32_t>((c + 1) % k_) : c;
+  }
+  bool accepting(Cell cell) const {
+    return cell.c == k_ - 1 && has_required_mark(cell.pid, k_ - 1);
+  }
+
+  std::uint8_t& flags(Cell cell) { return cell_flags_[std::size_t{cell.pid} * k_ + cell.c]; }
+
+  std::optional<std::pair<std::vector<Cell>, std::vector<Cell>>> blue_dfs(Cell root) {
+    std::vector<Frame> frames;
+    flags(root) |= kBlue | kOnStack;
+    frames.push_back({root.pid, root.c, successors(root.pid), 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.i < f.succ.size()) {
+        Cell next{f.succ[f.i++], advance(f.pid, f.c)};
+        if (!(flags(next) & kBlue)) {
+          flags(next) |= kBlue | kOnStack;
+          frames.push_back({next.pid, next.c, successors(next.pid), 0});
+        }
+        continue;
+      }
+      const Cell cur{f.pid, f.c};
+      frames.pop_back();  // postorder; `frames` now holds cur's ancestors
+      if (accepting(cur)) {
+        if (auto red_path = red_dfs(cur)) return assemble(frames, cur, *red_path);
+      }
+      flags(cur) &= static_cast<std::uint8_t>(~kOnStack);
+    }
+    return std::nullopt;
+  }
+
+  /// Red search from an accepting seed: a path seed → ... → u with u on the
+  /// blue DFS stack (u may be the seed itself). Red cells persist across
+  /// seeds, keeping the whole nested search linear.
+  std::optional<std::vector<Cell>> red_dfs(Cell seed) {
+    if (flags(seed) & kRed) return std::nullopt;
+    flags(seed) |= kRed;
+    std::vector<Frame> frames{{seed.pid, seed.c, successors(seed.pid), 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.i == f.succ.size()) {
+        frames.pop_back();
+        continue;
+      }
+      Cell next{f.succ[f.i++], advance(f.pid, f.c)};
+      if (flags(next) & kOnStack) {
+        std::vector<Cell> path;
+        path.reserve(frames.size() + 1);
+        for (const Frame& fr : frames) path.push_back({fr.pid, fr.c});
+        path.push_back(next);
+        return path;
+      }
+      if (!(flags(next) & kRed)) {
+        flags(next) |= kRed;
+        frames.push_back({next.pid, next.c, successors(next.pid), 0});
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Lasso from the blue ancestors of the seed plus the red path seed→…→u:
+  /// prefix = ancestors, loop = seed →red→ u →blue stack→ last ancestor
+  /// (whose successor closes the loop back at the seed).
+  std::pair<std::vector<Cell>, std::vector<Cell>> assemble(const std::vector<Frame>& frames,
+                                                           Cell seed,
+                                                           const std::vector<Cell>& red_path) {
+    std::vector<Cell> prefix;
+    prefix.reserve(frames.size());
+    for (const Frame& fr : frames) prefix.push_back({fr.pid, fr.c});
+    const Cell u = red_path.back();
+    std::vector<Cell> loop(red_path.begin(), red_path.end() - 1);  // seed .. pred(u)
+    if (!(u == seed)) {
+      std::size_t idx = frames.size();
+      for (std::size_t j = frames.size(); j-- > 0;)
+        if (Cell{frames[j].pid, frames[j].c} == u) {
+          idx = j;
+          break;
+        }
+      MPH_ASSERT(idx < frames.size());  // u is on the blue stack
+      for (std::size_t j = idx; j < frames.size(); ++j)
+        loop.push_back({frames[j].pid, frames[j].c});
+    }
+    MPH_ASSERT(!loop.empty());
+    return {std::move(prefix), std::move(loop)};
+  }
+
+  const StateGraph& sg_;
+  const std::vector<lang::Symbol>& labels_;
+  const std::vector<MarkSet>& fair_marks_;
+  const Mark shift_;
+  const NegSpecView& neg_;
+  const std::vector<Mark> req_;
+  const std::size_t k_;
+  const std::size_t max_states_;
+  FlatInterner<std::uint64_t, IntHash> pids_;
+  std::vector<MarkSet> marks_;            // per pid
+  std::vector<std::uint8_t> cell_flags_;  // per pid × counter
+};
+
+/// Label cache shared by every spec over the same atom vocabulary.
+struct LabelCache {
+  lang::Alphabet alphabet;
+  std::vector<lang::Symbol> labels;
+  double seconds = 0.0;
+};
+
+/// Checks one compiled spec against an explored state graph. The caller
+/// provides the shared phases (exploration, fairness frame, labels); this
+/// runs compilation and the emptiness search and fills the per-spec stats.
+CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
+                      const std::vector<MarkSet>& fair_marks, const LabelCache& cache,
+                      const ltl::Formula& spec, std::size_t max_states,
+                      analysis::DiagnosticEngine* diagnostics) {
   const std::string subject = "check '" + spec.to_string() + "'";
+  CheckResult result;
+  result.stats.state_graph_nodes = sg.nodes.size();
+  MPH_ASSERT(sg.nodes.size() < (std::uint64_t{1} << 32));  // product keys pack into 64 bits
 
   // Compile ¬spec: deterministic route first, NBA tableau as fallback.
+  auto t_compile = Clock::now();
   NegSpecView neg;
   try {
     neg = deterministic_view(
-        std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), alphabet)));
+        std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), cache.alphabet)));
   } catch (const std::invalid_argument&) {
-    neg = nba_view(std::make_shared<omega::Nba>(ltl::to_nba(f_not(spec), alphabet)));
+    neg = nba_view(
+        std::make_shared<omega::Nba>(ltl::to_nba(f_not(spec), cache.alphabet)));
+    result.stats.nba_fallback = true;
     if (diagnostics)
       diagnostics
           ->emit("MPH-V001", subject,
@@ -97,77 +398,84 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
           .fix_hint = "rewriting the specification into hierarchy form gives a "
                       "deterministic, usually smaller product";
   }
+  result.stats.compile_seconds = elapsed(t_compile);
+  result.stats.automaton_states = neg.state_count;
+  result.stats.product_bound = sg.nodes.size() * neg.state_count;
 
-  StateGraph sg = explore(system, max_states);
-  auto symbol_of = [&](std::size_t n) {
-    lang::Symbol s = 0;
-    for (std::size_t i = 0; i < atom_names.size(); ++i) {
-      const AtomFn& fn = atoms.at(atom_names[i]);
-      if (fn(system, sg.nodes[n].valuation, sg.nodes[n].last_taken))
-        s |= lang::Symbol{1} << i;
-    }
-    return s;
-  };
-
-  // Fairness marks: one per weak transition ("ok": disabled or just taken),
-  // two per strong transition (taken / enabled). ¬spec marks are shifted
-  // past them.
-  std::vector<std::size_t> weak, strong;
-  for (std::size_t t = 0; t < system.transition_count(); ++t) {
-    if (system.transition_fairness(t) == Fairness::Weak) weak.push_back(t);
-    if (system.transition_fairness(t) == Fairness::Strong) strong.push_back(t);
-  }
-  const Mark n_fair_marks = static_cast<Mark>(weak.size() + 2 * strong.size());
-  Acceptance acc = Acceptance::t();
-  for (std::size_t i = 0; i < weak.size(); ++i)
-    acc = Acceptance::conj(std::move(acc), Acceptance::inf(static_cast<Mark>(i)));
-  for (std::size_t i = 0; i < strong.size(); ++i) {
-    const Mark taken_mark = static_cast<Mark>(weak.size() + 2 * i);
-    const Mark enabled_mark = static_cast<Mark>(weak.size() + 2 * i + 1);
-    acc = Acceptance::conj(std::move(acc), Acceptance::disj(Acceptance::inf(taken_mark),
-                                                            Acceptance::fin(enabled_mark)));
-  }
-  acc = Acceptance::conj(std::move(acc), neg.acceptance.shift(n_fair_marks));
+  Acceptance acc =
+      Acceptance::conj(Acceptance(fair.acceptance), neg.acceptance.shift(fair.mark_count));
   MPH_REQUIRE((acc.mentioned_marks() >> 63) == 0, "too many fairness marks");
 
-  // Product graph: (state-graph node, automaton state); the automaton reads
-  // the label of the source node on each step.
-  std::map<std::pair<std::size_t, omega::State>, omega::State> index;
-  std::vector<std::pair<std::size_t, omega::State>> nodes;
-  auto intern = [&](std::size_t n, omega::State q) {
-    auto [it, inserted] = index.try_emplace({n, q}, static_cast<omega::State>(nodes.size()));
-    if (inserted) {
-      MPH_REQUIRE(nodes.size() < max_states, "product exceeds max_states");
-      nodes.push_back({n, q});
+  auto emit_product_note = [&] {
+    if (!diagnostics) return;
+    diagnostics->emit(
+        "MPH-V002", subject,
+        "product of " + std::to_string(sg.nodes.size()) + " system states × " +
+            std::to_string(neg.state_count) + "-state ¬spec automaton built " +
+            std::to_string(result.stats.product_states) + " of at most " +
+            std::to_string(result.stats.product_bound) + " states (" +
+            (result.stats.on_the_fly ? "on-the-fly nested DFS" : "SCC good-loop engine") +
+            ")");
+  };
+
+  auto t_search = Clock::now();
+  std::vector<Mark> req;
+  if (collect_inf_conjuncts(acc, req)) {
+    // Generalized Büchi: interleave product construction with a nested-DFS
+    // emptiness check — a violating lasso exits before the product is full.
+    std::sort(req.begin(), req.end());
+    req.erase(std::unique(req.begin(), req.end()), req.end());
+    result.stats.on_the_fly = true;
+    OnTheFlyEngine engine(sg, cache.labels, fair_marks, fair.mark_count, neg, std::move(req),
+                          max_states);
+    auto lasso = engine.run();
+    result.product_states = result.stats.product_states = engine.product_states();
+    result.stats.search_seconds = elapsed(t_search);
+    emit_product_note();
+    if (!lasso) {
+      result.holds = true;
+      return result;
     }
-    return it->second;
+    result.holds = false;
+    if (diagnostics) {
+      auto& d = diagnostics->emit("MPH-V003", subject,
+                                  "a fair computation violates the specification");
+      d.witness =
+          "fair lasso through " + std::to_string(lasso->second.size()) + " product state(s)";
+    }
+    Counterexample cex;
+    for (auto cell : lasso->first)
+      cex.prefix.push_back(sg.nodes[engine.node_of_cell(cell)].valuation);
+    for (auto cell : lasso->second)
+      cex.loop.push_back(sg.nodes[engine.node_of_cell(cell)].valuation);
+    result.counterexample = std::move(cex);
+    return result;
+  }
+
+  // General Emerson–Lei acceptance (strong fairness, Streett/Rabin-shaped
+  // ¬spec): build the reachable product lazily and run the SCC good-loop
+  // engine. The automaton reads the label of the source node on each step.
+  FlatInterner<std::uint64_t, IntHash> pids;
+  auto intern = [&](std::size_t n, omega::State q) {
+    auto [idx, inserted] = pids.intern(pack(n, q));
+    if (inserted) MPH_REQUIRE(pids.size() <= max_states, "product exceeds max_states");
+    return static_cast<omega::State>(idx);
   };
   MarkedGraph g;
   for (omega::State q0 : neg.initial) intern(0, q0);
   g.initial = 0;
-  for (omega::State p = 0; p < nodes.size(); ++p) {
-    auto [n, q] = nodes[p];
+  for (omega::State p = 0; p < pids.size(); ++p) {
+    const std::uint64_t key = pids[p];
+    const std::size_t n = node_of(key);
+    const omega::State q = aut_of(key);
     std::vector<omega::State> succ;
-    for (omega::State q2 : neg.step(q, symbol_of(n)))
+    for (omega::State q2 : neg.step(q, cache.labels[n]))
       for (auto [target, t] : sg.edges[n]) {
         (void)t;
         succ.push_back(intern(target, q2));
       }
     g.succ.push_back(std::move(succ));
-    MarkSet marks = 0;
-    for (std::size_t i = 0; i < weak.size(); ++i) {
-      bool ok = !sg.enabled[n][weak[i]] ||
-                sg.nodes[n].last_taken == static_cast<int>(weak[i]);
-      if (ok) marks |= omega::mark_bit(static_cast<Mark>(i));
-    }
-    for (std::size_t i = 0; i < strong.size(); ++i) {
-      if (sg.nodes[n].last_taken == static_cast<int>(strong[i]))
-        marks |= omega::mark_bit(static_cast<Mark>(weak.size() + 2 * i));
-      if (sg.enabled[n][strong[i]])
-        marks |= omega::mark_bit(static_cast<Mark>(weak.size() + 2 * i + 1));
-    }
-    marks |= neg.marks(q) << n_fair_marks;
-    g.marks.push_back(marks);
+    g.marks.push_back(fair_marks[n] | (neg.marks(q) << fair.mark_count));
   }
   // Multiple NBA initial states: add a virtual root so the good-loop search
   // sees all of them as reachable.
@@ -180,14 +488,10 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
     g.initial = root;
   }
 
-  CheckResult result;
-  result.product_states = nodes.size();
-  if (diagnostics)
-    diagnostics->emit("MPH-V002", subject,
-                      "product of " + std::to_string(sg.nodes.size()) + " system states × " +
-                          "the ¬spec automaton has " + std::to_string(nodes.size()) +
-                          " states");
+  result.product_states = result.stats.product_states = pids.size();
   auto loop = omega::find_good_loop(g, acc);
+  result.stats.search_seconds = elapsed(t_search);
+  emit_product_note();
   if (!loop) {
     result.holds = true;
     return result;
@@ -227,6 +531,9 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
   }
   MPH_ASSERT(anchor != static_cast<omega::State>(~0u));
   Counterexample cex;
+  auto valuation_of = [&](omega::State p) -> const Valuation& {
+    return sg.nodes[node_of(pids[p])].valuation;
+  };
   {
     std::vector<omega::State> path;
     for (omega::State cur = anchor;;) {
@@ -235,7 +542,7 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
       cur = static_cast<omega::State>(parent[cur]);
     }
     for (auto it = path.rbegin(); it != path.rend(); ++it)
-      cex.prefix.push_back(sg.nodes[nodes[*it].first].valuation);
+      cex.prefix.push_back(valuation_of(*it));
     cex.prefix.pop_back();  // the anchor starts the loop instead
   }
   // Cycle through all loop nodes by chaining shortest paths within the loop.
@@ -276,9 +583,113 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
   } else if (cycle.empty()) {
     cycle.push_back(anchor);  // singleton loop with a self-edge
   }
-  for (omega::State q : cycle) cex.loop.push_back(sg.nodes[nodes[q].first].valuation);
+  for (omega::State q : cycle) cex.loop.push_back(valuation_of(q));
   result.counterexample = std::move(cex);
   return result;
+}
+
+std::vector<std::string> validated_atoms(const ltl::Formula& spec, const AtomMap& atoms) {
+  auto atom_names = spec.atoms();
+  MPH_REQUIRE(!atom_names.empty(), "specification must mention at least one atom");
+  for (const auto& name : atom_names)
+    MPH_REQUIRE(atoms.contains(name), "specification atom not defined: " + name);
+  return atom_names;
+}
+
+}  // namespace
+
+CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
+                  std::size_t max_states, analysis::DiagnosticEngine* diagnostics) {
+  auto atom_names = validated_atoms(spec, atoms);
+
+  auto t_explore = Clock::now();
+  StateGraph sg = explore(system, max_states);
+  const double explore_seconds = elapsed(t_explore);
+
+  FairnessFrame fair = fairness_frame(system);
+  std::vector<MarkSet> fair_marks = fair_node_marks(sg, fair);
+
+  auto t_label = Clock::now();
+  LabelCache cache{lang::Alphabet::of_props(atom_names),
+                   label_nodes(system, sg, atoms, atom_names), 0.0};
+  cache.seconds = elapsed(t_label);
+
+  CheckResult result = check_one(sg, fair, fair_marks, cache, spec, max_states, diagnostics);
+  result.stats.explore_seconds = explore_seconds;
+  result.stats.label_seconds = cache.seconds;
+  return result;
+}
+
+std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::Formula>& specs,
+                                   const AtomMap& atoms, const CheckOptions& options) {
+  std::vector<CheckResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  // Shared phases: one exploration, one fairness frame, one label cache per
+  // distinct atom vocabulary.
+  auto t_explore = Clock::now();
+  StateGraph sg = explore(system, options.max_states);
+  const double explore_seconds = elapsed(t_explore);
+  FairnessFrame fair = fairness_frame(system);
+  std::vector<MarkSet> fair_marks = fair_node_marks(sg, fair);
+
+  std::map<std::vector<std::string>, LabelCache> caches;
+  std::vector<const LabelCache*> cache_of(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto atom_names = validated_atoms(specs[i], atoms);
+    auto it = caches.find(atom_names);
+    if (it == caches.end()) {
+      auto t_label = Clock::now();
+      LabelCache cache{lang::Alphabet::of_props(atom_names),
+                       label_nodes(system, sg, atoms, atom_names), 0.0};
+      cache.seconds = elapsed(t_label);
+      it = caches.emplace(std::move(atom_names), std::move(cache)).first;
+    }
+    cache_of[i] = &it->second;
+  }
+
+  auto run_one = [&](std::size_t i, analysis::DiagnosticEngine* engine) {
+    CheckResult r = check_one(sg, fair, fair_marks, *cache_of[i], specs[i],
+                              options.max_states, engine);
+    r.stats.explore_seconds = explore_seconds;
+    r.stats.label_seconds = cache_of[i]->seconds;
+    results[i] = std::move(r);
+  };
+
+  std::size_t threads = std::max<unsigned>(options.threads, 1);
+  threads = std::min(threads, specs.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) run_one(i, options.diagnostics);
+    return results;
+  }
+
+  // Worker pool over independent specs. Each spec reports into its own
+  // engine; merging in spec order afterwards keeps diagnostics deterministic.
+  std::vector<analysis::DiagnosticEngine> engines(specs.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w)
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= specs.size()) return;
+          try {
+            run_one(i, &engines[i]);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (options.diagnostics)
+    for (const auto& engine : engines) options.diagnostics->merge(engine);
+  return results;
 }
 
 }  // namespace mph::fts

@@ -3,9 +3,19 @@
 // The negated specification is compiled to a deterministic ω-automaton
 // (hierarchy fragment), the fairness requirements become Streett-style
 // acceptance on the product, and the question is a good-loop search.
+//
+// The engine is on-the-fly: the product of the state graph with the ¬spec
+// automaton is interned lazily, atom labels are computed once per state-graph
+// node, and for generalized-Büchi-shaped acceptance (weak fairness plus a
+// guarantee/recurrence ¬spec or the NBA tableau) an interleaved nested-DFS
+// emptiness check reports a violating lasso before the full product exists.
+// General Emerson–Lei acceptance (strong fairness, Streett/Rabin ¬spec) uses
+// the SCC good-loop engine over the lazily built reachable product.
+// See docs/CHECKER.md.
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "src/analysis/diagnostics.hpp"
 #include "src/fts/fts.hpp"
@@ -21,10 +31,30 @@ struct Counterexample {
   std::string to_string(const Fts& system) const;
 };
 
+/// Engine telemetry for one check, surfaced by `mph-lint --check` and the
+/// tab11 bench. In a `check_all` batch the exploration and labelling phases
+/// are shared; their timings are reported identically on every result that
+/// used them.
+struct CheckStats {
+  std::size_t state_graph_nodes = 0;  ///< system states explored
+  std::size_t automaton_states = 0;   ///< states of the compiled ¬spec automaton
+  std::size_t product_states = 0;     ///< distinct (node, automaton-state) pairs built
+  std::size_t product_bound = 0;      ///< state_graph_nodes × automaton_states
+  bool on_the_fly = false;            ///< nested-DFS early-exit emptiness used
+  bool nba_fallback = false;          ///< ¬spec outside the hierarchy fragment
+  double explore_seconds = 0.0;       ///< state-graph exploration
+  double label_seconds = 0.0;         ///< atom labelling of the state graph
+  double compile_seconds = 0.0;       ///< ¬spec compilation
+  double search_seconds = 0.0;        ///< product construction + emptiness search
+};
+
 struct CheckResult {
   bool holds = false;
   std::optional<Counterexample> counterexample;
+  /// Product states actually built (== stats.product_states; kept as a
+  /// top-level field for existing callers).
   std::size_t product_states = 0;
+  CheckStats stats;
 };
 
 /// Checks that every fair computation satisfies `spec`. The atoms of `spec`
@@ -38,5 +68,22 @@ struct CheckResult {
 CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
                   std::size_t max_states = 200000,
                   analysis::DiagnosticEngine* diagnostics = nullptr);
+
+struct CheckOptions {
+  /// Cap on both the state graph and each product's interned states.
+  std::size_t max_states = 200000;
+  /// Worker threads checking independent specs. 1 (the default) keeps the
+  /// run fully sequential and deterministic; with more threads, results and
+  /// merged diagnostics still come back in spec order.
+  unsigned threads = 1;
+  analysis::DiagnosticEngine* diagnostics = nullptr;
+};
+
+/// Batch variant of `check`: explores the state graph once, shares atom-label
+/// caches between specs over the same vocabulary, and checks the (mutually
+/// independent) specs on a worker pool of `options.threads` threads.
+/// results[i] corresponds to specs[i].
+std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::Formula>& specs,
+                                   const AtomMap& atoms, const CheckOptions& options = {});
 
 }  // namespace mph::fts

@@ -2,12 +2,15 @@
 
 #include <deque>
 
+#include "src/support/flat_hash.hpp"
+
 namespace mph::fts {
 
 std::size_t Fts::add_var(std::string name, int lo, int hi, int init) {
   MPH_REQUIRE(lo <= hi, "empty variable domain");
   MPH_REQUIRE(init >= lo && init <= hi, "initial value outside domain");
-  for (const auto& v : vars_) MPH_REQUIRE(v.name != name, "duplicate variable: " + name);
+  MPH_REQUIRE(!var_index_.contains(name), "duplicate variable: " + name);
+  var_index_.emplace(name, vars_.size());
   vars_.push_back(Var{std::move(name), lo, hi});
   init_.push_back(init);
   return vars_.size() - 1;
@@ -48,10 +51,9 @@ Fairness Fts::transition_fairness(std::size_t t) const {
 }
 
 std::size_t Fts::var_index(std::string_view name) const {
-  for (std::size_t v = 0; v < vars_.size(); ++v)
-    if (vars_[v].name == name) return v;
-  MPH_REQUIRE(false, "unknown variable: " + std::string(name));
-  return 0;
+  auto it = var_index_.find(name);
+  MPH_REQUIRE(it != var_index_.end(), "unknown variable: " + std::string(name));
+  return it->second;
 }
 
 bool Fts::enabled(std::size_t t, const Valuation& v) const {
@@ -71,28 +73,39 @@ Valuation Fts::apply(std::size_t t, const Valuation& v) const {
   return out;
 }
 
+namespace {
+
+/// Hash of a (valuation, last-taken) state-graph key.
+struct NodeKeyHash {
+  std::uint64_t operator()(const std::pair<Valuation, int>& k) const {
+    return hash_combine(hash_range(k.first),
+                        static_cast<std::uint64_t>(static_cast<std::int64_t>(k.second)));
+  }
+};
+
+}  // namespace
+
 StateGraph explore(const Fts& system, std::size_t max_states) {
   StateGraph g;
-  std::map<std::pair<Valuation, int>, std::size_t> index;
+  FlatInterner<std::pair<Valuation, int>, NodeKeyHash> index;
+  std::deque<std::size_t> queue;
+  // Nodes enter the BFS queue exactly once, when first interned.
   auto intern = [&](Valuation v, int last) {
-    auto [it, inserted] = index.try_emplace({v, last}, g.nodes.size());
+    auto [idx, inserted] = index.intern({std::move(v), last});
     if (inserted) {
       MPH_REQUIRE(g.nodes.size() < max_states, "state graph exceeds max_states");
-      g.nodes.push_back(StateGraph::Node{std::move(v), last});
+      g.nodes.push_back(StateGraph::Node{index[idx].first, last});
       g.edges.emplace_back();
       g.enabled.emplace_back();
       g.stutters.push_back(false);
+      queue.push_back(idx);
     }
-    return it->second;
+    return idx;
   };
-  std::deque<std::size_t> queue{intern(system.initial_valuation(), StateGraph::kNone)};
-  std::vector<bool> expanded;
+  intern(system.initial_valuation(), StateGraph::kNone);
   while (!queue.empty()) {
     std::size_t n = queue.front();
     queue.pop_front();
-    expanded.resize(g.nodes.size(), false);
-    if (expanded[n]) continue;
-    expanded[n] = true;
     const Valuation v = g.nodes[n].valuation;
     std::vector<bool> en(system.transition_count(), false);
     bool any = false;
@@ -102,7 +115,6 @@ StateGraph explore(const Fts& system, std::size_t max_states) {
       any = true;
       std::size_t target = intern(system.apply(t, v), static_cast<int>(t));
       g.edges[n].push_back({target, t});
-      queue.push_back(target);
     }
     g.enabled[n] = std::move(en);
     if (!any) {

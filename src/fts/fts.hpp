@@ -42,6 +42,7 @@ class Fts {
   int var_hi(std::size_t v) const;
   const std::string& transition_name(std::size_t t) const;
   Fairness transition_fairness(std::size_t t) const;
+  /// Index of a variable by name (cached map lookup; throws if unknown).
   std::size_t var_index(std::string_view name) const;
   const Valuation& initial_valuation() const { return init_; }
 
@@ -62,6 +63,7 @@ class Fts {
   std::vector<Var> vars_;
   std::vector<Transition> transitions_;
   Valuation init_;
+  std::map<std::string, std::size_t, std::less<>> var_index_;
 };
 
 /// Explicit state graph of an Fts. Node 0 is initial (with no transition

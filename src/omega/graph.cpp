@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <deque>
-#include <set>
 
 #include "src/support/check.hpp"
 
@@ -16,9 +15,11 @@ MarkedGraph to_graph(const DetOmega& m) {
   g.initial = m.initial();
   for (State q = 0; q < m.state_count(); ++q) {
     g.marks[q] = m.marks(q);
-    std::set<State> targets;
-    for (Symbol s = 0; s < m.alphabet().size(); ++s) targets.insert(m.next(q, s));
-    g.succ[q].assign(targets.begin(), targets.end());
+    auto& targets = g.succ[q];
+    targets.reserve(m.alphabet().size());
+    for (Symbol s = 0; s < m.alphabet().size(); ++s) targets.push_back(m.next(q, s));
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
   }
   return g;
 }

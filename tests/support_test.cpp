@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <vector>
 
 #include "src/support/check.hpp"
+#include "src/support/flat_hash.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/table.hpp"
 
@@ -83,6 +86,66 @@ TEST(TextTable, RendersAlignedColumns) {
 TEST(TextTable, RowWidthMismatchThrows) {
   TextTable t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(FlatInterner, DenseIndicesInInsertionOrder) {
+  FlatInterner<std::uint64_t, IntHash> interner;
+  EXPECT_EQ(interner.intern(10), (std::pair<std::size_t, bool>{0, true}));
+  EXPECT_EQ(interner.intern(20), (std::pair<std::size_t, bool>{1, true}));
+  EXPECT_EQ(interner.intern(10), (std::pair<std::size_t, bool>{0, false}));
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner[0], 10u);
+  EXPECT_EQ(interner[1], 20u);
+  EXPECT_TRUE(interner.contains(20));
+  EXPECT_FALSE(interner.contains(30));
+}
+
+TEST(FlatInterner, SurvivesGrowthAgainstReferenceMap) {
+  FlatInterner<std::uint64_t, IntHash> interner;
+  std::map<std::uint64_t, std::size_t> reference;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t key = rng.below(4096);  // plenty of duplicates
+    auto [idx, inserted] = interner.intern(key);
+    auto [it, fresh] = reference.try_emplace(key, idx);
+    EXPECT_EQ(inserted, fresh);
+    EXPECT_EQ(idx, it->second);
+    EXPECT_EQ(interner[idx], key);
+  }
+  EXPECT_EQ(interner.size(), reference.size());
+}
+
+TEST(FlatInterner, VectorKeys) {
+  FlatInterner<std::vector<int>, IntRangeHash> interner;
+  auto [a, a_new] = interner.intern({1, 2, 3});
+  auto [b, b_new] = interner.intern({1, 2, 4});
+  auto [c, c_new] = interner.intern({1, 2, 3});
+  EXPECT_TRUE(a_new);
+  EXPECT_TRUE(b_new);
+  EXPECT_FALSE(c_new);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.keys().size(), 2u);
+}
+
+TEST(FlatInterner, ReserveKeepsContents) {
+  FlatInterner<std::uint64_t, IntHash> interner;
+  for (std::uint64_t k = 0; k < 100; ++k) interner.intern(k * 7);
+  interner.reserve(100000);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    auto [idx, inserted] = interner.intern(k * 7);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(idx, k);
+  }
+}
+
+TEST(FlatHash, MixAndCombineSpreadBits) {
+  // Sequential keys must not collide and must differ in high bits too.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash_mix(i) >> 32);
+  EXPECT_GT(seen.size(), 990u);
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));  // order matters
+  EXPECT_NE(hash_range(std::vector<int>{1, 2}), hash_range(std::vector<int>{2, 1}));
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 //   mph-lint --spec examples/specs/mutex_faulty.spec
 //   mph-lint --model peterson                   lint a built-in FTS model
 //   mph-lint --models                           lint every built-in model
+//   mph-lint --model peterson --check 'G !(c1 & c2)'
+//                                               model-check specs, print engine stats
 //   mph-lint --json ...                         machine-readable output
 //   mph-lint --list-codes | --list-passes       registry introspection
 //
@@ -18,6 +20,7 @@
 
 #include "src/analysis/automaton_lint.hpp"
 #include "src/analysis/passes.hpp"
+#include "src/fts/checker.hpp"
 #include "src/fts/programs.hpp"
 #include "src/ltl/hierarchy.hpp"
 #include "src/support/table.hpp"
@@ -46,6 +49,9 @@ int usage(std::ostream& out, int code) {
          "  --spec FILE     lint a spec file (one LTL requirement per line, '#' comments)\n"
          "  --model NAME    lint a built-in model (--list-models)\n"
          "  --models        lint every built-in model\n"
+         "  --check FORMULA model-check FORMULA against the --model (repeatable);\n"
+         "                  prints a table of engine statistics per spec\n"
+         "  --threads N     worker threads for --check batches (default 1)\n"
          "  --automata      additionally lint each requirement's compiled automaton\n"
          "  --json          machine-readable output\n"
          "  --no-checklist  suppress MPH-S007 hierarchy-checklist notes\n"
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> formulas;
   std::vector<std::string> spec_files;
   std::vector<std::string> model_names;
+  std::vector<std::string> check_formulas;
+  unsigned check_threads = 1;
   bool all_models = false, json = false, quiet = false, werror = false;
   bool lint_automata = false;
   analysis::AnalysisOptions options;
@@ -112,6 +120,10 @@ int main(int argc, char** argv) {
       model_names.push_back(next("--model"));
     } else if (arg == "--models") {
       all_models = true;
+    } else if (arg == "--check") {
+      check_formulas.push_back(next("--check"));
+    } else if (arg == "--threads") {
+      check_threads = static_cast<unsigned>(std::stoul(next("--threads")));
     } else if (arg == "--automata") {
       lint_automata = true;
     } else if (arg == "--json") {
@@ -149,6 +161,10 @@ int main(int argc, char** argv) {
     for (const auto& m : kModels) model_names.emplace_back(m.name);
   if (formulas.empty() && spec_files.empty() && model_names.empty())
     return usage(std::cerr, 2);
+  if (!check_formulas.empty() && model_names.size() != 1) {
+    std::cerr << "mph-lint: --check needs exactly one --model\n";
+    return 2;
+  }
 
   analysis::DiagnosticEngine engine;
   try {
@@ -165,6 +181,34 @@ int main(int argc, char** argv) {
       auto program = entry->make();
       analysis::run_passes(analysis::Subject::of(program.system, "model '" + name + "'"),
                            engine, options);
+
+      if (!check_formulas.empty()) {
+        std::vector<ltl::Formula> specs;
+        for (const auto& text : check_formulas) specs.push_back(ltl::parse_formula(text));
+        fts::CheckOptions copts;
+        copts.threads = check_threads;
+        copts.diagnostics = &engine;
+        auto results = fts::check_all(program.system, specs, program.atoms, copts);
+        if (!json && !quiet) {
+          TextTable t({"spec", "verdict", "engine", "automaton", "product", "bound",
+                       "search s"});
+          for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& s = results[i].stats;
+            std::ostringstream secs;
+            secs.precision(3);
+            secs << std::fixed << s.search_seconds;
+            t.add_row({check_formulas[i], results[i].holds ? "holds" : "VIOLATED",
+                       std::string(s.on_the_fly ? "nested-DFS" : "SCC") +
+                           (s.nba_fallback ? " (NBA)" : ""),
+                       std::to_string(s.automaton_states), std::to_string(s.product_states),
+                       std::to_string(s.product_bound), secs.str()});
+          }
+          std::cout << "== check against model '" << name << "' ("
+                    << (results.empty() ? 0 : results[0].stats.state_graph_nodes)
+                    << " states) ==\n"
+                    << t.to_string() << "\n";
+        }
+      }
     }
 
     auto lint_formula_list = [&](const std::vector<std::string>& texts,
