@@ -1,0 +1,96 @@
+// Experiment T12 — differential-fuzzing throughput (docs/FUZZING.md):
+//   1. every oracle in the registry runs a seeded batch with zero
+//      discrepancies (a green bench run re-certifies the cross-checked
+//      implementations agree);
+//   2. per-oracle throughput (iterations per second, generation + check) is
+//      recorded so a regression in any redundant implementation pair shows
+//      up as a throughput cliff even before it becomes a discrepancy.
+// Results land in BENCH_fuzz.json (schema validated by
+// scripts/validate_fuzz_report.py; `ctest -L bench-smoke`).
+//
+//   tab12_fuzz [--quick] [--out FILE] [google-benchmark flags]
+//
+// --quick shrinks the batch and skips the google-benchmark section, for the
+// ctest smoke run.
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/analysis/diagnostics.hpp"
+#include "src/fuzz/runner.hpp"
+
+namespace {
+
+using namespace mph;
+
+constexpr std::uint64_t kSeed = 1;
+
+void write_json(const std::string& path, bool quick, const fuzz::FuzzReport& report) {
+  std::ofstream out(path);
+  BENCH_CHECK(static_cast<bool>(out), "cannot open output file");
+  out << "{\n  \"experiment\": \"tab12_fuzz\",\n  \"quick\": " << (quick ? "true" : "false")
+      << ",\n  \"seed\": " << report.seed << ",\n  \"iters\": " << report.iters << ",\n";
+  out << "  \"oracles\": [\n";
+  for (std::size_t i = 0; i < report.oracles.size(); ++i) {
+    const auto& o = report.oracles[i];
+    const double rate = o.seconds > 0 ? static_cast<double>(o.iters) / o.seconds : 0.0;
+    out << "    {\"name\": \"" << analysis::json_escape(o.name) << "\", \"iters\": " << o.iters
+        << ", \"passed\": " << o.passed << ", \"skipped\": " << o.skipped
+        << ", \"failures\": " << o.failures.size() << ", \"seconds\": " << o.seconds
+        << ", \"iters_per_sec\": " << rate << "}" << (i + 1 < report.oracles.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n  \"total_failures\": " << report.total_failures() << "\n}\n";
+}
+
+// Micro-benchmark: one full iteration (generate + differential check) of a
+// single oracle, per-oracle via the range index into the registry.
+void bench_oracle_iteration(benchmark::State& state) {
+  const auto& oracle = fuzz::oracle_registry()[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t it = 0;
+  for (auto _ : state) {
+    Rng rng(fuzz::iteration_seed(oracle.name, kSeed, it++));
+    fuzz::FuzzCase c = oracle.generate(rng);
+    benchmark::DoNotOptimize(oracle.check(c));
+  }
+  state.SetLabel(oracle.name);
+}
+BENCHMARK(bench_oracle_iteration)->DenseRange(0, 5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_fuzz.json";
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  fuzz::FuzzOptions options;
+  options.seed = kSeed;
+  options.iters = quick ? 25 : 200;
+  const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+  BENCH_CHECK(report.oracles.size() == fuzz::oracle_registry().size(),
+              "an oracle produced no report");
+  BENCH_CHECK(report.total_failures() == 0, "a differential oracle found a discrepancy");
+  write_json(out_path, quick, report);
+  std::printf("T12: %llu iteration(s) per oracle, %zu oracle(s), 0 discrepancies -> %s\n",
+              static_cast<unsigned long long>(report.iters), report.oracles.size(),
+              out_path.c_str());
+
+  if (quick) return 0;
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

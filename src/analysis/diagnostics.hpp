@@ -14,6 +14,7 @@
 //                 MPH-Sxxx  LTL property-list specifications
 //                 MPH-Vxxx  model-checker notes
 //                 MPH-Pxxx  paper-literal procedure caveats
+//                 MPH-Xxxx  differential fuzzing (src/fuzz, mph-fuzz)
 // The full registry with default severities lives in diagnostics.cpp and is
 // documented in docs/ANALYSIS.md; emitting an unregistered code throws.
 #pragma once

@@ -373,7 +373,7 @@ struct LabelCache {
 /// runs compilation and the emptiness search and fills the per-spec stats.
 CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
                       const std::vector<MarkSet>& fair_marks, const LabelCache& cache,
-                      const ltl::Formula& spec, std::size_t max_states,
+                      const ltl::Formula& spec, std::size_t max_states, bool force_scc,
                       analysis::DiagnosticEngine* diagnostics) {
   const std::string subject = "check '" + spec.to_string() + "'";
   CheckResult result;
@@ -420,7 +420,7 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
 
   auto t_search = Clock::now();
   std::vector<Mark> req;
-  if (collect_inf_conjuncts(acc, req)) {
+  if (!force_scc && collect_inf_conjuncts(acc, req)) {
     // Generalized Büchi: interleave product construction with a nested-DFS
     // emptiness check — a violating lasso exits before the product is full.
     std::sort(req.begin(), req.end());
@@ -463,6 +463,15 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
   };
   MarkedGraph g;
   for (omega::State q0 : neg.initial) intern(0, q0);
+  if (pids.size() == 0) {
+    // The ¬spec automaton has no initial states (the NBA tableau of an
+    // unsatisfiable negation), so the product has no runs: the spec holds
+    // over every fair computation.
+    result.stats.search_seconds = elapsed(t_search);
+    emit_product_note();
+    result.holds = true;
+    return result;
+  }
   g.initial = 0;
   for (omega::State p = 0; p < pids.size(); ++p) {
     const std::uint64_t key = pids[p];
@@ -614,7 +623,8 @@ CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& at
                    label_nodes(system, sg, atoms, atom_names), 0.0};
   cache.seconds = elapsed(t_label);
 
-  CheckResult result = check_one(sg, fair, fair_marks, cache, spec, max_states, diagnostics);
+  CheckResult result = check_one(sg, fair, fair_marks, cache, spec, max_states,
+                                 /*force_scc=*/false, diagnostics);
   result.stats.explore_seconds = explore_seconds;
   result.stats.label_seconds = cache.seconds;
   return result;
@@ -650,7 +660,7 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
 
   auto run_one = [&](std::size_t i, analysis::DiagnosticEngine* engine) {
     CheckResult r = check_one(sg, fair, fair_marks, *cache_of[i], specs[i],
-                              options.max_states, engine);
+                              options.max_states, options.force_scc, engine);
     r.stats.explore_seconds = explore_seconds;
     r.stats.label_seconds = cache_of[i]->seconds;
     results[i] = std::move(r);

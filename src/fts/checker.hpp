@@ -76,6 +76,11 @@ struct CheckOptions {
   /// run fully sequential and deterministic; with more threads, results and
   /// merged diagnostics still come back in spec order.
   unsigned threads = 1;
+  /// Skip the on-the-fly nested-DFS even when the acceptance is
+  /// generalized-Büchi-shaped and use the SCC good-loop engine instead.
+  /// Both engines must agree on every input; differential fuzzing
+  /// (src/fuzz, oracle `fts-engines`) relies on this switch.
+  bool force_scc = false;
   analysis::DiagnosticEngine* diagnostics = nullptr;
 };
 

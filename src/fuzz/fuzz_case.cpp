@@ -1,0 +1,314 @@
+#include "src/fuzz/fuzz_case.hpp"
+
+#include <sstream>
+
+#include "src/support/check.hpp"
+
+namespace mph::fuzz {
+namespace {
+
+using omega::Acceptance;
+
+int wrap_into(int value, int lo, int hi) {
+  const int span = hi - lo + 1;
+  int off = (value - lo) % span;
+  if (off < 0) off += span;
+  return lo + off;
+}
+
+void write_acceptance(const Acceptance& a, std::ostream& out) {
+  switch (a.kind()) {
+    case Acceptance::Kind::True:
+      out << "t";
+      return;
+    case Acceptance::Kind::False:
+      out << "f";
+      return;
+    case Acceptance::Kind::Inf:
+      out << "( inf " << a.mark() << " )";
+      return;
+    case Acceptance::Kind::Fin:
+      out << "( fin " << a.mark() << " )";
+      return;
+    case Acceptance::Kind::And:
+    case Acceptance::Kind::Or:
+      out << (a.kind() == Acceptance::Kind::And ? "( and" : "( or");
+      for (const auto& c : a.children()) {
+        out << " ";
+        write_acceptance(c, out);
+      }
+      out << " )";
+      return;
+  }
+  MPH_ASSERT(false);
+}
+
+std::string next_token(std::istream& in) {
+  std::string tok;
+  MPH_REQUIRE(static_cast<bool>(in >> tok), "fuzz case: unexpected end of input");
+  return tok;
+}
+
+std::uint64_t next_number(std::istream& in) {
+  const std::string tok = next_token(in);
+  try {
+    return std::stoull(tok);
+  } catch (...) {
+    throw std::invalid_argument("fuzz case: expected a number, got '" + tok + "'");
+  }
+}
+
+int next_int(std::istream& in) {
+  const std::string tok = next_token(in);
+  try {
+    return std::stoi(tok);
+  } catch (...) {
+    throw std::invalid_argument("fuzz case: expected an integer, got '" + tok + "'");
+  }
+}
+
+Acceptance parse_acceptance(std::istream& in) {
+  const std::string tok = next_token(in);
+  if (tok == "t") return Acceptance::t();
+  if (tok == "f") return Acceptance::f();
+  MPH_REQUIRE(tok == "(", "fuzz case: bad acceptance token '" + tok + "'");
+  const std::string head = next_token(in);
+  if (head == "inf" || head == "fin") {
+    const auto mark = static_cast<omega::Mark>(next_number(in));
+    MPH_REQUIRE(next_token(in) == ")", "fuzz case: expected ')' after " + head);
+    return head == "inf" ? Acceptance::inf(mark) : Acceptance::fin(mark);
+  }
+  MPH_REQUIRE(head == "and" || head == "or", "fuzz case: bad acceptance head '" + head + "'");
+  // N-ary and/or: fold children until the closing paren.
+  std::optional<Acceptance> acc;
+  for (;;) {
+    const auto pos = in.tellg();
+    if (next_token(in) == ")") break;
+    in.seekg(pos);
+    Acceptance child = parse_acceptance(in);
+    if (!acc)
+      acc = std::move(child);
+    else
+      acc = head == "and" ? Acceptance::conj(std::move(*acc), std::move(child))
+                          : Acceptance::disj(std::move(*acc), std::move(child));
+  }
+  MPH_REQUIRE(acc.has_value(), "fuzz case: empty " + head + " in acceptance");
+  return std::move(*acc);
+}
+
+lang::Alphabet parse_alphabet(std::istream& in) {
+  const std::string kind = next_token(in);
+  const auto count = next_number(in);
+  std::vector<std::string> names;
+  for (std::uint64_t i = 0; i < count; ++i) names.push_back(next_token(in));
+  if (kind == "plain") return lang::Alphabet::plain(std::move(names));
+  MPH_REQUIRE(kind == "props", "fuzz case: bad alphabet kind '" + kind + "'");
+  return lang::Alphabet::of_props(std::move(names));
+}
+
+}  // namespace
+
+fts::Fts FtsSpec::build() const {
+  fts::Fts f;
+  for (const auto& v : vars) f.add_var(v.name, v.lo, v.hi, v.init);
+  for (const auto& t : transitions) {
+    // Capture by value: the spec may go away before the system is explored.
+    auto guard = t.guard;
+    auto effects = t.effects;
+    auto domains = vars;
+    f.add_transition(
+        t.name, t.fairness,
+        [guard](const fts::Valuation& v) {
+          for (const auto& c : guard) {
+            const int x = v[c.var];
+            if (c.op == 0 && !(x <= c.rhs)) return false;
+            if (c.op == 1 && !(x >= c.rhs)) return false;
+            if (c.op == 2 && !(x == c.rhs)) return false;
+          }
+          return true;
+        },
+        [effects, domains](fts::Valuation& v) {
+          for (const auto& e : effects)
+            v[e.var] = wrap_into(v[e.src] + e.add, domains[e.var].lo, domains[e.var].hi);
+        });
+  }
+  return f;
+}
+
+fts::AtomMap FtsSpec::atoms() const {
+  fts::AtomMap out;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const int hi = vars[i].hi, lo = vars[i].lo;
+    out[vars[i].name + "hi"] = [i, hi](const fts::Fts&, const fts::Valuation& v, int) {
+      return v[i] == hi;
+    };
+    out[vars[i].name + "lo"] = [i, lo](const fts::Fts&, const fts::Valuation& v, int) {
+      return v[i] == lo;
+    };
+  }
+  return out;
+}
+
+std::size_t FuzzCase::size() const {
+  std::size_t n = 0;
+  for (const auto& d : dfas) n += d.state_count();
+  for (const auto& m : automata) n += m.state_count();
+  for (const auto& f : formulas) n += f.size();
+  for (const auto& l : lassos) n += l.prefix.size() + l.loop.size();
+  if (system) {
+    n += system->vars.size();
+    for (const auto& t : system->transitions) n += 1 + t.guard.size() + t.effects.size();
+    for (const auto& v : system->vars) n += static_cast<std::size_t>(v.hi - v.lo);
+  }
+  if (alphabet) n += alphabet->size() / 8;
+  return n;
+}
+
+std::string FuzzCase::to_text() const {
+  std::ostringstream out;
+  out << "mph-fuzz-case v1\n";
+  out << "oracle " << oracle << "\n";
+  if (alphabet) {
+    if (alphabet->prop_based()) {
+      out << "alphabet props " << alphabet->prop_count();
+      for (std::size_t i = 0; i < alphabet->prop_count(); ++i)
+        out << " " << alphabet->prop_name(i);
+    } else {
+      out << "alphabet plain " << alphabet->size();
+      for (lang::Symbol s = 0; s < alphabet->size(); ++s) out << " " << alphabet->name(s);
+    }
+    out << "\n";
+  }
+  for (const auto& d : dfas) {
+    out << "dfa " << d.state_count() << " " << d.initial();
+    for (lang::State q = 0; q < d.state_count(); ++q) out << " " << (d.accepting(q) ? 1 : 0);
+    for (lang::State q = 0; q < d.state_count(); ++q)
+      for (lang::Symbol s = 0; s < d.alphabet().size(); ++s) out << " " << d.next(q, s);
+    out << "\n";
+  }
+  for (const auto& m : automata) {
+    out << "omega " << m.state_count() << " " << m.initial();
+    for (lang::State q = 0; q < m.state_count(); ++q) out << " " << m.marks(q);
+    for (lang::State q = 0; q < m.state_count(); ++q)
+      for (lang::Symbol s = 0; s < m.alphabet().size(); ++s) out << " " << m.next(q, s);
+    out << " ";
+    write_acceptance(m.acceptance(), out);
+    out << "\n";
+  }
+  for (const auto& f : formulas) out << "formula " << f << "\n";
+  for (const auto& l : lassos) {
+    out << "lasso " << l.prefix.size() << " " << l.loop.size();
+    for (auto s : l.prefix) out << " " << s;
+    for (auto s : l.loop) out << " " << s;
+    out << "\n";
+  }
+  if (system) {
+    for (const auto& v : system->vars)
+      out << "var " << v.name << " " << v.lo << " " << v.hi << " " << v.init << "\n";
+    for (const auto& t : system->transitions) {
+      out << "trans " << t.name << " " << static_cast<int>(t.fairness) << " " << t.guard.size();
+      for (const auto& c : t.guard) out << " " << c.var << " " << c.op << " " << c.rhs;
+      out << " " << t.effects.size();
+      for (const auto& e : t.effects) out << " " << e.var << " " << e.src << " " << e.add;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+FuzzCase FuzzCase::parse(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  MPH_REQUIRE(static_cast<bool>(std::getline(in, line)) && line == "mph-fuzz-case v1",
+              "fuzz case: missing 'mph-fuzz-case v1' header");
+  FuzzCase c;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    const std::string key = next_token(ls);
+    if (key == "oracle") {
+      c.oracle = next_token(ls);
+    } else if (key == "alphabet") {
+      c.alphabet = parse_alphabet(ls);
+    } else if (key == "dfa") {
+      MPH_REQUIRE(c.alphabet.has_value(), "fuzz case: dfa before alphabet");
+      const auto n = next_number(ls);
+      const auto init = static_cast<lang::State>(next_number(ls));
+      lang::Dfa d(*c.alphabet, n, init);
+      for (lang::State q = 0; q < n; ++q) d.set_accepting(q, next_number(ls) != 0);
+      for (lang::State q = 0; q < n; ++q)
+        for (lang::Symbol s = 0; s < c.alphabet->size(); ++s)
+          d.set_transition(q, s, static_cast<lang::State>(next_number(ls)));
+      c.dfas.push_back(std::move(d));
+    } else if (key == "omega") {
+      MPH_REQUIRE(c.alphabet.has_value(), "fuzz case: omega before alphabet");
+      const auto n = next_number(ls);
+      const auto init = static_cast<lang::State>(next_number(ls));
+      std::vector<omega::MarkSet> marks;
+      for (lang::State q = 0; q < n; ++q) marks.push_back(next_number(ls));
+      omega::DetOmega m(*c.alphabet, n, init, Acceptance::t());
+      for (lang::State q = 0; q < n; ++q)
+        for (omega::Mark b = 0; b < 64; ++b)
+          if (marks[q] & omega::mark_bit(b)) m.add_mark(q, b);
+      for (lang::State q = 0; q < n; ++q)
+        for (lang::Symbol s = 0; s < c.alphabet->size(); ++s)
+          m.set_transition(q, s, static_cast<lang::State>(next_number(ls)));
+      m.set_acceptance(parse_acceptance(ls));
+      c.automata.push_back(std::move(m));
+    } else if (key == "formula") {
+      std::string rest;
+      std::getline(ls, rest);
+      const auto start = rest.find_first_not_of(' ');
+      MPH_REQUIRE(start != std::string::npos, "fuzz case: empty formula line");
+      c.formulas.push_back(rest.substr(start));
+    } else if (key == "lasso") {
+      const auto plen = next_number(ls);
+      const auto llen = next_number(ls);
+      omega::Lasso l;
+      for (std::uint64_t i = 0; i < plen; ++i)
+        l.prefix.push_back(static_cast<lang::Symbol>(next_number(ls)));
+      for (std::uint64_t i = 0; i < llen; ++i)
+        l.loop.push_back(static_cast<lang::Symbol>(next_number(ls)));
+      c.lassos.push_back(std::move(l));
+    } else if (key == "var") {
+      if (!c.system) c.system.emplace();
+      FtsSpec::Var v;
+      v.name = next_token(ls);
+      v.lo = next_int(ls);
+      v.hi = next_int(ls);
+      v.init = next_int(ls);
+      c.system->vars.push_back(std::move(v));
+    } else if (key == "trans") {
+      MPH_REQUIRE(c.system.has_value(), "fuzz case: trans before var");
+      FtsSpec::Trans t;
+      t.name = next_token(ls);
+      t.fairness = static_cast<fts::Fairness>(next_int(ls));
+      const auto ng = next_number(ls);
+      for (std::uint64_t i = 0; i < ng; ++i) {
+        FtsSpec::Cmp cmp;
+        cmp.var = next_number(ls);
+        cmp.op = next_int(ls);
+        cmp.rhs = next_int(ls);
+        MPH_REQUIRE(cmp.var < c.system->vars.size(), "fuzz case: guard var out of range");
+        t.guard.push_back(cmp);
+      }
+      const auto ne = next_number(ls);
+      for (std::uint64_t i = 0; i < ne; ++i) {
+        FtsSpec::Eff e;
+        e.var = next_number(ls);
+        e.src = next_number(ls);
+        e.add = next_int(ls);
+        MPH_REQUIRE(e.var < c.system->vars.size() && e.src < c.system->vars.size(),
+                    "fuzz case: effect var out of range");
+        t.effects.push_back(e);
+      }
+      c.system->transitions.push_back(std::move(t));
+    } else {
+      throw std::invalid_argument("fuzz case: unknown record '" + key + "'");
+    }
+  }
+  MPH_REQUIRE(!c.oracle.empty(), "fuzz case: missing oracle record");
+  return c;
+}
+
+}  // namespace mph::fuzz

@@ -1,0 +1,72 @@
+// The unit of differential fuzzing: one self-contained input (automata,
+// formulas, lassos, or a small fair transition system) tagged with the
+// oracle it was generated for. Cases serialize to a line-oriented text
+// format ("mph-fuzz-case v1") so failing inputs can be shrunk, stored under
+// tests/corpus/, and replayed byte-for-byte with `mph-fuzz --replay`.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fts/fts.hpp"
+#include "src/lang/dfa.hpp"
+#include "src/omega/det_omega.hpp"
+#include "src/omega/lasso.hpp"
+
+namespace mph::fuzz {
+
+/// A serializable miniature fair transition system. Guards are conjunctions
+/// of variable/constant comparisons; effects are modular-wrapped additions,
+/// so every generated transition keeps values inside their domains.
+struct FtsSpec {
+  struct Var {
+    std::string name;
+    int lo = 0, hi = 0, init = 0;
+  };
+  /// guard conjunct: value(var) op rhs, with op ∈ {0: ≤, 1: ≥, 2: =}.
+  struct Cmp {
+    std::size_t var = 0;
+    int op = 0;
+    int rhs = 0;
+  };
+  /// effect: var := lo + ((value(src) + add − lo) mod domain-span).
+  struct Eff {
+    std::size_t var = 0;
+    std::size_t src = 0;
+    int add = 0;
+  };
+  struct Trans {
+    std::string name;
+    fts::Fairness fairness = fts::Fairness::None;
+    std::vector<Cmp> guard;
+    std::vector<Eff> effects;
+  };
+
+  std::vector<Var> vars;
+  std::vector<Trans> transitions;
+
+  fts::Fts build() const;
+  /// Atoms "<v>hi" / "<v>lo" (value at the domain's top / bottom) per var.
+  fts::AtomMap atoms() const;
+};
+
+struct FuzzCase {
+  std::string oracle;
+  std::optional<lang::Alphabet> alphabet;
+  std::vector<lang::Dfa> dfas;          // over `alphabet`
+  std::vector<omega::DetOmega> automata;  // over `alphabet`
+  std::vector<std::string> formulas;    // LTL, parse_formula syntax
+  std::vector<omega::Lasso> lassos;     // over `alphabet`
+  std::optional<FtsSpec> system;
+
+  /// Rough structural size, the quantity the shrinker minimizes.
+  std::size_t size() const;
+
+  std::string to_text() const;
+  /// Inverse of to_text; throws std::invalid_argument on malformed input.
+  static FuzzCase parse(std::string_view text);
+};
+
+}  // namespace mph::fuzz

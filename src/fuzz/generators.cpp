@@ -1,0 +1,156 @@
+#include "src/fuzz/generators.hpp"
+
+#include "src/lang/random_lang.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::fuzz {
+
+using omega::Acceptance;
+
+lang::Alphabet random_alphabet(Rng& rng) {
+  if (rng.chance(1, 8)) {
+    // The overflow regime: 2^7 = 128 symbols.
+    return lang::Alphabet::of_props({"p0", "p1", "p2", "p3", "p4", "p5", "p6"});
+  }
+  if (rng.chance(1, 2)) {
+    static const std::vector<std::string> letters{"a", "b", "c", "d"};
+    const auto k = static_cast<std::size_t>(rng.between(2, 4));
+    return lang::Alphabet::plain({letters.begin(), letters.begin() + k});
+  }
+  static const std::vector<std::string> props{"p", "q", "r"};
+  const auto k = static_cast<std::size_t>(rng.between(1, 3));
+  return lang::Alphabet::of_props({props.begin(), props.begin() + k});
+}
+
+Acceptance random_acceptance(Rng& rng, omega::Mark n_marks, std::size_t max_depth) {
+  if (n_marks == 0) return rng.chance(1, 2) ? Acceptance::t() : Acceptance::f();
+  const auto mark = [&] { return static_cast<omega::Mark>(rng.below(n_marks)); };
+  if (max_depth == 0) {
+    switch (rng.below(4)) {
+      case 0: return Acceptance::inf(mark());
+      case 1: return Acceptance::fin(mark());
+      case 2: return Acceptance::t();
+      default: return Acceptance::f();
+    }
+  }
+  switch (rng.below(6)) {
+    case 0: return Acceptance::inf(mark());
+    case 1: return Acceptance::fin(mark());
+    case 2: return Acceptance::buchi(mark());
+    case 3:
+      return Acceptance::conj(random_acceptance(rng, n_marks, max_depth - 1),
+                              random_acceptance(rng, n_marks, max_depth - 1));
+    default:
+      return Acceptance::disj(random_acceptance(rng, n_marks, max_depth - 1),
+                              random_acceptance(rng, n_marks, max_depth - 1));
+  }
+}
+
+omega::DetOmega random_det_omega(Rng& rng, const lang::Alphabet& alphabet,
+                                 std::size_t n_states, omega::Mark n_marks) {
+  MPH_REQUIRE(n_states > 0, "random_det_omega needs at least one state");
+  omega::DetOmega m(alphabet, n_states, static_cast<lang::State>(rng.below(n_states)),
+                    random_acceptance(rng, n_marks));
+  for (lang::State q = 0; q < n_states; ++q) {
+    for (lang::Symbol s = 0; s < alphabet.size(); ++s)
+      m.set_transition(q, s, static_cast<lang::State>(rng.below(n_states)));
+    for (omega::Mark b = 0; b < n_marks; ++b)
+      if (rng.chance(1, 3)) m.add_mark(q, b);
+  }
+  return m;
+}
+
+namespace {
+
+ltl::Formula random_ltl_rec(Rng& rng, const std::vector<std::string>& atoms,
+                            std::size_t budget, LtlFlavor flavor) {
+  using namespace ltl;
+  if (budget <= 1) {
+    if (rng.chance(1, 8)) return rng.chance(1, 2) ? f_true() : f_false();
+    return f_atom(rng.pick(atoms));
+  }
+  // Operator menu: booleans always; future/past gated by the flavor. A past
+  // operator's subtree must stay past-closed (the lasso evaluator's
+  // restriction), so children of past operators recurse with PastOnly.
+  struct Choice {
+    Op op;
+    int arity;
+  };
+  std::vector<Choice> menu{{Op::Not, 1}, {Op::And, 2}, {Op::Or, 2}, {Op::Implies, 2}};
+  if (flavor != LtlFlavor::PastOnly) {
+    for (Op op : {Op::Next, Op::Eventually, Op::Always}) menu.push_back({op, 1});
+    for (Op op : {Op::Until, Op::Release, Op::WeakUntil}) menu.push_back({op, 2});
+  }
+  if (flavor != LtlFlavor::FutureOnly) {
+    for (Op op : {Op::Prev, Op::WeakPrev, Op::Once, Op::Historically}) menu.push_back({op, 1});
+    for (Op op : {Op::Since, Op::WeakSince}) menu.push_back({op, 2});
+  }
+  const Choice c = rng.pick(menu);
+  const bool is_past = c.op == Op::Prev || c.op == Op::WeakPrev || c.op == Op::Since ||
+                       c.op == Op::WeakSince || c.op == Op::Once || c.op == Op::Historically;
+  const LtlFlavor child_flavor = is_past ? LtlFlavor::PastOnly : flavor;
+  if (c.arity == 1) return f_unary(c.op, random_ltl_rec(rng, atoms, budget - 1, child_flavor));
+  const std::size_t left = 1 + rng.below(budget - 1);
+  return f_binary(c.op, random_ltl_rec(rng, atoms, left, child_flavor),
+                  random_ltl_rec(rng, atoms, budget - left, child_flavor));
+}
+
+}  // namespace
+
+ltl::Formula random_ltl(Rng& rng, const std::vector<std::string>& atoms,
+                        std::size_t max_nodes, LtlFlavor flavor) {
+  MPH_REQUIRE(!atoms.empty() && max_nodes > 0, "random_ltl needs atoms and a budget");
+  return random_ltl_rec(rng, atoms, max_nodes, flavor);
+}
+
+FtsSpec random_fts(Rng& rng) {
+  FtsSpec spec;
+  const std::size_t n_vars = 2;
+  static const std::vector<std::string> var_names{"x", "y"};
+  for (std::size_t v = 0; v < n_vars; ++v) {
+    FtsSpec::Var var;
+    var.name = var_names[v];
+    var.lo = 0;
+    var.hi = static_cast<int>(rng.between(1, 3));
+    var.init = static_cast<int>(rng.between(0, var.hi));
+    spec.vars.push_back(std::move(var));
+  }
+  const auto n_trans = static_cast<std::size_t>(rng.between(2, 4));
+  for (std::size_t t = 0; t < n_trans; ++t) {
+    FtsSpec::Trans tr;
+    tr.name = "t" + std::to_string(t);
+    switch (rng.below(4)) {
+      case 0: tr.fairness = fts::Fairness::Weak; break;
+      case 1: tr.fairness = fts::Fairness::Strong; break;
+      default: tr.fairness = fts::Fairness::None; break;
+    }
+    const auto n_guard = rng.below(3);
+    for (std::uint64_t g = 0; g < n_guard; ++g) {
+      FtsSpec::Cmp cmp;
+      cmp.var = rng.below(n_vars);
+      cmp.op = static_cast<int>(rng.below(3));
+      cmp.rhs = static_cast<int>(rng.between(0, spec.vars[cmp.var].hi));
+      tr.guard.push_back(cmp);
+    }
+    const auto n_eff = 1 + rng.below(2);
+    for (std::uint64_t e = 0; e < n_eff; ++e) {
+      FtsSpec::Eff eff;
+      eff.var = rng.below(n_vars);
+      eff.src = rng.below(n_vars);
+      eff.add = static_cast<int>(rng.between(0, 2));
+      tr.effects.push_back(eff);
+    }
+    spec.transitions.push_back(std::move(tr));
+  }
+  return spec;
+}
+
+omega::Lasso random_lasso(Rng& rng, const lang::Alphabet& alphabet,
+                          std::size_t max_prefix, std::size_t max_loop) {
+  omega::Lasso l;
+  l.prefix = lang::random_word(rng, alphabet, rng.below(max_prefix + 1));
+  l.loop = lang::random_word(rng, alphabet, 1 + rng.below(max_loop));
+  return l;
+}
+
+}  // namespace mph::fuzz

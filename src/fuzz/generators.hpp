@@ -1,0 +1,46 @@
+// Seedable random generators for the differential-fuzzing oracles, layered
+// on Rng and lang::random_dfa: ω-automata with arbitrary Emerson–Lei
+// acceptance, LTL formulas (future and past, size-bounded, respecting the
+// lasso evaluator's no-future-under-past restriction), small guarded fair
+// transition systems, and ultimately periodic words.
+#pragma once
+
+#include "src/fuzz/fuzz_case.hpp"
+#include "src/ltl/ast.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::fuzz {
+
+/// Plain 2–4 letters, or propositional with 1–3 props; with probability
+/// 1/8 a 7-proposition (128-symbol) alphabet — the size class that
+/// overflowed the fixed 64-entry product buffers this subsystem guards.
+lang::Alphabet random_alphabet(Rng& rng);
+
+/// Random positive Emerson–Lei formula over marks 0..n_marks-1.
+omega::Acceptance random_acceptance(Rng& rng, omega::Mark n_marks, std::size_t max_depth = 2);
+
+/// Complete deterministic ω-automaton: uniform transitions, each mark on
+/// each state with probability 1/3, random_acceptance over the marks.
+omega::DetOmega random_det_omega(Rng& rng, const lang::Alphabet& alphabet,
+                                 std::size_t n_states, omega::Mark n_marks);
+
+enum class LtlFlavor {
+  Any,         ///< future and past operators (past subtrees stay past-closed)
+  FutureOnly,  ///< no past operators
+  PastOnly,    ///< no future operators
+};
+
+/// Random formula over the given atoms with at most `max_nodes` AST nodes.
+ltl::Formula random_ltl(Rng& rng, const std::vector<std::string>& atoms,
+                        std::size_t max_nodes, LtlFlavor flavor = LtlFlavor::Any);
+
+/// Small guarded system: 2 variables over domains of ≤ 4 values, 2–4
+/// transitions with conjunctive guards, wrapped-add effects, and a mix of
+/// fairness requirements.
+FtsSpec random_fts(Rng& rng);
+
+/// Ultimately periodic word with prefix ≤ max_prefix, loop 1..max_loop.
+omega::Lasso random_lasso(Rng& rng, const lang::Alphabet& alphabet,
+                          std::size_t max_prefix, std::size_t max_loop);
+
+}  // namespace mph::fuzz

@@ -1,0 +1,445 @@
+#include "src/fuzz/oracles.hpp"
+
+#include <map>
+
+#include "src/core/classify.hpp"
+#include "src/core/operator_forms.hpp"
+#include "src/fts/checker.hpp"
+#include "src/fuzz/generators.hpp"
+#include "src/lang/dfa_ops.hpp"
+#include "src/lang/random_lang.hpp"
+#include "src/ltl/eval.hpp"
+#include "src/ltl/hierarchy.hpp"
+#include "src/omega/emptiness.hpp"
+#include "src/omega/operators.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::fuzz {
+namespace {
+
+using lang::Dfa;
+using omega::DetOmega;
+using omega::Lasso;
+
+// ------------------------------------------------------------------------
+// dfa-product-laws: boolean algebra of DFA languages, decided three ways —
+// the product construction, the decision procedures built on it, and plain
+// per-word acceptance — must all agree. Includes the ≥64-symbol alphabets
+// that overflowed the old fixed-size product row buffer.
+
+FuzzCase gen_product_laws(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "dfa-product-laws";
+  c.alphabet = random_alphabet(rng);
+  for (int i = 0; i < 2; ++i)
+    c.dfas.push_back(
+        lang::random_dfa(rng, *c.alphabet, static_cast<std::size_t>(rng.between(2, 5))));
+  return c;
+}
+
+CheckOutcome check_product_laws(const FuzzCase& c) {
+  if (c.dfas.size() < 2) return CheckOutcome::skip("needs two DFAs");
+  const Dfa& a = c.dfas[0];
+  const Dfa& b = c.dfas[1];
+  using namespace lang;
+  if (!equivalent(complement(complement(a)), a))
+    return CheckOutcome::fail("double complement changed the language");
+  if (!equivalent(complement(intersection(a, b)),
+                  union_of(complement(a), complement(b))))
+    return CheckOutcome::fail("de Morgan: ¬(A∩B) ≠ ¬A∪¬B");
+  if (!equivalent(difference(a, b), intersection(a, complement(b))))
+    return CheckOutcome::fail("difference(A,B) ≠ A∩¬B");
+  if (!subset(intersection(a, b), a))
+    return CheckOutcome::fail("A∩B ⊄ A");
+  if (!subset(b, union_of(a, b)))
+    return CheckOutcome::fail("B ⊄ A∪B");
+  const Dfa min_a = minimize(a);
+  if (!equivalent(min_a, a))
+    return CheckOutcome::fail("minimize changed the language");
+  if (min_a.state_count() > a.state_count())
+    return CheckOutcome::fail("minimize grew the automaton");
+  // Per-word cross-check against the boolean combination of memberships.
+  // The sampling Rng is fixed, so a replayed case samples the same words.
+  Rng words(0xda7a);
+  const Dfa inter = intersection(a, b);
+  const Dfa uni = union_of(a, b);
+  const Dfa diff = difference(a, b);
+  for (int i = 0; i < 24; ++i) {
+    const Word w = random_word(words, a.alphabet(), words.below(5));
+    const bool in_a = a.accepts(w), in_b = b.accepts(w);
+    if (inter.accepts(w) != (in_a && in_b))
+      return CheckOutcome::fail("intersection disagrees with memberships on a sampled word");
+    if (uni.accepts(w) != (in_a || in_b))
+      return CheckOutcome::fail("union disagrees with memberships on a sampled word");
+    if (diff.accepts(w) != (in_a && !in_b))
+      return CheckOutcome::fail("difference disagrees with memberships on a sampled word");
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
+// operator-duality: the §2 operators A/E/R/P checked against (i) their
+// duality and closure laws via omega::equivalent, and (ii) a naive
+// prefix-scanning semantics evaluated on every enumerated lasso.
+
+FuzzCase gen_operator_duality(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "operator-duality";
+  c.alphabet = lang::Alphabet::plain({"a", "b"});
+  for (int i = 0; i < 2; ++i)
+    c.dfas.push_back(
+        lang::random_dfa(rng, *c.alphabet, static_cast<std::size_t>(rng.between(2, 4))));
+  return c;
+}
+
+/// Acceptance bit of every non-empty prefix of `l` under `phi`, up to and
+/// including one full recurrence of a (loop-position, state) pair; prefixes
+/// from `cycle_begin` on repeat forever.
+struct PrefixProfile {
+  std::vector<bool> acc;  // acc[k] = (prefix of length k+1) ∈ Φ
+  std::size_t cycle_begin = 0;
+};
+
+PrefixProfile prefix_profile(const Dfa& phi, const Lasso& l) {
+  PrefixProfile out;
+  std::map<std::pair<std::size_t, lang::State>, std::size_t> seen;
+  lang::State q = phi.initial();
+  for (std::size_t k = 0;; ++k) {
+    q = phi.next(q, l.at(k));
+    out.acc.push_back(phi.accepting(q));
+    if (k + 1 >= l.prefix.size()) {
+      const std::size_t lp = (k + 1 - l.prefix.size()) % l.loop.size();
+      auto [it, inserted] = seen.try_emplace({lp, q}, k);
+      if (!inserted) {
+        out.cycle_begin = it->second + 1;
+        return out;
+      }
+    }
+  }
+}
+
+CheckOutcome check_operator_duality(const FuzzCase& c) {
+  if (c.dfas.size() < 2) return CheckOutcome::skip("needs two DFAs");
+  const Dfa& phi = c.dfas[0];
+  const Dfa& psi = c.dfas[1];
+  using omega::op_a;
+  using omega::op_e;
+  using omega::op_p;
+  using omega::op_r;
+  // Duality: ¬A(Φ) = E(¬Φ) and ¬R(Φ) = P(¬Φ).
+  if (!omega::equivalent(omega::complement(op_a(phi)), op_e(lang::complement(phi))))
+    return CheckOutcome::fail("¬A(Φ) ≠ E(¬Φ)");
+  if (!omega::equivalent(omega::complement(op_r(phi)), op_p(lang::complement(phi))))
+    return CheckOutcome::fail("¬R(Φ) ≠ P(¬Φ)");
+  // Closure laws (Table in §2): A distributes over ∩, E over ∪, R over ∪,
+  // P over ∩.
+  if (!omega::equivalent(omega::intersection(op_a(phi), op_a(psi)),
+                         op_a(lang::intersection(phi, psi))))
+    return CheckOutcome::fail("A(Φ∩Ψ) ≠ A(Φ)∩A(Ψ)");
+  if (!omega::equivalent(omega::union_of(op_e(phi), op_e(psi)),
+                         op_e(lang::union_of(phi, psi))))
+    return CheckOutcome::fail("E(Φ∪Ψ) ≠ E(Φ)∪E(Ψ)");
+  if (!omega::equivalent(omega::union_of(op_r(phi), op_r(psi)),
+                         op_r(lang::union_of(phi, psi))))
+    return CheckOutcome::fail("R(Φ∪Ψ) ≠ R(Φ)∪R(Ψ)");
+  if (!omega::equivalent(omega::intersection(op_p(phi), op_p(psi)),
+                         op_p(lang::intersection(phi, psi))))
+    return CheckOutcome::fail("P(Φ∩Ψ) ≠ P(Φ)∩P(Ψ)");
+  // A(Φ) is safety, so its safety closure is itself.
+  if (!omega::equivalent(omega::safety_closure(op_a(phi)), op_a(phi)))
+    return CheckOutcome::fail("cl(A(Φ)) ≠ A(Φ)");
+  // Naive semantics on every small lasso: A = every non-empty prefix in Φ,
+  // E = some, R = infinitely many (some recurring), P = all but finitely
+  // many (every recurring).
+  const DetOmega ma = op_a(phi), me = op_e(phi), mr = op_r(phi), mp = op_p(phi);
+  for (const Lasso& l : omega::enumerate_lassos(phi.alphabet(), 2, 2)) {
+    const PrefixProfile pr = prefix_profile(phi, l);
+    bool all = true, some = false, rec_some = false, rec_all = true;
+    for (std::size_t k = 0; k < pr.acc.size(); ++k) {
+      all = all && pr.acc[k];
+      some = some || pr.acc[k];
+      if (k >= pr.cycle_begin) {
+        rec_some = rec_some || pr.acc[k];
+        rec_all = rec_all && pr.acc[k];
+      }
+    }
+    const std::string suffix = " disagrees with prefix-scan semantics on " +
+                               l.to_string(phi.alphabet());
+    if (ma.accepts(l) != all) return CheckOutcome::fail("A(Φ)" + suffix);
+    if (me.accepts(l) != some) return CheckOutcome::fail("E(Φ)" + suffix);
+    if (mr.accepts(l) != rec_some) return CheckOutcome::fail("R(Φ)" + suffix);
+    if (mp.accepts(l) != rec_all) return CheckOutcome::fail("P(Φ)" + suffix);
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
+// classify-vs-forms: the §5.1 decision procedures against complement
+// duality, the safety-closure characterization, and the constructive
+// operator-form extraction (which independently rebuilds the language).
+
+FuzzCase gen_classify(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "classify-vs-forms";
+  c.alphabet = lang::Alphabet::plain({"a", "b"});
+  c.automata.push_back(random_det_omega(
+      rng, *c.alphabet, static_cast<std::size_t>(rng.between(2, 4)),
+      static_cast<omega::Mark>(rng.between(1, 3))));
+  return c;
+}
+
+CheckOutcome check_classify(const FuzzCase& c) {
+  if (c.automata.empty()) return CheckOutcome::skip("needs an automaton");
+  const DetOmega& m = c.automata[0];
+  const auto cls = core::classify(m);
+  const auto dual = core::classify(omega::complement(m));
+  if (cls.safety != dual.guarantee || cls.guarantee != dual.safety)
+    return CheckOutcome::fail("safety/guarantee duality broken under complement");
+  if (cls.recurrence != dual.persistence || cls.persistence != dual.recurrence)
+    return CheckOutcome::fail("recurrence/persistence duality broken under complement");
+  if (cls.obligation != (cls.recurrence && cls.persistence))
+    return CheckOutcome::fail("obligation ≠ recurrence ∧ persistence");
+  if (cls.obligation != dual.obligation)
+    return CheckOutcome::fail("obligation not closed under complement");
+  const DetOmega closure = omega::safety_closure(m);
+  if (!omega::contains(closure, m))
+    return CheckOutcome::fail("Π ⊄ cl(Π)");
+  if (omega::equivalent(closure, m) != cls.safety)
+    return CheckOutcome::fail("safety ≠ (Π = cl(Π))");
+  if (omega::is_liveness(m) != cls.liveness)
+    return CheckOutcome::fail("liveness flag disagrees with is_liveness");
+  // Form extraction: succeeds exactly on class members, and the extracted
+  // kernel rebuilds the language through the matching operator.
+  struct FormCheck {
+    const char* name;
+    bool in_class;
+    Dfa (*extract)(const DetOmega&);
+    DetOmega (*rebuild)(const Dfa&);
+  };
+  const FormCheck forms[] = {
+      {"safety", cls.safety, core::safety_form, omega::op_a},
+      {"guarantee", cls.guarantee, core::guarantee_form, omega::op_e},
+      {"recurrence", cls.recurrence, core::recurrence_form, omega::op_r},
+      {"persistence", cls.persistence, core::persistence_form, omega::op_p},
+  };
+  for (const auto& fc : forms) {
+    bool extracted = false;
+    try {
+      const Dfa kernel = fc.extract(m);
+      extracted = true;
+      if (!omega::equivalent(fc.rebuild(kernel), m))
+        return CheckOutcome::fail(std::string(fc.name) +
+                                  "_form kernel does not rebuild the language");
+    } catch (const std::invalid_argument&) {
+    }
+    if (extracted != fc.in_class)
+      return CheckOutcome::fail(std::string(fc.name) + "_form " +
+                                (extracted ? "succeeded outside" : "failed inside") +
+                                " the class classify() reports");
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
+// ltl-eval-vs-automaton: the direct lasso evaluator against the compiled
+// deterministic automaton, plus negation consistency.
+
+FuzzCase gen_ltl_eval(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "ltl-eval-vs-automaton";
+  const auto n_props = static_cast<std::size_t>(rng.between(1, 2));
+  static const std::vector<std::string> props{"p", "q"};
+  c.alphabet = lang::Alphabet::of_props({props.begin(), props.begin() + n_props});
+  const std::vector<std::string> atoms{props.begin(), props.begin() + n_props};
+  // Rejection-sample a formula the hierarchy compiler accepts; most random
+  // formulas are compilable, so a handful of tries nearly always suffices.
+  for (int tries = 0; tries < 30; ++tries) {
+    ltl::Formula f =
+        random_ltl(rng, atoms, static_cast<std::size_t>(rng.between(3, 7)));
+    try {
+      (void)ltl::compile(f, *c.alphabet);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    c.formulas.push_back(f.to_string());
+    break;
+  }
+  for (int i = 0; i < 8; ++i)
+    c.lassos.push_back(random_lasso(rng, *c.alphabet, 3, 3));
+  return c;
+}
+
+CheckOutcome check_ltl_eval(const FuzzCase& c) {
+  if (c.formulas.empty()) return CheckOutcome::skip("no compilable formula found");
+  const ltl::Formula f = ltl::parse_formula(c.formulas[0]);
+  std::optional<DetOmega> m;
+  try {
+    m = ltl::compile(f, *c.alphabet);
+  } catch (const std::invalid_argument&) {
+    // Shrinking can hoist a subformula outside the hierarchy fragment.
+    return CheckOutcome::skip("formula not compilable");
+  }
+  const ltl::Formula nf = ltl::f_not(f);
+  for (const Lasso& l : c.lassos) {
+    const bool direct = ltl::evaluates(f, l, *c.alphabet);
+    if (direct != m->accepts(l))
+      return CheckOutcome::fail("evaluates('" + c.formulas[0] +
+                                "') disagrees with the compiled automaton on " +
+                                l.to_string(*c.alphabet));
+    if (ltl::evaluates(nf, l, *c.alphabet) == direct)
+      return CheckOutcome::fail("evaluates gives the same verdict for '" + c.formulas[0] +
+                                "' and its negation on " + l.to_string(*c.alphabet));
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
+// fts-engines: the checker's on-the-fly nested-DFS engine against the SCC
+// good-loop engine on the same system and spec, with counterexamples
+// replayed under the independent lasso evaluator.
+
+FuzzCase gen_fts_engines(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "fts-engines";
+  c.system = random_fts(rng);
+  std::vector<std::string> atoms;
+  for (const auto& v : c.system->vars) {
+    atoms.push_back(v.name + "hi");
+    atoms.push_back(v.name + "lo");
+  }
+  // The checker requires at least one atom in the spec.
+  for (int tries = 0; tries < 20; ++tries) {
+    ltl::Formula f = random_ltl(rng, atoms, static_cast<std::size_t>(rng.between(3, 6)),
+                                LtlFlavor::FutureOnly);
+    if (f.atoms().empty()) continue;
+    c.formulas.push_back(f.to_string());
+    break;
+  }
+  return c;
+}
+
+CheckOutcome check_fts_engines(const FuzzCase& c) {
+  if (!c.system || c.formulas.empty()) return CheckOutcome::skip("needs a system and a spec");
+  const fts::Fts sys = c.system->build();
+  const fts::AtomMap atoms = c.system->atoms();
+  const ltl::Formula spec = ltl::parse_formula(c.formulas[0]);
+  fts::CheckOptions otf;
+  otf.max_states = 20000;
+  fts::CheckOptions scc = otf;
+  scc.force_scc = true;
+  const auto r_otf = fts::check_all(sys, {spec}, atoms, otf)[0];
+  const auto r_scc = fts::check_all(sys, {spec}, atoms, scc)[0];
+  if (r_otf.holds != r_scc.holds)
+    return CheckOutcome::fail("nested-DFS and SCC engines disagree on '" + c.formulas[0] +
+                              "' (" + (r_otf.holds ? "holds" : "violated") + " vs " +
+                              (r_scc.holds ? "holds" : "violated") + ")");
+  const auto single = fts::check(sys, spec, atoms, otf.max_states);
+  if (single.holds != r_otf.holds)
+    return CheckOutcome::fail("check and check_all disagree on '" + c.formulas[0] + "'");
+  // Replay each engine's counterexample under ltl::evaluates: the lasso of
+  // atom valuations must falsify the spec.
+  const auto atom_names = spec.atoms();
+  const lang::Alphabet sigma = lang::Alphabet::of_props(atom_names);
+  auto to_symbol = [&](const fts::Valuation& v) {
+    lang::Symbol s = 0;
+    for (std::size_t i = 0; i < atom_names.size(); ++i)
+      if (atoms.at(atom_names[i])(sys, v, fts::StateGraph::kNone))
+        s |= lang::Symbol{1} << i;
+    return s;
+  };
+  for (const auto* r : {&r_otf, &r_scc}) {
+    if (r->holds) continue;
+    MPH_ASSERT(r->counterexample.has_value());
+    Lasso l;
+    for (const auto& v : r->counterexample->prefix) l.prefix.push_back(to_symbol(v));
+    for (const auto& v : r->counterexample->loop) l.loop.push_back(to_symbol(v));
+    if (l.loop.empty() || ltl::evaluates(spec, l, sigma))
+      return CheckOutcome::fail("counterexample for '" + c.formulas[0] +
+                                "' does not falsify the spec under the lasso evaluator");
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
+// lasso-roundtrip: print → parse is the identity on well-formed lassos, and
+// parse_lasso rejects the malformed variants (trailing garbage, second
+// group, empty loop, missing parens) with std::invalid_argument.
+
+FuzzCase gen_lasso_roundtrip(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "lasso-roundtrip";
+  static const std::vector<std::string> letters{"a", "b", "c", "d"};
+  const auto k = static_cast<std::size_t>(rng.between(2, 4));
+  c.alphabet = lang::Alphabet::plain({letters.begin(), letters.begin() + k});
+  for (int i = 0; i < 4; ++i) c.lassos.push_back(random_lasso(rng, *c.alphabet, 4, 4));
+  return c;
+}
+
+CheckOutcome check_lasso_roundtrip(const FuzzCase& c) {
+  if (!c.alphabet || c.lassos.empty()) return CheckOutcome::skip("needs lassos");
+  auto spell = [&](const lang::Word& w) {
+    std::string out;
+    for (auto s : w) out += c.alphabet->name(s);
+    return out;
+  };
+  auto rejects = [&](const std::string& text) {
+    try {
+      (void)omega::parse_lasso(text, *c.alphabet);
+      return false;
+    } catch (const std::invalid_argument&) {
+      return true;
+    }
+  };
+  for (const Lasso& l : c.lassos) {
+    const std::string text = spell(l.prefix) + "(" + spell(l.loop) + ")";
+    const Lasso back = omega::parse_lasso(text, *c.alphabet);
+    if (!back.same_word(l))
+      return CheckOutcome::fail("parse('" + text + "') denotes a different word");
+    if (!rejects(text + "a"))
+      return CheckOutcome::fail("trailing letter accepted: '" + text + "a'");
+    if (!rejects(text + "(a)"))
+      return CheckOutcome::fail("second loop group accepted: '" + text + "(a)'");
+    if (!rejects(spell(l.prefix) + "(" + "(" + spell(l.loop) + ")"))
+      return CheckOutcome::fail("doubled '(' accepted");
+    if (!rejects(spell(l.prefix) + spell(l.loop)))
+      return CheckOutcome::fail("lasso without a loop group accepted");
+    if (!rejects(spell(l.prefix) + "()"))
+      return CheckOutcome::fail("empty loop '()' accepted");
+  }
+  if (!rejects("")) return CheckOutcome::fail("empty lasso text accepted");
+  return CheckOutcome::pass();
+}
+
+}  // namespace
+
+const std::vector<Oracle>& oracle_registry() {
+  static const std::vector<Oracle> registry{
+      {"dfa-product-laws",
+       "boolean algebra of DFA languages: product laws, minimize, and per-word membership",
+       gen_product_laws, check_product_laws},
+      {"operator-duality",
+       "§2 operators A/E/R/P: duality and closure laws vs naive prefix-scan lasso semantics",
+       gen_operator_duality, check_operator_duality},
+      {"classify-vs-forms",
+       "§5.1 classification vs complement duality, safety closure, and form extraction",
+       gen_classify, check_classify},
+      {"ltl-eval-vs-automaton",
+       "direct LTL lasso evaluation vs the compiled deterministic automaton",
+       gen_ltl_eval, check_ltl_eval},
+      {"fts-engines",
+       "model checker: nested-DFS vs SCC engine, with counterexample replay",
+       gen_fts_engines, check_fts_engines},
+      {"lasso-roundtrip",
+       "lasso printing/parsing round-trip and rejection of malformed inputs",
+       gen_lasso_roundtrip, check_lasso_roundtrip},
+  };
+  return registry;
+}
+
+const Oracle* find_oracle(std::string_view name) {
+  for (const auto& o : oracle_registry())
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+}  // namespace mph::fuzz

@@ -1,0 +1,43 @@
+// The oracle registry: each oracle pairs a generator of random inputs with
+// a differential cross-check of two or more independent implementations
+// (operator laws vs enumerated lassos, classify() vs form extraction, the
+// LTL lasso evaluator vs compiled automata, the checker's nested-DFS vs SCC
+// engines, parser round-trips). A check never decides truth on its own —
+// it only compares answers that must agree.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fuzz/fuzz_case.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::fuzz {
+
+struct CheckOutcome {
+  enum class Kind { Pass, Skip, Fail };
+  Kind kind = Kind::Pass;
+  std::string message;  // failure description, or why the case was skipped
+
+  static CheckOutcome pass() { return {Kind::Pass, {}}; }
+  static CheckOutcome skip(std::string why) { return {Kind::Skip, std::move(why)}; }
+  static CheckOutcome fail(std::string what) { return {Kind::Fail, std::move(what)}; }
+};
+
+struct Oracle {
+  std::string name;
+  std::string description;
+  std::function<FuzzCase(Rng&)> generate;
+  std::function<CheckOutcome(const FuzzCase&)> check;
+};
+
+/// All oracles, in a fixed documented order.
+const std::vector<Oracle>& oracle_registry();
+
+/// Lookup by name; nullptr if unknown.
+const Oracle* find_oracle(std::string_view name);
+
+}  // namespace mph::fuzz

@@ -1,0 +1,243 @@
+#include "src/fuzz/shrink.hpp"
+
+#include "src/ltl/ast.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::fuzz {
+namespace {
+
+using lang::Dfa;
+using lang::State;
+using lang::Symbol;
+using omega::DetOmega;
+
+/// Remove `dead` (never the initial state); edges into it re-target the
+/// initial state, indices above it shift down.
+Dfa drop_dfa_state(const Dfa& d, State dead) {
+  MPH_ASSERT(dead != d.initial() && d.state_count() > 1);
+  auto remap = [&](State q) {
+    if (q == dead) q = d.initial();
+    return q > dead ? q - 1 : q;
+  };
+  Dfa out(d.alphabet(), d.state_count() - 1, remap(d.initial()));
+  for (State q = 0; q < d.state_count(); ++q) {
+    if (q == dead) continue;
+    out.set_accepting(remap(q), d.accepting(q));
+    for (Symbol s = 0; s < d.alphabet().size(); ++s)
+      out.set_transition(remap(q), s, remap(d.next(q, s)));
+  }
+  return out;
+}
+
+DetOmega drop_omega_state(const DetOmega& m, State dead) {
+  MPH_ASSERT(dead != m.initial() && m.state_count() > 1);
+  auto remap = [&](State q) {
+    if (q == dead) q = m.initial();
+    return q > dead ? q - 1 : q;
+  };
+  DetOmega out(m.alphabet(), m.state_count() - 1, remap(m.initial()), m.acceptance());
+  for (State q = 0; q < m.state_count(); ++q) {
+    if (q == dead) continue;
+    for (omega::Mark b = 0; b < 64; ++b)
+      if (m.marks(q) & omega::mark_bit(b)) out.add_mark(remap(q), b);
+    for (Symbol s = 0; s < m.alphabet().size(); ++s)
+      out.set_transition(remap(q), s, remap(m.next(q, s)));
+  }
+  return out;
+}
+
+/// Rebuild every alphabet-indexed object of `c` over a smaller alphabet:
+/// plain alphabets lose their last letter (its transition column vanishes,
+/// lasso occurrences map to symbol 0), propositional alphabets lose their
+/// last proposition (the upper half of every transition table vanishes).
+std::optional<FuzzCase> shrink_alphabet(const FuzzCase& c) {
+  if (!c.alphabet) return std::nullopt;
+  const auto& a = *c.alphabet;
+  lang::Alphabet smaller = [&] {
+    if (a.prop_based()) {
+      std::vector<std::string> props;
+      for (std::size_t i = 0; i + 1 < a.prop_count(); ++i) props.push_back(a.prop_name(i));
+      return lang::Alphabet::of_props(std::move(props));
+    }
+    std::vector<std::string> letters;
+    for (Symbol s = 0; s + 1 < a.size(); ++s) letters.push_back(a.name(s));
+    return lang::Alphabet::plain(std::move(letters));
+  }();
+  FuzzCase out = c;
+  out.alphabet = smaller;
+  const Symbol sigma = static_cast<Symbol>(smaller.size());
+  out.dfas.clear();
+  for (const Dfa& d : c.dfas) {
+    Dfa nd(smaller, d.state_count(), d.initial());
+    for (State q = 0; q < d.state_count(); ++q) {
+      nd.set_accepting(q, d.accepting(q));
+      for (Symbol s = 0; s < sigma; ++s) nd.set_transition(q, s, d.next(q, s));
+    }
+    out.dfas.push_back(std::move(nd));
+  }
+  out.automata.clear();
+  for (const DetOmega& m : c.automata) {
+    DetOmega nm(smaller, m.state_count(), m.initial(), m.acceptance());
+    for (State q = 0; q < m.state_count(); ++q) {
+      for (omega::Mark b = 0; b < 64; ++b)
+        if (m.marks(q) & omega::mark_bit(b)) nm.add_mark(q, b);
+      for (Symbol s = 0; s < sigma; ++s) nm.set_transition(q, s, m.next(q, s));
+    }
+    out.automata.push_back(std::move(nm));
+  }
+  for (auto& l : out.lassos) {
+    for (auto& s : l.prefix)
+      if (s >= sigma) s = 0;
+    for (auto& s : l.loop)
+      if (s >= sigma) s = 0;
+  }
+  return out;
+}
+
+/// Proper subformulas of `f`, children first, printed.
+void collect_subformulas(const ltl::Formula& f, std::vector<std::string>& out) {
+  for (std::size_t i = 0; i < f.arity(); ++i) {
+    collect_subformulas(f.child(i), out);
+    out.push_back(f.child(i).to_string());
+  }
+}
+
+std::vector<FuzzCase> candidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  // 1. Smaller alphabet.
+  const bool alphabet_can_shrink =
+      c.alphabet && (c.alphabet->prop_based() ? c.alphabet->prop_count() > 1
+                                              : c.alphabet->size() > 1);
+  if (alphabet_can_shrink) {
+    if (auto cand = shrink_alphabet(c)) out.push_back(std::move(*cand));
+  }
+  // 2. Fewer automaton states.
+  for (std::size_t i = 0; i < c.dfas.size(); ++i)
+    for (State q = 0; q < c.dfas[i].state_count(); ++q) {
+      if (q == c.dfas[i].initial() || c.dfas[i].state_count() <= 1) continue;
+      FuzzCase cand = c;
+      cand.dfas[i] = drop_dfa_state(c.dfas[i], q);
+      out.push_back(std::move(cand));
+    }
+  for (std::size_t i = 0; i < c.automata.size(); ++i)
+    for (State q = 0; q < c.automata[i].state_count(); ++q) {
+      if (q == c.automata[i].initial() || c.automata[i].state_count() <= 1) continue;
+      FuzzCase cand = c;
+      cand.automata[i] = drop_omega_state(c.automata[i], q);
+      out.push_back(std::move(cand));
+    }
+  // 3. Simpler acceptance: hoist a top-level operand.
+  for (std::size_t i = 0; i < c.automata.size(); ++i) {
+    const auto& acc = c.automata[i].acceptance();
+    if (acc.kind() == omega::Acceptance::Kind::And ||
+        acc.kind() == omega::Acceptance::Kind::Or)
+      for (const auto& child : acc.children()) {
+        FuzzCase cand = c;
+        cand.automata[i].set_acceptance(child);
+        out.push_back(std::move(cand));
+      }
+  }
+  // 4. Fewer / shorter lassos.
+  for (std::size_t i = 0; i < c.lassos.size(); ++i) {
+    FuzzCase cand = c;
+    cand.lassos.erase(cand.lassos.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(cand));
+  }
+  for (std::size_t i = 0; i < c.lassos.size(); ++i) {
+    for (std::size_t j = 0; j < c.lassos[i].prefix.size(); ++j) {
+      FuzzCase cand = c;
+      cand.lassos[i].prefix.erase(cand.lassos[i].prefix.begin() +
+                                  static_cast<std::ptrdiff_t>(j));
+      out.push_back(std::move(cand));
+    }
+    if (c.lassos[i].loop.size() > 1)
+      for (std::size_t j = 0; j < c.lassos[i].loop.size(); ++j) {
+        FuzzCase cand = c;
+        cand.lassos[i].loop.erase(cand.lassos[i].loop.begin() +
+                                  static_cast<std::ptrdiff_t>(j));
+        out.push_back(std::move(cand));
+      }
+  }
+  // 5. Hoist a subformula over the whole formula.
+  for (std::size_t i = 0; i < c.formulas.size(); ++i) {
+    std::vector<std::string> subs;
+    try {
+      collect_subformulas(ltl::parse_formula(c.formulas[i]), subs);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    for (const auto& s : subs) {
+      FuzzCase cand = c;
+      cand.formulas[i] = s;
+      out.push_back(std::move(cand));
+    }
+  }
+  // 6. Leaner system.
+  if (c.system) {
+    for (std::size_t t = 0; t < c.system->transitions.size(); ++t) {
+      FuzzCase cand = c;
+      cand.system->transitions.erase(cand.system->transitions.begin() +
+                                     static_cast<std::ptrdiff_t>(t));
+      out.push_back(std::move(cand));
+    }
+    for (std::size_t t = 0; t < c.system->transitions.size(); ++t) {
+      for (std::size_t g = 0; g < c.system->transitions[t].guard.size(); ++g) {
+        FuzzCase cand = c;
+        auto& guard = cand.system->transitions[t].guard;
+        guard.erase(guard.begin() + static_cast<std::ptrdiff_t>(g));
+        out.push_back(std::move(cand));
+      }
+      for (std::size_t e = 0; e < c.system->transitions[t].effects.size(); ++e) {
+        FuzzCase cand = c;
+        auto& effects = cand.system->transitions[t].effects;
+        effects.erase(effects.begin() + static_cast<std::ptrdiff_t>(e));
+        out.push_back(std::move(cand));
+      }
+    }
+    for (std::size_t v = 0; v < c.system->vars.size(); ++v) {
+      const auto& var = c.system->vars[v];
+      if (var.hi <= var.lo || var.init > var.hi - 1) continue;
+      FuzzCase cand = c;
+      cand.system->vars[v].hi = var.hi - 1;
+      for (auto& t : cand.system->transitions)
+        for (auto& g : t.guard)
+          if (g.var == v && g.rhs > var.hi - 1) g.rhs = var.hi - 1;
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzCase shrink(FuzzCase failing, const StillFails& still_fails, ShrinkStats* stats,
+                std::size_t max_attempts) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  bool improved = true;
+  while (improved && st.attempts < max_attempts) {
+    improved = false;
+    ++st.rounds;
+    for (FuzzCase& cand : candidates(failing)) {
+      if (st.attempts >= max_attempts) break;
+      ++st.attempts;
+      bool fails = false;
+      try {
+        fails = still_fails(cand);
+      } catch (const std::exception&) {
+        // A reduction that makes the check throw (left the oracle's
+        // fragment, broke an invariant) is not the failure being shrunk.
+        fails = false;
+      }
+      if (fails) {
+        failing = std::move(cand);
+        ++st.accepted;
+        improved = true;
+        break;  // restart from the reduced case
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace mph::fuzz

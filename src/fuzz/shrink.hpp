@@ -1,0 +1,30 @@
+// Counterexample minimization: greedy descent over deterministic,
+// well-formedness-preserving reduction passes (delete automaton states,
+// delete symbols/propositions from the alphabet, trim lassos, hoist
+// subformulas, strip transitions and guards from systems). Each accepted
+// candidate must still fail the same oracle, so shrunk cases are genuine
+// minimal reproducers ready for tests/corpus/.
+#pragma once
+
+#include <functional>
+
+#include "src/fuzz/fuzz_case.hpp"
+
+namespace mph::fuzz {
+
+/// Returns true if the candidate still exhibits the failure being shrunk.
+using StillFails = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkStats {
+  std::size_t attempts = 0;  ///< candidates tried
+  std::size_t accepted = 0;  ///< candidates that kept failing (descent steps)
+  std::size_t rounds = 0;    ///< full passes over the candidate list
+};
+
+/// Greedy fixpoint: repeatedly take the first candidate (in a fixed pass
+/// order) that still fails, until none does or `max_attempts` is exhausted.
+/// Deterministic: same input and predicate give the same output.
+FuzzCase shrink(FuzzCase failing, const StillFails& still_fails, ShrinkStats* stats = nullptr,
+                std::size_t max_attempts = 2000);
+
+}  // namespace mph::fuzz

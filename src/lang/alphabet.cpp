@@ -8,7 +8,7 @@ namespace mph::lang {
 
 Alphabet Alphabet::plain(std::vector<std::string> letters) {
   MPH_REQUIRE(!letters.empty(), "alphabet must be non-empty");
-  MPH_REQUIRE(letters.size() <= 64, "alphabets are limited to 64 symbols");
+  MPH_REQUIRE(letters.size() <= 1024, "alphabets are limited to 1024 symbols");
   MPH_REQUIRE(std::set<std::string>(letters.begin(), letters.end()).size() == letters.size(),
               "duplicate letter names");
   Alphabet a;
@@ -17,7 +17,8 @@ Alphabet Alphabet::plain(std::vector<std::string> letters) {
 }
 
 Alphabet Alphabet::of_props(std::vector<std::string> props) {
-  MPH_REQUIRE(!props.empty() && props.size() <= 6, "propositional alphabets support 1..6 props");
+  MPH_REQUIRE(!props.empty() && props.size() <= 10,
+              "propositional alphabets support 1..10 props");
   MPH_REQUIRE(std::set<std::string>(props.begin(), props.end()).size() == props.size(),
               "duplicate proposition names");
   Alphabet a;

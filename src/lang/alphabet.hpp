@@ -4,9 +4,10 @@
 //   - propositional: Σ = 2^AP for a finite set of atomic propositions, the
 //     setting of the temporal-logic and predicate-automata views (§4–§5).
 //     Symbol value s is the bitmask of true propositions.
-// Alphabets are small (≤ 64 symbols) because every canonical construction in
-// the paper is over a handful of letters; automata store dense transition
-// tables indexed by symbol.
+// Alphabets are small (≤ 1024 symbols, ≤ 10 propositions) because automata
+// store dense transition tables indexed by symbol; the paper's canonical
+// constructions are over a handful of letters, but randomized cross-checking
+// (src/fuzz) deliberately exercises the larger prop-based alphabets.
 #pragma once
 
 #include <cstdint>

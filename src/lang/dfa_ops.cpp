@@ -1,7 +1,6 @@
 #include "src/lang/dfa_ops.hpp"
 
 #include <algorithm>
-#include <array>
 #include <deque>
 #include <map>
 
@@ -27,17 +26,18 @@ Dfa product(const Dfa& a, const Dfa& b, const std::function<bool(bool, bool)>& c
     return it->second;
   };
   intern(a.initial(), b.initial());
-  std::vector<std::array<State, 64>> trans;
+  // Row-major alphabet-sized rows; `states` keeps growing while rows are
+  // appended, so the table is indexed rather than iterated with `states`.
+  std::vector<State> trans;
   for (State q = 0; q < states.size(); ++q) {
     auto [qa, qb] = states[q];
-    trans.emplace_back();
-    for (Symbol s = 0; s < sigma; ++s) trans[q][s] = intern(a.next(qa, s), b.next(qb, s));
+    for (Symbol s = 0; s < sigma; ++s) trans.push_back(intern(a.next(qa, s), b.next(qb, s)));
   }
   Dfa out(a.alphabet(), states.size(), 0);
   for (State q = 0; q < states.size(); ++q) {
     auto [qa, qb] = states[q];
     out.set_accepting(q, combine(a.accepting(qa), b.accepting(qb)));
-    for (Symbol s = 0; s < sigma; ++s) out.set_transition(q, s, trans[q][s]);
+    for (Symbol s = 0; s < sigma; ++s) out.set_transition(q, s, trans[q * sigma + s]);
   }
   return out;
 }

@@ -1,26 +1,53 @@
 #include "src/ltl/eval.hpp"
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "src/support/check.hpp"
+#include "src/support/flat_hash.hpp"
 
 namespace mph::ltl {
 namespace {
 
-/// Subformulas in children-first order, deduplicated structurally.
-void collect(const Formula& f, std::vector<Formula>& out) {
-  for (std::size_t i = 0; i < f.arity(); ++i) collect(f.child(i), out);
-  for (const auto& g : out)
-    if (g == f) return;
-  out.push_back(f);
-}
+/// Children-first, structurally deduplicated subformula table. Interning is
+/// hash-consed on (op, atom, child indices): a node's children are interned
+/// first, so structural equality reduces to comparing the op/atom and the
+/// already-dense child index vectors — no recursive formula comparisons.
+/// This keeps evaluation linear-ish in formula size where the previous
+/// collect()/index_of pair rescanned the table per node (quadratic, and hot
+/// under fuzzing).
+class SubTable {
+ public:
+  std::size_t intern(const Formula& f) {
+    std::vector<std::size_t> k(f.arity());
+    for (std::size_t i = 0; i < f.arity(); ++i) k[i] = intern(f.child(i));
+    const bool is_atom = f.op() == Op::Atom;
+    std::uint64_t h = hash_mix(static_cast<std::uint64_t>(f.op()) + 1);
+    if (is_atom) h = hash_combine(h, hash_range(f.atom_name()));
+    h = hash_combine(h, hash_range(k));
+    for (std::size_t idx : buckets_[h]) {
+      const Formula& g = subs_[idx];
+      if (g.op() == f.op() && (!is_atom || g.atom_name() == f.atom_name()) && kids_[idx] == k)
+        return idx;
+    }
+    const std::size_t idx = subs_.size();
+    subs_.push_back(f);
+    kids_.push_back(std::move(k));
+    buckets_[h].push_back(idx);
+    return idx;
+  }
 
-std::size_t index_of(const std::vector<Formula>& subs, const Formula& f) {
-  for (std::size_t i = 0; i < subs.size(); ++i)
-    if (subs[i] == f) return i;
-  MPH_ASSERT(false);
-}
+  std::size_t size() const { return subs_.size(); }
+  const Formula& at(std::size_t i) const { return subs_[i]; }
+  /// Index of sub i's j-th child (children are interned before parents).
+  std::size_t kid(std::size_t i, std::size_t j) const { return kids_[i][j]; }
+
+ private:
+  std::vector<Formula> subs_;
+  std::vector<std::vector<std::size_t>> kids_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+};
 
 bool atom_holds(const lang::Alphabet& a, lang::Symbol s, const std::string& name) {
   if (a.prop_based()) {
@@ -65,30 +92,28 @@ bool is_past_op(Op op) {
 
 bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet& alphabet) {
   MPH_REQUIRE(!sigma.loop.empty(), "lasso loop must be non-empty");
-  std::vector<Formula> subs;
-  collect(f, subs);
-  for (const auto& g : subs)
-    if (is_past_op(g.op()))
-      MPH_REQUIRE(g.is_past_formula(),
-                  "past operator over a future subformula is not supported: " + g.to_string());
-
-  // Indices of the past-closed subformulas (those with no future operator);
-  // their joint truth vector is a deterministic function of the prefix read.
-  std::vector<std::size_t> past_closed;
-  for (std::size_t i = 0; i < subs.size(); ++i)
-    if (subs[i].is_past_formula()) past_closed.push_back(i);
+  SubTable table;
+  const std::size_t root = table.intern(f);
+  const std::size_t n_subs = table.size();
+  for (std::size_t i = 0; i < n_subs; ++i)
+    if (is_past_op(table.at(i).op()))
+      MPH_REQUIRE(table.at(i).is_past_formula(),
+                  "past operator over a future subformula is not supported: " +
+                      table.at(i).to_string());
 
   // Phase 1: run forward until the (loop-position, past-vector) pair repeats,
   // producing an expansion with preperiod P and period L on which the
-  // past-closed truths are genuinely periodic.
+  // past-closed truths (deterministic functions of the prefix read) are
+  // genuinely periodic.
   using Vec = std::vector<bool>;
   auto step = [&](const Vec* prev, lang::Symbol sym) {
-    Vec cur(subs.size(), false);
-    for (std::size_t i = 0; i < subs.size(); ++i) {
-      const Formula& g = subs[i];
+    Vec cur(n_subs, false);
+    for (std::size_t i = 0; i < n_subs; ++i) {
+      const Formula& g = table.at(i);
       if (!g.is_past_formula()) continue;
-      auto kid = [&](std::size_t k) { return cur[index_of(subs, g.child(k))]; };
-      auto prev_of = [&](const Formula& h) { return prev && (*prev)[index_of(subs, h)]; };
+      auto kid = [&](std::size_t k) { return cur[table.kid(i, k)]; };
+      auto prev_kid = [&](std::size_t k) { return prev && (*prev)[table.kid(i, k)]; };
+      auto prev_self = [&] { return prev && (*prev)[i]; };
       switch (g.op()) {
         case Op::True:
           cur[i] = true;
@@ -115,19 +140,19 @@ bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet
           cur[i] = kid(0) == kid(1);
           break;
         case Op::Prev:
-          cur[i] = prev_of(g.child(0));
+          cur[i] = prev_kid(0);
           break;
         case Op::WeakPrev:
-          cur[i] = prev ? (*prev)[index_of(subs, g.child(0))] : true;
+          cur[i] = prev ? (*prev)[table.kid(i, 0)] : true;
           break;
         case Op::Since:
-          cur[i] = kid(1) || (kid(0) && prev_of(g));
+          cur[i] = kid(1) || (kid(0) && prev_self());
           break;
         case Op::WeakSince:
           cur[i] = kid(1) || (kid(0) && (prev ? (*prev)[i] : true));
           break;
         case Op::Once:
-          cur[i] = kid(0) || prev_of(g);
+          cur[i] = kid(0) || prev_self();
           break;
         case Op::Historically:
           cur[i] = kid(0) && (prev ? (*prev)[i] : true);
@@ -164,32 +189,32 @@ bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet
   auto succ = [&](std::size_t i) { return i + 1 < n_pos ? i + 1 : preperiod; };
 
   // Phase 2: future (and mixed boolean) truths on the wrapped expansion.
-  std::vector<Vec> val(subs.size(), Vec(n_pos, false));
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    const Formula& g = subs[i];
+  std::vector<Vec> val(n_subs, Vec(n_pos, false));
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    const Formula& g = table.at(i);
     if (g.is_past_formula()) {
       for (std::size_t p = 0; p < n_pos; ++p) val[i][p] = history[p][i];
       continue;
     }
-    auto v = [&](const Formula& h) -> const Vec& { return val[index_of(subs, h)]; };
+    auto v = [&](std::size_t k) -> const Vec& { return val[table.kid(i, k)]; };
     if (!is_future_op(g.op())) {
       // Boolean over mixed operands, pointwise.
       for (std::size_t p = 0; p < n_pos; ++p) {
         switch (g.op()) {
           case Op::Not:
-            val[i][p] = !v(g.child(0))[p];
+            val[i][p] = !v(0)[p];
             break;
           case Op::And:
-            val[i][p] = v(g.child(0))[p] && v(g.child(1))[p];
+            val[i][p] = v(0)[p] && v(1)[p];
             break;
           case Op::Or:
-            val[i][p] = v(g.child(0))[p] || v(g.child(1))[p];
+            val[i][p] = v(0)[p] || v(1)[p];
             break;
           case Op::Implies:
-            val[i][p] = !v(g.child(0))[p] || v(g.child(1))[p];
+            val[i][p] = !v(0)[p] || v(1)[p];
             break;
           case Op::Iff:
-            val[i][p] = v(g.child(0))[p] == v(g.child(1))[p];
+            val[i][p] = v(0)[p] == v(1)[p];
             break;
           default:
             MPH_ASSERT(false);
@@ -210,22 +235,22 @@ bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet
         bool nv = false;
         switch (g.op()) {
           case Op::Next:
-            nv = v(g.child(0))[succ(pp)];
+            nv = v(0)[succ(pp)];
             break;
           case Op::Eventually:
-            nv = v(g.child(0))[pp] || next_val;
+            nv = v(0)[pp] || next_val;
             break;
           case Op::Always:
-            nv = v(g.child(0))[pp] && next_val;
+            nv = v(0)[pp] && next_val;
             break;
           case Op::Until:
-            nv = v(g.child(1))[pp] || (v(g.child(0))[pp] && next_val);
+            nv = v(1)[pp] || (v(0)[pp] && next_val);
             break;
           case Op::WeakUntil:
-            nv = v(g.child(1))[pp] || (v(g.child(0))[pp] && next_val);
+            nv = v(1)[pp] || (v(0)[pp] && next_val);
             break;
           case Op::Release:
-            nv = v(g.child(1))[pp] && (v(g.child(0))[pp] || next_val);
+            nv = v(1)[pp] && (v(0)[pp] || next_val);
             break;
           default:
             MPH_ASSERT(false);
@@ -237,7 +262,7 @@ bool evaluates(const Formula& f, const omega::Lasso& sigma, const lang::Alphabet
       }
     }
   }
-  return val[index_of(subs, f)][0];
+  return val[root][0];
 }
 
 }  // namespace mph::ltl

@@ -25,6 +25,8 @@ MarkedGraph to_graph(const DetOmega& m) {
 }
 
 std::vector<bool> graph_reachable(const MarkedGraph& g) {
+  if (g.size() == 0) return {};  // no states, nothing reachable
+  MPH_REQUIRE(g.initial < g.size(), "graph_reachable: initial state out of range");
   std::vector<bool> seen(g.size(), false);
   std::deque<State> queue{g.initial};
   seen[g.initial] = true;

@@ -30,13 +30,29 @@ bool Lasso::same_word(const Lasso& other) const {
 }
 
 Lasso parse_lasso(std::string_view text, const lang::Alphabet& alphabet) {
-  auto open = text.find('(');
-  MPH_REQUIRE(open != std::string_view::npos && text.back() == ')',
-              "lasso syntax is prefix(loop)");
+  // Exactly one (...) group, closing at the end of the text: anything after
+  // the ')' — including a second group, as in "a(b)(c)" — is an error, with
+  // the offending position reported.
+  MPH_REQUIRE(!text.empty(), "empty lasso text; lasso syntax is prefix(loop)");
+  const auto open = text.find('(');
+  MPH_REQUIRE(open != std::string_view::npos,
+              "no '(' in lasso text '" + std::string(text) + "'; lasso syntax is prefix(loop)");
+  const auto close = text.find(')', open + 1);
+  MPH_REQUIRE(close != std::string_view::npos,
+              "unclosed '(' at position " + std::to_string(open) + " in lasso text '" +
+                  std::string(text) + "'");
+  MPH_REQUIRE(close == text.size() - 1,
+              "trailing characters after ')' at position " + std::to_string(close) +
+                  " in lasso text '" + std::string(text) + "'");
+  const auto second = text.find('(', open + 1);
+  MPH_REQUIRE(second == std::string_view::npos,
+              "second '(' at position " + std::to_string(second) + " in lasso text '" +
+                  std::string(text) + "'; lasso syntax is prefix(loop)");
+  MPH_REQUIRE(close > open + 1, "empty loop '()' at position " + std::to_string(open) +
+                                    " in lasso text '" + std::string(text) + "'");
   Lasso l;
   l.prefix = lang::parse_word(text.substr(0, open), alphabet);
-  l.loop = lang::parse_word(text.substr(open + 1, text.size() - open - 2), alphabet);
-  MPH_REQUIRE(!l.loop.empty(), "lasso loop must be non-empty");
+  l.loop = lang::parse_word(text.substr(open + 1, close - open - 1), alphabet);
   return l;
 }
 

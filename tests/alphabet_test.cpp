@@ -49,7 +49,10 @@ TEST(Alphabet, PropNames) {
 }
 
 TEST(Alphabet, PropCountLimit) {
-  EXPECT_THROW(Alphabet::of_props({"a", "b", "c", "d", "e", "f", "g"}), std::invalid_argument);
+  // 7 props (128 symbols) is within the limit; 11 is out.
+  EXPECT_EQ(Alphabet::of_props({"a", "b", "c", "d", "e", "f", "g"}).size(), 128u);
+  EXPECT_THROW(Alphabet::of_props({"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"}),
+               std::invalid_argument);
 }
 
 TEST(Alphabet, Equality) {

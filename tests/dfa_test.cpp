@@ -252,6 +252,27 @@ TEST(Nfa, EpsilonClosureChains) {
   EXPECT_TRUE(equivalent(d, compile_regex("a*", sigma)));
 }
 
+TEST(DfaOps, ProductOver128SymbolAlphabet) {
+  // Regression: product() buffered one transition row in a fixed
+  // std::array<State, 64>, silently overflowing for alphabets past 64
+  // symbols. Seven propositions give 2^7 = 128 symbols.
+  auto sigma = Alphabet::of_props({"a", "b", "c", "d", "e", "f", "g"});
+  ASSERT_EQ(sigma.size(), 128u);
+  Rng rng(42);
+  Dfa d1 = random_dfa(rng, sigma, 4);
+  Dfa d2 = random_dfa(rng, sigma, 4);
+  Dfa both = intersection(d1, d2);
+  Dfa either = union_of(d1, d2);
+  ASSERT_EQ(both.alphabet().size(), 128u);
+  for (int trial = 0; trial < 100; ++trial) {
+    Word w = random_word(rng, sigma, rng.below(6));
+    EXPECT_EQ(both.accepts(w), d1.accepts(w) && d2.accepts(w));
+    EXPECT_EQ(either.accepts(w), d1.accepts(w) || d2.accepts(w));
+  }
+  // De Morgan over the full 128-symbol alphabet exercises every row.
+  EXPECT_TRUE(equivalent(complement(both), union_of(complement(d1), complement(d2))));
+}
+
 TEST(Nfa, ToNfaRoundTrip) {
   Rng rng(23);
   auto sigma = ab();

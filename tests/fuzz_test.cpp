@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/fuzz/generators.hpp"
+#include "src/fuzz/runner.hpp"
+#include "src/fuzz/shrink.hpp"
+
+namespace mph::fuzz {
+namespace {
+
+TEST(FuzzCase, SerializationRoundTripsPerOracle) {
+  for (const auto& o : oracle_registry()) {
+    for (std::uint64_t it = 0; it < 10; ++it) {
+      Rng rng(iteration_seed(o.name, 7, it));
+      const FuzzCase c = o.generate(rng);
+      const std::string text = c.to_text();
+      const FuzzCase back = FuzzCase::parse(text);
+      EXPECT_EQ(back.to_text(), text) << o.name << " iteration " << it;
+      EXPECT_EQ(back.oracle, o.name);
+      EXPECT_EQ(back.size(), c.size());
+    }
+  }
+}
+
+TEST(FuzzCase, ParseRejectsGarbage) {
+  EXPECT_THROW(FuzzCase::parse(""), std::invalid_argument);
+  EXPECT_THROW(FuzzCase::parse("not-a-case\n"), std::invalid_argument);
+  EXPECT_THROW(FuzzCase::parse("mph-fuzz-case v2\noracle x\n"), std::invalid_argument);
+}
+
+TEST(FuzzRunner, IterationSeedsAreStableAndDistinct) {
+  EXPECT_EQ(iteration_seed("fts-engines", 1, 0), iteration_seed("fts-engines", 1, 0));
+  EXPECT_NE(iteration_seed("fts-engines", 1, 0), iteration_seed("fts-engines", 1, 1));
+  EXPECT_NE(iteration_seed("fts-engines", 1, 0), iteration_seed("fts-engines", 2, 0));
+  EXPECT_NE(iteration_seed("fts-engines", 1, 0), iteration_seed("lasso-roundtrip", 1, 0));
+}
+
+TEST(FuzzRunner, ReportIsDeterministicForFixedSeed) {
+  FuzzOptions opt;
+  opt.seed = 3;
+  opt.iters = 10;
+  const FuzzReport r1 = run_fuzz(opt);
+  const FuzzReport r2 = run_fuzz(opt);
+  // to_text carries everything except wall-clock timings.
+  EXPECT_EQ(r1.to_text(), r2.to_text());
+  EXPECT_EQ(r1.total_failures(), 0u) << r1.to_text();
+  EXPECT_EQ(r1.oracles.size(), oracle_registry().size());
+}
+
+TEST(FuzzRunner, ReplayOfGeneratedCasesNeverFails) {
+  for (const auto& o : oracle_registry()) {
+    Rng rng(iteration_seed(o.name, 11, 0));
+    const FuzzCase c = o.generate(rng);
+    const CheckOutcome outcome = replay(c);
+    EXPECT_NE(outcome.kind, CheckOutcome::Kind::Fail) << o.name << ": " << outcome.message;
+  }
+}
+
+TEST(FuzzRunner, UnknownOracleThrows) {
+  FuzzOptions opt;
+  opt.oracles = {"no-such-oracle"};
+  EXPECT_THROW(run_fuzz(opt), std::invalid_argument);
+  EXPECT_EQ(find_oracle("no-such-oracle"), nullptr);
+  EXPECT_NE(find_oracle("fts-engines"), nullptr);
+}
+
+TEST(FuzzShrink, DeterministicAndLocallyMinimal) {
+  const Oracle* o = find_oracle("dfa-product-laws");
+  ASSERT_NE(o, nullptr);
+  Rng rng(iteration_seed(o->name, 5, 0));
+  const FuzzCase c = o->generate(rng);
+  // Stand-in failure: "the first DFA has at least two states". The shrinker
+  // must reach a local minimum (two states, nothing else left to strip)
+  // and do so identically on every run.
+  const auto fails = [](const FuzzCase& cand) {
+    return !cand.dfas.empty() && cand.dfas[0].state_count() >= 2;
+  };
+  ASSERT_TRUE(fails(c));
+  ShrinkStats s1, s2;
+  const FuzzCase r1 = shrink(c, fails, &s1);
+  const FuzzCase r2 = shrink(c, fails, &s2);
+  EXPECT_EQ(r1.to_text(), r2.to_text());
+  EXPECT_EQ(s1.attempts, s2.attempts);
+  EXPECT_EQ(s1.accepted, s2.accepted);
+  EXPECT_TRUE(fails(r1));
+  EXPECT_EQ(r1.dfas[0].state_count(), 2u);
+  EXPECT_LE(r1.size(), c.size());
+  // Shrunk output is still a well-formed, replayable case.
+  EXPECT_EQ(FuzzCase::parse(r1.to_text()).to_text(), r1.to_text());
+}
+
+TEST(FuzzShrink, PredicateExceptionsCountAsNotFailing) {
+  const Oracle* o = find_oracle("lasso-roundtrip");
+  ASSERT_NE(o, nullptr);
+  Rng rng(iteration_seed(o->name, 9, 0));
+  const FuzzCase c = o->generate(rng);
+  // A predicate that throws on every candidate: shrinking must return the
+  // original case unchanged instead of propagating or looping.
+  ShrinkStats stats;
+  const FuzzCase r = shrink(c, [](const FuzzCase&) -> bool {
+    throw std::runtime_error("oracle blew up");
+  }, &stats);
+  EXPECT_EQ(r.to_text(), c.to_text());
+  EXPECT_EQ(stats.accepted, 0u);
+}
+
+TEST(FuzzSpec, BuildProducesRunnableSystem) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FtsSpec spec = random_fts(rng);
+    const fts::Fts sys = spec.build();
+    EXPECT_GE(sys.transition_count(), 1u);
+    const fts::AtomMap atoms = spec.atoms();
+    EXPECT_EQ(atoms.size(), 2 * spec.vars.size());
+    // Every "<v>hi"/"<v>lo" atom evaluates on the initial valuation.
+    for (const auto& [name, fn] : atoms)
+      (void)fn(sys, sys.initial_valuation(), /*last_taken=*/-1);
+  }
+}
+
+}  // namespace
+}  // namespace mph::fuzz

@@ -33,6 +33,34 @@ TEST(Lasso, ParseRejectsEmptyLoop) {
   EXPECT_THROW(parse_lasso("ab", ab()), std::invalid_argument);
 }
 
+TEST(Lasso, ParseRejectsMalformedGroups) {
+  // Regression: the parser used to split on the first '(' and ignore
+  // everything after the matching ')', silently misreading these.
+  EXPECT_THROW(parse_lasso("", ab()), std::invalid_argument);
+  EXPECT_THROW(parse_lasso("()", ab()), std::invalid_argument);
+  EXPECT_THROW(parse_lasso("a(b)(a)", ab()), std::invalid_argument);  // second group
+  EXPECT_THROW(parse_lasso("a(b)b", ab()), std::invalid_argument);    // trailing symbol
+  EXPECT_THROW(parse_lasso("a(b", ab()), std::invalid_argument);      // unclosed
+  EXPECT_THROW(parse_lasso("a)b(a)", ab()), std::invalid_argument);   // stray ')'
+}
+
+TEST(Lasso, ParseErrorsNamePosition) {
+  try {
+    parse_lasso("a(b)(a)", ab());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trailing characters"), std::string::npos) << what;
+    EXPECT_NE(what.find("position 3"), std::string::npos) << what;
+  }
+  try {
+    parse_lasso("a(b", ab());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("position 1"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Lasso, SameWordDifferentSplits) {
   // a(ba)^ω = ab(ab)^ω = (ab... wait: a·bababa... = ab·ababa...
   Lasso l1 = parse_lasso("a(ba)", ab());

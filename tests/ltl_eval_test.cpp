@@ -133,5 +133,35 @@ TEST(Eval, LoopSplitInvariance) {
   }
 }
 
+TEST(Eval, HashConsedSharingPreservesVerdicts) {
+  // The evaluator interns structurally identical subformulas (hash-consing
+  // replaced the quadratic collect()/index_of scan). Duplicating a subterm
+  // makes the interner share one slot for all copies; every verdict must be
+  // exactly what the un-duplicated formula gives.
+  const std::vector<omega::Lasso> lassos = {mk({}, {1}), mk({0, 2}, {3, 0}), mk({1, 1}, {2}),
+                                            mk({}, {1, 0, 2})};
+  const std::vector<std::string> bases = {"p U q",  "G F p",        "F G q",
+                                          "p S q",  "Y p",          "G(p -> F q)",
+                                          "O q",    "q -> H p"};
+  for (const auto& b : bases) {
+    for (const auto& l : lassos) {
+      const bool v = ev(b, l);
+      EXPECT_EQ(ev("(" + b + ") & (" + b + ")", l), v) << b;
+      EXPECT_EQ(ev("(" + b + ") | (" + b + ")", l), v) << b;
+      EXPECT_EQ(ev("!!(" + b + ")", l), v) << b;
+      EXPECT_FALSE(ev("(" + b + ") & !(" + b + ")", l)) << b;
+    }
+  }
+}
+
+TEST(Eval, RepeatedDuplicationInternsOnce) {
+  // 2^12 occurrences of "p U q" collapse to a handful of interned slots;
+  // the evaluation tables stay proportional to *distinct* subformulas.
+  std::string f = "p U q";
+  for (int i = 0; i < 12; ++i) f = "(" + f + ") & (" + f + ")";
+  EXPECT_TRUE(ev(f, mk({}, {2})));
+  EXPECT_FALSE(ev(f, mk({}, {0})));
+}
+
 }  // namespace
 }  // namespace mph::ltl

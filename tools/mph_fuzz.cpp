@@ -1,0 +1,144 @@
+// mph-fuzz — seedable differential fuzzing of the repo's redundant
+// implementations (see docs/FUZZING.md).
+//
+//   mph-fuzz --iters 500 --seed 1               run every oracle
+//   mph-fuzz --oracle fts-engines --iters 50    run one oracle (repeatable)
+//   mph-fuzz --list-oracles                     what can be cross-checked
+//   mph-fuzz --replay tests/corpus/foo.fuzz     re-check a stored case
+//   mph-fuzz --save-case FILE --oracle NAME     write iteration 0's input
+//   mph-fuzz --json [--out FILE]                machine-readable report
+//
+// Exit status: 0 = every oracle agreed (replay: case passes or skips),
+// 1 = a discrepancy was found (replay: case fails), 2 = usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/generators.hpp"
+#include "src/fuzz/runner.hpp"
+
+namespace {
+
+using namespace mph;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: mph-fuzz [options]\n"
+         "  --seed N          base seed (default 1); every failure replays from it\n"
+         "  --iters N         iterations per oracle (default 100)\n"
+         "  --oracle NAME     fuzz only NAME (repeatable; default: all oracles)\n"
+         "  --max-failures N  stop an oracle after N failures (default 3)\n"
+         "  --no-shrink       report failures without minimizing them\n"
+         "  --json            machine-readable report\n"
+         "  --out FILE        write the report to FILE instead of stdout\n"
+         "  --replay FILE     re-check a stored mph-fuzz-case file and exit\n"
+         "  --save-case FILE  write one generated case of --oracle to FILE\n"
+         "  --case-iter N     which iteration --save-case writes (default 0)\n"
+         "  --list-oracles    print the oracle registry\n";
+  return code;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzOptions options;
+  bool json = false, list_oracles = false;
+  std::string out_path, replay_path, save_path;
+  std::uint64_t case_iter = 0;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto value_of = [&](std::size_t& i) -> std::string {
+    if (i + 1 >= args.size()) {
+      usage(std::cerr, 2);
+      std::exit(2);
+    }
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    try {
+      if (a == "--seed") options.seed = std::stoull(value_of(i));
+      else if (a == "--iters") options.iters = std::stoull(value_of(i));
+      else if (a == "--oracle") options.oracles.push_back(value_of(i));
+      else if (a == "--max-failures") options.max_failures = std::stoull(value_of(i));
+      else if (a == "--no-shrink") options.shrink = false;
+      else if (a == "--json") json = true;
+      else if (a == "--out") out_path = value_of(i);
+      else if (a == "--replay") replay_path = value_of(i);
+      else if (a == "--save-case") save_path = value_of(i);
+      else if (a == "--case-iter") case_iter = std::stoull(value_of(i));
+      else if (a == "--list-oracles") list_oracles = true;
+      else if (a == "--help" || a == "-h") return usage(std::cout, 0);
+      else return usage(std::cerr, 2);
+    } catch (const std::exception&) {
+      return usage(std::cerr, 2);
+    }
+  }
+
+  if (list_oracles) {
+    for (const auto& o : fuzz::oracle_registry())
+      std::cout << o.name << "\n    " << o.description << "\n";
+    return 0;
+  }
+
+  try {
+    if (!replay_path.empty()) {
+      const fuzz::FuzzCase c = fuzz::FuzzCase::parse(read_file(replay_path));
+      const fuzz::CheckOutcome outcome = fuzz::replay(c);
+      switch (outcome.kind) {
+        case fuzz::CheckOutcome::Kind::Pass:
+          std::cout << replay_path << ": " << c.oracle << " agrees\n";
+          return 0;
+        case fuzz::CheckOutcome::Kind::Skip:
+          std::cout << replay_path << ": skipped (" << outcome.message << ")\n";
+          return 0;
+        case fuzz::CheckOutcome::Kind::Fail:
+          std::cerr << replay_path << ": FAIL: " << outcome.message << "\n";
+          return 1;
+      }
+    }
+
+    if (!save_path.empty()) {
+      if (options.oracles.size() != 1) {
+        std::cerr << "--save-case needs exactly one --oracle\n";
+        return 2;
+      }
+      const fuzz::Oracle* oracle = fuzz::find_oracle(options.oracles[0]);
+      if (!oracle) {
+        std::cerr << "unknown oracle: " << options.oracles[0] << "\n";
+        return 2;
+      }
+      Rng rng(fuzz::iteration_seed(oracle->name, options.seed, case_iter));
+      std::ofstream out(save_path);
+      if (!out) throw std::runtime_error("cannot write " + save_path);
+      out << oracle->generate(rng).to_text();
+      std::cout << "wrote " << save_path << "\n";
+      return 0;
+    }
+
+    analysis::DiagnosticEngine diagnostics;
+    const fuzz::FuzzReport report = fuzz::run_fuzz(options, &diagnostics);
+    const std::string rendered = json ? report.to_json() : report.to_text();
+    if (out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot write " + out_path);
+      out << rendered;
+    }
+    if (!json && !diagnostics.empty()) std::cerr << diagnostics.to_text();
+    return report.total_failures() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mph-fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}
