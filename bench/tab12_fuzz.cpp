@@ -37,6 +37,7 @@ void write_json(const std::string& path, bool quick, const fuzz::FuzzReport& rep
     const double rate = o.seconds > 0 ? static_cast<double>(o.iters) / o.seconds : 0.0;
     out << "    {\"name\": \"" << analysis::json_escape(o.name) << "\", \"iters\": " << o.iters
         << ", \"passed\": " << o.passed << ", \"skipped\": " << o.skipped
+        << ", \"budget_exhausted\": " << o.budget_exhausted
         << ", \"failures\": " << o.failures.size() << ", \"seconds\": " << o.seconds
         << ", \"iters_per_sec\": " << rate << "}" << (i + 1 < report.oracles.size() ? "," : "")
         << "\n";
@@ -52,7 +53,7 @@ void bench_oracle_iteration(benchmark::State& state) {
   for (auto _ : state) {
     Rng rng(fuzz::iteration_seed(oracle.name, kSeed, it++));
     fuzz::FuzzCase c = oracle.generate(rng);
-    benchmark::DoNotOptimize(oracle.check(c));
+    benchmark::DoNotOptimize(oracle.check(c, Budget{}));
   }
   state.SetLabel(oracle.name);
 }

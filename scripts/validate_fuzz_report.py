@@ -53,6 +53,11 @@ def check_common(data):
         for key in ("iters", "passed", "skipped"):
             require(isinstance(row.get(key), int) and row[key] >= 0,
                     f"{where}: '{key}' missing or not a non-negative integer")
+        # Optional (older reports predate per-iteration budgets): iterations
+        # abandoned on budget exhaustion, counted apart from failures.
+        budget = row.get("budget_exhausted", 0)
+        require(isinstance(budget, int) and budget >= 0,
+                f"{where}: 'budget_exhausted' is not a non-negative integer")
         require(isinstance(row.get("seconds"), (int, float)) and row["seconds"] >= 0,
                 f"{where}: 'seconds' missing or negative")
         total += check_failures(row, where)
@@ -85,8 +90,9 @@ def check_failures(row, where):
                     f["case"].startswith("mph-fuzz-case v1"),
                     f"{fwhere}: 'case' is not an mph-fuzz-case v1 document")
         n = len(failures)
-    require(row["passed"] + row["skipped"] + n <= row["iters"],
-            f"{where}: passed+skipped+failures exceeds iters")
+    require(row["passed"] + row["skipped"] + row.get("budget_exhausted", 0) + n
+            <= row["iters"],
+            f"{where}: passed+skipped+budget_exhausted+failures exceeds iters")
     return n
 
 

@@ -61,10 +61,12 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-V001", Severity::Note, "specification outside the hierarchy fragment; NBA tableau used"},
     {"MPH-V002", Severity::Note, "model-check product size"},
     {"MPH-V003", Severity::Warning, "specification violated (counterexample found)"},
+    {"MPH-V004", Severity::Error, "model-check budget exhausted (verdict unknown)"},
     // Differential fuzzing (src/fuzz, mph-fuzz).
     {"MPH-X001", Severity::Error, "oracle discrepancy (two implementations disagree)"},
     {"MPH-X002", Severity::Note, "counterexample shrunk to a minimal reproducer"},
     {"MPH-X003", Severity::Warning, "oracle skipped an iteration (input outside its fragment)"},
+    {"MPH-X004", Severity::Warning, "iteration budget exhausted (abandoned, not a discrepancy)"},
 };
 static_assert(std::is_sorted(std::begin(kRegistry), std::end(kRegistry),
                              [](const CodeInfo& a, const CodeInfo& b) { return a.code < b.code; }),

@@ -199,7 +199,7 @@ class OnTheFlyEngine {
 
   OnTheFlyEngine(const StateGraph& sg, const std::vector<lang::Symbol>& labels,
                  const std::vector<MarkSet>& fair_marks, Mark shift, const NegSpecView& neg,
-                 std::vector<Mark> req, std::size_t max_states)
+                 std::vector<Mark> req, const Budget& budget)
       : sg_(sg),
         labels_(labels),
         fair_marks_(fair_marks),
@@ -207,7 +207,7 @@ class OnTheFlyEngine {
         neg_(neg),
         req_(std::move(req)),
         k_(std::max<std::size_t>(req_.size(), 1)),
-        max_states_(max_states) {}
+        budget_(budget) {}
 
   /// Some accepting product lasso as (prefix cells, loop cells), or nullopt
   /// when every fair computation satisfies the spec.
@@ -238,11 +238,21 @@ class OnTheFlyEngine {
   std::uint32_t intern(std::size_t n, omega::State q) {
     auto [idx, inserted] = pids_.intern(pack(n, q));
     if (inserted) {
-      MPH_REQUIRE(pids_.size() <= max_states_, "product exceeds max_states");
+      // The pair is already in the interner, but on exhaustion the whole
+      // search unwinds immediately, so the extra key is never observed.
+      budget_.require(pids_.size() - 1);
       marks_.push_back(fair_marks_[n] | (neg_.marks(q) << shift_));
       cell_flags_.resize(pids_.size() * k_, 0);
     }
     return static_cast<std::uint32_t>(idx);
+  }
+
+  /// Deadline/cancellation poll amortized over the DFS steps (the state cap
+  /// is enforced exactly at every intern; the clock is read every 4096
+  /// steps).
+  void poll_budget() {
+    if ((++steps_ & 0xFFFu) != 0) return;
+    if (Outcome o = budget_.poll(); !is_complete(o)) throw BudgetExhausted(o);
   }
 
   std::vector<std::uint32_t> successors(std::uint32_t pid) {
@@ -274,6 +284,7 @@ class OnTheFlyEngine {
     flags(root) |= kBlue | kOnStack;
     frames.push_back({root.pid, root.c, successors(root.pid), 0});
     while (!frames.empty()) {
+      poll_budget();
       Frame& f = frames.back();
       if (f.i < f.succ.size()) {
         Cell next{f.succ[f.i++], advance(f.pid, f.c)};
@@ -301,6 +312,7 @@ class OnTheFlyEngine {
     flags(seed) |= kRed;
     std::vector<Frame> frames{{seed.pid, seed.c, successors(seed.pid), 0}};
     while (!frames.empty()) {
+      poll_budget();
       Frame& f = frames.back();
       if (f.i == f.succ.size()) {
         frames.pop_back();
@@ -355,7 +367,8 @@ class OnTheFlyEngine {
   const NegSpecView& neg_;
   const std::vector<Mark> req_;
   const std::size_t k_;
-  const std::size_t max_states_;
+  const Budget& budget_;
+  std::uint64_t steps_ = 0;
   FlatInterner<std::uint64_t, IntHash> pids_;
   std::vector<MarkSet> marks_;            // per pid
   std::vector<std::uint8_t> cell_flags_;  // per pid × counter
@@ -373,12 +386,29 @@ struct LabelCache {
 /// runs compilation and the emptiness search and fills the per-spec stats.
 CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
                       const std::vector<MarkSet>& fair_marks, const LabelCache& cache,
-                      const ltl::Formula& spec, std::size_t max_states, bool force_scc,
+                      const ltl::Formula& spec, const Budget& budget, bool force_scc,
                       analysis::DiagnosticEngine* diagnostics) {
   const std::string subject = "check '" + spec.to_string() + "'";
   CheckResult result;
   result.stats.state_graph_nodes = sg.nodes.size();
   MPH_ASSERT(sg.nodes.size() < (std::uint64_t{1} << 32));  // product keys pack into 64 bits
+
+  // Budget exhaustion ends the check with an *unknown* verdict: record the
+  // outcome, report MPH-V004, and leave holds == false with no witness.
+  auto give_up = [&](Outcome o, const std::string& phase) {
+    result.outcome = result.stats.outcome = o;
+    result.holds = false;
+    result.counterexample.reset();
+    if (diagnostics) {
+      auto& d = diagnostics->emit(
+          "MPH-V004", subject,
+          "budget exhausted (" + std::string(to_string(o)) + ") during " + phase +
+              " after " + std::to_string(result.stats.product_states) +
+              " product state(s); verdict unknown");
+      d.fix_hint = "raise CheckOptions::budget (state cap / deadline) or simplify "
+                   "the model or specification";
+    }
+  };
 
   // Compile ¬spec: deterministic route first, NBA tableau as fallback.
   auto t_compile = Clock::now();
@@ -387,9 +417,14 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
     neg = deterministic_view(
         std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), cache.alphabet)));
   } catch (const std::invalid_argument&) {
-    neg = nba_view(
-        std::make_shared<omega::Nba>(ltl::to_nba(f_not(spec), cache.alphabet)));
     result.stats.nba_fallback = true;
+    auto nba = ltl::to_nba(f_not(spec), cache.alphabet, budget);
+    if (!nba.complete()) {
+      result.stats.compile_seconds = elapsed(t_compile);
+      give_up(nba.outcome, "the ¬spec NBA tableau construction");
+      return result;
+    }
+    neg = nba_view(std::make_shared<omega::Nba>(std::move(*nba.value)));
     if (diagnostics)
       diagnostics
           ->emit("MPH-V001", subject,
@@ -427,8 +462,18 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
     req.erase(std::unique(req.begin(), req.end()), req.end());
     result.stats.on_the_fly = true;
     OnTheFlyEngine engine(sg, cache.labels, fair_marks, fair.mark_count, neg, std::move(req),
-                          max_states);
-    auto lasso = engine.run();
+                          budget);
+    std::optional<std::pair<std::vector<OnTheFlyEngine::Cell>, std::vector<OnTheFlyEngine::Cell>>>
+        lasso;
+    try {
+      lasso = engine.run();
+    } catch (const BudgetExhausted& e) {
+      result.product_states = result.stats.product_states = engine.product_states();
+      result.stats.search_seconds = elapsed(t_search);
+      emit_product_note();
+      give_up(e.outcome(), "the nested-DFS product search");
+      return result;
+    }
     result.product_states = result.stats.product_states = engine.product_states();
     result.stats.search_seconds = elapsed(t_search);
     emit_product_note();
@@ -458,11 +503,18 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
   FlatInterner<std::uint64_t, IntHash> pids;
   auto intern = [&](std::size_t n, omega::State q) {
     auto [idx, inserted] = pids.intern(pack(n, q));
-    if (inserted) MPH_REQUIRE(pids.size() <= max_states, "product exceeds max_states");
+    if (inserted) budget.require(pids.size() - 1);
     return static_cast<omega::State>(idx);
   };
   MarkedGraph g;
-  for (omega::State q0 : neg.initial) intern(0, q0);
+  try {
+    for (omega::State q0 : neg.initial) intern(0, q0);
+  } catch (const BudgetExhausted& e) {
+    result.product_states = result.stats.product_states = pids.size();
+    result.stats.search_seconds = elapsed(t_search);
+    give_up(e.outcome(), "the SCC product construction");
+    return result;
+  }
   if (pids.size() == 0) {
     // The ¬spec automaton has no initial states (the NBA tableau of an
     // unsatisfiable negation), so the product has no runs: the spec holds
@@ -473,18 +525,28 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
     return result;
   }
   g.initial = 0;
-  for (omega::State p = 0; p < pids.size(); ++p) {
-    const std::uint64_t key = pids[p];
-    const std::size_t n = node_of(key);
-    const omega::State q = aut_of(key);
-    std::vector<omega::State> succ;
-    for (omega::State q2 : neg.step(q, cache.labels[n]))
-      for (auto [target, t] : sg.edges[n]) {
-        (void)t;
-        succ.push_back(intern(target, q2));
+  try {
+    for (omega::State p = 0; p < pids.size(); ++p) {
+      if ((p & 0x3FFu) == 0) {
+        if (Outcome o = budget.poll(); !is_complete(o)) throw BudgetExhausted(o);
       }
-    g.succ.push_back(std::move(succ));
-    g.marks.push_back(fair_marks[n] | (neg.marks(q) << fair.mark_count));
+      const std::uint64_t key = pids[p];
+      const std::size_t n = node_of(key);
+      const omega::State q = aut_of(key);
+      std::vector<omega::State> succ;
+      for (omega::State q2 : neg.step(q, cache.labels[n]))
+        for (auto [target, t] : sg.edges[n]) {
+          (void)t;
+          succ.push_back(intern(target, q2));
+        }
+      g.succ.push_back(std::move(succ));
+      g.marks.push_back(fair_marks[n] | (neg.marks(q) << fair.mark_count));
+    }
+  } catch (const BudgetExhausted& e) {
+    result.product_states = result.stats.product_states = pids.size();
+    result.stats.search_seconds = elapsed(t_search);
+    give_up(e.outcome(), "the SCC product construction");
+    return result;
   }
   // Multiple NBA initial states: add a virtual root so the good-loop search
   // sees all of them as reachable.
@@ -609,25 +671,15 @@ std::vector<std::string> validated_atoms(const ltl::Formula& spec, const AtomMap
 
 CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
                   std::size_t max_states, analysis::DiagnosticEngine* diagnostics) {
-  auto atom_names = validated_atoms(spec, atoms);
+  CheckOptions options;
+  options.max_states = max_states;
+  options.diagnostics = diagnostics;
+  return check(system, spec, atoms, options);
+}
 
-  auto t_explore = Clock::now();
-  StateGraph sg = explore(system, max_states);
-  const double explore_seconds = elapsed(t_explore);
-
-  FairnessFrame fair = fairness_frame(system);
-  std::vector<MarkSet> fair_marks = fair_node_marks(sg, fair);
-
-  auto t_label = Clock::now();
-  LabelCache cache{lang::Alphabet::of_props(atom_names),
-                   label_nodes(system, sg, atoms, atom_names), 0.0};
-  cache.seconds = elapsed(t_label);
-
-  CheckResult result = check_one(sg, fair, fair_marks, cache, spec, max_states,
-                                 /*force_scc=*/false, diagnostics);
-  result.stats.explore_seconds = explore_seconds;
-  result.stats.label_seconds = cache.seconds;
-  return result;
+CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
+                  const CheckOptions& options) {
+  return std::move(check_all(system, {spec}, atoms, options).front());
 }
 
 std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::Formula>& specs,
@@ -635,11 +687,37 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
   std::vector<CheckResult> results(specs.size());
   if (specs.empty()) return results;
 
+  // Effective budget: options.budget, with the deprecated max_states alias
+  // seeding the state cap when the budget itself carries none.
+  Budget budget = options.budget;
+  if (!budget.has_state_cap()) budget.with_state_cap(options.max_states);
+
   // Shared phases: one exploration, one fairness frame, one label cache per
   // distinct atom vocabulary.
   auto t_explore = Clock::now();
-  StateGraph sg = explore(system, options.max_states);
+  ExploreResult ex = explore(system, budget);
   const double explore_seconds = elapsed(t_explore);
+  if (!is_complete(ex.outcome)) {
+    // The shared exploration ran out of budget: every spec in the batch gets
+    // the same unknown verdict, before any worker thread starts — so the
+    // result (and the single MPH-V004) is identical for threads == 1 and N.
+    for (auto& r : results) {
+      r.outcome = r.stats.outcome = ex.outcome;
+      r.stats.state_graph_nodes = ex.graph.nodes.size();
+      r.stats.explore_seconds = explore_seconds;
+    }
+    if (options.diagnostics) {
+      auto& d = options.diagnostics->emit(
+          "MPH-V004", "state-graph exploration",
+          "budget exhausted (" + std::string(to_string(ex.outcome)) + ") after " +
+              std::to_string(ex.graph.nodes.size()) +
+              " system state(s); every spec in the batch is unverified");
+      d.fix_hint = "raise CheckOptions::budget (state cap / deadline) or shrink "
+                   "variable domains";
+    }
+    return results;
+  }
+  const StateGraph& sg = ex.graph;
   FairnessFrame fair = fairness_frame(system);
   std::vector<MarkSet> fair_marks = fair_node_marks(sg, fair);
 
@@ -660,7 +738,7 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
 
   auto run_one = [&](std::size_t i, analysis::DiagnosticEngine* engine) {
     CheckResult r = check_one(sg, fair, fair_marks, *cache_of[i], specs[i],
-                              options.max_states, options.force_scc, engine);
+                              budget, options.force_scc, engine);
     r.stats.explore_seconds = explore_seconds;
     r.stats.label_seconds = cache_of[i]->seconds;
     results[i] = std::move(r);

@@ -42,6 +42,7 @@ struct CheckStats {
   std::size_t product_bound = 0;      ///< state_graph_nodes × automaton_states
   bool on_the_fly = false;            ///< nested-DFS early-exit emptiness used
   bool nba_fallback = false;          ///< ¬spec outside the hierarchy fragment
+  Outcome outcome = Outcome::Complete;  ///< how the check ended (docs/BUDGETS.md)
   double explore_seconds = 0.0;       ///< state-graph exploration
   double label_seconds = 0.0;         ///< atom labelling of the state graph
   double compile_seconds = 0.0;       ///< ¬spec compilation
@@ -49,11 +50,18 @@ struct CheckStats {
 };
 
 struct CheckResult {
+  /// Verdict; authoritative only when `outcome` is Complete. A
+  /// budget-exhausted check reports holds == false with no counterexample:
+  /// the verdict is *unknown*, not "violated".
   bool holds = false;
   std::optional<Counterexample> counterexample;
   /// Product states actually built (== stats.product_states; kept as a
   /// top-level field for existing callers).
   std::size_t product_states = 0;
+  /// How far the check got (== stats.outcome; mirrored like product_states).
+  /// Anything other than Complete means the budget ran out and `holds` must
+  /// not be trusted; MPH-V004 is emitted when diagnostics are attached.
+  Outcome outcome = Outcome::Complete;
   CheckStats stats;
 };
 
@@ -64,13 +72,23 @@ struct CheckResult {
 /// neither route applies.
 ///
 /// When `diagnostics` is given, the checker reports through it: MPH-V001
-/// (tableau fallback), MPH-V002 (product size), MPH-V003 (violation found).
+/// (tableau fallback), MPH-V002 (product size), MPH-V003 (violation found),
+/// MPH-V004 (budget exhausted, verdict unknown).
+///
+/// Running past `max_states` no longer throws: the result comes back with
+/// `outcome == Outcome::BudgetStates` (see CheckResult::outcome).
 CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
                   std::size_t max_states = 200000,
                   analysis::DiagnosticEngine* diagnostics = nullptr);
 
 struct CheckOptions {
-  /// Cap on both the state graph and each product's interned states.
+  /// Resource budget governing the exploration, each ¬spec tableau, and each
+  /// product construction (the state cap bounds each of those
+  /// individually). When the budget carries no state cap of its own, the
+  /// deprecated `max_states` alias below seeds it.
+  Budget budget;
+  /// Deprecated alias for `budget.with_state_cap(...)`: honored only when
+  /// `budget` has no state cap. Kept so existing callers keep compiling.
   std::size_t max_states = 200000;
   /// Worker threads checking independent specs. 1 (the default) keeps the
   /// run fully sequential and deterministic; with more threads, results and
@@ -90,5 +108,11 @@ struct CheckOptions {
 /// results[i] corresponds to specs[i].
 std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::Formula>& specs,
                                    const AtomMap& atoms, const CheckOptions& options = {});
+
+/// Single-spec variant taking the full options (budget, engine selection,
+/// diagnostics). Equivalent to check_all with a one-element batch, so
+/// Outcome reporting is identical between the two entry points.
+CheckResult check(const Fts& system, const ltl::Formula& spec, const AtomMap& atoms,
+                  const CheckOptions& options);
 
 }  // namespace mph::fts

@@ -85,15 +85,21 @@ struct NodeKeyHash {
 
 }  // namespace
 
-StateGraph explore(const Fts& system, std::size_t max_states) {
-  StateGraph g;
+ExploreResult explore(const Fts& system, const Budget& budget) {
+  ExploreResult res;
+  StateGraph& g = res.graph;
   FlatInterner<std::pair<Valuation, int>, NodeKeyHash> index;
   std::deque<std::size_t> queue;
-  // Nodes enter the BFS queue exactly once, when first interned.
-  auto intern = [&](Valuation v, int last) {
+  // Nodes enter the BFS queue exactly once, when first interned. Returns
+  // nullopt when the budget refuses the new node; the caller stops exploring
+  // immediately, so the interner's dangling key is never observed.
+  auto intern = [&](Valuation v, int last) -> std::optional<std::size_t> {
     auto [idx, inserted] = index.intern({std::move(v), last});
     if (inserted) {
-      MPH_REQUIRE(g.nodes.size() < max_states, "state graph exceeds max_states");
+      if (Outcome o = budget.admit(g.nodes.size()); !is_complete(o)) {
+        res.outcome = o;
+        return std::nullopt;
+      }
       g.nodes.push_back(StateGraph::Node{index[idx].first, last});
       g.edges.emplace_back();
       g.enabled.emplace_back();
@@ -102,8 +108,12 @@ StateGraph explore(const Fts& system, std::size_t max_states) {
     }
     return idx;
   };
-  intern(system.initial_valuation(), StateGraph::kNone);
+  if (!intern(system.initial_valuation(), StateGraph::kNone)) return res;
   while (!queue.empty()) {
+    if (Outcome o = budget.poll(); !is_complete(o)) {
+      res.outcome = o;
+      return res;
+    }
     std::size_t n = queue.front();
     queue.pop_front();
     const Valuation v = g.nodes[n].valuation;
@@ -113,8 +123,9 @@ StateGraph explore(const Fts& system, std::size_t max_states) {
       en[t] = system.enabled(t, v);
       if (!en[t]) continue;
       any = true;
-      std::size_t target = intern(system.apply(t, v), static_cast<int>(t));
-      g.edges[n].push_back({target, t});
+      std::optional<std::size_t> target = intern(system.apply(t, v), static_cast<int>(t));
+      if (!target) return res;
+      g.edges[n].push_back({*target, t});
     }
     g.enabled[n] = std::move(en);
     if (!any) {
@@ -123,7 +134,13 @@ StateGraph explore(const Fts& system, std::size_t max_states) {
       g.stutters[n] = true;
     }
   }
-  return g;
+  return res;
+}
+
+StateGraph explore(const Fts& system, std::size_t max_states) {
+  ExploreResult res = explore(system, Budget().with_state_cap(max_states));
+  MPH_REQUIRE(is_complete(res.outcome), "state graph exceeds max_states");
+  return std::move(res.graph);
 }
 
 AtomFn var_equals(const Fts& system, std::string_view var, int value) {

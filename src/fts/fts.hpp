@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/support/budget.hpp"
 #include "src/support/check.hpp"
 
 namespace mph::fts {
@@ -84,7 +85,21 @@ struct StateGraph {
   std::vector<bool> stutters;
 };
 
-/// BFS exploration; throws std::invalid_argument beyond `max_states` or on a
+/// A possibly-partial exploration. When `outcome` is not Complete the graph
+/// stopped mid-BFS: already-discovered nodes may still have empty `edges` /
+/// `enabled` rows, so the graph is NOT suitable for checking — consumers
+/// must consult `outcome` before using it.
+struct ExploreResult {
+  StateGraph graph;
+  Outcome outcome = Outcome::Complete;
+};
+
+/// Budget-governed BFS exploration: stops at the budget's state cap /
+/// deadline / cancellation and reports how far it got (docs/BUDGETS.md).
+/// Domain violations still throw std::invalid_argument.
+ExploreResult explore(const Fts& system, const Budget& budget);
+
+/// Legacy wrapper; throws std::invalid_argument beyond `max_states` or on a
 /// domain violation.
 StateGraph explore(const Fts& system, std::size_t max_states = 200000);
 

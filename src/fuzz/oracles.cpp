@@ -10,6 +10,7 @@
 #include "src/lang/random_lang.hpp"
 #include "src/ltl/eval.hpp"
 #include "src/ltl/hierarchy.hpp"
+#include "src/omega/counter_free.hpp"
 #include "src/omega/emptiness.hpp"
 #include "src/omega/operators.hpp"
 #include "src/support/check.hpp"
@@ -20,6 +21,18 @@ namespace {
 using lang::Dfa;
 using omega::DetOmega;
 using omega::Lasso;
+
+/// Poll point between law groups: engaged with a Budget outcome when the
+/// iteration's deadline/cancellation fired.
+std::optional<CheckOutcome> budget_gate(const Budget& budget) {
+  if (Outcome o = budget.poll(); !is_complete(o))
+    return CheckOutcome::exhausted(std::string(to_string(o)));
+  return std::nullopt;
+}
+
+/// Cap on transition-monoid enumeration inside an oracle iteration: the
+/// monoid can reach |Q|^|Q| elements, far past any useful iteration budget.
+constexpr std::size_t kOracleMonoidCap = 512;
 
 // ------------------------------------------------------------------------
 // dfa-product-laws: boolean algebra of DFA languages, decided three ways —
@@ -37,7 +50,7 @@ FuzzCase gen_product_laws(Rng& rng) {
   return c;
 }
 
-CheckOutcome check_product_laws(const FuzzCase& c) {
+CheckOutcome check_product_laws(const FuzzCase& c, const Budget& budget) {
   if (c.dfas.size() < 2) return CheckOutcome::skip("needs two DFAs");
   const Dfa& a = c.dfas[0];
   const Dfa& b = c.dfas[1];
@@ -53,6 +66,7 @@ CheckOutcome check_product_laws(const FuzzCase& c) {
     return CheckOutcome::fail("A∩B ⊄ A");
   if (!subset(b, union_of(a, b)))
     return CheckOutcome::fail("B ⊄ A∪B");
+  if (auto gate = budget_gate(budget)) return *gate;
   const Dfa min_a = minimize(a);
   if (!equivalent(min_a, a))
     return CheckOutcome::fail("minimize changed the language");
@@ -60,6 +74,7 @@ CheckOutcome check_product_laws(const FuzzCase& c) {
     return CheckOutcome::fail("minimize grew the automaton");
   // Per-word cross-check against the boolean combination of memberships.
   // The sampling Rng is fixed, so a replayed case samples the same words.
+  if (auto gate = budget_gate(budget)) return *gate;
   Rng words(0xda7a);
   const Dfa inter = intersection(a, b);
   const Dfa uni = union_of(a, b);
@@ -118,7 +133,7 @@ PrefixProfile prefix_profile(const Dfa& phi, const Lasso& l) {
   }
 }
 
-CheckOutcome check_operator_duality(const FuzzCase& c) {
+CheckOutcome check_operator_duality(const FuzzCase& c, const Budget& budget) {
   if (c.dfas.size() < 2) return CheckOutcome::skip("needs two DFAs");
   const Dfa& phi = c.dfas[0];
   const Dfa& psi = c.dfas[1];
@@ -131,6 +146,7 @@ CheckOutcome check_operator_duality(const FuzzCase& c) {
     return CheckOutcome::fail("¬A(Φ) ≠ E(¬Φ)");
   if (!omega::equivalent(omega::complement(op_r(phi)), op_p(lang::complement(phi))))
     return CheckOutcome::fail("¬R(Φ) ≠ P(¬Φ)");
+  if (auto gate = budget_gate(budget)) return *gate;
   // Closure laws (Table in §2): A distributes over ∩, E over ∪, R over ∪,
   // P over ∩.
   if (!omega::equivalent(omega::intersection(op_a(phi), op_a(psi)),
@@ -151,8 +167,10 @@ CheckOutcome check_operator_duality(const FuzzCase& c) {
   // Naive semantics on every small lasso: A = every non-empty prefix in Φ,
   // E = some, R = infinitely many (some recurring), P = all but finitely
   // many (every recurring).
+  if (auto gate = budget_gate(budget)) return *gate;
   const DetOmega ma = op_a(phi), me = op_e(phi), mr = op_r(phi), mp = op_p(phi);
   for (const Lasso& l : omega::enumerate_lassos(phi.alphabet(), 2, 2)) {
+    if (auto gate = budget_gate(budget)) return *gate;
     const PrefixProfile pr = prefix_profile(phi, l);
     bool all = true, some = false, rec_some = false, rec_all = true;
     for (std::size_t k = 0; k < pr.acc.size(); ++k) {
@@ -188,9 +206,22 @@ FuzzCase gen_classify(Rng& rng) {
   return c;
 }
 
-CheckOutcome check_classify(const FuzzCase& c) {
+CheckOutcome check_classify(const FuzzCase& c, const Budget& budget) {
   if (c.automata.empty()) return CheckOutcome::skip("needs an automaton");
   const DetOmega& m = c.automata[0];
+  // Tri-state counter-freedom: an automaton and its complement share a
+  // transition monoid, so the verdicts must agree — including the
+  // budget-exhausted one. The oracle-internal monoid cap keeps the
+  // |Q|^|Q|-element worst case from hanging an iteration; hitting it is a
+  // Budget outcome, not a discrepancy.
+  Budget monoid = budget;
+  if (monoid.state_cap() > kOracleMonoidCap) monoid.with_state_cap(kOracleMonoidCap);
+  const auto cf = omega::counter_freedom(m, monoid);
+  if (cf != omega::counter_freedom(omega::complement(m), monoid))
+    return CheckOutcome::fail("counter-freedom verdict changed under complement");
+  if (cf == omega::CounterFreedom::Unknown)
+    return CheckOutcome::exhausted("transition monoid exceeded the iteration budget");
+  if (auto gate = budget_gate(budget)) return *gate;
   const auto cls = core::classify(m);
   const auto dual = core::classify(omega::complement(m));
   if (cls.safety != dual.guarantee || cls.guarantee != dual.safety)
@@ -201,6 +232,7 @@ CheckOutcome check_classify(const FuzzCase& c) {
     return CheckOutcome::fail("obligation ≠ recurrence ∧ persistence");
   if (cls.obligation != dual.obligation)
     return CheckOutcome::fail("obligation not closed under complement");
+  if (auto gate = budget_gate(budget)) return *gate;
   const DetOmega closure = omega::safety_closure(m);
   if (!omega::contains(closure, m))
     return CheckOutcome::fail("Π ⊄ cl(Π)");
@@ -223,6 +255,7 @@ CheckOutcome check_classify(const FuzzCase& c) {
       {"persistence", cls.persistence, core::persistence_form, omega::op_p},
   };
   for (const auto& fc : forms) {
+    if (auto gate = budget_gate(budget)) return *gate;
     bool extracted = false;
     try {
       const Dfa kernel = fc.extract(m);
@@ -269,7 +302,7 @@ FuzzCase gen_ltl_eval(Rng& rng) {
   return c;
 }
 
-CheckOutcome check_ltl_eval(const FuzzCase& c) {
+CheckOutcome check_ltl_eval(const FuzzCase& c, const Budget& budget) {
   if (c.formulas.empty()) return CheckOutcome::skip("no compilable formula found");
   const ltl::Formula f = ltl::parse_formula(c.formulas[0]);
   std::optional<DetOmega> m;
@@ -280,6 +313,7 @@ CheckOutcome check_ltl_eval(const FuzzCase& c) {
     return CheckOutcome::skip("formula not compilable");
   }
   const ltl::Formula nf = ltl::f_not(f);
+  if (auto gate = budget_gate(budget)) return *gate;
   for (const Lasso& l : c.lassos) {
     const bool direct = ltl::evaluates(f, l, *c.alphabet);
     if (direct != m->accepts(l))
@@ -318,22 +352,33 @@ FuzzCase gen_fts_engines(Rng& rng) {
   return c;
 }
 
-CheckOutcome check_fts_engines(const FuzzCase& c) {
+CheckOutcome check_fts_engines(const FuzzCase& c, const Budget& budget) {
   if (!c.system || c.formulas.empty()) return CheckOutcome::skip("needs a system and a spec");
   const fts::Fts sys = c.system->build();
   const fts::AtomMap atoms = c.system->atoms();
   const ltl::Formula spec = ltl::parse_formula(c.formulas[0]);
   fts::CheckOptions otf;
-  otf.max_states = 20000;
+  otf.max_states = 20000;  // seeds the budget's state cap unless it has one
+  otf.budget = budget;
   fts::CheckOptions scc = otf;
   scc.force_scc = true;
   const auto r_otf = fts::check_all(sys, {spec}, atoms, otf)[0];
   const auto r_scc = fts::check_all(sys, {spec}, atoms, scc)[0];
+  // Outcomes come first: under a deadline one engine can complete while the
+  // other runs out, so differing verdicts with a non-Complete outcome are
+  // budget exhaustion, not a discrepancy.
+  if (!is_complete(r_otf.outcome) || !is_complete(r_scc.outcome))
+    return CheckOutcome::exhausted(
+        "engine budget exhausted (" +
+        std::string(to_string(worst(r_otf.outcome, r_scc.outcome))) + ")");
   if (r_otf.holds != r_scc.holds)
     return CheckOutcome::fail("nested-DFS and SCC engines disagree on '" + c.formulas[0] +
                               "' (" + (r_otf.holds ? "holds" : "violated") + " vs " +
                               (r_scc.holds ? "holds" : "violated") + ")");
-  const auto single = fts::check(sys, spec, atoms, otf.max_states);
+  const auto single = fts::check(sys, spec, atoms, otf);
+  if (!is_complete(single.outcome))
+    return CheckOutcome::exhausted("engine budget exhausted (" +
+                                   std::string(to_string(single.outcome)) + ")");
   if (single.holds != r_otf.holds)
     return CheckOutcome::fail("check and check_all disagree on '" + c.formulas[0] + "'");
   // Replay each engine's counterexample under ltl::evaluates: the lasso of
@@ -375,8 +420,9 @@ FuzzCase gen_lasso_roundtrip(Rng& rng) {
   return c;
 }
 
-CheckOutcome check_lasso_roundtrip(const FuzzCase& c) {
+CheckOutcome check_lasso_roundtrip(const FuzzCase& c, const Budget& budget) {
   if (!c.alphabet || c.lassos.empty()) return CheckOutcome::skip("needs lassos");
+  if (auto gate = budget_gate(budget)) return *gate;
   auto spell = [&](const lang::Word& w) {
     std::string out;
     for (auto s : w) out += c.alphabet->name(s);

@@ -13,25 +13,33 @@
 #include <vector>
 
 #include "src/fuzz/fuzz_case.hpp"
+#include "src/support/budget.hpp"
 #include "src/support/rng.hpp"
 
 namespace mph::fuzz {
 
 struct CheckOutcome {
-  enum class Kind { Pass, Skip, Fail };
+  /// Budget: the iteration's budget ran out mid-check. Not a discrepancy —
+  /// the runner records it (MPH-X004) and moves on; replay treats it as a
+  /// clean exit.
+  enum class Kind { Pass, Skip, Fail, Budget };
   Kind kind = Kind::Pass;
   std::string message;  // failure description, or why the case was skipped
 
   static CheckOutcome pass() { return {Kind::Pass, {}}; }
   static CheckOutcome skip(std::string why) { return {Kind::Skip, std::move(why)}; }
   static CheckOutcome fail(std::string what) { return {Kind::Fail, std::move(what)}; }
+  static CheckOutcome exhausted(std::string why) { return {Kind::Budget, std::move(why)}; }
 };
 
 struct Oracle {
   std::string name;
   std::string description;
   std::function<FuzzCase(Rng&)> generate;
-  std::function<CheckOutcome(const FuzzCase&)> check;
+  /// Differential check under a per-iteration budget. Oracles poll the
+  /// budget between law groups and thread it into the budget-aware engines;
+  /// exhaustion comes back as Kind::Budget, never as a throw.
+  std::function<CheckOutcome(const FuzzCase&, const Budget&)> check;
 };
 
 /// All oracles, in a fixed documented order.

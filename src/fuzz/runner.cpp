@@ -14,11 +14,11 @@ double elapsed(std::chrono::steady_clock::time_point since) {
 }
 
 /// A candidate "still fails" only when the check reports Fail; a candidate
-/// that passes, skips, or throws (a reduction can leave an oracle's
-/// supported fragment) is not the failure being shrunk.
-bool still_fails(const Oracle& oracle, const FuzzCase& c) {
+/// that passes, skips, exhausts its budget, or throws (a reduction can leave
+/// an oracle's supported fragment) is not the failure being shrunk.
+bool still_fails(const Oracle& oracle, const FuzzCase& c, const Budget& budget) {
   try {
-    return oracle.check(c).kind == CheckOutcome::Kind::Fail;
+    return oracle.check(c, budget).kind == CheckOutcome::Kind::Fail;
   } catch (const std::exception&) {
     return false;
   }
@@ -42,6 +42,7 @@ std::string FuzzReport::to_text() const {
   for (const auto& o : oracles) {
     out << "  " << o.name << ": " << o.passed << " passed";
     if (o.skipped > 0) out << ", " << o.skipped << " skipped";
+    if (o.budget_exhausted > 0) out << ", " << o.budget_exhausted << " budget-exhausted";
     if (!o.failures.empty()) out << ", " << o.failures.size() << " FAILED";
     out << "\n";
     for (const auto& f : o.failures) {
@@ -69,6 +70,7 @@ std::string FuzzReport::to_json() const {
     const auto& o = oracles[i];
     out << "    {\"name\": \"" << json_escape(o.name) << "\", \"iters\": " << o.iters
         << ", \"passed\": " << o.passed << ", \"skipped\": " << o.skipped
+        << ", \"budget_exhausted\": " << o.budget_exhausted
         << ", \"seconds\": " << o.seconds << ", \"failures\": [";
     for (std::size_t j = 0; j < o.failures.size(); ++j) {
       const auto& f = o.failures[j];
@@ -95,6 +97,17 @@ FuzzReport run_fuzz(const FuzzOptions& options, analysis::DiagnosticEngine* diag
     }
   }
 
+  // Every iteration (and every shrink candidate) gets a fresh budget: the
+  // deadline must restart per check, or the first slow input would exhaust
+  // everything after it.
+  auto make_budget = [&options] {
+    Budget b;
+    if (options.iter_budget_states > 0) b.with_state_cap(options.iter_budget_states);
+    if (options.iter_budget_ms > 0)
+      b.with_deadline_after(std::chrono::milliseconds(options.iter_budget_ms));
+    return b;
+  };
+
   FuzzReport report;
   report.seed = options.seed;
   report.iters = options.iters;
@@ -107,7 +120,16 @@ FuzzReport run_fuzz(const FuzzOptions& options, analysis::DiagnosticEngine* diag
       ++o.iters;
       Rng rng(iteration_seed(oracle->name, options.seed, it));
       FuzzCase c = oracle->generate(rng);
-      const CheckOutcome outcome = oracle->check(c);
+      CheckOutcome outcome;
+      try {
+        outcome = oracle->check(c, make_budget());
+      } catch (const BudgetExhausted& e) {
+        outcome = CheckOutcome::exhausted(std::string(to_string(e.outcome())));
+      } catch (const std::exception& e) {
+        // A throwing oracle must not abort the campaign: record the
+        // iteration as abandoned (MPH-X004) and keep going.
+        outcome = CheckOutcome::exhausted(std::string("oracle threw: ") + e.what());
+      }
       if (outcome.kind == CheckOutcome::Kind::Pass) {
         ++o.passed;
         continue;
@@ -116,13 +138,23 @@ FuzzReport run_fuzz(const FuzzOptions& options, analysis::DiagnosticEngine* diag
         ++o.skipped;
         continue;
       }
+      if (outcome.kind == CheckOutcome::Kind::Budget) {
+        ++o.budget_exhausted;
+        if (diagnostics)
+          diagnostics
+              ->emit("MPH-X004", oracle->name + " iteration " + std::to_string(it),
+                     "iteration abandoned: " + outcome.message)
+              .fix_hint = "raise --iter-budget-ms / --iter-budget-states, or replay the "
+                          "case without a budget";
+        continue;
+      }
       FuzzFailure f;
       f.iteration = it;
       f.message = outcome.message;
       f.original_size = c.size();
       FuzzCase reduced = options.shrink
                              ? shrink(c, [&](const FuzzCase& cand) {
-                                 return still_fails(*oracle, cand);
+                                 return still_fails(*oracle, cand, make_budget());
                                }, &f.shrink_stats)
                              : c;
       f.shrunk_size = reduced.size();
@@ -151,10 +183,10 @@ FuzzReport run_fuzz(const FuzzOptions& options, analysis::DiagnosticEngine* diag
   return report;
 }
 
-CheckOutcome replay(const FuzzCase& c) {
+CheckOutcome replay(const FuzzCase& c, const Budget& budget) {
   const Oracle* oracle = find_oracle(c.oracle);
   MPH_REQUIRE(oracle != nullptr, "case names unknown oracle: " + c.oracle);
-  return oracle->check(c);
+  return oracle->check(c, budget);
 }
 
 }  // namespace mph::fuzz

@@ -24,6 +24,13 @@ struct FuzzOptions {
   /// Stop fuzzing an oracle after this many failures (each is shrunk, which
   /// re-runs the check many times).
   std::size_t max_failures = 3;
+  /// Per-iteration budget (0 = unlimited): a wall-clock allowance in
+  /// milliseconds and a state/node cap threaded into the budget-aware
+  /// engines under test. A pathological input then exhausts its own
+  /// iteration — recorded as MPH-X004 — instead of hanging the campaign.
+  /// Each shrink candidate gets a fresh deadline of the same length.
+  std::uint64_t iter_budget_ms = 0;
+  std::size_t iter_budget_states = 0;
 };
 
 struct FuzzFailure {
@@ -40,6 +47,10 @@ struct OracleReport {
   std::uint64_t iters = 0;
   std::uint64_t passed = 0;
   std::uint64_t skipped = 0;
+  /// Iterations abandoned because their budget ran out (or the oracle threw
+  /// mid-check). Counted separately from failures: exhaustion is not a
+  /// discrepancy and does not affect the exit code.
+  std::uint64_t budget_exhausted = 0;
   std::vector<FuzzFailure> failures;
   double seconds = 0.0;
 };
@@ -62,8 +73,9 @@ std::uint64_t iteration_seed(std::string_view oracle, std::uint64_t seed, std::u
 FuzzReport run_fuzz(const FuzzOptions& options,
                     analysis::DiagnosticEngine* diagnostics = nullptr);
 
-/// Re-checks a stored case against its oracle (corpus replay). Pass and
-/// Skip both count as a clean replay.
-CheckOutcome replay(const FuzzCase& c);
+/// Re-checks a stored case against its oracle (corpus replay). Pass, Skip,
+/// and Budget all count as a clean replay; the replay itself runs under
+/// `budget` (default: unlimited — oracle-internal caps still apply).
+CheckOutcome replay(const FuzzCase& c, const Budget& budget = {});
 
 }  // namespace mph::fuzz

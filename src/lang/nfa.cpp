@@ -81,18 +81,26 @@ bool Nfa::accepts(const Word& w) const {
   return std::any_of(cur.begin(), cur.end(), [&](State q) { return accepting_[q]; });
 }
 
-Dfa determinize(const Nfa& n) {
+namespace {
+
+// Shared body of both determinize() overloads; throws BudgetExhausted at the
+// interning site when the budget runs out.
+Dfa determinize_impl(const Nfa& n, const Budget& budget) {
   const std::size_t sigma = n.alphabet().size();
   std::map<std::set<State>, State> index;
   std::vector<std::set<State>> subsets;
   auto intern = [&](std::set<State> qs) {
     auto [it, inserted] = index.try_emplace(qs, static_cast<State>(subsets.size()));
-    if (inserted) subsets.push_back(std::move(qs));
+    if (inserted) {
+      budget.require(subsets.size());
+      subsets.push_back(std::move(qs));
+    }
     return it->second;
   };
   intern(eps_closure(n, {n.initial()}));
   std::vector<std::vector<State>> trans;
   for (State q = 0; q < subsets.size(); ++q) {
+    if (Outcome o = budget.poll(); !is_complete(o)) throw BudgetExhausted(o);
     trans.emplace_back(sigma);
     for (Symbol s = 0; s < sigma; ++s) {
       std::set<State> next;
@@ -110,6 +118,18 @@ Dfa determinize(const Nfa& n) {
     for (Symbol s = 0; s < sigma; ++s) out.set_transition(q, s, trans[q][s]);
   }
   return out;
+}
+
+}  // namespace
+
+Dfa determinize(const Nfa& n) { return determinize_impl(n, Budget()); }
+
+Budgeted<Dfa> determinize(const Nfa& n, const Budget& budget) {
+  try {
+    return {determinize_impl(n, budget), Outcome::Complete};
+  } catch (const BudgetExhausted& e) {
+    return {std::nullopt, e.outcome()};
+  }
 }
 
 Nfa to_nfa(const Dfa& d) {

@@ -9,6 +9,7 @@
 #include "src/lang/alphabet.hpp"
 #include "src/lang/dfa.hpp"
 #include "src/lang/word.hpp"
+#include "src/support/budget.hpp"
 
 namespace mph::lang {
 
@@ -42,6 +43,11 @@ class Nfa {
 
 /// Subset construction; the result is complete and has only reachable states.
 Dfa determinize(const Nfa& n);
+
+/// Budget-governed subset construction: the state cap bounds the number of
+/// DFA subsets interned. On exhaustion `value` is empty and `outcome` says
+/// why (docs/BUDGETS.md).
+Budgeted<Dfa> determinize(const Nfa& n, const Budget& budget);
 
 /// Trivial embedding of a DFA as an NFA.
 Nfa to_nfa(const Dfa& d);

@@ -30,6 +30,25 @@ std::size_t expected_arity(Op op) {
 
 }  // namespace
 
+Formula::Node::Node(Op o, std::string a, std::vector<Formula> k)
+    : op(o), atom(std::move(a)), kids(std::move(k)) {}
+
+Formula::Node::~Node() {
+  // Flatten the uniquely-owned subtree into an explicit worklist. A child
+  // whose Node is shared elsewhere keeps its kids — the other owner will
+  // flatten them when it is the last one standing.
+  std::vector<Formula> stack = std::move(kids);
+  while (!stack.empty()) {
+    Formula f = std::move(stack.back());
+    stack.pop_back();
+    if (f.node_ && f.node_.use_count() == 1) {
+      auto& grandkids = const_cast<Node*>(f.node_.get())->kids;
+      for (auto& g : grandkids) stack.push_back(std::move(g));
+      grandkids.clear();
+    }
+  }
+}
+
 const std::string& Formula::atom_name() const {
   MPH_REQUIRE(node_->op == Op::Atom, "atom_name on a non-atom");
   return node_->atom;
@@ -223,29 +242,33 @@ std::string Formula::to_string() const {
 }
 
 Formula f_true() {
-  return Formula(std::make_shared<const Formula::Node>(Formula::Node{Op::True, "", {}}));
+  return Formula(std::make_shared<const Formula::Node>(Op::True, "", std::vector<Formula>{}));
 }
 
 Formula f_false() {
-  return Formula(std::make_shared<const Formula::Node>(Formula::Node{Op::False, "", {}}));
+  return Formula(std::make_shared<const Formula::Node>(Op::False, "", std::vector<Formula>{}));
 }
 
 Formula f_atom(std::string name) {
   MPH_REQUIRE(!name.empty(), "atom name must be non-empty");
-  return Formula(
-      std::make_shared<const Formula::Node>(Formula::Node{Op::Atom, std::move(name), {}}));
+  return Formula(std::make_shared<const Formula::Node>(Op::Atom, std::move(name),
+                                                      std::vector<Formula>{}));
 }
 
 Formula f_unary(Op op, Formula arg) {
   MPH_REQUIRE(expected_arity(op) == 1, "not a unary operator");
-  return Formula(std::make_shared<const Formula::Node>(
-      Formula::Node{op, "", {std::move(arg)}}));
+  std::vector<Formula> kids;
+  kids.push_back(std::move(arg));
+  return Formula(std::make_shared<const Formula::Node>(op, "", std::move(kids)));
 }
 
 Formula f_binary(Op op, Formula lhs, Formula rhs) {
   MPH_REQUIRE(expected_arity(op) == 2, "not a binary operator");
-  return Formula(std::make_shared<const Formula::Node>(
-      Formula::Node{op, "", {std::move(lhs), std::move(rhs)}}));
+  std::vector<Formula> kids;
+  kids.reserve(2);
+  kids.push_back(std::move(lhs));
+  kids.push_back(std::move(rhs));
+  return Formula(std::make_shared<const Formula::Node>(op, "", std::move(kids)));
 }
 
 Formula f_not(Formula f) { return f_unary(Op::Not, std::move(f)); }

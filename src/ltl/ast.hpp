@@ -78,6 +78,14 @@ class Formula {
     Op op;
     std::string atom;
     std::vector<Formula> kids;
+
+    Node(Op o, std::string a, std::vector<Formula> k);
+    // Iterative: destroying a 100k-deep chain through the default
+    // member-wise destructor would recurse once per level and overflow
+    // the stack.
+    ~Node();
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
   };
   explicit Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
   std::shared_ptr<const Node> node_;

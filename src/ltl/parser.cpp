@@ -20,6 +20,27 @@ class Parser {
   }
 
  private:
+  /// Each nesting level costs several native stack frames (the
+  /// parse_iff → … → parse_atom chain), so an input like 100k leading '('
+  /// or '!' would overflow the stack long before exhausting memory. A '('
+  /// level passes four guarded frames, so 2000 allows ~500 parenthesis
+  /// levels — far beyond any real formula, and safely inside the stack of
+  /// the sanitizer builds.
+  static constexpr std::size_t kMaxDepth = 2000;
+
+  /// RAII nesting guard, entered at every recursion point.
+  struct Depth {
+    explicit Depth(Parser& p) : parser(p) {
+      MPH_REQUIRE(++parser.depth_ <= kMaxDepth,
+                  "formula nesting exceeds depth " + std::to_string(kMaxDepth) +
+                      " at position " + std::to_string(parser.pos_));
+    }
+    ~Depth() { --parser.depth_; }
+    Depth(const Depth&) = delete;
+    Depth& operator=(const Depth&) = delete;
+    Parser& parser;
+  };
+
   void skip_ws() {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
   }
@@ -39,12 +60,14 @@ class Parser {
   }
 
   Formula parse_iff() {
+    Depth depth(*this);
     Formula lhs = parse_implies();
     if (eat("<->")) return f_iff(std::move(lhs), parse_iff());
     return lhs;
   }
 
   Formula parse_implies() {
+    Depth depth(*this);  // "p -> p -> …" right-recurses here, not in parse_iff
     Formula lhs = parse_or();
     if (eat("->")) return f_implies(std::move(lhs), parse_implies());
     return lhs;
@@ -67,6 +90,7 @@ class Parser {
   }
 
   Formula parse_temporal_binary() {
+    Depth depth(*this);  // "p U p U …" right-recurses here
     Formula lhs = parse_unary();
     if (eat("U")) return f_until(std::move(lhs), parse_temporal_binary());
     if (eat("R")) return f_release(std::move(lhs), parse_temporal_binary());
@@ -77,6 +101,7 @@ class Parser {
   }
 
   Formula parse_unary() {
+    Depth depth(*this);
     skip_ws();
     if (eat("!")) return f_not(parse_unary());
     if (eat("X")) return f_next(parse_unary());
@@ -116,6 +141,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -93,9 +93,8 @@ std::size_t index_of(const std::vector<Formula>& subs, const Formula& f) {
   MPH_ASSERT(false);
 }
 
-}  // namespace
-
-omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet) {
+omega::Nba to_nba_impl(const Formula& f, const lang::Alphabet& alphabet,
+                       const Budget& budget) {
   const Formula nnf = to_nnf(f);
   std::vector<Formula> subs;
   collect(nnf, subs);
@@ -114,6 +113,7 @@ omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet) {
   std::vector<std::vector<bool>> assigns;
   const std::size_t combos = std::size_t{1} << free_idx.size();
   for (std::size_t bits = 0; bits < combos; ++bits) {
+    if (Outcome o = budget.poll(); !is_complete(o)) throw BudgetExhausted(o);
     std::vector<bool> a(n, false);
     for (std::size_t k = 0; k < free_idx.size(); ++k)
       a[free_idx[k]] = (bits >> k) & 1;
@@ -202,6 +202,7 @@ omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet) {
   };
   for (std::size_t ai = 0; ai < assigns.size(); ++ai)
     for (std::size_t c = 0; c < n_counters; ++c) {
+      budget.require(out.state_count());
       omega::State added = out.add_state();
       MPH_ASSERT(added == state_id(ai, c));
     }
@@ -211,6 +212,7 @@ omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet) {
   };
   for (std::size_t ai = 0; ai < assigns.size(); ++ai) {
     for (std::size_t bi = 0; bi < assigns.size(); ++bi) {
+      if (Outcome o = budget.poll(); !is_complete(o)) throw BudgetExhausted(o);
       if (!step_ok(assigns[ai], assigns[bi])) continue;
       for (lang::Symbol s = 0; s < alphabet.size(); ++s) {
         if (!symbol_ok(assigns[ai], s)) continue;
@@ -247,6 +249,21 @@ omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet) {
   for (std::size_t ai = 0; ai < assigns.size(); ++ai)
     if (assigns[ai][root]) out.add_initial(state_id(ai, 0));
   return out;
+}
+
+}  // namespace
+
+omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet) {
+  return to_nba_impl(f, alphabet, Budget());
+}
+
+Budgeted<omega::Nba> to_nba(const Formula& f, const lang::Alphabet& alphabet,
+                            const Budget& budget) {
+  try {
+    return {to_nba_impl(f, alphabet, budget), Outcome::Complete};
+  } catch (const BudgetExhausted& e) {
+    return {std::nullopt, e.outcome()};
+  }
 }
 
 }  // namespace mph::ltl

@@ -11,14 +11,22 @@
 #include "src/lang/alphabet.hpp"
 #include "src/ltl/ast.hpp"
 #include "src/omega/nba.hpp"
+#include "src/support/budget.hpp"
 
 namespace mph::ltl {
 
 /// Builds an NBA accepting exactly the models of f. f must be a future
-/// formula (no past operators); the closure is capped (REQUIRE ≤ 16 distinct
-/// temporal/atomic subformulas after NNF) because states range over its
-/// subsets.
+/// formula (no past operators); the closure is capped (REQUIRE ≤ 12 free
+/// subformulas after NNF) because states range over its subsets.
 omega::Nba to_nba(const Formula& f, const lang::Alphabet& alphabet);
+
+/// Budget-governed tableau expansion: the state cap bounds the number of NBA
+/// states built and the deadline/cancellation are polled inside the
+/// assignment and edge loops. Structural errors (past operators, closure
+/// over the 12-free-subformula cap) still throw std::invalid_argument; only
+/// budget exhaustion is reported through `outcome` (docs/BUDGETS.md).
+Budgeted<omega::Nba> to_nba(const Formula& f, const lang::Alphabet& alphabet,
+                            const Budget& budget);
 
 /// Negation normal form over {∧,∨,X,U,R} with negations on atoms only.
 /// F/G/W/→/↔ are expanded; past operators are rejected.

@@ -1,9 +1,8 @@
 #include "src/omega/counter_free.hpp"
 
 #include <map>
+#include <stdexcept>
 #include <vector>
-
-#include "src/support/check.hpp"
 
 namespace mph::omega {
 namespace {
@@ -17,11 +16,14 @@ Transform compose(const Transform& first, const Transform& then) {
 }
 
 /// f is aperiodic iff iterating f reaches an idempotent fixpoint rather than
-/// a non-trivial cycle: f^k = f^(k+1) for some k.
-bool aperiodic(const Transform& f) {
+/// a non-trivial cycle: f^k = f^(k+1) for some k. The distinct powers of f
+/// are themselves monoid elements, so charging `step` against the budget's
+/// state cap keeps the answer consistent with the enumeration bound.
+bool aperiodic(const Transform& f, const Budget& budget) {
   std::map<Transform, std::size_t> seen;
   Transform cur = f;
   for (std::size_t step = 0;; ++step) {
+    budget.require(step);
     auto [it, inserted] = seen.try_emplace(cur, step);
     if (!inserted) return step - it->second == 1;
     cur = compose(cur, f);
@@ -29,46 +31,79 @@ bool aperiodic(const Transform& f) {
 }
 
 bool monoid_aperiodic(std::size_t n_states, const std::vector<Transform>& generators,
-                      std::size_t max_monoid) {
+                      const Budget& budget) {
   std::map<Transform, bool> seen;
   std::vector<Transform> queue;
   Transform identity(n_states);
   for (std::size_t q = 0; q < n_states; ++q) identity[q] = static_cast<State>(q);
-  for (const auto& g : generators)
+  for (const auto& g : generators) {
+    budget.require(seen.size());
     if (seen.try_emplace(g, true).second) queue.push_back(g);
+  }
   while (!queue.empty()) {
     Transform f = std::move(queue.back());
     queue.pop_back();
-    if (!aperiodic(f)) return false;
+    if (!aperiodic(f, budget)) return false;
     for (const auto& g : generators) {
       Transform fg = compose(f, g);
-      MPH_REQUIRE(seen.size() < max_monoid, "transition monoid exceeds max_monoid cap");
+      budget.require(seen.size());
       if (seen.try_emplace(fg, true).second) queue.push_back(std::move(fg));
     }
   }
   return true;
 }
 
-}  // namespace
-
-bool is_counter_free(const DetOmega& m, std::size_t max_monoid) {
+template <class Automaton>
+CounterFreedom freedom_of(const Automaton& m, const Budget& budget) {
   std::vector<Transform> generators;
   for (Symbol s = 0; s < m.alphabet().size(); ++s) {
     Transform g(m.state_count());
     for (State q = 0; q < m.state_count(); ++q) g[q] = m.next(q, s);
     generators.push_back(std::move(g));
   }
-  return monoid_aperiodic(m.state_count(), generators, max_monoid);
+  try {
+    return monoid_aperiodic(m.state_count(), generators, budget)
+               ? CounterFreedom::CounterFree
+               : CounterFreedom::NotCounterFree;
+  } catch (const BudgetExhausted&) {
+    return CounterFreedom::Unknown;
+  }
+}
+
+bool legacy_is_counter_free(CounterFreedom verdict) {
+  if (verdict == CounterFreedom::Unknown)
+    throw std::invalid_argument("transition monoid exceeds max_monoid cap");
+  return verdict == CounterFreedom::CounterFree;
+}
+
+}  // namespace
+
+std::string_view to_string(CounterFreedom c) {
+  switch (c) {
+    case CounterFreedom::CounterFree:
+      return "counter-free";
+    case CounterFreedom::NotCounterFree:
+      return "not-counter-free";
+    case CounterFreedom::Unknown:
+      return "unknown-budget";
+  }
+  return "unknown";
+}
+
+CounterFreedom counter_freedom(const DetOmega& m, const Budget& budget) {
+  return freedom_of(m, budget);
+}
+
+CounterFreedom counter_freedom(const lang::Dfa& d, const Budget& budget) {
+  return freedom_of(d, budget);
+}
+
+bool is_counter_free(const DetOmega& m, std::size_t max_monoid) {
+  return legacy_is_counter_free(counter_freedom(m, Budget().with_state_cap(max_monoid)));
 }
 
 bool is_counter_free(const lang::Dfa& d, std::size_t max_monoid) {
-  std::vector<Transform> generators;
-  for (Symbol s = 0; s < d.alphabet().size(); ++s) {
-    Transform g(d.state_count());
-    for (State q = 0; q < d.state_count(); ++q) g[q] = d.next(q, s);
-    generators.push_back(std::move(g));
-  }
-  return monoid_aperiodic(d.state_count(), generators, max_monoid);
+  return legacy_is_counter_free(counter_freedom(d, Budget().with_state_cap(max_monoid)));
 }
 
 }  // namespace mph::omega

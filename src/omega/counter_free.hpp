@@ -5,15 +5,34 @@
 // gates the automaton→formula direction of the logic/automata bridge.
 #pragma once
 
+#include <string_view>
+
 #include "src/lang/dfa.hpp"
 #include "src/omega/det_omega.hpp"
+#include "src/support/budget.hpp"
 
 namespace mph::omega {
 
+/// Tri-state verdict: the transition monoid can reach |Q|^|Q| elements, so a
+/// budget-governed run may have to give up before deciding.
+enum class CounterFreedom : std::uint8_t {
+  CounterFree,     ///< every monoid element is aperiodic
+  NotCounterFree,  ///< a periodic element (a counter) was found
+  Unknown,         ///< the budget ran out before the monoid was enumerated
+};
+
+std::string_view to_string(CounterFreedom c);
+
 /// Decides counter-freedom by generating the transition monoid and checking
-/// that every element is aperiodic (its power sequence enters a fixpoint, not
-/// a cycle of length > 1). `max_monoid` caps the exploration; exceeding it
-/// throws std::invalid_argument (the monoid can reach |Q|^|Q| elements).
+/// that every element is aperiodic (its power sequence enters a fixpoint,
+/// not a cycle of length > 1). The budget's state cap bounds the number of
+/// monoid elements enumerated; exhaustion yields `Unknown` rather than a
+/// throw (docs/BUDGETS.md).
+CounterFreedom counter_freedom(const DetOmega& m, const Budget& budget = {});
+CounterFreedom counter_freedom(const lang::Dfa& d, const Budget& budget = {});
+
+/// Legacy boolean wrappers: `max_monoid` caps the exploration; exceeding it
+/// (an `Unknown` verdict) throws std::invalid_argument.
 bool is_counter_free(const DetOmega& m, std::size_t max_monoid = 1 << 20);
 bool is_counter_free(const lang::Dfa& d, std::size_t max_monoid = 1 << 20);
 

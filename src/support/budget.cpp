@@ -1,0 +1,23 @@
+#include "src/support/budget.hpp"
+
+namespace mph {
+
+std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::Complete:
+      return "complete";
+    case Outcome::BudgetStates:
+      return "budget-states";
+    case Outcome::BudgetDeadline:
+      return "budget-deadline";
+    case Outcome::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+void Budget::require(std::size_t current) const {
+  if (Outcome o = admit(current); !is_complete(o)) throw BudgetExhausted(o);
+}
+
+}  // namespace mph

@@ -1,0 +1,135 @@
+// Resource-governed execution (docs/BUDGETS.md).
+//
+// A Budget bounds how much work an unbounded construction may do: a cap on
+// interned states / nodes / monoid elements, a wall-clock deadline, and a
+// cooperative cancellation token. Engines consult the budget at their
+// allocation points and report a structured Outcome describing how far they
+// got, instead of throwing std::invalid_argument from deep inside a loop.
+//
+// Contract:
+//   * A Budget is a value type; copying is cheap and sharing one across
+//     threads is safe (all observers are const and the stop_token is
+//     internally synchronized).
+//   * The state cap bounds each governed construction individually (the
+//     state graph, each spec's product, each tableau, each monoid) — it is
+//     not a shared pool.
+//   * `admit(n)` asks "may I create element number n?"; it fails with
+//     `Outcome::BudgetStates` once n reaches the cap, so a cap of K admits
+//     exactly K elements and a cap of 0 admits none.
+//   * `poll()` checks only cancellation and the deadline; it never reads
+//     the clock unless a deadline is actually set, so an unlimited Budget
+//     costs two predictable branches per call.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <stop_token>
+#include <string_view>
+#include <utility>
+
+namespace mph {
+
+/// How far a budget-governed construction got.
+enum class Outcome : std::uint8_t {
+  Complete = 0,        ///< ran to the end; the result is authoritative
+  BudgetStates = 1,    ///< hit the state/node cap; the result is partial
+  BudgetDeadline = 2,  ///< hit the wall-clock deadline; the result is partial
+  Cancelled = 3,       ///< stop was requested; the result is partial
+};
+
+/// Stable lower-case names ("complete", "budget-states", ...) for CLIs and
+/// JSON reports.
+std::string_view to_string(Outcome o);
+
+constexpr bool is_complete(Outcome o) { return o == Outcome::Complete; }
+
+/// Most severe of two outcomes, ordered
+/// Complete < BudgetStates < BudgetDeadline < Cancelled.
+constexpr Outcome worst(Outcome a, Outcome b) { return a < b ? b : a; }
+
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr std::size_t kUnlimitedStates = static_cast<std::size_t>(-1);
+
+  /// Default budget: unlimited — every admit()/poll() answers Complete.
+  Budget() = default;
+
+  Budget& with_state_cap(std::size_t cap) {
+    state_cap_ = cap;
+    return *this;
+  }
+  Budget& with_deadline(Clock::time_point when) {
+    deadline_ = when;
+    return *this;
+  }
+  Budget& with_deadline_after(Clock::duration from_now) {
+    deadline_ = Clock::now() + from_now;
+    return *this;
+  }
+  Budget& with_stop_token(std::stop_token token) {
+    stop_ = std::move(token);
+    return *this;
+  }
+
+  std::size_t state_cap() const { return state_cap_; }
+  bool has_state_cap() const { return state_cap_ != kUnlimitedStates; }
+  bool has_deadline() const { return deadline_.has_value(); }
+  bool unlimited() const {
+    return !has_state_cap() && !has_deadline() && !stop_.stop_possible();
+  }
+
+  /// Cancellation, then deadline. Never reads the clock without a deadline.
+  Outcome poll() const {
+    if (stop_.stop_requested()) return Outcome::Cancelled;
+    if (deadline_ && Clock::now() >= *deadline_) return Outcome::BudgetDeadline;
+    return Outcome::Complete;
+  }
+
+  /// May element number `current` be created? (0-based: a cap of K admits
+  /// elements 0..K-1.) Checks the cap first, then poll().
+  Outcome admit(std::size_t current) const {
+    if (current >= state_cap_) return Outcome::BudgetStates;
+    return poll();
+  }
+
+  /// admit() that throws BudgetExhausted instead of returning — for
+  /// unwinding deep construction loops that report the outcome at the top.
+  void require(std::size_t current) const;
+
+ private:
+  std::size_t state_cap_ = kUnlimitedStates;
+  std::optional<Clock::time_point> deadline_;
+  std::stop_token stop_;
+};
+
+/// Internal unwinding vehicle for budget-governed loops: engines throw it at
+/// the allocation site and convert it to an Outcome at their public
+/// boundary. It deliberately does NOT derive from std::invalid_argument or
+/// std::logic_error, so budget exhaustion is never mistaken for a
+/// fragment/validation error by existing catch sites.
+class BudgetExhausted : public std::runtime_error {
+ public:
+  explicit BudgetExhausted(Outcome o)
+      : std::runtime_error("budget exhausted"), outcome_(o) {}
+
+  Outcome outcome() const { return outcome_; }
+
+ private:
+  Outcome outcome_;
+};
+
+/// A possibly-partial result: `value` is engaged iff `outcome` is Complete.
+template <class T>
+struct Budgeted {
+  std::optional<T> value;
+  Outcome outcome = Outcome::Complete;
+
+  bool complete() const { return is_complete(outcome); }
+};
+
+}  // namespace mph

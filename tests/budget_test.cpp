@@ -1,0 +1,180 @@
+// The Budget/Outcome contract (docs/BUDGETS.md) and its plumbing through
+// the budget-governed constructions outside the checker: the subset
+// construction, the LTL tableau, and the counter-freedom monoid. Checker
+// budgets are covered by checker_engine_test.cpp; the fuzz runner's
+// per-iteration budgets by fuzz_test.cpp.
+#include <gtest/gtest.h>
+
+#include <stop_token>
+
+#include "src/lang/nfa.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/counter_free.hpp"
+#include "src/support/budget.hpp"
+
+namespace mph {
+namespace {
+
+TEST(BudgetTest, DefaultIsUnlimited) {
+  Budget b;
+  EXPECT_TRUE(b.unlimited());
+  EXPECT_FALSE(b.has_state_cap());
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_EQ(b.poll(), Outcome::Complete);
+  EXPECT_EQ(b.admit(0), Outcome::Complete);
+  EXPECT_EQ(b.admit(1'000'000'000), Outcome::Complete);
+}
+
+TEST(BudgetTest, StateCapAdmitsExactlyCapElements) {
+  Budget b;
+  b.with_state_cap(3);
+  EXPECT_FALSE(b.unlimited());
+  EXPECT_EQ(b.admit(0), Outcome::Complete);
+  EXPECT_EQ(b.admit(2), Outcome::Complete);
+  EXPECT_EQ(b.admit(3), Outcome::BudgetStates);
+
+  Budget zero;
+  zero.with_state_cap(0);
+  EXPECT_EQ(zero.admit(0), Outcome::BudgetStates);
+  // poll() ignores the cap: it only watches cancellation and the clock.
+  EXPECT_EQ(zero.poll(), Outcome::Complete);
+}
+
+TEST(BudgetTest, DeadlineAndCancellation) {
+  Budget expired;
+  expired.with_deadline(Budget::Clock::now() - std::chrono::seconds(1));
+  EXPECT_EQ(expired.poll(), Outcome::BudgetDeadline);
+  EXPECT_EQ(expired.admit(0), Outcome::BudgetDeadline);
+
+  Budget future;
+  future.with_deadline_after(std::chrono::hours(1));
+  EXPECT_TRUE(future.has_deadline());
+  EXPECT_EQ(future.poll(), Outcome::Complete);
+
+  std::stop_source source;
+  Budget cancellable;
+  cancellable.with_stop_token(source.get_token());
+  EXPECT_EQ(cancellable.poll(), Outcome::Complete);
+  source.request_stop();
+  EXPECT_EQ(cancellable.poll(), Outcome::Cancelled);
+  // Cancellation outranks the deadline.
+  cancellable.with_deadline(Budget::Clock::now() - std::chrono::seconds(1));
+  EXPECT_EQ(cancellable.poll(), Outcome::Cancelled);
+}
+
+TEST(BudgetTest, RequireThrowsBudgetExhaustedCarryingTheOutcome) {
+  Budget b;
+  b.with_state_cap(2);
+  EXPECT_NO_THROW(b.require(0));
+  EXPECT_NO_THROW(b.require(1));
+  try {
+    b.require(2);
+    FAIL() << "require past the cap must throw";
+  } catch (const BudgetExhausted& e) {
+    EXPECT_EQ(e.outcome(), Outcome::BudgetStates);
+  }
+  // Deliberately not an invalid_argument/logic_error: validation catch
+  // sites must not swallow budget exhaustion.
+  EXPECT_THROW(b.require(5), std::runtime_error);
+}
+
+TEST(BudgetTest, OutcomeSeverityAndNames) {
+  EXPECT_EQ(worst(Outcome::Complete, Outcome::BudgetStates), Outcome::BudgetStates);
+  EXPECT_EQ(worst(Outcome::BudgetDeadline, Outcome::BudgetStates),
+            Outcome::BudgetDeadline);
+  EXPECT_EQ(worst(Outcome::Cancelled, Outcome::Complete), Outcome::Cancelled);
+  EXPECT_TRUE(is_complete(Outcome::Complete));
+  EXPECT_FALSE(is_complete(Outcome::BudgetDeadline));
+  EXPECT_EQ(to_string(Outcome::Complete), "complete");
+  EXPECT_EQ(to_string(Outcome::BudgetStates), "budget-states");
+  EXPECT_EQ(to_string(Outcome::BudgetDeadline), "budget-deadline");
+  EXPECT_EQ(to_string(Outcome::Cancelled), "cancelled");
+}
+
+lang::Nfa ends_in_b() {
+  lang::Nfa n(lang::Alphabet::plain({"a", "b"}));
+  auto q0 = n.add_state();
+  auto q1 = n.add_state();
+  n.set_initial(q0);
+  n.add_edge(q0, 0, q0);
+  n.add_edge(q0, 1, q0);
+  n.add_edge(q0, 1, q1);
+  n.set_accepting(q1);
+  return n;
+}
+
+TEST(BudgetTest, DeterminizeUnlimitedMatchesLegacy) {
+  lang::Nfa n = ends_in_b();
+  lang::Dfa legacy = determinize(n);
+  Budgeted<lang::Dfa> governed = determinize(n, Budget());
+  ASSERT_TRUE(governed.complete());
+  ASSERT_TRUE(governed.value.has_value());
+  EXPECT_EQ(governed.value->state_count(), legacy.state_count());
+  for (const char* w : {"", "a", "b", "ab", "ba", "abab", "abba"})
+    EXPECT_EQ(governed.value->accepts_text(w), legacy.accepts_text(w)) << w;
+}
+
+TEST(BudgetTest, DeterminizeReportsExhaustionWithoutAValue) {
+  lang::Nfa n = ends_in_b();
+  Budgeted<lang::Dfa> capped = determinize(n, Budget().with_state_cap(1));
+  EXPECT_EQ(capped.outcome, Outcome::BudgetStates);
+  EXPECT_FALSE(capped.value.has_value());
+
+  Budgeted<lang::Dfa> expired =
+      determinize(n, Budget().with_deadline(Budget::Clock::now() - std::chrono::seconds(1)));
+  EXPECT_EQ(expired.outcome, Outcome::BudgetDeadline);
+  EXPECT_FALSE(expired.value.has_value());
+}
+
+TEST(BudgetTest, ToNbaUnderBudget) {
+  auto alphabet = lang::Alphabet::of_props({"p", "q"});
+  auto f = ltl::parse_formula("p U q");
+  omega::Nba legacy = ltl::to_nba(f, alphabet);
+  Budgeted<omega::Nba> governed = ltl::to_nba(f, alphabet, Budget());
+  ASSERT_TRUE(governed.complete());
+  EXPECT_EQ(governed.value->state_count(), legacy.state_count());
+
+  Budgeted<omega::Nba> capped = ltl::to_nba(f, alphabet, Budget().with_state_cap(1));
+  EXPECT_EQ(capped.outcome, Outcome::BudgetStates);
+  EXPECT_FALSE(capped.value.has_value());
+
+  Budgeted<omega::Nba> expired = ltl::to_nba(
+      f, alphabet, Budget().with_deadline(Budget::Clock::now() - std::chrono::seconds(1)));
+  EXPECT_EQ(expired.outcome, Outcome::BudgetDeadline);
+
+  // Structural errors stay exceptions even with a budget: past operators are
+  // rejected up front, not reported as an outcome.
+  EXPECT_THROW(ltl::to_nba(ltl::parse_formula("Y p"), alphabet, Budget()),
+               std::invalid_argument);
+}
+
+TEST(BudgetTest, CounterFreedomIsTriState) {
+  auto sigma = lang::Alphabet::plain({"a", "b"});
+  // "Even number of a's" is the canonical counter.
+  lang::Dfa even(sigma, 2, 0);
+  even.set_transition(0, 0, 1);
+  even.set_transition(1, 0, 0);
+  even.set_accepting(0);
+  EXPECT_EQ(omega::counter_freedom(even), omega::CounterFreedom::NotCounterFree);
+
+  // a-then-b chain: counter-free, monoid bigger than two elements.
+  lang::Dfa chain(sigma, 3, 0);
+  chain.set_transition(0, 0, 1);
+  chain.set_transition(1, 1, 2);
+  chain.set_accepting(2);
+  EXPECT_EQ(omega::counter_freedom(chain), omega::CounterFreedom::CounterFree);
+  EXPECT_EQ(omega::counter_freedom(chain, Budget().with_state_cap(2)),
+            omega::CounterFreedom::Unknown);
+  // Same seed, same budget, same verdict: the enumeration order is fixed.
+  EXPECT_EQ(omega::counter_freedom(chain, Budget().with_state_cap(2)),
+            omega::CounterFreedom::Unknown);
+  // The legacy boolean wrapper refuses to guess on Unknown.
+  EXPECT_THROW(omega::is_counter_free(chain, /*max_monoid=*/2), std::invalid_argument);
+
+  EXPECT_EQ(omega::to_string(omega::CounterFreedom::CounterFree), "counter-free");
+  EXPECT_EQ(omega::to_string(omega::CounterFreedom::NotCounterFree), "not-counter-free");
+  EXPECT_EQ(omega::to_string(omega::CounterFreedom::Unknown), "unknown-budget");
+}
+
+}  // namespace
+}  // namespace mph

@@ -118,7 +118,9 @@ TEST(CheckAll, AgreesWithSequentialCheck) {
         << specs[i].to_string();
     EXPECT_EQ(batch[i].stats.on_the_fly, single.stats.on_the_fly) << specs[i].to_string();
     EXPECT_EQ(batch[i].counterexample.has_value(), single.counterexample.has_value());
-    if (!batch[i].holds) EXPECT_TRUE(replay_violates(prog, specs[i], batch[i]));
+    if (!batch[i].holds) {
+      EXPECT_TRUE(replay_violates(prog, specs[i], batch[i]));
+    }
   }
 }
 
@@ -138,7 +140,9 @@ TEST(CheckAll, WorkerPoolMatchesSequentialBatch) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(threaded[i].holds, sequential[i].holds) << specs[i].to_string();
     EXPECT_EQ(threaded[i].stats.product_states, sequential[i].stats.product_states);
-    if (!threaded[i].holds) EXPECT_TRUE(replay_violates(prog, specs[i], threaded[i]));
+    if (!threaded[i].holds) {
+      EXPECT_TRUE(replay_violates(prog, specs[i], threaded[i]));
+    }
   }
 }
 
@@ -173,8 +177,94 @@ TEST(CheckAll, EmptyBatchAndErrors) {
   std::vector<ltl::Formula> tiny = {parse_formula("G !(c1 & c2)"),
                                     parse_formula("G !c1")};
   CheckOptions capped = threaded;
-  capped.max_states = 3;  // exploration alone must blow the cap
-  EXPECT_THROW(check_all(prog.system, tiny, prog.atoms, capped), std::invalid_argument);
+  capped.max_states = 3;  // exploration alone must blow the cap (deprecated alias)
+  auto exhausted = check_all(prog.system, tiny, prog.atoms, capped);
+  ASSERT_EQ(exhausted.size(), tiny.size());
+  for (const auto& r : exhausted) {
+    EXPECT_EQ(r.outcome, Outcome::BudgetStates);
+    EXPECT_EQ(r.stats.outcome, Outcome::BudgetStates);
+    EXPECT_FALSE(r.holds);
+    EXPECT_FALSE(r.counterexample.has_value());
+  }
+}
+
+TEST(Budgets, ZeroStateBudgetReturnsImmediately) {
+  Program prog = programs::peterson();
+  CheckOptions options;
+  options.budget.with_state_cap(0);
+  analysis::DiagnosticEngine diags;
+  options.diagnostics = &diags;
+  auto r = check(prog.system, parse_formula("G !(c1 & c2)"), prog.atoms, options);
+  EXPECT_EQ(r.outcome, Outcome::BudgetStates);
+  EXPECT_EQ(r.stats.outcome, Outcome::BudgetStates);
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.counterexample.has_value());
+  EXPECT_EQ(r.stats.state_graph_nodes, 0u);
+  EXPECT_TRUE(diags.has_code("MPH-V004"));
+}
+
+TEST(Budgets, PastDeadlineReportsBudgetDeadline) {
+  Program prog = programs::peterson();
+  CheckOptions options;
+  options.budget.with_deadline(Budget::Clock::now() - std::chrono::seconds(1));
+  auto r = check(prog.system, parse_formula("G !(c1 & c2)"), prog.atoms, options);
+  EXPECT_EQ(r.outcome, Outcome::BudgetDeadline);
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.counterexample.has_value());
+}
+
+TEST(Budgets, CancellationReportsCancelled) {
+  Program prog = programs::peterson();
+  std::stop_source source;
+  source.request_stop();
+  CheckOptions options;
+  options.budget.with_stop_token(source.get_token());
+  auto r = check(prog.system, parse_formula("G !(c1 & c2)"), prog.atoms, options);
+  EXPECT_EQ(r.outcome, Outcome::Cancelled);
+  EXPECT_FALSE(r.holds);
+}
+
+TEST(Budgets, ExhaustionIsDeterministicAcrossThreadCounts) {
+  Program prog = programs::peterson();
+  auto free_run = check(prog.system, parse_formula("G !(c1 & c2)"), prog.atoms);
+  const std::size_t graph_nodes = free_run.stats.state_graph_nodes;
+  ASSERT_GT(graph_nodes, 0u);
+
+  // The cap admits the state graph exactly, so exploration completes but the
+  // larger product constructions exhaust — deterministically, because the cap
+  // counts interned states, not time.
+  std::vector<ltl::Formula> specs = {
+      parse_formula("G !(c1 & c2)"),
+      parse_formula("G F c1"),       // SCC engine builds the full product
+      parse_formula("G(t1 -> F c1)"),
+      parse_formula("F(t1 & X(!t1 & X t1))"),  // NBA fallback
+  };
+  CheckOptions seq;
+  seq.budget.with_state_cap(graph_nodes);
+  CheckOptions par = seq;
+  par.threads = 4;
+  analysis::DiagnosticEngine seq_diags, par_diags;
+  seq.diagnostics = &seq_diags;
+  par.diagnostics = &par_diags;
+  auto a = check_all(prog.system, specs, prog.atoms, seq);
+  auto b = check_all(prog.system, specs, prog.atoms, par);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_exhausted = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome, b[i].outcome) << specs[i].to_string();
+    EXPECT_EQ(a[i].holds, b[i].holds) << specs[i].to_string();
+    EXPECT_EQ(a[i].stats.product_states, b[i].stats.product_states)
+        << specs[i].to_string();
+    if (!is_complete(a[i].outcome)) {
+      any_exhausted = true;
+      EXPECT_FALSE(a[i].counterexample.has_value()) << specs[i].to_string();
+    }
+  }
+  EXPECT_TRUE(any_exhausted);
+  EXPECT_TRUE(seq_diags.has_code("MPH-V004"));
+  ASSERT_EQ(par_diags.size(), seq_diags.size());
+  for (std::size_t i = 0; i < seq_diags.size(); ++i)
+    EXPECT_EQ(par_diags.diagnostics()[i].code, seq_diags.diagnostics()[i].code);
 }
 
 }  // namespace

@@ -103,6 +103,57 @@ TEST(FuzzShrink, PredicateExceptionsCountAsNotFailing) {
   EXPECT_EQ(stats.accepted, 0u);
 }
 
+TEST(FuzzRunner, PerIterationBudgetAbandonsInsteadOfFailing) {
+  FuzzOptions opt;
+  opt.seed = 1;
+  opt.iters = 12;
+  opt.oracles = {"fts-engines"};
+  opt.iter_budget_states = 1;  // no real system/product fits in one state
+  analysis::DiagnosticEngine diags;
+  const FuzzReport r = run_fuzz(opt, &diags);
+  ASSERT_EQ(r.oracles.size(), 1u);
+  // Exhaustion is not a discrepancy: the campaign keeps going and exits green.
+  EXPECT_EQ(r.total_failures(), 0u) << r.to_text();
+  EXPECT_GT(r.oracles[0].budget_exhausted, 0u);
+  EXPECT_TRUE(diags.has_code("MPH-X004"));
+  EXPECT_FALSE(diags.has_errors());  // MPH-X004 is a warning
+  // A state-cap budget is deterministic (no clock involved): the same seed
+  // exhausts the same iterations.
+  const FuzzReport again = run_fuzz(opt);
+  EXPECT_EQ(again.oracles[0].budget_exhausted, r.oracles[0].budget_exhausted);
+  EXPECT_EQ(again.to_text(), r.to_text());
+  EXPECT_NE(r.to_json().find("\"budget_exhausted\""), std::string::npos);
+}
+
+TEST(FuzzOracles, ClassifyMonoidBudgetCorpusCaseExhausts) {
+  // Mirror of tests/corpus/classify-monoid-budget.fuzz: the 12 raise/lower
+  // (Aizenstat) generators of the order-preserving monoid O_7 on a 7-chain.
+  // O_7 has C(13,6) = 1716 elements, every one aperiodic, so the
+  // counter-freedom enumeration hits the oracle-internal monoid cap without
+  // ever finding a counter: verdict Unknown -> Kind::Budget, not a failure.
+  std::vector<std::string> letters;
+  for (char ch = 'a'; ch < 'a' + 12; ++ch) letters.emplace_back(1, ch);
+  lang::Alphabet sigma = lang::Alphabet::plain(letters);
+  omega::DetOmega m(sigma, 7, 0, omega::Acceptance::inf(0));
+  m.add_mark(0, 0);
+  for (lang::State q = 0; q < 7; ++q)
+    for (lang::Symbol i = 0; i < 6; ++i) {
+      m.set_transition(q, 2 * i, q == i + 1 ? i : q);      // lower i+1 -> i
+      m.set_transition(q, 2 * i + 1, q == i ? i + 1 : q);  // raise i -> i+1
+    }
+  FuzzCase c;
+  c.oracle = "classify-vs-forms";
+  c.alphabet = sigma;
+  c.automata.push_back(m);
+  const Oracle* oracle = find_oracle("classify-vs-forms");
+  ASSERT_NE(oracle, nullptr);
+  const CheckOutcome outcome = oracle->check(c, Budget{});
+  EXPECT_EQ(outcome.kind, CheckOutcome::Kind::Budget) << outcome.message;
+  // Replay treats a Budget outcome as a clean exit, so the stored corpus
+  // twin keeps the regression suite green.
+  EXPECT_EQ(replay(c).kind, CheckOutcome::Kind::Budget);
+}
+
 TEST(FuzzSpec, BuildProducesRunnableSystem) {
   Rng rng(17);
   for (int trial = 0; trial < 20; ++trial) {

@@ -78,6 +78,50 @@ TEST(Parser, Errors) {
   EXPECT_THROW(parse_formula("G"), std::invalid_argument);
 }
 
+TEST(Parser, DeepNestingIsRejectedWithAPositionedError) {
+  // 100k leading '(' or '!' used to overflow the native stack (one chain of
+  // recursive-descent frames per level); the parser now refuses past its
+  // nesting-depth guard with a positioned invalid_argument instead.
+  constexpr std::size_t kDeep = 100'000;
+  const std::string parens = std::string(kDeep, '(') + "p" + std::string(kDeep, ')');
+  try {
+    parse_formula(parens);
+    FAIL() << "expected the depth guard to fire";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse_formula(std::string(kDeep, '!') + "p"), std::invalid_argument);
+}
+
+TEST(Parser, ModerateNestingStillParses) {
+  constexpr std::size_t kDepth = 400;  // well inside the guard
+  const std::string parens = std::string(kDepth, '(') + "p" + std::string(kDepth, ')');
+  EXPECT_EQ(parse_formula(parens), f_atom("p"));
+  Formula bangs = parse_formula(std::string(kDepth, '!') + "p");
+  EXPECT_EQ(bangs.op(), Op::Not);
+  EXPECT_EQ(bangs.size(), kDepth + 1);
+}
+
+TEST(Ast, DeepChainDestroysWithoutRecursion) {
+  // Build a 100k-deep X-chain bottom-up (each factory call is one level, no
+  // recursion), then let it go out of scope: the iterative Node destructor
+  // must tear it down without one stack frame per level.
+  constexpr std::size_t kDeep = 100'000;
+  {
+    Formula f = f_atom("p");
+    for (std::size_t i = 0; i < kDeep; ++i) f = f_next(std::move(f));
+    EXPECT_EQ(f.op(), Op::Next);
+  }  // destruction happens here
+  // Shared subtrees survive their co-owner's teardown.
+  Formula shared = f_atom("q");
+  {
+    Formula chain = shared;
+    for (std::size_t i = 0; i < kDeep; ++i) chain = f_next(std::move(chain));
+  }
+  EXPECT_EQ(shared.atom_name(), "q");
+}
+
 TEST(Printer, RoundTripsThroughParser) {
   const char* samples[] = {
       "p",

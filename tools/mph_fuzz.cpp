@@ -30,6 +30,11 @@ int usage(std::ostream& out, int code) {
          "  --oracle NAME     fuzz only NAME (repeatable; default: all oracles)\n"
          "  --max-failures N  stop an oracle after N failures (default 3)\n"
          "  --no-shrink       report failures without minimizing them\n"
+         "  --iter-budget-ms N\n"
+         "                    per-iteration wall-clock budget in ms (0 = unlimited);\n"
+         "                    exhausted iterations are recorded as MPH-X004, not failures\n"
+         "  --iter-budget-states N\n"
+         "                    per-iteration state/node cap for the engines under test\n"
          "  --json            machine-readable report\n"
          "  --out FILE        write the report to FILE instead of stdout\n"
          "  --replay FILE     re-check a stored mph-fuzz-case file and exit\n"
@@ -71,6 +76,8 @@ int main(int argc, char** argv) {
       else if (a == "--oracle") options.oracles.push_back(value_of(i));
       else if (a == "--max-failures") options.max_failures = std::stoull(value_of(i));
       else if (a == "--no-shrink") options.shrink = false;
+      else if (a == "--iter-budget-ms") options.iter_budget_ms = std::stoull(value_of(i));
+      else if (a == "--iter-budget-states") options.iter_budget_states = std::stoull(value_of(i));
       else if (a == "--json") json = true;
       else if (a == "--out") out_path = value_of(i);
       else if (a == "--replay") replay_path = value_of(i);
@@ -100,6 +107,10 @@ int main(int argc, char** argv) {
           return 0;
         case fuzz::CheckOutcome::Kind::Skip:
           std::cout << replay_path << ": skipped (" << outcome.message << ")\n";
+          return 0;
+        case fuzz::CheckOutcome::Kind::Budget:
+          std::cout << replay_path << ": budget exhausted (" << outcome.message
+                    << ") — not a discrepancy\n";
           return 0;
         case fuzz::CheckOutcome::Kind::Fail:
           std::cerr << replay_path << ": FAIL: " << outcome.message << "\n";

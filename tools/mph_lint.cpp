@@ -52,6 +52,10 @@ int usage(std::ostream& out, int code) {
          "  --check FORMULA model-check FORMULA against the --model (repeatable);\n"
          "                  prints a table of engine statistics per spec\n"
          "  --threads N     worker threads for --check batches (default 1)\n"
+         "  --budget-states N\n"
+         "                  state cap per --check construction (default 200000); an\n"
+         "                  exhausted check reports outcome budget-states (MPH-V004)\n"
+         "  --budget-ms N   wall-clock budget for the whole --check batch in ms\n"
          "  --automata      additionally lint each requirement's compiled automaton\n"
          "  --json          machine-readable output\n"
          "  --no-checklist  suppress MPH-S007 hierarchy-checklist notes\n"
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> model_names;
   std::vector<std::string> check_formulas;
   unsigned check_threads = 1;
+  std::size_t budget_states = 0;
+  std::uint64_t budget_ms = 0;
   bool all_models = false, json = false, quiet = false, werror = false;
   bool lint_automata = false;
   analysis::AnalysisOptions options;
@@ -124,6 +130,10 @@ int main(int argc, char** argv) {
       check_formulas.push_back(next("--check"));
     } else if (arg == "--threads") {
       check_threads = static_cast<unsigned>(std::stoul(next("--threads")));
+    } else if (arg == "--budget-states") {
+      budget_states = std::stoull(next("--budget-states"));
+    } else if (arg == "--budget-ms") {
+      budget_ms = std::stoull(next("--budget-ms"));
     } else if (arg == "--automata") {
       lint_automata = true;
     } else if (arg == "--json") {
@@ -188,16 +198,23 @@ int main(int argc, char** argv) {
         fts::CheckOptions copts;
         copts.threads = check_threads;
         copts.diagnostics = &engine;
+        if (budget_states > 0) copts.budget.with_state_cap(budget_states);
+        if (budget_ms > 0)
+          copts.budget.with_deadline_after(std::chrono::milliseconds(budget_ms));
         auto results = fts::check_all(program.system, specs, program.atoms, copts);
         if (!json && !quiet) {
-          TextTable t({"spec", "verdict", "engine", "automaton", "product", "bound",
-                       "search s"});
+          TextTable t({"spec", "verdict", "outcome", "engine", "automaton", "product",
+                       "bound", "search s"});
           for (std::size_t i = 0; i < results.size(); ++i) {
             const auto& s = results[i].stats;
             std::ostringstream secs;
             secs.precision(3);
             secs << std::fixed << s.search_seconds;
-            t.add_row({check_formulas[i], results[i].holds ? "holds" : "VIOLATED",
+            const char* verdict = !is_complete(results[i].outcome) ? "unknown"
+                                  : results[i].holds               ? "holds"
+                                                                   : "VIOLATED";
+            t.add_row({check_formulas[i], verdict,
+                       std::string(to_string(results[i].outcome)),
                        std::string(s.on_the_fly ? "nested-DFS" : "SCC") +
                            (s.nba_fallback ? " (NBA)" : ""),
                        std::to_string(s.automaton_states), std::to_string(s.product_states),
