@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Pins mph-lint's exit-code contract (docs/ANALYSIS.md):
+
+  0  no error-severity diagnostics (warnings and notes alone pass)
+  1  error diagnostics; warnings under --werror; unknown (budget-exhausted)
+     verdicts under --strict-unknown — unknowns must never silently pass
+     strict runs
+  2  usage or parse failures (bad flags, unknown models, malformed formulas,
+     missing required arguments)
+
+Usage: check_exit_codes.py PATH-TO-MPH-LINT
+
+Runs a battery of invocations against the real binary and fails on the first
+mismatch, so any drift in the contract breaks `ctest -L lint`.
+"""
+import subprocess
+import sys
+
+# A requirement that holds vacuously on trivial-mutex: mutating either atom
+# still holds, so --vacuity reports MPH-Y001 warnings (exit 0 without
+# --werror). Budget 3 states is below peterson's 15 reachable states, so
+# checks under it exhaust and the vacuity verdict is unknown (MPH-Y005).
+VACUOUS = "G !(c1 & c2)"
+LIVENESS = "G(t1 -> F c1)"
+
+CASES = [
+    # (expected exit code, description, args)
+    (0, "clean positional formula", ["G p"]),
+    (0, "model lint, warnings/notes only", ["--model", "trivial-mutex"]),
+    (0, "check that holds", ["--model", "peterson", "--quiet", "--check", LIVENESS]),
+    (0, "vacuity warnings without --werror",
+     ["--model", "trivial-mutex", "--quiet", "--vacuity", "--check", VACUOUS]),
+    (1, "vacuity warnings under --werror",
+     ["--model", "trivial-mutex", "--quiet", "--werror", "--vacuity",
+      "--check", VACUOUS]),
+    # Whole-batch budget exhaustion is an Error (MPH-V004): exit 1 with or
+    # without --strict-unknown.
+    (1, "exhausted --check batch (MPH-V004 error)",
+     ["--model", "peterson", "--quiet", "--check", LIVENESS,
+      "--budget-states", "3"]),
+    # The vacuity-only path keeps the engine silent, so exhaustion surfaces
+    # as MPH-Y005 warnings: exit 0 normally, 1 under --strict-unknown.
+    (0, "exhausted vacuity without --strict-unknown",
+     ["--model", "peterson", "--quiet", "--vacuity", LIVENESS,
+      "--budget-states", "3"]),
+    (1, "exhausted vacuity under --strict-unknown",
+     ["--model", "peterson", "--quiet", "--strict-unknown", "--vacuity",
+      LIVENESS, "--budget-states", "3"]),
+    (0, "complete run under --strict-unknown",
+     ["--model", "peterson", "--quiet", "--strict-unknown", "--vacuity",
+      "--check", LIVENESS]),
+    (2, "no inputs at all", []),
+    (2, "unknown flag", ["--bogus"]),
+    (2, "unknown model", ["--model", "no-such-model"]),
+    (2, "malformed positional formula", ["G (("]),
+    (2, "malformed --check formula", ["--model", "peterson", "--check", "G (("]),
+    (2, "--check without a model", ["--check", "G p", "G p"]),
+    (2, "--vacuity without a model", ["--vacuity", "G p"]),
+    (2, "--vacuity without requirements", ["--model", "peterson", "--vacuity"]),
+    (2, "missing flag argument", ["--model"]),
+]
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_exit_codes.py PATH-TO-MPH-LINT", file=sys.stderr)
+        sys.exit(2)
+    lint = sys.argv[1]
+    failures = 0
+    for expected, description, args in CASES:
+        proc = subprocess.run([lint, *args], capture_output=True, text=True)
+        if proc.returncode != expected:
+            failures += 1
+            print(f"FAIL: {description}: expected exit {expected}, got "
+                  f"{proc.returncode}\n  args: {args}\n  stderr: "
+                  f"{proc.stderr.strip()[:300]}", file=sys.stderr)
+    if failures:
+        print(f"{failures} of {len(CASES)} exit-code case(s) failed",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"all {len(CASES)} exit-code case(s) hold")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ KNOWN_ORACLES = {
     "classify-vs-forms",
     "ltl-eval-vs-automaton",
     "fts-engines",
+    "vacuity-antecedent",
     "lasso-roundtrip",
 }
 

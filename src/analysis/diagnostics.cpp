@@ -67,6 +67,12 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-X002", Severity::Note, "counterexample shrunk to a minimal reproducer"},
     {"MPH-X003", Severity::Warning, "oracle skipped an iteration (input outside its fragment)"},
     {"MPH-X004", Severity::Warning, "iteration budget exhausted (abandoned, not a discrepancy)"},
+    // Vacuity and coverage (src/analysis/vacuity.hpp, docs/VACUITY.md).
+    {"MPH-Y001", Severity::Warning, "requirement holds vacuously (a strengthening mutant still holds)"},
+    {"MPH-Y002", Severity::Warning, "antecedent never exercised (unreachable left-hand side)"},
+    {"MPH-Y003", Severity::Note, "interesting witness found (the requirement is satisfied non-vacuously)"},
+    {"MPH-Y004", Severity::Warning, "uncovered transition (its removal changes no requirement's verdict)"},
+    {"MPH-Y005", Severity::Warning, "vacuity/coverage check budget exhausted (verdict unknown)"},
 };
 static_assert(std::is_sorted(std::begin(kRegistry), std::end(kRegistry),
                              [](const CodeInfo& a, const CodeInfo& b) { return a.code < b.code; }),

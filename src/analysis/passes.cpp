@@ -20,6 +20,9 @@ Subject Subject::of(const fts::Fts& f, std::string name) {
 Subject Subject::of(const std::vector<ltl::Formula>& spec, std::string name) {
   return Subject(Kind::Spec, std::move(name), &spec);
 }
+Subject Subject::of(const CheckedSpec& cs, std::string name) {
+  return Subject(Kind::CheckedSpec, std::move(name), &cs);
+}
 
 const omega::DetOmega& Subject::det_omega() const {
   MPH_REQUIRE(kind_ == Kind::DetOmega, "subject is not a DetOmega");
@@ -41,6 +44,10 @@ const std::vector<ltl::Formula>& Subject::spec() const {
   MPH_REQUIRE(kind_ == Kind::Spec, "subject is not a specification");
   return *static_cast<const std::vector<ltl::Formula>*>(ptr_);
 }
+const CheckedSpec& Subject::checked_spec() const {
+  MPH_REQUIRE(kind_ == Kind::CheckedSpec, "subject is not a model+spec pair");
+  return *static_cast<const CheckedSpec*>(ptr_);
+}
 
 namespace {
 
@@ -55,6 +62,8 @@ constexpr std::string_view kFtsCodes[] = {"MPH-F001", "MPH-F002", "MPH-F003", "M
 constexpr std::string_view kSpecCodes[] = {"MPH-S001", "MPH-S002", "MPH-S003", "MPH-S004",
                                            "MPH-S005", "MPH-S006", "MPH-S007", "MPH-S008",
                                            "MPH-S009", "MPH-S010"};
+constexpr std::string_view kVacuityCodes[] = {"MPH-Y001", "MPH-Y002", "MPH-Y003", "MPH-Y005"};
+constexpr std::string_view kCoverageCodes[] = {"MPH-Y004", "MPH-Y005"};
 
 const Pass kPasses[] = {
     {"det-structure", "reachability and mark placement of a deterministic ω-automaton",
@@ -91,6 +100,20 @@ const Pass kPasses[] = {
      Subject::Kind::Spec, kSpecCodes,
      [](const Subject& s, DiagnosticEngine& out, const AnalysisOptions& opts) {
        lint_spec(s.spec(), out, opts.spec);
+     }},
+    {"vacuity", "polarity-directed mutation vacuity of requirements that hold on the model",
+     Subject::Kind::CheckedSpec, kVacuityCodes,
+     [](const Subject& s, DiagnosticEngine& out, const AnalysisOptions& opts) {
+       if (!opts.vacuity.enabled) return;
+       const CheckedSpec& cs = s.checked_spec();
+       analyze_vacuity(*cs.system, *cs.spec, *cs.atoms, out, opts.vacuity);
+     }},
+    {"coverage", "transition mutation coverage: verdict sensitivity to transition removal",
+     Subject::Kind::CheckedSpec, kCoverageCodes,
+     [](const Subject& s, DiagnosticEngine& out, const AnalysisOptions& opts) {
+       if (!opts.coverage.enabled) return;
+       const CheckedSpec& cs = s.checked_spec();
+       analyze_coverage(*cs.system, *cs.spec, *cs.atoms, out, opts.coverage);
      }},
 };
 

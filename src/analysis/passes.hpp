@@ -11,9 +11,11 @@
 #include <string_view>
 #include <vector>
 
+#include "src/analysis/coverage.hpp"
 #include "src/analysis/diagnostics.hpp"
 #include "src/analysis/fts_lint.hpp"
 #include "src/analysis/spec_lint.hpp"
+#include "src/analysis/vacuity.hpp"
 #include "src/fts/fts.hpp"
 #include "src/lang/dfa.hpp"
 #include "src/ltl/ast.hpp"
@@ -25,19 +27,31 @@ namespace mph::analysis {
 struct AnalysisOptions {
   FtsLintOptions fts;
   SpecLintOptions spec;
+  VacuityOptions vacuity;    // the `vacuity` pass (CheckedSpec subjects)
+  CoverageOptions coverage;  // the `coverage` pass (off by default; expensive)
+};
+
+/// A model + specification pair for the verdict-aware passes (vacuity,
+/// coverage): the requirements, the system they hold on, and the atom
+/// vocabulary binding them. Non-owning like Subject itself.
+struct CheckedSpec {
+  const fts::Fts* system = nullptr;
+  const std::vector<ltl::Formula>* spec = nullptr;
+  const fts::AtomMap* atoms = nullptr;
 };
 
 /// Non-owning view of one analyzable object; the referenced IR must outlive
 /// the Subject.
 class Subject {
  public:
-  enum class Kind { DetOmega, Nba, Dfa, Fts, Spec };
+  enum class Kind { DetOmega, Nba, Dfa, Fts, Spec, CheckedSpec };
 
   static Subject of(const omega::DetOmega& m, std::string name);
   static Subject of(const omega::Nba& n, std::string name);
   static Subject of(const lang::Dfa& d, std::string name);
   static Subject of(const fts::Fts& f, std::string name);
   static Subject of(const std::vector<ltl::Formula>& spec, std::string name);
+  static Subject of(const CheckedSpec& cs, std::string name);
 
   Kind kind() const { return kind_; }
   const std::string& name() const { return name_; }
@@ -46,6 +60,7 @@ class Subject {
   const lang::Dfa& dfa() const;
   const fts::Fts& fts() const;
   const std::vector<ltl::Formula>& spec() const;
+  const CheckedSpec& checked_spec() const;
 
  private:
   Subject(Kind kind, std::string name, const void* ptr)

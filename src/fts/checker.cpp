@@ -11,7 +11,9 @@
 #include <thread>
 
 #include "src/ltl/hierarchy.hpp"
+#include "src/ltl/syntactic.hpp"
 #include "src/ltl/to_nba.hpp"
+#include "src/omega/emptiness.hpp"
 #include "src/omega/graph.hpp"
 #include "src/omega/nba.hpp"
 #include "src/support/check.hpp"
@@ -23,6 +25,16 @@ using omega::Acceptance;
 using omega::Mark;
 using omega::MarkedGraph;
 using omega::MarkSet;
+
+std::string_view to_string(CheckEngine e) {
+  switch (e) {
+    case CheckEngine::NestedDfs: return "nested-DFS";
+    case CheckEngine::Scc: return "SCC";
+    case CheckEngine::SafetyPrefix: return "safety-prefix";
+    case CheckEngine::GuaranteeDual: return "guarantee-dual";
+  }
+  MPH_ASSERT(false);
+}
 
 std::string Counterexample::to_string(const Fts& system) const {
   std::ostringstream out;
@@ -384,10 +396,12 @@ struct LabelCache {
 /// Checks one compiled spec against an explored state graph. The caller
 /// provides the shared phases (exploration, fairness frame, labels); this
 /// runs compilation and the emptiness search and fills the per-spec stats.
+/// `diagnostics` overrides options.diagnostics (the batch hands each worker
+/// a private engine).
 CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
                       const std::vector<MarkSet>& fair_marks, const LabelCache& cache,
-                      const ltl::Formula& spec, const Budget& budget, bool force_scc,
-                      analysis::DiagnosticEngine* diagnostics) {
+                      const ltl::Formula& spec, const Budget& budget,
+                      const CheckOptions& options, analysis::DiagnosticEngine* diagnostics) {
   const std::string subject = "check '" + spec.to_string() + "'";
   CheckResult result;
   result.stats.state_graph_nodes = sg.nodes.size();
@@ -410,10 +424,150 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
     }
   };
 
-  // Compile ¬spec: deterministic route first, NBA tableau as fallback.
+  const bool dispatch = options.class_dispatch && !options.force_scc;
+  const core::Classification syn =
+      dispatch ? ltl::syntactic_classification(spec) : core::Classification{};
+
+  // Class shortcut 1 — syntactically-safety spec: det(spec) recognizes a
+  // closed language, so a run is accepting iff it never enters a
+  // residual-empty ("dead") state, and a computation violates the spec iff
+  // some finite prefix already drives the automaton dead. Fairness drops out
+  // entirely: transition fairness is machine-closed (every finite run of a
+  // finite FTS extends to a fair computation — schedule enabled fair
+  // transitions round-robin; stutter self-loops exist only where nothing is
+  // enabled), so a bad prefix is reachable on a fair computation iff it is
+  // reachable at all. Plain BFS over node × automaton pairs decides it.
+  if (dispatch && syn.safety) {
+    auto t_compile = Clock::now();
+    std::shared_ptr<omega::DetOmega> m;
+    try {
+      m = std::make_shared<omega::DetOmega>(ltl::compile(spec, cache.alphabet));
+    } catch (const std::invalid_argument&) {
+      // Outside the deterministic fragment; fall through to the ω-engines.
+    }
+    if (m) {
+      result.stats.compile_seconds = elapsed(t_compile);
+      result.stats.automaton_states = m->state_count();
+      result.stats.product_bound = sg.nodes.size() * m->state_count();
+      result.stats.engine = CheckEngine::SafetyPrefix;
+      auto t_search = Clock::now();
+      const std::vector<bool> live = omega::live_states(*m);
+      FlatInterner<std::uint64_t, IntHash> pids;
+      std::vector<std::int64_t> parent;  // per pid: BFS predecessor, -1 at the root
+      std::deque<std::uint32_t> queue;
+      auto intern = [&](std::size_t n, omega::State q, std::int64_t par) {
+        auto [idx, inserted] = pids.intern(pack(n, q));
+        if (inserted) {
+          budget.require(pids.size() - 1);
+          parent.push_back(par);
+          queue.push_back(static_cast<std::uint32_t>(idx));
+        }
+      };
+      std::optional<std::uint32_t> bad;
+      try {
+        intern(0, m->initial(), -1);
+        while (!queue.empty()) {
+          const std::uint32_t p = queue.front();
+          queue.pop_front();
+          const std::uint64_t key = pids[p];
+          const std::size_t n = node_of(key);
+          const omega::State q = aut_of(key);
+          if (!live[q]) {
+            bad = p;  // dead states are closed under successors; stop here
+            break;
+          }
+          const omega::State q2 = m->next(q, cache.labels[n]);
+          for (auto [target, t] : sg.edges[n]) {
+            (void)t;
+            intern(target, q2, static_cast<std::int64_t>(p));
+          }
+        }
+      } catch (const BudgetExhausted& e) {
+        result.product_states = result.stats.product_states = pids.size();
+        result.stats.search_seconds = elapsed(t_search);
+        give_up(e.outcome(), "the closed-prefix reachability scan");
+        return result;
+      }
+      result.product_states = result.stats.product_states = pids.size();
+      result.stats.search_seconds = elapsed(t_search);
+      if (diagnostics)
+        diagnostics->emit(
+            "MPH-V002", subject,
+            "product of " + std::to_string(sg.nodes.size()) + " system states × " +
+                std::to_string(m->state_count()) + "-state det(spec) automaton scanned " +
+                std::to_string(pids.size()) + " of at most " +
+                std::to_string(result.stats.product_bound) +
+                " states (closed-prefix reachability; no ω-product)");
+      if (!bad) {
+        result.holds = true;
+        return result;
+      }
+      result.holds = false;
+      // Witness: the bad prefix, extended by an arbitrary cycle into a full
+      // computation (every node has a successor; deadlocks stutter). Any
+      // extension of a bad prefix violates a closed property, and by machine
+      // closure some *fair* computation shares this prefix.
+      std::vector<std::size_t> path_nodes;
+      for (std::int64_t p = static_cast<std::int64_t>(*bad); p >= 0; p = parent[p])
+        path_nodes.push_back(node_of(pids[static_cast<std::size_t>(p)]));
+      std::reverse(path_nodes.begin(), path_nodes.end());
+      Counterexample cex;
+      for (std::size_t n : path_nodes) cex.prefix.push_back(sg.nodes[n].valuation);
+      std::vector<std::int64_t> seen_at(sg.nodes.size(), -1);
+      std::vector<std::size_t> walk{path_nodes.back()};
+      seen_at[walk[0]] = 0;
+      for (;;) {
+        const std::size_t next = sg.edges[walk.back()].front().first;
+        if (seen_at[next] >= 0) {
+          // Computation: prefix ++ walk[1..] ++ (walk[j..])^ω where j is
+          // where the walk re-entered itself.
+          for (std::size_t i = 1; i < walk.size(); ++i)
+            cex.prefix.push_back(sg.nodes[walk[i]].valuation);
+          for (std::size_t i = static_cast<std::size_t>(seen_at[next]); i < walk.size(); ++i)
+            cex.loop.push_back(sg.nodes[walk[i]].valuation);
+          break;
+        }
+        seen_at[next] = static_cast<std::int64_t>(walk.size());
+        walk.push_back(next);
+      }
+      result.counterexample = std::move(cex);
+      if (diagnostics) {
+        auto& d = diagnostics->emit("MPH-V003", subject,
+                                    "a computation violates the specification");
+        d.witness = "bad prefix of " + std::to_string(result.counterexample->prefix.size()) +
+                    " state(s) (closed-prefix scan)";
+      }
+      return result;
+    }
+  }
+
+  // Compile ¬spec: for a syntactically-guarantee spec under class dispatch,
+  // det(¬spec) recognizes a *closed* language (shortcut 2): restrict it to
+  // its live states and acceptance becomes ⊤ — the search degrades to a
+  // fairness-only lasso hunt instead of inheriting the Fin-shaped acceptance
+  // that forces the SCC engine. Otherwise: deterministic route first, NBA
+  // tableau as fallback.
   auto t_compile = Clock::now();
   NegSpecView neg;
-  try {
+  bool dual = false;
+  if (dispatch && !syn.safety && syn.guarantee) {
+    try {
+      auto m = std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), cache.alphabet));
+      auto live = std::make_shared<const std::vector<bool>>(omega::live_states(*m));
+      if ((*live)[m->initial()]) neg.initial = {m->initial()};
+      neg.step = [m, live](omega::State q, lang::Symbol s) {
+        const omega::State t = m->next(q, s);
+        return (*live)[t] ? std::vector<omega::State>{t} : std::vector<omega::State>{};
+      };
+      neg.marks = [](omega::State) { return MarkSet{0}; };
+      neg.acceptance = Acceptance::t();
+      neg.state_count = m->state_count();
+      dual = true;
+    } catch (const std::invalid_argument&) {
+      // Outside the deterministic fragment; fall through to the ω-engines.
+    }
+  }
+  if (!dual) try {
     neg = deterministic_view(
         std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), cache.alphabet)));
   } catch (const std::invalid_argument&) {
@@ -450,17 +604,18 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
             std::to_string(result.stats.product_states) + " of at most " +
             std::to_string(result.stats.product_bound) + " states (" +
             (result.stats.on_the_fly ? "on-the-fly nested DFS" : "SCC good-loop engine") +
-            ")");
+            (dual ? "; guarantee dual, fairness-only acceptance" : "") + ")");
   };
 
   auto t_search = Clock::now();
   std::vector<Mark> req;
-  if (!force_scc && collect_inf_conjuncts(acc, req)) {
+  if (!options.force_scc && collect_inf_conjuncts(acc, req)) {
     // Generalized Büchi: interleave product construction with a nested-DFS
     // emptiness check — a violating lasso exits before the product is full.
     std::sort(req.begin(), req.end());
     req.erase(std::unique(req.begin(), req.end()), req.end());
     result.stats.on_the_fly = true;
+    result.stats.engine = dual ? CheckEngine::GuaranteeDual : CheckEngine::NestedDfs;
     OnTheFlyEngine engine(sg, cache.labels, fair_marks, fair.mark_count, neg, std::move(req),
                           budget);
     std::optional<std::pair<std::vector<OnTheFlyEngine::Cell>, std::vector<OnTheFlyEngine::Cell>>>
@@ -500,6 +655,7 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
   // General Emerson–Lei acceptance (strong fairness, Streett/Rabin-shaped
   // ¬spec): build the reachable product lazily and run the SCC good-loop
   // engine. The automaton reads the label of the source node on each step.
+  result.stats.engine = dual ? CheckEngine::GuaranteeDual : CheckEngine::Scc;
   FlatInterner<std::uint64_t, IntHash> pids;
   auto intern = [&](std::size_t n, omega::State q) {
     auto [idx, inserted] = pids.intern(pack(n, q));
@@ -738,7 +894,7 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
 
   auto run_one = [&](std::size_t i, analysis::DiagnosticEngine* engine) {
     CheckResult r = check_one(sg, fair, fair_marks, *cache_of[i], specs[i],
-                              budget, options.force_scc, engine);
+                              budget, options, engine);
     r.stats.explore_seconds = explore_seconds;
     r.stats.label_seconds = cache_of[i]->seconds;
     results[i] = std::move(r);

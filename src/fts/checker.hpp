@@ -14,7 +14,9 @@
 // See docs/CHECKER.md.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/analysis/diagnostics.hpp"
@@ -31,6 +33,26 @@ struct Counterexample {
   std::string to_string(const Fts& system) const;
 };
 
+/// Which emptiness machinery decided a check. The first two are the general
+/// ω-engines; the last two are the class-aware shortcuts taken when
+/// `CheckOptions::class_dispatch` is on (docs/VACUITY.md):
+///   SafetyPrefix  — syntactically-safety spec, decided by plain BFS over the
+///                   node × det(spec) product against the dead (residual-empty)
+///                   automaton states. Sound without any fairness machinery:
+///                   transition fairness is machine-closed, so every finite
+///                   run extends to a fair computation, and a closed property
+///                   fails on some fair computation iff some reachable prefix
+///                   is already bad.
+///   GuaranteeDual — syntactically-guarantee spec, checked through its safety
+///                   dual: det(¬spec) is a closed language, so its accepting
+///                   runs are exactly those staying inside the live states;
+///                   pruning the dead states turns the acceptance into ⊤ and
+///                   the product search back into a fairness-only lasso hunt
+///                   (nested-DFS) instead of the Fin-shaped SCC path.
+enum class CheckEngine : std::uint8_t { NestedDfs, Scc, SafetyPrefix, GuaranteeDual };
+
+std::string_view to_string(CheckEngine e);
+
 /// Engine telemetry for one check, surfaced by `mph-lint --check` and the
 /// tab11 bench. In a `check_all` batch the exploration and labelling phases
 /// are shared; their timings are reported identically on every result that
@@ -42,6 +64,7 @@ struct CheckStats {
   std::size_t product_bound = 0;      ///< state_graph_nodes × automaton_states
   bool on_the_fly = false;            ///< nested-DFS early-exit emptiness used
   bool nba_fallback = false;          ///< ¬spec outside the hierarchy fragment
+  CheckEngine engine = CheckEngine::NestedDfs;  ///< machinery that decided the verdict
   Outcome outcome = Outcome::Complete;  ///< how the check ended (docs/BUDGETS.md)
   double explore_seconds = 0.0;       ///< state-graph exploration
   double label_seconds = 0.0;         ///< atom labelling of the state graph
@@ -99,6 +122,14 @@ struct CheckOptions {
   /// Both engines must agree on every input; differential fuzzing
   /// (src/fuzz, oracle `fts-engines`) relies on this switch.
   bool force_scc = false;
+  /// Class-aware engine dispatch: route syntactically-safety specs to the
+  /// closed-prefix reachability check and syntactically-guarantee specs
+  /// through the safety dual (see CheckEngine). Verdicts are identical to
+  /// the full engines on every input — the vacuity analyzer
+  /// (mph::analysis, docs/VACUITY.md) turns this on to keep mutant batches
+  /// off the ω-product path. Ignored when `force_scc` is set, and silently
+  /// skipped for specs outside the dispatchable shapes.
+  bool class_dispatch = false;
   analysis::DiagnosticEngine* diagnostics = nullptr;
 };
 

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/analysis/vacuity.hpp"
 #include "src/core/classify.hpp"
 #include "src/core/operator_forms.hpp"
 #include "src/fts/checker.hpp"
@@ -406,6 +407,111 @@ CheckOutcome check_fts_engines(const FuzzCase& c, const Budget& budget) {
 }
 
 // ------------------------------------------------------------------------
+// vacuity-antecedent: the MPH-Y002 fast path (one reachable-state labeling,
+// no product) against the model checker, three ways. For a □(p→q) with a
+// propositional p, "p is exercised" must equal "G ¬p is violated" on both
+// the class-dispatched safety-prefix engine and the full ω-product — every
+// reachable state lies on a fair computation (transition fairness is
+// machine-closed), so state labeling and fair-computation checking agree.
+// When p is unreachable, the requirement itself must hold and analyze_vacuity
+// must report it vacuous via the antecedent shortcut.
+
+FuzzCase gen_vacuity_antecedent(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "vacuity-antecedent";
+  c.system = random_fts(rng);
+  std::vector<std::string> atoms;
+  for (const auto& v : c.system->vars) {
+    atoms.push_back(v.name + "hi");
+    atoms.push_back(v.name + "lo");
+  }
+  // Antecedent: a random propositional combination of 1–2 (possibly negated)
+  // atom literals. Roughly half the draws are unreachable in practice, so
+  // both branches of the oracle get exercised.
+  auto literal = [&] {
+    ltl::Formula a = ltl::f_atom(atoms[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(atoms.size())))]);
+    return rng.below(2) ? ltl::f_not(a) : a;
+  };
+  ltl::Formula p = literal();
+  if (rng.below(2))
+    p = rng.below(2) ? ltl::f_and(p, literal()) : ltl::f_or(p, literal());
+  // Consequent: any future-only formula; the lasso evaluator and both
+  // engines handle it, and its content is irrelevant to the antecedent path.
+  const ltl::Formula q =
+      random_ltl(rng, atoms, static_cast<std::size_t>(rng.between(2, 5)),
+                 LtlFlavor::FutureOnly);
+  c.formulas.push_back(ltl::f_always(ltl::f_implies(p, q)).to_string());
+  return c;
+}
+
+CheckOutcome check_vacuity_antecedent(const FuzzCase& c, const Budget& budget) {
+  if (!c.system || c.formulas.empty()) return CheckOutcome::skip("needs a system and a spec");
+  const fts::Fts sys = c.system->build();
+  const fts::AtomMap atoms = c.system->atoms();
+  const ltl::Formula f = ltl::parse_formula(c.formulas[0]);
+  fts::CheckOptions base;
+  base.max_states = 20000;
+  base.budget = budget;
+
+  // Path 1: the fast path itself — one exploration, pointwise labeling.
+  const auto fast = analysis::antecedent_exercised(sys, f, atoms, base.budget);
+  if (!fast) return CheckOutcome::skip("shrunk out of the □(p→q) shape");
+  if (!fast->complete())
+    return CheckOutcome::exhausted("exploration budget exhausted (" +
+                                   std::string(to_string(fast->outcome)) + ")");
+  const bool exercised = *fast->value;
+
+  // Paths 2 and 3: model-check G ¬p with and without class dispatch. ¬p is
+  // propositional, so G ¬p is syntactically safety: dispatch takes the
+  // closed-prefix scan, no dispatch the full ω-product.
+  const ltl::Formula never_p = ltl::f_always(ltl::f_not(f.child(0).child(0)));
+  fts::CheckOptions dispatched = base;
+  dispatched.class_dispatch = true;
+  fts::CheckOptions full = base;
+  full.class_dispatch = false;
+  const auto r_prefix = fts::check_all(sys, {never_p}, atoms, dispatched)[0];
+  const auto r_omega = fts::check_all(sys, {never_p}, atoms, full)[0];
+  if (!is_complete(r_prefix.outcome) || !is_complete(r_omega.outcome))
+    return CheckOutcome::exhausted(
+        "engine budget exhausted (" +
+        std::string(to_string(worst(r_prefix.outcome, r_omega.outcome))) + ")");
+  if (r_prefix.stats.engine != fts::CheckEngine::SafetyPrefix)
+    return CheckOutcome::fail("class dispatch did not route 'G !p' to the "
+                              "closed-prefix engine");
+  if (r_prefix.holds != r_omega.holds)
+    return CheckOutcome::fail("safety-prefix and ω-product engines disagree on '" +
+                              never_p.to_string() + "'");
+  if (r_prefix.holds == exercised)
+    return CheckOutcome::fail("antecedent labeling says '" + f.child(0).child(0).to_string() +
+                              "' is " + (exercised ? "exercised" : "unreachable") +
+                              " but the engines say 'G !p' " +
+                              (r_prefix.holds ? "holds" : "is violated"));
+  if (auto gate = budget_gate(budget)) return *gate;
+
+  // An unreachable antecedent makes the requirement itself hold, and the
+  // full analyzer must classify it vacuous through the shortcut (MPH-Y002).
+  if (!exercised) {
+    analysis::DiagnosticEngine diag;
+    analysis::VacuityOptions vopts;
+    vopts.check = base;
+    const auto vr = analysis::analyze_vacuity(sys, {f}, atoms, diag, vopts);
+    const auto& rv = vr.requirements[0];
+    if (!is_complete(rv.original.outcome))
+      return CheckOutcome::exhausted("vacuity check budget exhausted (" +
+                                     std::string(to_string(rv.original.outcome)) + ")");
+    if (!rv.original.holds)
+      return CheckOutcome::fail("'" + c.formulas[0] +
+                                "' with an unreachable antecedent does not hold");
+    if (rv.verdict != analysis::RequirementVacuity::Verdict::Vacuous ||
+        !rv.antecedent_failure || !diag.has_code("MPH-Y002"))
+      return CheckOutcome::fail("unreachable antecedent not reported as MPH-Y002 "
+                                "vacuity for '" + c.formulas[0] + "'");
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
 // lasso-roundtrip: print → parse is the identity on well-formed lassos, and
 // parse_lasso rejects the malformed variants (trailing garbage, second
 // group, empty loop, missing parens) with std::invalid_argument.
@@ -475,6 +581,9 @@ const std::vector<Oracle>& oracle_registry() {
       {"fts-engines",
        "model checker: nested-DFS vs SCC engine, with counterexample replay",
        gen_fts_engines, check_fts_engines},
+      {"vacuity-antecedent",
+       "MPH-Y002 antecedent labeling vs safety-prefix and ω-product checks of G ¬p",
+       gen_vacuity_antecedent, check_vacuity_antecedent},
       {"lasso-roundtrip",
        "lasso printing/parsing round-trip and rejection of malformed inputs",
        gen_lasso_roundtrip, check_lasso_roundtrip},

@@ -1,0 +1,92 @@
+#include "src/ltl/polarity.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mph::ltl {
+
+std::string_view to_string(Polarity p) {
+  switch (p) {
+    case Polarity::Positive: return "positive";
+    case Polarity::Negative: return "negative";
+    case Polarity::Mixed: return "mixed";
+  }
+  MPH_ASSERT(false);
+}
+
+namespace {
+
+Polarity flip(Polarity p) {
+  switch (p) {
+    case Polarity::Positive: return Polarity::Negative;
+    case Polarity::Negative: return Polarity::Positive;
+    case Polarity::Mixed: return Polarity::Mixed;
+  }
+  MPH_ASSERT(false);
+}
+
+/// Polarity of child i of a node with polarity p. Once mixed, always mixed.
+Polarity child_polarity(Op op, std::size_t i, Polarity p) {
+  if (p == Polarity::Mixed) return Polarity::Mixed;
+  switch (op) {
+    case Op::Not: return flip(p);
+    case Op::Implies: return i == 0 ? flip(p) : p;
+    case Op::Iff: return Polarity::Mixed;
+    default: return p;  // every other operator is monotone in each argument
+  }
+}
+
+void walk(const Formula& f, Polarity p, std::vector<std::size_t>& path,
+          std::vector<Occurrence>& out) {
+  if (!path.empty() && f.op() != Op::True && f.op() != Op::False)
+    out.emplace_back(path, f, p);
+  for (std::size_t i = 0; i < f.arity(); ++i) {
+    path.push_back(i);
+    walk(f.child(i), child_polarity(f.op(), i, p), path, out);
+    path.pop_back();
+  }
+}
+
+Formula rebuild(const Formula& f, std::span<const std::size_t> path,
+                const Formula& replacement) {
+  if (path.empty()) return replacement;
+  const std::size_t i = path.front();
+  MPH_ASSERT(i < f.arity());
+  switch (f.arity()) {
+    case 1:
+      return f_unary(f.op(), rebuild(f.child(0), path.subspan(1), replacement));
+    case 2: {
+      Formula lhs = i == 0 ? rebuild(f.child(0), path.subspan(1), replacement) : f.child(0);
+      Formula rhs = i == 1 ? rebuild(f.child(1), path.subspan(1), replacement) : f.child(1);
+      return f_binary(f.op(), std::move(lhs), std::move(rhs));
+    }
+    default:
+      MPH_ASSERT(false);  // atoms/constants have arity 0 and no valid path into them
+  }
+}
+
+}  // namespace
+
+std::vector<Occurrence> occurrences(const Formula& f) {
+  std::vector<Occurrence> out;
+  std::vector<std::size_t> path;
+  walk(f, Polarity::Positive, path, out);
+  return out;
+}
+
+Formula replace_at(const Formula& f, std::span<const std::size_t> path,
+                   const Formula& replacement) {
+  MPH_REQUIRE(!path.empty(), "replace_at: the root is not an occurrence");
+  return rebuild(f, path, replacement);
+}
+
+std::vector<Formula> strengthenings(const Formula& f, const Occurrence& o) {
+  switch (o.polarity) {
+    case Polarity::Positive: return {replace_at(f, o.path, f_false())};
+    case Polarity::Negative: return {replace_at(f, o.path, f_true())};
+    case Polarity::Mixed:
+      return {replace_at(f, o.path, f_false()), replace_at(f, o.path, f_true())};
+  }
+  MPH_ASSERT(false);
+}
+
+}  // namespace mph::ltl

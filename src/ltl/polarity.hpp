@@ -1,0 +1,55 @@
+// Subformula occurrences and their polarity — the substrate of Beer-style
+// vacuity detection (docs/VACUITY.md). An occurrence is *positive* when the
+// formula is monotone in it (strengthening the occurrence strengthens the
+// whole formula), *negative* when antitone, *mixed* under `<->` where it is
+// neither. Every operator of the language is monotone in each argument
+// except: ¬ (antitone), the left side of -> (antitone), and both sides of
+// <-> (mixed).
+//
+// The polarity-directed strengthening replaces a positive occurrence by
+// `false` and a negative one by `true`; the mutant entails the original, so
+// a model satisfying the mutant satisfies the original without ever
+// exercising the occurrence — a vacuous pass.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/ltl/ast.hpp"
+
+namespace mph::ltl {
+
+enum class Polarity { Positive, Negative, Mixed };
+
+std::string_view to_string(Polarity p);
+
+/// One proper-subformula occurrence, addressed by the child-index path from
+/// the root (never empty: the root itself is not an occurrence).
+struct Occurrence {
+  std::vector<std::size_t> path;
+  Formula sub;
+  Polarity polarity;
+
+  Occurrence(std::vector<std::size_t> p, Formula s, Polarity pol)
+      : path(std::move(p)), sub(std::move(s)), polarity(pol) {}
+};
+
+/// All proper subformula occurrences of f in DFS preorder. Constant
+/// occurrences (`true`/`false`) are omitted — replacing a constant by a
+/// constant teaches nothing about vacuity.
+std::vector<Occurrence> occurrences(const Formula& f);
+
+/// f with the subformula at `path` replaced by `replacement`. The path must
+/// address an existing node (asserted).
+Formula replace_at(const Formula& f, std::span<const std::size_t> path,
+                   const Formula& replacement);
+
+/// The polarity-directed strengthening mutants of one occurrence: one mutant
+/// (⊥ for positive, ⊤ for negative) for pure-polarity occurrences, both for
+/// mixed ones. Pure-polarity mutants entail the original formula; mixed
+/// replacements are merely the two constant instantiations (necessary, not
+/// sufficient, for Beer's ∀-vacuity — see docs/VACUITY.md).
+std::vector<Formula> strengthenings(const Formula& f, const Occurrence& o);
+
+}  // namespace mph::ltl

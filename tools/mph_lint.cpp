@@ -10,16 +10,23 @@
 //   mph-lint --list-codes | --list-passes       registry introspection
 //
 // Exit status: 0 = no error-severity diagnostics, 1 = errors found
-// (with --werror, warnings too), 2 = usage or parse failure.
+// (with --werror, warnings too; with --strict-unknown, unknown verdicts
+// too), 2 = usage or parse failure. Unknown verdicts never silently map
+// to 0 semantics beyond exit status: they are always visible as MPH-V004 /
+// MPH-Y005 diagnostics and "unknown" table cells.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/automaton_lint.hpp"
+#include "src/analysis/coverage.hpp"
 #include "src/analysis/passes.hpp"
+#include "src/analysis/vacuity.hpp"
 #include "src/fts/checker.hpp"
 #include "src/fts/programs.hpp"
 #include "src/ltl/hierarchy.hpp"
@@ -56,6 +63,18 @@ int usage(std::ostream& out, int code) {
          "                  state cap per --check construction (default 200000); an\n"
          "                  exhausted check reports outcome budget-states (MPH-V004)\n"
          "  --budget-ms N   wall-clock budget for the whole --check batch in ms\n"
+         "  --vacuity       analyze why requirements that hold do hold: polarity-directed\n"
+         "                  mutation vacuity against the --model (MPH-Y001/Y002/Y003);\n"
+         "                  requirements come from --check, --spec and positional formulas\n"
+         "  --coverage      transition mutation coverage of the requirements against the\n"
+         "                  --model (MPH-Y004): which transitions the spec actually pins\n"
+         "  --no-dispatch   send every vacuity/coverage mutant through the full ω-product\n"
+         "                  engines instead of the class-aware shortcuts (docs/VACUITY.md)\n"
+         "  --dispatch      use class-aware dispatch for --check itself (engine column\n"
+         "                  then reports safety-prefix / guarantee-dual where taken)\n"
+         "  --strict-unknown\n"
+         "                  exit 1 when any verdict is unknown (budget exhausted:\n"
+         "                  MPH-V004, MPH-Y005) even without error diagnostics\n"
          "  --automata      additionally lint each requirement's compiled automaton\n"
          "  --json          machine-readable output\n"
          "  --no-checklist  suppress MPH-S007 hierarchy-checklist notes\n"
@@ -108,6 +127,9 @@ int main(int argc, char** argv) {
   std::uint64_t budget_ms = 0;
   bool all_models = false, json = false, quiet = false, werror = false;
   bool lint_automata = false;
+  bool vacuity = false, coverage = false, strict_unknown = false;
+  bool dispatch_check = false;    // --dispatch: class-aware engines for --check
+  bool dispatch_mutants = true;   // --no-dispatch: full ω-product for mutants
   analysis::AnalysisOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -134,6 +156,16 @@ int main(int argc, char** argv) {
       budget_states = std::stoull(next("--budget-states"));
     } else if (arg == "--budget-ms") {
       budget_ms = std::stoull(next("--budget-ms"));
+    } else if (arg == "--vacuity") {
+      vacuity = true;
+    } else if (arg == "--coverage") {
+      coverage = true;
+    } else if (arg == "--no-dispatch") {
+      dispatch_mutants = false;
+    } else if (arg == "--dispatch") {
+      dispatch_check = true;
+    } else if (arg == "--strict-unknown") {
+      strict_unknown = true;
     } else if (arg == "--automata") {
       lint_automata = true;
     } else if (arg == "--json") {
@@ -175,8 +207,20 @@ int main(int argc, char** argv) {
     std::cerr << "mph-lint: --check needs exactly one --model\n";
     return 2;
   }
+  if ((vacuity || coverage) && model_names.size() != 1) {
+    std::cerr << "mph-lint: --vacuity/--coverage need exactly one --model\n";
+    return 2;
+  }
+  if ((vacuity || coverage) && check_formulas.empty() && spec_files.empty() &&
+      formulas.empty()) {
+    std::cerr << "mph-lint: --vacuity/--coverage need requirements "
+                 "(--check, --spec or positional formulas)\n";
+    return 2;
+  }
 
   analysis::DiagnosticEngine engine;
+  bool unknown_seen = false;   // any verdict the budget left undecided
+  std::string extra_json;      // "vacuity"/"coverage" objects spliced into --json
   try {
     // Models first, then spec files, then command-line formulas (one shared
     // engine: subjects keep the findings apart).
@@ -198,10 +242,13 @@ int main(int argc, char** argv) {
         fts::CheckOptions copts;
         copts.threads = check_threads;
         copts.diagnostics = &engine;
+        copts.class_dispatch = dispatch_check;
         if (budget_states > 0) copts.budget.with_state_cap(budget_states);
         if (budget_ms > 0)
           copts.budget.with_deadline_after(std::chrono::milliseconds(budget_ms));
         auto results = fts::check_all(program.system, specs, program.atoms, copts);
+        for (const auto& r : results)
+          if (!is_complete(r.outcome)) unknown_seen = true;
         if (!json && !quiet) {
           TextTable t({"spec", "verdict", "outcome", "engine", "automaton", "product",
                        "bound", "search s"});
@@ -215,8 +262,7 @@ int main(int argc, char** argv) {
                                                                    : "VIOLATED";
             t.add_row({check_formulas[i], verdict,
                        std::string(to_string(results[i].outcome)),
-                       std::string(s.on_the_fly ? "nested-DFS" : "SCC") +
-                           (s.nba_fallback ? " (NBA)" : ""),
+                       std::string(to_string(s.engine)) + (s.nba_fallback ? " (NBA)" : ""),
                        std::to_string(s.automaton_states), std::to_string(s.product_states),
                        std::to_string(s.product_bound), secs.str()});
           }
@@ -224,6 +270,160 @@ int main(int argc, char** argv) {
                     << (results.empty() ? 0 : results[0].stats.state_graph_nodes)
                     << " states) ==\n"
                     << t.to_string() << "\n";
+        }
+      }
+
+      if (vacuity || coverage) {
+        // Requirements for the verdict-aware passes: --check formulas, spec
+        // file lines, then positional formulas, deduplicated by text.
+        std::vector<std::string> req_texts;
+        std::set<std::string> seen_reqs;
+        auto add_req = [&](const std::string& text) {
+          if (seen_reqs.insert(text).second) req_texts.push_back(text);
+        };
+        for (const auto& text : check_formulas) add_req(text);
+        for (const auto& path : spec_files)
+          for (const auto& line : read_spec_file(path)) add_req(line);
+        for (const auto& text : formulas) add_req(text);
+        std::vector<ltl::Formula> reqs;
+        for (const auto& text : req_texts) reqs.push_back(ltl::parse_formula(text));
+
+        fts::CheckOptions copts;
+        copts.threads = check_threads;
+        if (budget_states > 0) copts.budget.with_state_cap(budget_states);
+        if (budget_ms > 0)
+          copts.budget.with_deadline_after(std::chrono::milliseconds(budget_ms));
+
+        if (vacuity) {
+          analysis::VacuityOptions vopts;
+          vopts.check = copts;
+          vopts.class_dispatch = dispatch_mutants;
+          const auto vr =
+              analysis::analyze_vacuity(program.system, reqs, program.atoms, engine, vopts);
+          for (const auto& rv : vr.requirements)
+            if (rv.verdict == analysis::RequirementVacuity::Verdict::Unknown)
+              unknown_seen = true;
+          if (!json && !quiet) {
+            TextTable t({"requirement", "verdict", "mutants", "engines", "note"});
+            for (const auto& rv : vr.requirements) {
+              std::size_t checked = 0;
+              std::map<std::string, std::size_t> tally;
+              for (const auto& mc : rv.mutants) {
+                if (mc.engine != "skipped") ++checked;
+                ++tally[mc.engine];
+              }
+              std::string engines;
+              for (const auto& [ename, n] : tally) {
+                if (ename == "skipped") continue;
+                if (!engines.empty()) engines += ", ";
+                engines += std::to_string(n) + " " + ename;
+              }
+              std::string note;
+              if (rv.antecedent_failure)
+                note = "antecedent unreachable (MPH-Y002)";
+              else if (rv.witness)
+                note = "witness: prefix " + std::to_string(rv.witness->prefix.size()) +
+                       ", loop " + std::to_string(rv.witness->loop.size());
+              else if (rv.verdict == analysis::RequirementVacuity::Verdict::Unknown)
+                note = "budget exhausted";
+              t.add_row({rv.text, std::string(to_string(rv.verdict)),
+                         std::to_string(checked) + "/" + std::to_string(rv.mutants.size()),
+                         engines.empty() ? "-" : engines, note});
+            }
+            const auto& st = vr.stats;
+            std::cout << "== vacuity against model '" << name << "' ==\n"
+                      << t.to_string() << "mutants: " << st.mutants_checked << " checked, "
+                      << st.mutants_skipped << " skipped; engines: safety-prefix "
+                      << st.safety_prefix << ", guarantee-dual " << st.guarantee_dual
+                      << ", nested-DFS " << st.nested_dfs << ", SCC " << st.scc
+                      << ", constant " << st.constant << "; unknown " << st.unknown << "\n\n";
+            for (const auto& rv : vr.requirements)
+              if (rv.witness)
+                std::cout << "interesting witness for '" << rv.text << "':\n"
+                          << rv.witness->to_string(program.system) << "\n";
+          }
+          std::ostringstream vj;
+          using analysis::json_escape;
+          vj << ", \"vacuity\": {\"model\": \"" << json_escape(name)
+             << "\", \"requirements\": [";
+          for (std::size_t i = 0; i < vr.requirements.size(); ++i) {
+            const auto& rv = vr.requirements[i];
+            if (i) vj << ", ";
+            vj << "{\"text\": \"" << json_escape(rv.text) << "\", \"verdict\": \""
+               << to_string(rv.verdict) << "\", \"holds\": "
+               << (rv.original.holds ? "true" : "false") << ", \"outcome\": \""
+               << to_string(rv.original.outcome) << "\", \"antecedent_failure\": "
+               << (rv.antecedent_failure ? "true" : "false") << ", \"mutants\": [";
+            for (std::size_t j = 0; j < rv.mutants.size(); ++j) {
+              const auto& mc = rv.mutants[j];
+              if (j) vj << ", ";
+              vj << "{\"occurrence\": \"" << json_escape(mc.occurrence)
+                 << "\", \"polarity\": \"" << to_string(mc.polarity)
+                 << "\", \"replacement\": \"" << json_escape(mc.replacement)
+                 << "\", \"text\": \"" << json_escape(mc.text) << "\", \"engine\": \""
+                 << json_escape(mc.engine) << "\", \"outcome\": \""
+                 << to_string(mc.outcome) << "\", \"holds\": "
+                 << (mc.holds ? "true" : "false") << "}";
+            }
+            vj << "]";
+            if (rv.witness)
+              vj << ", \"witness\": {\"prefix\": " << rv.witness->prefix.size()
+                 << ", \"loop\": " << rv.witness->loop.size() << "}";
+            vj << "}";
+          }
+          const auto& st = vr.stats;
+          vj << "], \"stats\": {\"mutants_checked\": " << st.mutants_checked
+             << ", \"mutants_skipped\": " << st.mutants_skipped
+             << ", \"safety_prefix\": " << st.safety_prefix
+             << ", \"guarantee_dual\": " << st.guarantee_dual
+             << ", \"nested_dfs\": " << st.nested_dfs << ", \"scc\": " << st.scc
+             << ", \"constant\": " << st.constant << ", \"unknown\": " << st.unknown
+             << "}}";
+          extra_json += vj.str();
+        }
+
+        if (coverage) {
+          analysis::CoverageOptions kopts;
+          kopts.check = copts;
+          kopts.class_dispatch = dispatch_mutants;
+          const auto cr =
+              analysis::analyze_coverage(program.system, reqs, program.atoms, engine, kopts);
+          if (!is_complete(cr.outcome) || cr.unknown > 0) unknown_seen = true;
+          std::ostringstream pct;
+          pct.precision(1);
+          pct << std::fixed << cr.percent_covered;
+          if (!json && !quiet) {
+            TextTable t({"transition", "reachable", "covered"});
+            for (const auto& tc : cr.transitions)
+              t.add_row({tc.name, tc.reachable ? "yes" : "no",
+                         !tc.reachable ? "-"
+                         : tc.covered  ? "yes"
+                         : tc.unknown  ? "unknown"
+                                       : "NO"});
+            std::cout << "== coverage against model '" << name << "' ==\n"
+                      << t.to_string() << "coverage: " << cr.covered << " of "
+                      << cr.reachable << " reachable transition(s) covered (" << pct.str()
+                      << "%)";
+            if (cr.unknown > 0) std::cout << ", " << cr.unknown << " unknown";
+            std::cout << "\n\n";
+          }
+          std::ostringstream cj;
+          using analysis::json_escape;
+          cj << ", \"coverage\": {\"model\": \"" << json_escape(name)
+             << "\", \"transitions\": [";
+          for (std::size_t i = 0; i < cr.transitions.size(); ++i) {
+            const auto& tc = cr.transitions[i];
+            if (i) cj << ", ";
+            cj << "{\"transition\": " << tc.transition << ", \"name\": \""
+               << json_escape(tc.name) << "\", \"reachable\": "
+               << (tc.reachable ? "true" : "false") << ", \"covered\": "
+               << (tc.covered ? "true" : "false") << ", \"unknown\": "
+               << (tc.unknown ? "true" : "false") << "}";
+          }
+          cj << "], \"reachable\": " << cr.reachable << ", \"covered\": " << cr.covered
+             << ", \"unknown\": " << cr.unknown << ", \"percent_covered\": " << pct.str()
+             << ", \"outcome\": \"" << to_string(cr.outcome) << "\"}";
+          extra_json += cj.str();
         }
       }
     }
@@ -256,12 +456,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (json)
-    std::cout << engine.to_json() << "\n";
-  else
+  if (json) {
+    // Splice the vacuity/coverage objects into the diagnostics document
+    // (validated by scripts/validate_lint_report.py).
+    std::string doc = engine.to_json();
+    if (!extra_json.empty()) {
+      doc.pop_back();  // the document's closing '}'
+      doc += extra_json + "}";
+    }
+    std::cout << doc << "\n";
+  } else {
     std::cout << engine.to_text();
+  }
 
   if (engine.has_errors()) return 1;
   if (werror && engine.count(analysis::Severity::Warning) > 0) return 1;
+  if (strict_unknown && unknown_seen) return 1;
   return 0;
 }
