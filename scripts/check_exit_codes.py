@@ -49,6 +49,25 @@ CASES = [
     (0, "complete run under --strict-unknown",
      ["--model", "peterson", "--quiet", "--strict-unknown", "--vacuity",
       "--check", LIVENESS]),
+    # --strict-class: exit 1 unless every requirement's class membership is
+    # *established* (exact via normalization, else sound syntactic claims).
+    (0, "strict-class holds (exact classes inside the gate)",
+     ["--quiet", "--classify", "--strict-class", "recurrence",
+      VACUOUS, "F(p & F q)", LIVENESS]),
+    (1, "strict-class violated (safety is not guarantee)",
+     ["--quiet", "--strict-class", "guarantee", VACUOUS]),
+    # G(p | F G q) is syntactically reactivity but exactly persistence: the
+    # gate passes only because normalization establishes the exact class.
+    (0, "strict-class rescued by normalization",
+     ["--quiet", "--strict-class", "persistence", "G(p | F G q)"]),
+    # Same formula under a 1-step normalization budget: the class stays
+    # unknown (MPH-N003) and the strict gate must fail, never silently pass.
+    (1, "strict-class with budget-stopped class fails the gate",
+     ["--quiet", "--strict-class", "persistence", "--normalize-steps", "1",
+      "G(p | F G q)"]),
+    (0, "--normalize prints forms, exit stays 0", ["--quiet", "--normalize", "G p"]),
+    (2, "--strict-class without requirements", ["--strict-class", "safety"]),
+    (2, "--strict-class with unknown class name", ["--strict-class", "bogus", "G p"]),
     (2, "no inputs at all", []),
     (2, "unknown flag", ["--bogus"]),
     (2, "unknown model", ["--model", "no-such-model"]),

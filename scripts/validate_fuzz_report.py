@@ -31,6 +31,7 @@ KNOWN_ORACLES = {
     "ltl-eval-vs-automaton",
     "fts-engines",
     "vacuity-antecedent",
+    "normalize-agreement",
     "lasso-roundtrip",
 }
 

@@ -12,7 +12,8 @@ the diagnostics document:
   {"diagnostics": [{code, severity, subject, message, ...}, ...],
    "counts": {"error": E, "warning": W, "note": N},
    "vacuity": {...},    # present iff --vacuity was given
-   "coverage": {...}}   # present iff --coverage was given
+   "coverage": {...},   # present iff --coverage was given
+   "classify": {...}}   # present iff --classify/--normalize/--strict-class
 
 Every --expect-code CODE must appear among the diagnostics. Exits 0 iff the
 document matches; prints the first problem and exits 1 otherwise.
@@ -29,6 +30,8 @@ OUTCOMES = {"complete", "budget-states", "budget-deadline", "cancelled"}
 ENGINES = {"constant", "safety-prefix", "guarantee-dual", "nested-DFS", "SCC",
            "nested-DFS (NBA)", "SCC (NBA)", "skipped"}
 POLARITIES = {"positive", "negative", "mixed"}
+CLASSES = {"safety", "guarantee", "obligation", "recurrence", "persistence",
+           "reactivity"}
 
 
 def fail(msg):
@@ -168,6 +171,40 @@ def check_coverage(c):
             f"coverage: unknown outcome {c.get('outcome')!r}")
 
 
+def check_classify(c):
+    require(isinstance(c, dict), "'classify' is not an object")
+    reqs = c.get("requirements")
+    require(isinstance(reqs, list), "classify: 'requirements' missing")
+    exact = refused = budget = 0
+    for i, r in enumerate(reqs):
+        where = f"classify.requirements[{i}]"
+        require(isinstance(r, dict), f"{where}: not an object")
+        require(isinstance(r.get("text"), str) and r["text"], f"{where}: missing 'text'")
+        require(r.get("syntactic") in CLASSES,
+                f"{where}: unknown syntactic class {r.get('syntactic')!r}")
+        require(r.get("exact") is None or r["exact"] in CLASSES,
+                f"{where}: unknown exact class {r.get('exact')!r}")
+        require(r.get("outcome") in OUTCOMES,
+                f"{where}: unknown outcome {r.get('outcome')!r}")
+        require(isinstance(r.get("steps"), int) and r["steps"] >= 0,
+                f"{where}: 'steps' missing or negative")
+        if "normal_form" in r:
+            require(isinstance(r["normal_form"], str) and r["normal_form"],
+                    f"{where}: 'normal_form' present but empty")
+            require(r.get("exact") is not None,
+                    f"{where}: normal form attached without an exact class")
+        if r["outcome"] == "complete":
+            exact += r["exact"] is not None
+            refused += r["exact"] is None
+        else:
+            budget += 1
+            require(r.get("exact") is None,
+                    f"{where}: budget-stopped normalization claims an exact class")
+    for key, value in (("exact", exact), ("refused", refused), ("budget", budget)):
+        require(c.get(key) == value,
+                f"classify: '{key}' is {c.get(key)} but rows sum to {value}")
+
+
 def main():
     args = sys.argv[1:]
     expect = []
@@ -195,11 +232,13 @@ def main():
         check_vacuity(data["vacuity"])
     if "coverage" in data:
         check_coverage(data["coverage"])
+    if "classify" in data:
+        check_classify(data["classify"])
     codes = {d["code"] for d in diags}
     for code in expect:
         require(code in codes, f"expected diagnostic {code} was not reported")
 
-    extras = [k for k in ("vacuity", "coverage") if k in data]
+    extras = [k for k in ("vacuity", "coverage", "classify") if k in data]
     print(f"{source} ok: {len(diags)} diagnostic(s)" +
           (f", with {', '.join(extras)}" if extras else ""))
 

@@ -44,6 +44,10 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-F005", Severity::Warning, "fairness declared on a never-enabled transition"},
     {"MPH-F006", Severity::Note, "deadlock (stutter-only) state reachable"},
     {"MPH-F007", Severity::Warning, "state space exceeds exploration limit (lint incomplete)"},
+
+    {"MPH-N001", Severity::Note, "exact hierarchy class established by normalization"},
+    {"MPH-N002", Severity::Warning, "syntactic class coarser than exact class (suggested rewrite attached)"},
+    {"MPH-N003", Severity::Warning, "normalization blowup (budget exhausted or oversized normal form)"},
     // Paper-literal procedure caveats.
     {"MPH-P001", Severity::Warning, "literal §5.1 procedure is unsound for k ≥ 2 Streett pairs"},
     // Specifications (LTL property lists).

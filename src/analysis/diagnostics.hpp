@@ -11,6 +11,7 @@
 //
 // Code families:  MPH-Axxx  automata (DetOmega / Nba / Dfa)
 //                 MPH-Fxxx  fair transition systems
+//                 MPH-Nxxx  ΔΓ-normalization / exact classification
 //                 MPH-Sxxx  LTL property-list specifications
 //                 MPH-Vxxx  model-checker notes
 //                 MPH-Pxxx  paper-literal procedure caveats

@@ -14,6 +14,7 @@
 #include "src/analysis/coverage.hpp"
 #include "src/analysis/diagnostics.hpp"
 #include "src/analysis/fts_lint.hpp"
+#include "src/analysis/normalize_lint.hpp"
 #include "src/analysis/spec_lint.hpp"
 #include "src/analysis/vacuity.hpp"
 #include "src/fts/fts.hpp"
@@ -27,6 +28,7 @@ namespace mph::analysis {
 struct AnalysisOptions {
   FtsLintOptions fts;
   SpecLintOptions spec;
+  NormalizeLintOptions normalize;  // the `normalize` pass (MPH-N family)
   VacuityOptions vacuity;    // the `vacuity` pass (CheckedSpec subjects)
   CoverageOptions coverage;  // the `coverage` pass (off by default; expensive)
 };

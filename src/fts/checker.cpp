@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "src/ltl/hierarchy.hpp"
+#include "src/ltl/normalize.hpp"
 #include "src/ltl/syntactic.hpp"
 #include "src/ltl/to_nba.hpp"
 #include "src/omega/emptiness.hpp"
@@ -32,6 +33,15 @@ std::string_view to_string(CheckEngine e) {
     case CheckEngine::Scc: return "SCC";
     case CheckEngine::SafetyPrefix: return "safety-prefix";
     case CheckEngine::GuaranteeDual: return "guarantee-dual";
+  }
+  MPH_ASSERT(false);
+}
+
+std::string_view to_string(ClassSource s) {
+  switch (s) {
+    case ClassSource::None: return "none";
+    case ClassSource::Syntactic: return "syntactic";
+    case ClassSource::Normalized: return "normalized";
   }
   MPH_ASSERT(false);
 }
@@ -425,8 +435,38 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
   };
 
   const bool dispatch = options.class_dispatch && !options.force_scc;
-  const core::Classification syn =
+  core::Classification syn =
       dispatch ? ltl::syntactic_classification(spec) : core::Classification{};
+  result.stats.class_source = dispatch ? ClassSource::Syntactic : ClassSource::None;
+
+  // ΔΓ-normalization rescue (lazy, memoized, budget-capped): a completed
+  // hierarchy normal form is an equivalent formula that (a) the syntactic
+  // rules classify sharply and (b) always compiles deterministically. It is
+  // consulted when the spec as written shows neither shortcut class, and
+  // again whenever a compile below falls out of the old rewrite fragment.
+  bool norm_tried = false;
+  std::optional<ltl::Formula> normal;
+  auto get_normal = [&]() -> const std::optional<ltl::Formula>& {
+    if (!norm_tried && options.class_dispatch && options.normalize_steps > 0) {
+      norm_tried = true;
+      ltl::NormalizeOptions nopt;
+      nopt.budget = Budget().with_state_cap(options.normalize_steps);
+      ltl::NormalizeResult nr = ltl::normalize(spec, nopt);
+      result.stats.normalize_steps = nr.steps;
+      if (nr.complete()) normal = nr.form;
+    }
+    return normal;
+  };
+
+  ltl::Formula routed = spec;
+  if (dispatch && !syn.safety && !syn.guarantee && get_normal()) {
+    core::Classification exact = ltl::syntactic_classification(*normal);
+    if (exact.safety || exact.guarantee) {
+      syn = exact;
+      routed = *normal;
+      result.stats.class_source = ClassSource::Normalized;
+    }
+  }
 
   // Class shortcut 1 — syntactically-safety spec: det(spec) recognizes a
   // closed language, so a run is accepting iff it never enters a
@@ -441,9 +481,15 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
     auto t_compile = Clock::now();
     std::shared_ptr<omega::DetOmega> m;
     try {
-      m = std::make_shared<omega::DetOmega>(ltl::compile(spec, cache.alphabet));
+      m = std::make_shared<omega::DetOmega>(ltl::compile(routed, cache.alphabet));
     } catch (const std::invalid_argument&) {
-      // Outside the deterministic fragment; fall through to the ω-engines.
+      // Outside the old rewrite fragment: compile the normal form instead.
+      if (get_normal() && !(routed == *normal)) try {
+        m = std::make_shared<omega::DetOmega>(ltl::compile(*normal, cache.alphabet));
+        result.stats.class_source = ClassSource::Normalized;
+      } catch (const std::invalid_argument&) {
+      }
+      // Otherwise fall through to the ω-engines.
     }
     if (m) {
       result.stats.compile_seconds = elapsed(t_compile);
@@ -551,8 +597,19 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
   NegSpecView neg;
   bool dual = false;
   if (dispatch && !syn.safety && syn.guarantee) {
+    std::shared_ptr<omega::DetOmega> m;
     try {
-      auto m = std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), cache.alphabet));
+      m = std::make_shared<omega::DetOmega>(ltl::compile(f_not(routed), cache.alphabet));
+    } catch (const std::invalid_argument&) {
+      // Outside the old rewrite fragment: negate the normal form instead
+      // (the negation of a hierarchy form is still a hierarchy form).
+      if (get_normal() && !(routed == *normal)) try {
+        m = std::make_shared<omega::DetOmega>(ltl::compile(f_not(*normal), cache.alphabet));
+        result.stats.class_source = ClassSource::Normalized;
+      } catch (const std::invalid_argument&) {
+      }
+    }
+    if (m) {
       auto live = std::make_shared<const std::vector<bool>>(omega::live_states(*m));
       if ((*live)[m->initial()]) neg.initial = {m->initial()};
       neg.step = [m, live](omega::State q, lang::Symbol s) {
@@ -563,14 +620,27 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
       neg.acceptance = Acceptance::t();
       neg.state_count = m->state_count();
       dual = true;
-    } catch (const std::invalid_argument&) {
-      // Outside the deterministic fragment; fall through to the ω-engines.
     }
   }
   if (!dual) try {
     neg = deterministic_view(
         std::make_shared<omega::DetOmega>(ltl::compile(f_not(spec), cache.alphabet)));
   } catch (const std::invalid_argument&) {
+    // Second chance: the ΔΓ-normal form (when one was obtained) is an
+    // equivalent formula inside the deterministic fragment — negating a
+    // hierarchy form stays a hierarchy form, so this compile succeeds and
+    // the check keeps a deterministic (and usually smaller) product.
+    bool rescued = false;
+    if (get_normal()) {
+      try {
+        neg = deterministic_view(
+            std::make_shared<omega::DetOmega>(ltl::compile(f_not(*normal), cache.alphabet)));
+        rescued = true;
+        result.stats.class_source = ClassSource::Normalized;
+      } catch (const std::invalid_argument&) {
+      }
+    }
+    if (!rescued) {
     result.stats.nba_fallback = true;
     auto nba = ltl::to_nba(f_not(spec), cache.alphabet, budget);
     if (!nba.complete()) {
@@ -586,6 +656,7 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
                  "NBA tableau (product acceptance stays Büchi-shaped)")
           .fix_hint = "rewriting the specification into hierarchy form gives a "
                       "deterministic, usually smaller product";
+    }
   }
   result.stats.compile_seconds = elapsed(t_compile);
   result.stats.automaton_states = neg.state_count;

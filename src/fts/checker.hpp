@@ -53,6 +53,17 @@ enum class CheckEngine : std::uint8_t { NestedDfs, Scc, SafetyPrefix, GuaranteeD
 
 std::string_view to_string(CheckEngine e);
 
+/// Where the classification that picked the engine came from:
+///   None       — class dispatch off (or force_scc): the general engines run
+///   Syntactic  — ltl::syntactic_classification on the spec as written
+///   Normalized — the spec was ΔΓ-normalized (src/ltl/normalize.hpp) and the
+///                classification/compilation used the hierarchy normal form;
+///                this is how specs *denoting* safety/guarantee but written
+///                otherwise still reach the shortcut engines
+enum class ClassSource : std::uint8_t { None, Syntactic, Normalized };
+
+std::string_view to_string(ClassSource s);
+
 /// Engine telemetry for one check, surfaced by `mph-lint --check` and the
 /// tab11 bench. In a `check_all` batch the exploration and labelling phases
 /// are shared; their timings are reported identically on every result that
@@ -65,6 +76,8 @@ struct CheckStats {
   bool on_the_fly = false;            ///< nested-DFS early-exit emptiness used
   bool nba_fallback = false;          ///< ¬spec outside the hierarchy fragment
   CheckEngine engine = CheckEngine::NestedDfs;  ///< machinery that decided the verdict
+  ClassSource class_source = ClassSource::None;  ///< provenance of the routing class
+  std::size_t normalize_steps = 0;  ///< rewrite steps spent by ΔΓ-normalization
   Outcome outcome = Outcome::Complete;  ///< how the check ended (docs/BUDGETS.md)
   double explore_seconds = 0.0;       ///< state-graph exploration
   double label_seconds = 0.0;         ///< atom labelling of the state graph
@@ -130,6 +143,12 @@ struct CheckOptions {
   /// off the ω-product path. Ignored when `force_scc` is set, and silently
   /// skipped for specs outside the dispatchable shapes.
   bool class_dispatch = false;
+  /// Rule-application cap for the ΔΓ-normalization attempted (under
+  /// class_dispatch) when the syntactic classification finds neither safety
+  /// nor guarantee: a completed normal form re-classifies the spec and
+  /// becomes the compilation source, routing it to the shortcut engines.
+  /// 0 disables normalization in the checker.
+  std::size_t normalize_steps = 512;
   analysis::DiagnosticEngine* diagnostics = nullptr;
 };
 

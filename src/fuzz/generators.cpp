@@ -103,6 +103,30 @@ ltl::Formula random_ltl(Rng& rng, const std::vector<std::string>& atoms,
   return random_ltl_rec(rng, atoms, max_nodes, flavor);
 }
 
+ltl::Formula random_ltl_nonnormal(Rng& rng, const std::vector<std::string>& atoms,
+                                  std::size_t max_nodes) {
+  MPH_REQUIRE(!atoms.empty() && max_nodes > 0,
+              "random_ltl_nonnormal needs atoms and a budget");
+  using namespace ltl;
+  const std::size_t inner = max_nodes > 4 ? max_nodes - 4 : 1;
+  auto sub = [&] {
+    return random_ltl_rec(rng, atoms, 1 + rng.below(inner), LtlFlavor::FutureOnly);
+  };
+  // Each template places a temporal operand where hierarchy normal form
+  // demands a past kernel, so the draw is non-normal unless the subformulas
+  // happen to be propositional.
+  switch (rng.below(8)) {
+    case 0: return f_eventually(f_and(sub(), sub()));
+    case 1: return f_always(f_or(sub(), sub()));
+    case 2: return f_always(f_eventually(sub()));
+    case 3: return f_eventually(f_always(sub()));
+    case 4: return f_next(f_next(sub()));
+    case 5: return f_until(sub(), sub());
+    case 6: return f_always(f_until(sub(), sub()));
+    default: return f_eventually(f_and(sub(), f_eventually(sub())));
+  }
+}
+
 FtsSpec random_fts(Rng& rng) {
   FtsSpec spec;
   const std::size_t n_vars = 2;

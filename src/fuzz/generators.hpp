@@ -34,6 +34,13 @@ enum class LtlFlavor {
 ltl::Formula random_ltl(Rng& rng, const std::vector<std::string>& atoms,
                         std::size_t max_nodes, LtlFlavor flavor = LtlFlavor::Any);
 
+/// Future-only formula biased toward shapes *outside* hierarchy normal form
+/// — temporal operators nested under ◇/□/U and X-shifted obligations, the
+/// inputs the ΔΓ-normalization oracles exist to stress. Plain random_ltl
+/// mostly draws formulas the syntactic classifier already places exactly.
+ltl::Formula random_ltl_nonnormal(Rng& rng, const std::vector<std::string>& atoms,
+                                  std::size_t max_nodes);
+
 /// Small guarded system: 2 variables over domains of ≤ 4 values, 2–4
 /// transitions with conjunctive guards, wrapped-add effects, and a mix of
 /// fairness requirements.

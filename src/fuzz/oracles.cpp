@@ -11,6 +11,8 @@
 #include "src/lang/random_lang.hpp"
 #include "src/ltl/eval.hpp"
 #include "src/ltl/hierarchy.hpp"
+#include "src/ltl/normalize.hpp"
+#include "src/ltl/semantic.hpp"
 #include "src/omega/counter_free.hpp"
 #include "src/omega/emptiness.hpp"
 #include "src/omega/operators.hpp"
@@ -204,6 +206,10 @@ FuzzCase gen_classify(Rng& rng) {
   c.automata.push_back(random_det_omega(
       rng, *c.alphabet, static_cast<std::size_t>(rng.between(2, 4)),
       static_cast<omega::Mark>(rng.between(1, 3))));
+  // A formula leg for the exact-classification cross-check: ΔΓ-normalization
+  // against the same §5.1 procedures on an independently compiled automaton.
+  static const std::vector<std::string> props{"p", "q"};
+  c.formulas.push_back(random_ltl_nonnormal(rng, props, 7).to_string());
   return c;
 }
 
@@ -270,6 +276,34 @@ CheckOutcome check_classify(const FuzzCase& c, const Budget& budget) {
       return CheckOutcome::fail(std::string(fc.name) + "_form " +
                                 (extracted ? "succeeded outside" : "failed inside") +
                                 " the class classify() reports");
+  }
+  // Exact classification via ΔΓ-normalization against the same §5.1
+  // procedures run on an automaton compiled through an independent route
+  // (the PR-1 rewriter, or the Büchi tableau's safety/guarantee tests).
+  if (!c.formulas.empty()) {
+    if (auto gate = budget_gate(budget)) return *gate;
+    const ltl::Formula f = ltl::parse_formula(c.formulas[0]);
+    ltl::NormalizeOptions nopt;
+    nopt.budget = budget;
+    std::optional<ltl::ExactClass> exact;
+    if (!f.atoms().empty()) exact = ltl::exact_classification(f, nopt);
+    if (exact) {
+      const lang::Alphabet sigma = ltl::alphabet_of(f);
+      try {
+        const auto ref = core::classify(ltl::compile(f, sigma));
+        if (ref.safety != exact->value.safety ||
+            ref.guarantee != exact->value.guarantee ||
+            ref.recurrence != exact->value.recurrence ||
+            ref.persistence != exact->value.persistence)
+          return CheckOutcome::fail("exact classification of '" + c.formulas[0] +
+                                    "' disagrees with the reference compiler");
+      } catch (const std::invalid_argument&) {
+        if (ltl::nba_is_safety(f, sigma) != exact->value.safety ||
+            ltl::nba_is_guarantee(f, sigma) != exact->value.guarantee)
+          return CheckOutcome::fail("exact classification of '" + c.formulas[0] +
+                                    "' disagrees with the tableau safety/guarantee tests");
+      }
+    }
   }
   return CheckOutcome::pass();
 }
@@ -512,6 +546,105 @@ CheckOutcome check_vacuity_antecedent(const FuzzCase& c, const Budget& budget) {
 }
 
 // ------------------------------------------------------------------------
+// normalize-agreement: ΔΓ-normalization is language-preserving. A completed
+// normal form must agree with the original formula three ways — the direct
+// lasso evaluator on sampled words, the compiled deterministic automaton,
+// and the model checker's verdict on a random fair transition system (raw
+// engines vs class dispatch with normalization, plus checking the normal
+// form itself through the raw engines).
+
+FuzzCase gen_normalize_agreement(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "normalize-agreement";
+  c.system = random_fts(rng);
+  std::vector<std::string> atoms;
+  for (const auto& v : c.system->vars) {
+    atoms.push_back(v.name + "hi");
+    atoms.push_back(v.name + "lo");
+  }
+  for (int tries = 0; tries < 20; ++tries) {
+    ltl::Formula f = random_ltl_nonnormal(rng, atoms, 8);
+    if (f.atoms().empty()) continue;
+    c.formulas.push_back(f.to_string());
+    break;
+  }
+  return c;
+}
+
+CheckOutcome check_normalize_agreement(const FuzzCase& c, const Budget& budget) {
+  if (!c.system || c.formulas.empty()) return CheckOutcome::skip("needs a system and a spec");
+  const ltl::Formula spec = ltl::parse_formula(c.formulas[0]);
+  ltl::NormalizeOptions nopt;
+  nopt.budget = budget;
+  const ltl::NormalizeResult nr = ltl::normalize(spec, nopt);
+  if (!is_complete(nr.outcome))
+    return CheckOutcome::exhausted("normalization budget exhausted (" +
+                                   std::string(to_string(nr.outcome)) + ")");
+  if (!nr.normal) return CheckOutcome::skip("outside the normalization envelope");
+  const ltl::Formula norm = nr.form;
+  // Leg 1: lasso evaluation. The sampling Rng is fixed so replays resample
+  // the same words (the dfa-product-laws idiom).
+  const lang::Alphabet sigma = lang::Alphabet::of_props(spec.atoms());
+  Rng words(0x5eed);
+  for (int i = 0; i < 16; ++i) {
+    const Lasso l = random_lasso(words, sigma, 3, 3);
+    if (ltl::evaluates(spec, l, sigma) != ltl::evaluates(norm, l, sigma))
+      return CheckOutcome::fail("normal form of '" + c.formulas[0] +
+                                "' disagrees with the lasso evaluator on " +
+                                l.to_string(sigma));
+  }
+  if (auto gate = budget_gate(budget)) return *gate;
+  // Leg 2: the compiled deterministic automaton of the normal form accepts
+  // exactly the lassos the original formula evaluates true on.
+  const auto m = ltl::compile_hierarchy_form(norm, sigma);
+  if (!m)
+    return CheckOutcome::fail("completed normal form of '" + c.formulas[0] +
+                              "' is not compilable as a hierarchy form");
+  for (int i = 0; i < 16; ++i) {
+    const Lasso l = random_lasso(words, sigma, 3, 3);
+    if (m->accepts(l) != ltl::evaluates(spec, l, sigma))
+      return CheckOutcome::fail("compiled normal form of '" + c.formulas[0] +
+                                "' disagrees with the lasso evaluator on " +
+                                l.to_string(sigma));
+  }
+  if (auto gate = budget_gate(budget)) return *gate;
+  // Leg 3: model-checking verdicts. Raw ω-engines on the original, class
+  // dispatch with normalization on the original, and raw engines on the
+  // normal form itself must all agree.
+  const fts::Fts sys = c.system->build();
+  const fts::AtomMap atoms = c.system->atoms();
+  fts::CheckOptions raw;
+  raw.max_states = 20000;
+  raw.budget = budget;
+  raw.class_dispatch = false;
+  raw.normalize_steps = 0;
+  fts::CheckOptions dispatched = raw;
+  dispatched.class_dispatch = true;
+  dispatched.normalize_steps = 512;
+  const auto r_raw = fts::check_all(sys, {spec}, atoms, raw)[0];
+  const auto r_disp = fts::check_all(sys, {spec}, atoms, dispatched)[0];
+  if (!is_complete(r_raw.outcome) || !is_complete(r_disp.outcome))
+    return CheckOutcome::exhausted(
+        "engine budget exhausted (" +
+        std::string(to_string(worst(r_raw.outcome, r_disp.outcome))) + ")");
+  if (r_raw.holds != r_disp.holds)
+    return CheckOutcome::fail("class dispatch with normalization changes the verdict of '" +
+                              c.formulas[0] + "'");
+  // The checker requires specs to mention an atom; a normal form that
+  // constant-folded below that loses this leg only.
+  if (!norm.atoms().empty()) {
+    const auto r_norm = fts::check_all(sys, {norm}, atoms, raw)[0];
+    if (!is_complete(r_norm.outcome))
+      return CheckOutcome::exhausted("engine budget exhausted (" +
+                                     std::string(to_string(r_norm.outcome)) + ")");
+    if (r_raw.holds != r_norm.holds)
+      return CheckOutcome::fail("the normal form of '" + c.formulas[0] +
+                                "' model-checks differently from the original");
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
 // lasso-roundtrip: print → parse is the identity on well-formed lassos, and
 // parse_lasso rejects the malformed variants (trailing garbage, second
 // group, empty loop, missing parens) with std::invalid_argument.
@@ -584,6 +717,9 @@ const std::vector<Oracle>& oracle_registry() {
       {"vacuity-antecedent",
        "MPH-Y002 antecedent labeling vs safety-prefix and ω-product checks of G ¬p",
        gen_vacuity_antecedent, check_vacuity_antecedent},
+      {"normalize-agreement",
+       "ΔΓ-normalization vs lasso evaluation, compiled automata, and checker verdicts",
+       gen_normalize_agreement, check_normalize_agreement},
       {"lasso-roundtrip",
        "lasso printing/parsing round-trip and rejection of malformed inputs",
        gen_lasso_roundtrip, check_lasso_roundtrip},

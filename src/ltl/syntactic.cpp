@@ -1,5 +1,7 @@
 #include "src/ltl/syntactic.hpp"
 
+#include "src/ltl/normalize.hpp"
+
 namespace mph::ltl {
 namespace {
 
@@ -96,7 +98,12 @@ Flags infer(const Formula& f) {
       Flags out;
       out.safety = a.safety && b.safety;
       out.recurrence = a.recurrence && b.recurrence;
-      return out.normalized();
+      // Dual route through the weak-until expansion, unfolded one level so
+      // recursion terminates: φRψ = Gψ ∨ ψU(φ∧ψ), a union (class = meet).
+      Flags union_route =
+          infer(f_always(f.child(1)))
+              .meet(infer(f_until(f.child(1), f_and(f.child(0), f.child(1)))));
+      return out.join(union_route).normalized();
     }
     case Op::WeakUntil: {
       // Two sound derivations, joined: φWψ = Gφ ∨ φUψ (class of a union is
@@ -106,7 +113,13 @@ Flags infer(const Formula& f) {
       Flags u = infer(f_until(f.child(0), f.child(1)));
       Flags union_route = g.meet(u);
       Flags release_route = infer(f_release(f.child(1), f_or(f.child(0), f.child(1))));
-      return union_route.join(release_route).normalized();
+      // Dual route through the strong-until expansion of the negation:
+      // φWψ = ¬(¬ψ U (¬φ ∧ ¬ψ)), so the dual of that U's class is sound.
+      Flags until_dual_route =
+          infer(f_until(f_not(f.child(1)),
+                        f_and(f_not(f.child(0)), f_not(f.child(1)))))
+              .dual();
+      return union_route.join(release_route).join(until_dual_route).normalized();
     }
     default:
       // Past operators over future subformulas: no syntactic claim.
@@ -117,7 +130,10 @@ Flags infer(const Formula& f) {
 }  // namespace
 
 core::Classification syntactic_classification(const Formula& f) {
-  Flags flags = infer(f).normalized();
+  // NNF pre-pass: negations pushed to the kernels often expose G/F/U shapes
+  // the direct rules recognize (¬(φWψ) becomes a U, ↔ distributes, ...).
+  // Both derivations are sound, so their join is too.
+  Flags flags = infer(f).join(infer(nnf(f))).normalized();
   core::Classification c;
   c.safety = flags.safety;
   c.guarantee = flags.guarantee;

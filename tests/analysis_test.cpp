@@ -12,6 +12,7 @@
 #include "src/fts/checker.hpp"
 #include "src/fts/programs.hpp"
 #include "src/ltl/ast.hpp"
+#include "src/ltl/syntactic.hpp"
 
 namespace mph {
 namespace {
@@ -551,6 +552,50 @@ TEST(PaperCheckDiagnostics, P001MultiPairUnsoundness) {
   DiagnosticEngine e2;
   core::paper::literal_guarantee_check(m, two_pairs, &e2);
   EXPECT_TRUE(e2.has_code("MPH-P001"));
+}
+
+// -------------------------------------------------------- normalize-lint --
+
+TEST(NormalizeLint, N001ExactClassWithWitness) {
+  std::vector<ltl::Formula> spec{ltl::parse_formula("G(p -> F q)")};
+  DiagnosticEngine e;
+  auto r = analysis::lint_normalize(spec, e);
+  EXPECT_TRUE(e.has_code("MPH-N001")) << e.to_text();
+  ASSERT_EQ(r.exact_count, 1u);
+  ASSERT_TRUE(r.items[0].exact.has_value());
+  EXPECT_TRUE(r.items[0].exact->recurrence);
+  EXPECT_TRUE(r.items[0].normal_form.has_value());
+}
+
+TEST(NormalizeLint, N002CoarserSyntacticClassSuggestsRewrite) {
+  // F(p ∧ Fq) is exactly guarantee, but no syntactic rule shows it.
+  std::vector<ltl::Formula> spec{ltl::parse_formula("F(p & F q)")};
+  DiagnosticEngine e;
+  auto r = analysis::lint_normalize(spec, e);
+  ASSERT_EQ(r.exact_count, 1u);
+  EXPECT_TRUE(r.items[0].exact->guarantee);
+  if (!ltl::syntactic_classification(spec[0]).guarantee) {
+    EXPECT_TRUE(e.has_code("MPH-N002")) << e.to_text();
+  }
+}
+
+TEST(NormalizeLint, N003BudgetStopNeverMisreports) {
+  std::vector<ltl::Formula> spec{ltl::parse_formula("F(p & (q U p)) & G F(p R q)")};
+  DiagnosticEngine e;
+  analysis::NormalizeLintOptions opt;
+  opt.normalize.budget = Budget().with_state_cap(3);
+  auto r = analysis::lint_normalize(spec, e, opt);
+  EXPECT_TRUE(e.has_code("MPH-N003")) << e.to_text();
+  EXPECT_FALSE(e.has_code("MPH-N001"));
+  EXPECT_EQ(r.budget_count, 1u);
+  EXPECT_FALSE(r.items[0].exact.has_value());
+}
+
+TEST(NormalizeLint, RegistryRunsNormalizePassOnSpecSubjects) {
+  std::vector<ltl::Formula> spec{ltl::parse_formula("F(p & F q)")};
+  DiagnosticEngine e;
+  analysis::run_passes(analysis::Subject::of(spec, "spec"), e);
+  EXPECT_TRUE(e.has_code("MPH-N001")) << e.to_text();
 }
 
 }  // namespace

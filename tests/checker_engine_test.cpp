@@ -61,6 +61,36 @@ TEST(EngineSelection, BuchiShapedGoesOnTheFly) {
   EXPECT_TRUE(response.holds);
 }
 
+TEST(EngineSelection, NormalizationRoutesNonSyntacticShapesToShortcuts) {
+  Program prog = programs::peterson();
+  CheckOptions opt;
+  opt.class_dispatch = true;
+  // ◇(t1 ∧ ◇c1) denotes a guarantee but is not written as one: the syntactic
+  // classifier alone cannot route it, the ΔΓ-normalizer can.
+  auto spec = parse_formula("F(t1 & F c1)");
+  auto r = check(prog.system, spec, prog.atoms, opt);
+  EXPECT_EQ(r.stats.class_source, ClassSource::Normalized);
+  EXPECT_EQ(r.stats.engine, CheckEngine::GuaranteeDual);
+  EXPECT_GT(r.stats.normalize_steps, 0u);
+  // The verdict agrees with the general engine.
+  CheckOptions full;
+  full.class_dispatch = false;
+  EXPECT_EQ(r.holds, check(prog.system, spec, prog.atoms, full).holds);
+
+  // Syntactically-visible shapes keep the Syntactic source (no normalize).
+  auto direct = check(prog.system, parse_formula("G !(c1 & c2)"), prog.atoms, opt);
+  EXPECT_EQ(direct.stats.class_source, ClassSource::Syntactic);
+  EXPECT_EQ(direct.stats.engine, CheckEngine::SafetyPrefix);
+
+  // normalize_steps = 0 turns the rescue off.
+  CheckOptions off = opt;
+  off.normalize_steps = 0;
+  auto unrouted = check(prog.system, spec, prog.atoms, off);
+  EXPECT_EQ(unrouted.stats.class_source, ClassSource::Syntactic);
+  EXPECT_NE(unrouted.stats.engine, CheckEngine::GuaranteeDual);
+  EXPECT_EQ(r.holds, unrouted.holds);
+}
+
 TEST(EarlyExit, ViolationStopsStrictlyBelowTheProductBound) {
   // Seeded violation: the naive dining protocol deadlocks. The nested DFS
   // must report it without interning the whole state-graph × automaton

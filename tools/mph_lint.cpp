@@ -21,6 +21,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/automaton_lint.hpp"
@@ -75,6 +76,18 @@ int usage(std::ostream& out, int code) {
          "  --strict-unknown\n"
          "                  exit 1 when any verdict is unknown (budget exhausted:\n"
          "                  MPH-V004, MPH-Y005) even without error diagnostics\n"
+         "  --classify      exact hierarchy classification via ΔΓ-normalization\n"
+         "                  (MPH-N001/N002/N003) of the requirements from --check,\n"
+         "                  --spec and positional formulas; prints a summary table\n"
+         "  --normalize     --classify plus each requirement's hierarchy normal form\n"
+         "  --normalize-steps N\n"
+         "                  rewrite-step budget for ΔΓ-normalization (default\n"
+         "                  unlimited); an exhausted run reports MPH-N003 and an\n"
+         "                  unknown exact class\n"
+         "  --strict-class CLASS\n"
+         "                  exit 1 unless every requirement is established in CLASS\n"
+         "                  (safety, guarantee, obligation, recurrence, persistence,\n"
+         "                  reactivity); refusals and budget stops fail the gate\n"
          "  --automata      additionally lint each requirement's compiled automaton\n"
          "  --json          machine-readable output\n"
          "  --no-checklist  suppress MPH-S007 hierarchy-checklist notes\n"
@@ -100,6 +113,21 @@ std::vector<std::string> read_spec_file(const std::string& path) {
     lines.push_back(line.substr(first, last - first + 1));
   }
   return lines;
+}
+
+std::optional<core::PropertyClass> parse_class(const std::string& name) {
+  using core::PropertyClass;
+  static constexpr std::pair<const char*, PropertyClass> kClasses[] = {
+      {"safety", PropertyClass::Safety},
+      {"guarantee", PropertyClass::Guarantee},
+      {"obligation", PropertyClass::Obligation},
+      {"recurrence", PropertyClass::Recurrence},
+      {"persistence", PropertyClass::Persistence},
+      {"reactivity", PropertyClass::Reactivity},
+  };
+  for (const auto& [n, c] : kClasses)
+    if (name == n) return c;
+  return std::nullopt;
 }
 
 void print_classification_table(const analysis::SpecLintResult& result) {
@@ -128,6 +156,9 @@ int main(int argc, char** argv) {
   bool all_models = false, json = false, quiet = false, werror = false;
   bool lint_automata = false;
   bool vacuity = false, coverage = false, strict_unknown = false;
+  bool classify_props = false;    // --classify: exact classes via normalization
+  bool print_normal = false;      // --normalize: also print the normal forms
+  std::optional<core::PropertyClass> strict_class;  // --strict-class gate
   bool dispatch_check = false;    // --dispatch: class-aware engines for --check
   bool dispatch_mutants = true;   // --no-dispatch: full ω-product for mutants
   analysis::AnalysisOptions options;
@@ -166,6 +197,22 @@ int main(int argc, char** argv) {
       dispatch_check = true;
     } else if (arg == "--strict-unknown") {
       strict_unknown = true;
+    } else if (arg == "--classify") {
+      classify_props = true;
+    } else if (arg == "--normalize") {
+      print_normal = true;
+    } else if (arg == "--normalize-steps") {
+      options.normalize.normalize.budget =
+          Budget().with_state_cap(std::stoull(next("--normalize-steps")));
+    } else if (arg == "--strict-class") {
+      std::string cname = next("--strict-class");
+      strict_class = parse_class(cname);
+      if (!strict_class) {
+        std::cerr << "mph-lint: unknown class '" << cname
+                  << "' (safety, guarantee, obligation, recurrence, persistence, "
+                     "reactivity)\n";
+        return 2;
+      }
     } else if (arg == "--automata") {
       lint_automata = true;
     } else if (arg == "--json") {
@@ -217,9 +264,16 @@ int main(int argc, char** argv) {
                  "(--check, --spec or positional formulas)\n";
     return 2;
   }
+  const bool classify_run = classify_props || print_normal || strict_class.has_value();
+  if (classify_run && check_formulas.empty() && spec_files.empty() && formulas.empty()) {
+    std::cerr << "mph-lint: --classify/--normalize/--strict-class need requirements "
+                 "(--check, --spec or positional formulas)\n";
+    return 2;
+  }
 
   analysis::DiagnosticEngine engine;
   bool unknown_seen = false;   // any verdict the budget left undecided
+  std::size_t strict_class_failures = 0;  // requirements the --strict-class gate rejects
   std::string extra_json;      // "vacuity"/"coverage" objects spliced into --json
   try {
     // Models first, then spec files, then command-line formulas (one shared
@@ -448,6 +502,81 @@ int main(int argc, char** argv) {
     };
     for (const auto& path : spec_files) lint_formula_list(read_spec_file(path), path);
     if (!formulas.empty()) lint_formula_list(formulas, "");
+
+    if (classify_run) {
+      // Requirements for the exact-classification pass: --check formulas,
+      // spec file lines, then positional formulas, deduplicated by text
+      // (same collection order as --vacuity/--coverage).
+      std::vector<std::string> req_texts;
+      std::set<std::string> seen_reqs;
+      auto add_req = [&](const std::string& text) {
+        if (seen_reqs.insert(text).second) req_texts.push_back(text);
+      };
+      for (const auto& text : check_formulas) add_req(text);
+      for (const auto& path : spec_files)
+        for (const auto& line : read_spec_file(path)) add_req(line);
+      for (const auto& text : formulas) add_req(text);
+      std::vector<ltl::Formula> reqs;
+      for (const auto& text : req_texts) reqs.push_back(ltl::parse_formula(text));
+
+      const auto nr = analysis::lint_normalize(reqs, engine, options.normalize);
+      if (!json && !quiet) {
+        TextTable t({"requirement", "syntactic", "exact", "outcome", "steps"});
+        for (const auto& item : nr.items)
+          t.add_row({item.text, core::to_string(item.syntactic.lowest()),
+                     item.exact ? core::to_string(item.exact->lowest())
+                     : is_complete(item.outcome) ? "(refused)"
+                                                 : "unknown",
+                     std::string(to_string(item.outcome)), std::to_string(item.steps)});
+        std::cout << "== exact classification (ΔΓ-normalization) ==\n"
+                  << t.to_string() << "exact " << nr.exact_count << ", refused "
+                  << nr.refused_count << ", budget-stopped " << nr.budget_count << "\n\n";
+        if (print_normal) {
+          for (const auto& item : nr.items)
+            if (item.normal_form)
+              std::cout << "normal form of '" << item.text << "':\n  " << *item.normal_form
+                        << "\n";
+          std::cout << "\n";
+        }
+      }
+      std::ostringstream nj;
+      using analysis::json_escape;
+      nj << ", \"classify\": {\"requirements\": [";
+      for (std::size_t i = 0; i < nr.items.size(); ++i) {
+        const auto& item = nr.items[i];
+        if (i) nj << ", ";
+        nj << "{\"text\": \"" << json_escape(item.text) << "\", \"syntactic\": \""
+           << core::to_string(item.syntactic.lowest()) << "\", \"exact\": ";
+        if (item.exact)
+          nj << "\"" << core::to_string(item.exact->lowest()) << "\"";
+        else
+          nj << "null";
+        nj << ", \"outcome\": \"" << to_string(item.outcome)
+           << "\", \"steps\": " << item.steps;
+        if (print_normal && item.normal_form)
+          nj << ", \"normal_form\": \"" << json_escape(*item.normal_form) << "\"";
+        nj << "}";
+      }
+      nj << "], \"exact\": " << nr.exact_count << ", \"refused\": " << nr.refused_count
+         << ", \"budget\": " << nr.budget_count << "}";
+      extra_json += nj.str();
+
+      if (strict_class) {
+        // The gate is sound: membership must be *established* (exact class
+        // when normalization landed, otherwise the syntactic claims, which
+        // under-approximate). Refusals and budget stops therefore fail.
+        for (const auto& item : nr.items) {
+          if (item.best().is(*strict_class)) continue;
+          ++strict_class_failures;
+          if (!json)
+            std::cerr << "mph-lint: '" << item.text << "' not established in class "
+                      << core::to_string(*strict_class) << " ("
+                      << (item.exact ? "exact: " + core::to_string(item.exact->lowest())
+                                     : "class unknown")
+                      << ")\n";
+        }
+      }
+    }
   } catch (const std::invalid_argument& e) {
     std::cerr << "mph-lint: " << e.what() << "\n";
     return 2;
@@ -472,5 +601,6 @@ int main(int argc, char** argv) {
   if (engine.has_errors()) return 1;
   if (werror && engine.count(analysis::Severity::Warning) > 0) return 1;
   if (strict_unknown && unknown_seen) return 1;
+  if (strict_class_failures > 0) return 1;
   return 0;
 }
