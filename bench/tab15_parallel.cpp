@@ -1,0 +1,220 @@
+// Experiment T15 — multicore emptiness (docs/PARALLEL.md):
+//   1. scaling: the dining-N safety spec checked via CNDFS (dispatch off,
+//      nested-DFS route) and via the parallel safety-prefix scan (dispatch
+//      on), plus Chang–Roberts 'F elected' through the guarantee dual, each
+//      at explore_threads ∈ {1, 2, 4};
+//   2. agreement: every row's verdict and product size must be identical
+//      across thread counts (checked in-process, not just in the JSON);
+//   3. the per-config speedups land in a "scaling" summary so the validator
+//      can gate the 4-thread speedup on machines that actually have cores.
+// Results land in BENCH_parallel.json (schema + speedup gate in
+// scripts/validate_bench_parallel.py; `ctest -L bench-smoke`).
+//
+//   tab15_parallel [--quick] [--out FILE] [google-benchmark flags]
+//
+// --quick shrinks the models and skips the google-benchmark section, for
+// the ctest smoke run.
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "src/analysis/diagnostics.hpp"
+#include "src/fts/checker.hpp"
+#include "src/fts/programs.hpp"
+
+namespace {
+
+using namespace mph;
+using fts::programs::Program;
+
+double seconds_of(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
+template <class F>
+double best_seconds(int repeats, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    f();
+    best = std::min(best, seconds_of(t0));
+  }
+  return best;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+struct Config {
+  std::string model;
+  Program prog;
+  std::string spec_text;
+  bool class_dispatch = false;
+};
+
+struct Row {
+  std::string model, spec, engine;
+  bool class_dispatch = false;
+  unsigned threads = 0, threads_used = 0;
+  bool holds = false;
+  std::size_t product_states = 0;
+  double seconds = 0;
+};
+
+struct Scaling {
+  std::string model, spec;
+  bool class_dispatch = false;
+  std::size_t product_states = 0;
+  unsigned threads_max = 0;
+  double baseline_seconds = 0, parallel_seconds = 0, speedup = 0;
+};
+
+/// Checks one (model, spec, dispatch) config at every thread count, timing
+/// each and asserting thread-count independence of the verdict.
+void run_config(const Config& cfg, const std::vector<unsigned>& thread_counts, int repeats,
+                std::vector<Row>& rows, std::vector<Scaling>& scaling) {
+  const ltl::Formula spec = ltl::parse_formula(cfg.spec_text);
+  std::vector<fts::CheckResult> results;
+  std::vector<double> times;
+  for (unsigned threads : thread_counts) {
+    fts::CheckOptions opts;
+    opts.class_dispatch = cfg.class_dispatch;
+    opts.explore_threads = threads;
+    fts::CheckResult r = fts::check(cfg.prog.system, spec, cfg.prog.atoms, opts);
+    BENCH_CHECK(is_complete(r.outcome), ("check completes on " + cfg.model).c_str());
+    times.push_back(best_seconds(repeats, [&] {
+      benchmark::DoNotOptimize(fts::check(cfg.prog.system, spec, cfg.prog.atoms, opts));
+    }));
+    results.push_back(std::move(r));
+  }
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const fts::CheckResult& r = results[i];
+    // The agreement contract: identical verdict at every thread count, and —
+    // these specs all hold, forcing the full product closure — an identical
+    // product size too.
+    BENCH_CHECK(r.holds == results[0].holds,
+                ("verdict agrees across thread counts on " + cfg.model).c_str());
+    BENCH_CHECK(r.stats.product_states == results[0].stats.product_states,
+                ("product size agrees across thread counts on " + cfg.model).c_str());
+    rows.push_back({cfg.model, cfg.spec_text, std::string(to_string(r.stats.engine)),
+                    cfg.class_dispatch, thread_counts[i], r.stats.threads_used, r.holds,
+                    r.stats.product_states, times[i]});
+  }
+  Scaling s;
+  s.model = cfg.model;
+  s.spec = cfg.spec_text;
+  s.class_dispatch = cfg.class_dispatch;
+  s.product_states = results.back().stats.product_states;
+  s.threads_max = thread_counts.back();
+  s.baseline_seconds = times.front();
+  s.parallel_seconds = times.back();
+  s.speedup = s.baseline_seconds / std::max(s.parallel_seconds, 1e-12);
+  scaling.push_back(std::move(s));
+}
+
+void write_json(const std::string& path, bool quick, int repeats,
+                const std::vector<Row>& rows, const std::vector<Scaling>& scaling) {
+  std::ofstream out(path);
+  BENCH_CHECK(bool(out), ("cannot open " + path).c_str());
+  out << "{\n  \"experiment\": \"tab15_parallel\",\n  \"quick\": " << json_bool(quick)
+      << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"repeats\": " << repeats << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"model\": \"" << analysis::json_escape(r.model) << "\", \"spec\": \""
+        << analysis::json_escape(r.spec) << "\", \"class_dispatch\": "
+        << json_bool(r.class_dispatch) << ", \"engine\": \""
+        << analysis::json_escape(r.engine) << "\", \"threads\": " << r.threads
+        << ", \"threads_used\": " << r.threads_used << ", \"holds\": " << json_bool(r.holds)
+        << ", \"product_states\": " << r.product_states << ", \"seconds\": " << r.seconds
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const Scaling& s = scaling[i];
+    out << "    {\"model\": \"" << analysis::json_escape(s.model) << "\", \"spec\": \""
+        << analysis::json_escape(s.spec) << "\", \"class_dispatch\": "
+        << json_bool(s.class_dispatch) << ", \"product_states\": " << s.product_states
+        << ", \"threads_max\": " << s.threads_max
+        << ", \"baseline_seconds\": " << s.baseline_seconds
+        << ", \"parallel_seconds\": " << s.parallel_seconds
+        << ", \"speedup\": " << s.speedup << "}" << (i + 1 < scaling.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// Micro-benchmarks for the full runs: one emptiness check per iteration at
+// the thread count given by the range argument.
+void bench_cndfs_dining(benchmark::State& state) {
+  Program prog = fts::programs::dining(8);
+  auto spec = ltl::parse_formula("G !(eat1 & eat2)");
+  fts::CheckOptions opts;
+  opts.explore_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fts::check(prog.system, spec, prog.atoms, opts));
+  state.SetLabel("dining-8, explore_threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_cndfs_dining)->DenseRange(1, 4);
+
+void bench_scan_dining(benchmark::State& state) {
+  Program prog = fts::programs::dining(8);
+  auto spec = ltl::parse_formula("G !(eat1 & eat2)");
+  fts::CheckOptions opts;
+  opts.class_dispatch = true;
+  opts.explore_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(fts::check(prog.system, spec, prog.atoms, opts));
+  state.SetLabel("dining-8 scan, explore_threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_scan_dining)->DenseRange(1, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_parallel.json";
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  const int repeats = quick ? 1 : 3;
+  const std::vector<unsigned> thread_counts =
+      quick ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4};
+  std::vector<Config> configs;
+  for (std::size_t n : quick ? std::vector<std::size_t>{4, 6}
+                             : std::vector<std::size_t>{8, 10, 11}) {
+    const std::string name = "dining-" + std::to_string(n);
+    configs.push_back({name, fts::programs::dining(n), "G !(eat1 & eat2)", false});
+    configs.push_back({name, fts::programs::dining(n), "G !(eat1 & eat2)", true});
+  }
+  configs.push_back({quick ? "ring-6" : "ring-10",
+                     fts::programs::ring_leader(quick ? 6 : 10), "F elected", true});
+
+  std::vector<Row> rows;
+  std::vector<Scaling> scaling;
+  for (const Config& cfg : configs) run_config(cfg, thread_counts, repeats, rows, scaling);
+  write_json(out_path, quick, repeats, rows, scaling);
+
+  double best = 0;
+  for (const Scaling& s : scaling) best = std::max(best, s.speedup);
+  std::printf("T15: %zu configs × %zu thread counts agree; best speedup %.2fx at %u threads "
+              "(%u hardware) -> %s\n",
+              configs.size(), thread_counts.size(), best, thread_counts.back(),
+              std::thread::hardware_concurrency(), out_path.c_str());
+
+  if (quick) return 0;
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

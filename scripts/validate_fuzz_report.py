@@ -30,6 +30,7 @@ KNOWN_ORACLES = {
     "classify-vs-forms",
     "ltl-eval-vs-automaton",
     "fts-engines",
+    "fts-engines-parallel",
     "vacuity-antecedent",
     "normalize-agreement",
     "lasso-roundtrip",

@@ -70,7 +70,17 @@ void lint_fts(const fts::Fts& sys, std::string_view subject, DiagnosticEngine& o
 
   fts::StateGraph sg;
   try {
-    sg = fts::explore(sys, options.max_states);
+    fts::ExploreResult ex =
+        fts::explore(sys, Budget().with_state_cap(options.max_states));
+    if (!is_complete(ex.outcome)) {
+      auto& d = out.emit("MPH-F007", subject,
+                         "state-graph exploration failed; semantic lint is incomplete");
+      d.witness = "budget exhausted (" + std::string(to_string(ex.outcome)) + ") after " +
+                  std::to_string(ex.graph.nodes.size()) + " state(s)";
+      d.fix_hint = "raise the exploration limit or shrink variable domains";
+      return;
+    }
+    sg = std::move(ex.graph);
   } catch (const std::invalid_argument& e) {
     auto& d = out.emit("MPH-F007", subject,
                        "state-graph exploration failed; semantic lint is incomplete");

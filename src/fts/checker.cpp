@@ -10,6 +10,8 @@
 #include <sstream>
 #include <thread>
 
+#include "src/fts/checker_detail.hpp"
+#include "src/fts/parallel.hpp"
 #include "src/ltl/hierarchy.hpp"
 #include "src/ltl/normalize.hpp"
 #include "src/ltl/syntactic.hpp"
@@ -69,15 +71,12 @@ double elapsed(Clock::time_point since) {
   return std::chrono::duration<double>(Clock::now() - since).count();
 }
 
-/// A uniform view over the two automaton back-ends for ¬spec: the
-/// deterministic hierarchy-fragment compiler and the NBA tableau.
-struct NegSpecView {
-  std::vector<omega::State> initial;
-  std::function<std::vector<omega::State>(omega::State, lang::Symbol)> step;
-  std::function<MarkSet(omega::State)> marks;
-  Acceptance acceptance = Acceptance::t();
-  std::size_t state_count = 0;
-};
+// The NegSpecView / product-key helpers live in checker_detail.hpp so the
+// multicore engines (parallel.cpp) share them.
+using detail::NegSpecView;
+using detail::aut_of;
+using detail::node_of;
+using detail::pack;
 
 NegSpecView deterministic_view(std::shared_ptr<omega::DetOmega> m) {
   NegSpecView v;
@@ -194,14 +193,6 @@ bool collect_inf_conjuncts(const Acceptance& acc, std::vector<Mark>& out) {
     default:
       return false;
   }
-}
-
-constexpr std::uint64_t pack(std::size_t n, omega::State q) {
-  return (static_cast<std::uint64_t>(n) << 32) | q;
-}
-constexpr std::size_t node_of(std::uint64_t key) { return key >> 32; }
-constexpr omega::State aut_of(std::uint64_t key) {
-  return static_cast<omega::State>(key & 0xffffffffu);
 }
 
 /// On-the-fly emptiness for generalized-Büchi product acceptance: the
@@ -498,53 +489,78 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
       result.stats.engine = CheckEngine::SafetyPrefix;
       auto t_search = Clock::now();
       const std::vector<bool> live = omega::live_states(*m);
-      FlatInterner<std::uint64_t, IntHash> pids;
-      std::vector<std::int64_t> parent;  // per pid: BFS predecessor, -1 at the root
-      std::deque<std::uint32_t> queue;
-      auto intern = [&](std::size_t n, omega::State q, std::int64_t par) {
-        auto [idx, inserted] = pids.intern(pack(n, q));
-        if (inserted) {
-          budget.require(pids.size() - 1);
-          parent.push_back(par);
-          queue.push_back(static_cast<std::uint32_t>(idx));
+      // Node path root..bad of a run driving det(spec) dead; shared by the
+      // sequential BFS and the multicore scan so the verdict tail is one.
+      std::optional<std::vector<std::size_t>> bad_path;
+      if (options.explore_threads > 1) {
+        result.stats.threads_used = options.explore_threads;
+        detail::ParallelScanResult scan = detail::parallel_safety_scan(
+            sg, cache.labels, *m, live, budget, options.explore_threads);
+        result.stats.worker_states = std::move(scan.worker_states);
+        result.stats.worker_steals = std::move(scan.worker_steals);
+        result.product_states = result.stats.product_states = scan.product_states;
+        result.stats.search_seconds = elapsed(t_search);
+        if (!is_complete(scan.outcome)) {
+          give_up(scan.outcome, "the closed-prefix reachability scan");
+          return result;
         }
-      };
-      std::optional<std::uint32_t> bad;
-      try {
-        intern(0, m->initial(), -1);
-        while (!queue.empty()) {
-          const std::uint32_t p = queue.front();
-          queue.pop_front();
-          const std::uint64_t key = pids[p];
-          const std::size_t n = node_of(key);
-          const omega::State q = aut_of(key);
-          if (!live[q]) {
-            bad = p;  // dead states are closed under successors; stop here
-            break;
+        bad_path = std::move(scan.bad_path);
+      } else {
+        FlatInterner<std::uint64_t, IntHash> pids;
+        std::vector<std::int64_t> parent;  // per pid: BFS predecessor, -1 at the root
+        std::deque<std::uint32_t> queue;
+        auto intern = [&](std::size_t n, omega::State q, std::int64_t par) {
+          auto [idx, inserted] = pids.intern(pack(n, q));
+          if (inserted) {
+            budget.require(pids.size() - 1);
+            parent.push_back(par);
+            queue.push_back(static_cast<std::uint32_t>(idx));
           }
-          const omega::State q2 = m->next(q, cache.labels[n]);
-          for (auto [target, t] : sg.edges[n]) {
-            (void)t;
-            intern(target, q2, static_cast<std::int64_t>(p));
+        };
+        std::optional<std::uint32_t> bad;
+        try {
+          intern(0, m->initial(), -1);
+          while (!queue.empty()) {
+            const std::uint32_t p = queue.front();
+            queue.pop_front();
+            const std::uint64_t key = pids[p];
+            const std::size_t n = node_of(key);
+            const omega::State q = aut_of(key);
+            if (!live[q]) {
+              bad = p;  // dead states are closed under successors; stop here
+              break;
+            }
+            const omega::State q2 = m->next(q, cache.labels[n]);
+            for (auto [target, t] : sg.edges[n]) {
+              (void)t;
+              intern(target, q2, static_cast<std::int64_t>(p));
+            }
           }
+        } catch (const BudgetExhausted& e) {
+          result.product_states = result.stats.product_states = pids.size();
+          result.stats.search_seconds = elapsed(t_search);
+          give_up(e.outcome(), "the closed-prefix reachability scan");
+          return result;
         }
-      } catch (const BudgetExhausted& e) {
         result.product_states = result.stats.product_states = pids.size();
         result.stats.search_seconds = elapsed(t_search);
-        give_up(e.outcome(), "the closed-prefix reachability scan");
-        return result;
+        if (bad) {
+          std::vector<std::size_t> path_nodes;
+          for (std::int64_t p = static_cast<std::int64_t>(*bad); p >= 0; p = parent[p])
+            path_nodes.push_back(node_of(pids[static_cast<std::size_t>(p)]));
+          std::reverse(path_nodes.begin(), path_nodes.end());
+          bad_path = std::move(path_nodes);
+        }
       }
-      result.product_states = result.stats.product_states = pids.size();
-      result.stats.search_seconds = elapsed(t_search);
       if (diagnostics)
         diagnostics->emit(
             "MPH-V002", subject,
             "product of " + std::to_string(sg.nodes.size()) + " system states × " +
                 std::to_string(m->state_count()) + "-state det(spec) automaton scanned " +
-                std::to_string(pids.size()) + " of at most " +
+                std::to_string(result.stats.product_states) + " of at most " +
                 std::to_string(result.stats.product_bound) +
                 " states (closed-prefix reachability; no ω-product)");
-      if (!bad) {
+      if (!bad_path) {
         result.holds = true;
         return result;
       }
@@ -553,10 +569,7 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
       // computation (every node has a successor; deadlocks stutter). Any
       // extension of a bad prefix violates a closed property, and by machine
       // closure some *fair* computation shares this prefix.
-      std::vector<std::size_t> path_nodes;
-      for (std::int64_t p = static_cast<std::int64_t>(*bad); p >= 0; p = parent[p])
-        path_nodes.push_back(node_of(pids[static_cast<std::size_t>(p)]));
-      std::reverse(path_nodes.begin(), path_nodes.end());
+      const std::vector<std::size_t>& path_nodes = *bad_path;
       Counterexample cex;
       for (std::size_t n : path_nodes) cex.prefix.push_back(sg.nodes[n].valuation);
       std::vector<std::int64_t> seen_at(sg.nodes.size(), -1);
@@ -687,21 +700,41 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
     req.erase(std::unique(req.begin(), req.end()), req.end());
     result.stats.on_the_fly = true;
     result.stats.engine = dual ? CheckEngine::GuaranteeDual : CheckEngine::NestedDfs;
-    OnTheFlyEngine engine(sg, cache.labels, fair_marks, fair.mark_count, neg, std::move(req),
-                          budget);
-    std::optional<std::pair<std::vector<OnTheFlyEngine::Cell>, std::vector<OnTheFlyEngine::Cell>>>
-        lasso;
-    try {
-      lasso = engine.run();
-    } catch (const BudgetExhausted& e) {
+    // Lasso as state-graph node paths, shared by the sequential nested DFS
+    // and multicore CNDFS so the verdict tail is one.
+    std::optional<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>> lasso;
+    if (options.explore_threads > 1) {
+      result.stats.threads_used = options.explore_threads;
+      detail::CndfsResult r = detail::cndfs(sg, cache.labels, fair_marks, fair.mark_count,
+                                            neg, req, budget, options.explore_threads);
+      result.stats.worker_states = std::move(r.worker_states);
+      result.product_states = result.stats.product_states = r.product_states;
+      result.stats.search_seconds = elapsed(t_search);
+      if (!is_complete(r.outcome)) {
+        emit_product_note();
+        give_up(r.outcome, "the nested-DFS product search");
+        return result;
+      }
+      lasso = std::move(r.lasso);
+    } else {
+      OnTheFlyEngine engine(sg, cache.labels, fair_marks, fair.mark_count, neg,
+                            std::move(req), budget);
+      try {
+        if (auto cells = engine.run()) {
+          lasso.emplace();
+          for (auto cell : cells->first) lasso->first.push_back(engine.node_of_cell(cell));
+          for (auto cell : cells->second) lasso->second.push_back(engine.node_of_cell(cell));
+        }
+      } catch (const BudgetExhausted& e) {
+        result.product_states = result.stats.product_states = engine.product_states();
+        result.stats.search_seconds = elapsed(t_search);
+        emit_product_note();
+        give_up(e.outcome(), "the nested-DFS product search");
+        return result;
+      }
       result.product_states = result.stats.product_states = engine.product_states();
       result.stats.search_seconds = elapsed(t_search);
-      emit_product_note();
-      give_up(e.outcome(), "the nested-DFS product search");
-      return result;
     }
-    result.product_states = result.stats.product_states = engine.product_states();
-    result.stats.search_seconds = elapsed(t_search);
     emit_product_note();
     if (!lasso) {
       result.holds = true;
@@ -715,10 +748,8 @@ CheckResult check_one(const StateGraph& sg, const FairnessFrame& fair,
           "fair lasso through " + std::to_string(lasso->second.size()) + " product state(s)";
     }
     Counterexample cex;
-    for (auto cell : lasso->first)
-      cex.prefix.push_back(sg.nodes[engine.node_of_cell(cell)].valuation);
-    for (auto cell : lasso->second)
-      cex.loop.push_back(sg.nodes[engine.node_of_cell(cell)].valuation);
+    for (std::size_t n : lasso->first) cex.prefix.push_back(sg.nodes[n].valuation);
+    for (std::size_t n : lasso->second) cex.loop.push_back(sg.nodes[n].valuation);
     result.counterexample = std::move(cex);
     return result;
   }
@@ -922,7 +953,7 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
   // Shared phases: one exploration, one fairness frame, one label cache per
   // distinct atom vocabulary.
   auto t_explore = Clock::now();
-  ExploreResult ex = explore(system, budget);
+  ExploreResult ex = explore(system, budget, options.explore_threads);
   const double explore_seconds = elapsed(t_explore);
   if (!is_complete(ex.outcome)) {
     // The shared exploration ran out of budget: every spec in the batch gets

@@ -79,6 +79,13 @@ struct CheckStats {
   ClassSource class_source = ClassSource::None;  ///< provenance of the routing class
   std::size_t normalize_steps = 0;  ///< rewrite steps spent by ΔΓ-normalization
   Outcome outcome = Outcome::Complete;  ///< how the check ended (docs/BUDGETS.md)
+  /// Workers the emptiness search actually ran on (docs/PARALLEL.md): equals
+  /// CheckOptions::explore_threads when the verdict came from a multicore
+  /// engine (CNDFS / parallel prefix scan), 1 when the engine stayed
+  /// sequential (SCC, or explore_threads <= 1).
+  unsigned threads_used = 1;
+  std::vector<std::size_t> worker_states;  ///< per-worker product states visited
+  std::vector<std::size_t> worker_steals;  ///< per-worker frontier steals (scan only)
   double explore_seconds = 0.0;       ///< state-graph exploration
   double label_seconds = 0.0;         ///< atom labelling of the state graph
   double compile_seconds = 0.0;       ///< ¬spec compilation
@@ -130,6 +137,16 @@ struct CheckOptions {
   /// run fully sequential and deterministic; with more threads, results and
   /// merged diagnostics still come back in spec order.
   unsigned threads = 1;
+  /// Worker threads *inside* one emptiness search (docs/PARALLEL.md),
+  /// orthogonal to the per-spec `threads` above. With explore_threads > 1
+  /// the state-graph exploration fans out over a work-stealing frontier,
+  /// safety-prefix scans run the parallel reachability scan, and
+  /// generalized-Büchi products run CNDFS multicore nested DFS; the SCC
+  /// engine stays sequential. Verdicts, counterexample validity, and
+  /// budget-exhausted diagnostics are independent of this setting (a
+  /// violating run under a biting state cap may report a different — equally
+  /// valid — witness).
+  unsigned explore_threads = 1;
   /// Skip the on-the-fly nested-DFS even when the acceptance is
   /// generalized-Büchi-shaped and use the SCC good-loop engine instead.
   /// Both engines must agree on every input; differential fuzzing

@@ -1,0 +1,63 @@
+// Multicore emptiness engines (docs/PARALLEL.md): the CNDFS nested DFS for
+// generalized-Büchi products and the work-stealing closed-prefix scan behind
+// the SafetyPrefix engine. Internal to the checker — `CheckOptions::
+// explore_threads > 1` routes into these from checker.cpp; results come back
+// as state-graph node paths so product ids never escape.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/fts/checker_detail.hpp"
+#include "src/fts/fts.hpp"
+#include "src/support/budget.hpp"
+
+namespace mph::fts::detail {
+
+/// Result of the parallel closed-prefix reachability scan.
+struct ParallelScanResult {
+  Outcome outcome = Outcome::Complete;
+  std::size_t product_states = 0;
+  /// State-graph node path root..bad of a run driving det(spec) into a dead
+  /// state; nullopt when no reachable prefix is bad (or the budget ran out
+  /// first — consult `outcome`).
+  std::optional<std::vector<std::size_t>> bad_path;
+  std::vector<std::size_t> worker_states;  ///< product states expanded per worker
+  std::vector<std::size_t> worker_steals;  ///< frontier items stolen per worker
+};
+
+/// BFS over node × det(spec) pairs on `threads` workers with a work-stealing
+/// frontier, hunting a reachable dead automaton state. Budget-governed: the
+/// state cap is enforced at every intern (the reported count clamps to
+/// cap + 1, matching the sequential scan's stop point) and the deadline /
+/// cancellation is polled per worker.
+ParallelScanResult parallel_safety_scan(const StateGraph& sg,
+                                        const std::vector<lang::Symbol>& labels,
+                                        const omega::DetOmega& m,
+                                        const std::vector<bool>& live, const Budget& budget,
+                                        unsigned threads);
+
+/// Result of the multicore nested DFS.
+struct CndfsResult {
+  Outcome outcome = Outcome::Complete;
+  std::size_t product_states = 0;
+  /// An accepting product lasso as state-graph node paths (prefix, loop);
+  /// nullopt when the product is empty (or the budget ran out — `outcome`).
+  std::optional<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>> lasso;
+  std::vector<std::size_t> worker_states;  ///< blue-visited cells per worker
+};
+
+/// CNDFS (Evangelista–Laarman–Petrucci–van de Pol) over the on-the-fly
+/// generalized-Büchi product: every worker runs a full nested DFS with a
+/// randomized successor order, sharing blue/red colors through an atomic
+/// color map while cyan (the worker's own DFS stack) stays thread-local.
+/// Arguments mirror the sequential OnTheFlyEngine; `req` is the sorted,
+/// deduplicated set of required Inf marks for counter degeneralization.
+CndfsResult cndfs(const StateGraph& sg, const std::vector<lang::Symbol>& labels,
+                  const std::vector<omega::MarkSet>& fair_marks, omega::Mark shift,
+                  const NegSpecView& neg, const std::vector<omega::Mark>& req,
+                  const Budget& budget, unsigned threads);
+
+}  // namespace mph::fts::detail

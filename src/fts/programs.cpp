@@ -136,7 +136,7 @@ Program producer_consumer(int capacity) {
 }
 
 Program dining_philosophers(std::size_t n) {
-  MPH_REQUIRE(n >= 2 && n <= 4, "dining_philosophers supports 2..4 philosophers");
+  MPH_REQUIRE(n >= 2 && n <= 12, "dining_philosophers supports 2..12 philosophers");
   Program prog;
   Fts& s = prog.system;
   // pc_i: 0 = thinking, 1 = holds left fork, 2 = eating (holds both).
@@ -181,6 +181,58 @@ Program dining_philosophers(std::size_t n) {
     };
   }
   prog.atoms["deadlock"] = deadlocked();
+  return prog;
+}
+
+Program dining(std::size_t n) { return dining_philosophers(n); }
+
+Program ring_leader(std::size_t n) {
+  MPH_REQUIRE(n >= 2 && n <= 10, "ring_leader supports 2..10 nodes");
+  Program prog;
+  Fts& s = prog.system;
+  const int ni = static_cast<int>(n);
+  // chan<j>: the one-slot channel INTO node j (0 = empty, otherwise a
+  // candidate id). Initially every node has announced its own id to its
+  // successor, so chan<j> starts holding the predecessor's id.
+  std::vector<std::size_t> chan;
+  for (std::size_t j = 0; j < n; ++j) {
+    const int pred_id = static_cast<int>((j + n - 1) % n) + 1;
+    chan.push_back(s.add_var("chan" + std::to_string(j + 1), 0, ni, pred_id));
+  }
+  const std::size_t leader = s.add_var("leader", 0, ni, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const int id = static_cast<int>(j) + 1;
+    const std::size_t in = chan[j];
+    const std::size_t out = chan[(j + 1) % n];
+    // Receive: drop smaller ids, elect on the own id, forward bigger ids
+    // (forwarding needs the outgoing slot free — part of the guard, so the
+    // transition is disabled rather than message-dropping while blocked).
+    // The ring halts once a leader is known.
+    s.add_transition(
+        "recv" + std::to_string(id), Fairness::Weak,
+        [in, out, id, leader](const Valuation& v) {
+          return v[leader] == 0 && v[in] != 0 && (v[in] <= id || v[out] == 0);
+        },
+        [in, out, id, leader](Valuation& v) {
+          const int m = v[in];
+          v[in] = 0;
+          if (m == id)
+            v[leader] = id;
+          else if (m > id)
+            v[out] = m;
+        });
+  }
+  prog.atoms["elected"] = [leader](const Fts&, const Valuation& v, int) {
+    return v[leader] > 0;
+  };
+  prog.atoms["maxleader"] = [leader, ni](const Fts&, const Valuation& v, int) {
+    return v[leader] == ni;
+  };
+  prog.atoms["quiet"] = [chan](const Fts&, const Valuation& v, int) {
+    for (std::size_t c : chan)
+      if (v[c] != 0) return false;
+    return true;
+  };
   return prog;
 }
 

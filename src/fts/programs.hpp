@@ -38,10 +38,24 @@ Program semaphore_mutex(std::size_t n_processes, Fairness acquire_fairness);
 /// "full", "nonempty".
 Program producer_consumer(int capacity);
 
-/// Dining philosophers for `n` philosophers (2..4), each grabbing the left
+/// Dining philosophers for `n` philosophers (2..12), each grabbing the left
 /// fork then the right. The naive protocol can deadlock (everyone holds the
 /// left fork); atom "deadlock" exposes it, atoms "eat<i>" the eating states.
 /// Pick-up and eating transitions are weakly fair.
 Program dining_philosophers(std::size_t n);
+
+/// Alias of dining_philosophers: the parameterized "dining-N" scaling family
+/// used by mph-lint and the parallel benchmarks (docs/PARALLEL.md).
+Program dining(std::size_t n);
+
+/// Chang–Roberts leader election on a unidirectional ring of `n` nodes
+/// (2..10) with distinct ids 1..n, every node initiating. One-slot channels;
+/// a node drops smaller ids, forwards bigger ones (blocking while its
+/// outgoing slot is full), and elects itself on seeing its own id. All
+/// receives are weakly fair. Atoms: "elected" (some leader chosen),
+/// "maxleader" (the leader is node n — the only possible winner), "quiet"
+/// (no message in flight). Under weak fairness "F elected" and
+/// "G(elected -> maxleader)" both hold.
+Program ring_leader(std::size_t n);
 
 }  // namespace mph::fts::programs

@@ -11,7 +11,9 @@ RuleResult verify_invariance(const Fts& system, const Assertion& inv, std::size_
 
 RuleResult verify_invariance_with(const Fts& system, const Assertion& goal,
                                   const Assertion& aux, std::size_t max_states) {
-  StateGraph g = explore(system, max_states);
+  ExploreResult ex = explore(system, Budget().with_state_cap(max_states));
+  MPH_REQUIRE(is_complete(ex.outcome), "state graph exceeds max_states");
+  StateGraph g = std::move(ex.graph);
   // Premise I0: aux implies goal everywhere reachable.
   for (const auto& node : g.nodes)
     if (aux(node.valuation) && !goal(node.valuation))
@@ -35,7 +37,9 @@ RuleResult verify_response(const Fts& system, const Assertion& p, const Assertio
                            const Ranking& rank,
                            const std::function<std::size_t(const Valuation&)>& helpful,
                            std::size_t max_states) {
-  StateGraph g = explore(system, max_states);
+  ExploreResult ex = explore(system, Budget().with_state_cap(max_states));
+  MPH_REQUIRE(is_complete(ex.outcome), "state graph exceeds max_states");
+  StateGraph g = std::move(ex.graph);
   // Pending-obligation graph over (node, pending) pairs.
   struct PNode {
     std::size_t node;

@@ -224,8 +224,15 @@ CheckOutcome check_classify(const FuzzCase& c, const Budget& budget) {
   Budget monoid = budget;
   if (monoid.state_cap() > kOracleMonoidCap) monoid.with_state_cap(kOracleMonoidCap);
   const auto cf = omega::counter_freedom(m, monoid);
-  if (cf != omega::counter_freedom(omega::complement(m), monoid))
+  const auto cf_dual = omega::counter_freedom(omega::complement(m), monoid);
+  if (cf != cf_dual) {
+    // The monoid cap is deterministic (both legs share the transition
+    // monoid), but a wall-clock deadline can expire *between* the two
+    // calls, leaving one leg Unknown while the other completed — a budget
+    // artifact, not a semantic disagreement. The gate reports it as such.
+    if (auto gate = budget_gate(budget)) return *gate;
     return CheckOutcome::fail("counter-freedom verdict changed under complement");
+  }
   if (cf == omega::CounterFreedom::Unknown)
     return CheckOutcome::exhausted("transition monoid exceeded the iteration budget");
   if (auto gate = budget_gate(budget)) return *gate;
@@ -441,6 +448,88 @@ CheckOutcome check_fts_engines(const FuzzCase& c, const Budget& budget) {
 }
 
 // ------------------------------------------------------------------------
+// fts-engines-parallel: the multicore engines (docs/PARALLEL.md) against
+// their sequential twins on the same system and spec — explore_threads=1
+// nested-DFS vs explore_threads=3 CNDFS vs the (sequential) SCC engine fed
+// by the parallel exploration, plus the class-dispatched route, with every
+// counterexample replayed under the independent lasso evaluator.
+
+FuzzCase gen_fts_engines_parallel(Rng& rng) {
+  FuzzCase c = gen_fts_engines(rng);
+  c.oracle = "fts-engines-parallel";
+  return c;
+}
+
+CheckOutcome check_fts_engines_parallel(const FuzzCase& c, const Budget& budget) {
+  if (!c.system || c.formulas.empty()) return CheckOutcome::skip("needs a system and a spec");
+  const fts::Fts sys = c.system->build();
+  const fts::AtomMap atoms = c.system->atoms();
+  const ltl::Formula spec = ltl::parse_formula(c.formulas[0]);
+  fts::CheckOptions seq;
+  seq.max_states = 20000;
+  seq.budget = budget;
+  fts::CheckOptions par = seq;
+  par.explore_threads = 3;
+  fts::CheckOptions scc = par;
+  scc.force_scc = true;
+  fts::CheckOptions disp = par;
+  disp.class_dispatch = true;
+  const auto r_seq = fts::check(sys, spec, atoms, seq);
+  const auto r_par = fts::check(sys, spec, atoms, par);
+  const auto r_scc = fts::check(sys, spec, atoms, scc);
+  const auto r_disp = fts::check(sys, spec, atoms, disp);
+  // Outcomes come first: under a deadline one run can complete while another
+  // runs out, so differing verdicts with a non-Complete outcome are budget
+  // exhaustion, not a discrepancy.
+  const Outcome agg = worst(worst(r_seq.outcome, r_par.outcome),
+                            worst(r_scc.outcome, r_disp.outcome));
+  if (!is_complete(agg))
+    return CheckOutcome::exhausted("engine budget exhausted (" +
+                                   std::string(to_string(agg)) + ")");
+  auto verdict = [](const fts::CheckResult& r) {
+    return std::string(r.holds ? "holds" : "violated");
+  };
+  if (r_par.holds != r_seq.holds)
+    return CheckOutcome::fail("explore_threads 1 vs 3 disagree on '" + c.formulas[0] +
+                              "' (" + verdict(r_seq) + " vs " + verdict(r_par) + ")");
+  if (r_scc.holds != r_seq.holds)
+    return CheckOutcome::fail("parallel CNDFS and SCC disagree on '" + c.formulas[0] +
+                              "' (" + verdict(r_par) + " vs " + verdict(r_scc) + ")");
+  if (r_disp.holds != r_seq.holds)
+    return CheckOutcome::fail("class-dispatched parallel engine disagrees on '" +
+                              c.formulas[0] + "' (" + verdict(r_seq) + " vs " +
+                              verdict(r_disp) + ")");
+  // A holding verdict needs the full product closure on every schedule, so
+  // the pair count is thread-count independent (docs/PARALLEL.md).
+  if (r_seq.holds && r_par.stats.engine == r_seq.stats.engine &&
+      r_par.stats.product_states != r_seq.stats.product_states)
+    return CheckOutcome::fail("product size differs across thread counts on holding '" +
+                              c.formulas[0] + "' (" +
+                              std::to_string(r_seq.stats.product_states) + " vs " +
+                              std::to_string(r_par.stats.product_states) + ")");
+  const auto atom_names = spec.atoms();
+  const lang::Alphabet sigma = lang::Alphabet::of_props(atom_names);
+  auto to_symbol = [&](const fts::Valuation& v) {
+    lang::Symbol s = 0;
+    for (std::size_t i = 0; i < atom_names.size(); ++i)
+      if (atoms.at(atom_names[i])(sys, v, fts::StateGraph::kNone))
+        s |= lang::Symbol{1} << i;
+    return s;
+  };
+  for (const auto* r : {&r_seq, &r_par, &r_scc, &r_disp}) {
+    if (r->holds) continue;
+    MPH_ASSERT(r->counterexample.has_value());
+    Lasso l;
+    for (const auto& v : r->counterexample->prefix) l.prefix.push_back(to_symbol(v));
+    for (const auto& v : r->counterexample->loop) l.loop.push_back(to_symbol(v));
+    if (l.loop.empty() || ltl::evaluates(spec, l, sigma))
+      return CheckOutcome::fail("counterexample for '" + c.formulas[0] +
+                                "' does not falsify the spec under the lasso evaluator");
+  }
+  return CheckOutcome::pass();
+}
+
+// ------------------------------------------------------------------------
 // vacuity-antecedent: the MPH-Y002 fast path (one reachable-state labeling,
 // no product) against the model checker, three ways. For a □(p→q) with a
 // propositional p, "p is exercised" must equal "G ¬p is violated" on both
@@ -534,6 +623,11 @@ CheckOutcome check_vacuity_antecedent(const FuzzCase& c, const Budget& budget) {
     if (!is_complete(rv.original.outcome))
       return CheckOutcome::exhausted("vacuity check budget exhausted (" +
                                      std::string(to_string(rv.original.outcome)) + ")");
+    // The original check can complete and the deadline expire during the
+    // mutant batch: the analyzer then answers Unknown (MPH-Y005) instead of
+    // Vacuous. That is exhaustion, not a missing MPH-Y002.
+    if (rv.verdict == analysis::RequirementVacuity::Verdict::Unknown)
+      return CheckOutcome::exhausted("vacuity verdict budget exhausted");
     if (!rv.original.holds)
       return CheckOutcome::fail("'" + c.formulas[0] +
                                 "' with an unreachable antecedent does not hold");
@@ -714,6 +808,10 @@ const std::vector<Oracle>& oracle_registry() {
       {"fts-engines",
        "model checker: nested-DFS vs SCC engine, with counterexample replay",
        gen_fts_engines, check_fts_engines},
+      {"fts-engines-parallel",
+       "multicore engines: sequential nested-DFS vs CNDFS vs SCC vs class dispatch, "
+       "with counterexample replay",
+       gen_fts_engines_parallel, check_fts_engines_parallel},
       {"vacuity-antecedent",
        "MPH-Y002 antecedent labeling vs safety-prefix and ω-product checks of G ¬p",
        gen_vacuity_antecedent, check_vacuity_antecedent},

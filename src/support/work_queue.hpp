@@ -1,0 +1,99 @@
+// Work-stealing frontier for the parallel engines (docs/PARALLEL.md):
+// per-worker deques under light mutexes — an owner pops from the back, a
+// thief moves half of a victim's items from the front — plus a pending-item
+// counter for global termination (a deque can be momentarily empty while the
+// items popped from it are still producing children).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace mph {
+
+template <class T>
+class WorkStealingQueues {
+ public:
+  explicit WorkStealingQueues(std::size_t workers) : queues_(workers) {
+    MPH_REQUIRE(workers >= 1, "work-stealing frontier needs at least one worker");
+  }
+
+  /// Enqueues onto worker w's deque. The item counts as pending until the
+  /// worker that pops it calls done().
+  void push(std::size_t w, T item) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(queues_[w].mu);
+    queues_[w].items.push_back(std::move(item));
+  }
+
+  /// Pop for worker w: own back first (LIFO keeps the working set warm),
+  /// otherwise steal the front half of the first non-empty victim — the
+  /// oldest items, which root the largest unexplored regions. Returns false
+  /// when nothing is available right now; the caller distinguishes "spin"
+  /// from "terminate" via idle().
+  bool pop(std::size_t w, T& out) {
+    Deque& mine = queues_[w];
+    {
+      std::lock_guard<std::mutex> lock(mine.mu);
+      if (!mine.items.empty()) {
+        out = std::move(mine.items.back());
+        mine.items.pop_back();
+        return true;
+      }
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+      Deque& victim = queues_[(w + k) % queues_.size()];
+      std::scoped_lock lock(mine.mu, victim.mu);
+      if (victim.items.empty()) continue;
+      const std::size_t take = (victim.items.size() + 1) / 2;
+      for (std::size_t i = 0; i < take; ++i) {
+        mine.items.push_back(std::move(victim.items.front()));
+        victim.items.pop_front();
+      }
+      mine.stolen += take;
+      out = std::move(mine.items.back());
+      mine.items.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  /// Marks one previously popped item finished. Push any children *before*
+  /// calling this, so pending_ never dips to zero while work is in flight.
+  void done() { pending_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// True when every pushed item has been finished — global termination.
+  bool idle() const { return pending_.load(std::memory_order_acquire) == 0; }
+
+  /// Items worker w stole from other deques. Stable only after the workers
+  /// have joined.
+  std::size_t stolen(std::size_t w) const { return queues_[w].stolen; }
+
+  /// Invokes f on every remaining item (after an early stop) and empties the
+  /// deques. Single-threaded use only, after the workers have joined.
+  template <class F>
+  void drain(F&& f) {
+    for (Deque& q : queues_) {
+      std::lock_guard<std::mutex> lock(q.mu);
+      for (T& item : q.items) f(item);
+      q.items.clear();
+    }
+  }
+
+ private:
+  struct alignas(64) Deque {
+    std::mutex mu;
+    std::deque<T> items;
+    std::size_t stolen = 0;  // written by the owner under mu, read post-join
+  };
+
+  std::vector<Deque> queues_;
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace mph

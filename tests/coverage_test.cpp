@@ -147,7 +147,9 @@ TEST(UnionIntersectionChains, ManyOperandsStayCorrect) {
 
 TEST(ExploreGuards, MaxStatesEnforced) {
   auto prog = fts::programs::dining_philosophers(3);
-  EXPECT_THROW(fts::explore(prog.system, /*max_states=*/3), std::invalid_argument);
+  fts::ExploreResult ex = fts::explore(prog.system, Budget().with_state_cap(3));
+  EXPECT_EQ(ex.outcome, Outcome::BudgetStates);
+  EXPECT_EQ(ex.graph.nodes.size(), 3u);
 }
 
 TEST(StreettPairsGuards, Validation) {

@@ -39,7 +39,7 @@ TEST(DiningPhilosophers, ThreePhilosophers) {
 
 TEST(Checker, DeadlockedAtomMatchesStutterStates) {
   Program prog = programs::dining_philosophers(2);
-  StateGraph g = explore(prog.system);
+  StateGraph g = std::move(explore(prog.system, Budget()).graph);
   auto dead = deadlocked();
   bool found_deadlock = false;
   for (std::size_t n = 0; n < g.nodes.size(); ++n) {

@@ -20,7 +20,9 @@ TEST(Fts, BasicConstructionAndExploration) {
   s.add_transition(
       "inc", Fairness::Weak, [x](const Valuation& v) { return v[x] < 3; },
       [x](Valuation& v) { ++v[x]; });
-  StateGraph g = explore(s);
+  ExploreResult res = explore(s, Budget());
+  ASSERT_TRUE(is_complete(res.outcome));
+  StateGraph g = std::move(res.graph);
   // States: x=0..3, each reached with last_taken ∈ {none, inc}.
   // 0 is initial-only; 1..3 via inc → 4 nodes.
   EXPECT_EQ(g.nodes.size(), 4u);
@@ -40,7 +42,7 @@ TEST(Fts, DomainViolationThrows) {
   s.add_transition(
       "boom", Fairness::None, [](const Valuation&) { return true; },
       [x](Valuation& v) { v[x] = 7; });
-  EXPECT_THROW(explore(s), std::invalid_argument);
+  EXPECT_THROW(explore(s, Budget()), std::invalid_argument);
 }
 
 TEST(Fts, DuplicateVarThrows) {

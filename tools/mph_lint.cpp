@@ -52,6 +52,25 @@ const ModelEntry kModels[] = {
     {"dining-3", [] { return fts::programs::dining_philosophers(3); }},
 };
 
+/// Built-in models plus the parameterized families dining-N (2..12) and
+/// ring-N (2..10). Returns nullopt for unknown names; out-of-range family
+/// parameters throw std::invalid_argument (reported as a usage failure).
+std::optional<fts::programs::Program> make_model(const std::string& name) {
+  for (const auto& m : kModels)
+    if (name == m.name) return m.make();
+  auto family = [&](std::string_view prefix) -> std::optional<std::size_t> {
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0)
+      return std::nullopt;
+    const std::string digits = name.substr(prefix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos || digits.size() > 3)
+      return std::nullopt;
+    return std::stoul(digits);
+  };
+  if (auto n = family("dining-")) return fts::programs::dining(*n);
+  if (auto n = family("ring-")) return fts::programs::ring_leader(*n);
+  return std::nullopt;
+}
+
 int usage(std::ostream& out, int code) {
   out << "usage: mph-lint [options] [FORMULA...]\n"
          "  --spec FILE     lint a spec file (one LTL requirement per line, '#' comments)\n"
@@ -60,6 +79,10 @@ int usage(std::ostream& out, int code) {
          "  --check FORMULA model-check FORMULA against the --model (repeatable);\n"
          "                  prints a table of engine statistics per spec\n"
          "  --threads N     worker threads for --check batches (default 1)\n"
+         "  --explore-threads N\n"
+         "                  worker threads inside one emptiness search: parallel\n"
+         "                  state-graph exploration, CNDFS nested DFS, parallel\n"
+         "                  safety-prefix scan (docs/PARALLEL.md; default 1)\n"
          "  --budget-states N\n"
          "                  state cap per --check construction (default 200000); an\n"
          "                  exhausted check reports outcome budget-states (MPH-V004)\n"
@@ -151,6 +174,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> model_names;
   std::vector<std::string> check_formulas;
   unsigned check_threads = 1;
+  unsigned explore_threads = 1;
   std::size_t budget_states = 0;
   std::uint64_t budget_ms = 0;
   bool all_models = false, json = false, quiet = false, werror = false;
@@ -183,6 +207,8 @@ int main(int argc, char** argv) {
       check_formulas.push_back(next("--check"));
     } else if (arg == "--threads") {
       check_threads = static_cast<unsigned>(std::stoul(next("--threads")));
+    } else if (arg == "--explore-threads") {
+      explore_threads = static_cast<unsigned>(std::stoul(next("--explore-threads")));
     } else if (arg == "--budget-states") {
       budget_states = std::stoull(next("--budget-states"));
     } else if (arg == "--budget-ms") {
@@ -238,6 +264,7 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--list-models") {
       for (const auto& m : kModels) std::cout << m.name << "\n";
+      std::cout << "dining-N (N=2..12)\nring-N (N=2..10)\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "mph-lint: unknown option " << arg << "\n";
@@ -279,14 +306,12 @@ int main(int argc, char** argv) {
     // Models first, then spec files, then command-line formulas (one shared
     // engine: subjects keep the findings apart).
     for (const auto& name : model_names) {
-      const ModelEntry* entry = nullptr;
-      for (const auto& m : kModels)
-        if (name == m.name) entry = &m;
-      if (!entry) {
+      auto model = make_model(name);
+      if (!model) {
         std::cerr << "mph-lint: unknown model '" << name << "' (see --list-models)\n";
         return 2;
       }
-      auto program = entry->make();
+      auto program = std::move(*model);
       analysis::run_passes(analysis::Subject::of(program.system, "model '" + name + "'"),
                            engine, options);
 
@@ -295,6 +320,7 @@ int main(int argc, char** argv) {
         for (const auto& text : check_formulas) specs.push_back(ltl::parse_formula(text));
         fts::CheckOptions copts;
         copts.threads = check_threads;
+        copts.explore_threads = explore_threads;
         copts.diagnostics = &engine;
         copts.class_dispatch = dispatch_check;
         if (budget_states > 0) copts.budget.with_state_cap(budget_states);
@@ -304,8 +330,8 @@ int main(int argc, char** argv) {
         for (const auto& r : results)
           if (!is_complete(r.outcome)) unknown_seen = true;
         if (!json && !quiet) {
-          TextTable t({"spec", "verdict", "outcome", "engine", "automaton", "product",
-                       "bound", "search s"});
+          TextTable t({"spec", "verdict", "outcome", "engine", "threads", "automaton",
+                       "product", "bound", "search s"});
           for (std::size_t i = 0; i < results.size(); ++i) {
             const auto& s = results[i].stats;
             std::ostringstream secs;
@@ -317,8 +343,9 @@ int main(int argc, char** argv) {
             t.add_row({check_formulas[i], verdict,
                        std::string(to_string(results[i].outcome)),
                        std::string(to_string(s.engine)) + (s.nba_fallback ? " (NBA)" : ""),
-                       std::to_string(s.automaton_states), std::to_string(s.product_states),
-                       std::to_string(s.product_bound), secs.str()});
+                       std::to_string(s.threads_used), std::to_string(s.automaton_states),
+                       std::to_string(s.product_states), std::to_string(s.product_bound),
+                       secs.str()});
           }
           std::cout << "== check against model '" << name << "' ("
                     << (results.empty() ? 0 : results[0].stats.state_graph_nodes)
@@ -344,6 +371,7 @@ int main(int argc, char** argv) {
 
         fts::CheckOptions copts;
         copts.threads = check_threads;
+        copts.explore_threads = explore_threads;
         if (budget_states > 0) copts.budget.with_state_cap(budget_states);
         if (budget_ms > 0)
           copts.budget.with_deadline_after(std::chrono::milliseconds(budget_ms));
