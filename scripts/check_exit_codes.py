@@ -8,10 +8,15 @@
   2  usage or parse failures (bad flags, unknown models, malformed formulas,
      missing required arguments)
 
-Usage: check_exit_codes.py PATH-TO-MPH-LINT
+Usage: check_exit_codes.py PATH-TO-MPH-LINT [--fuzz PATH-TO-MPH-FUZZ]
+                           [--serve PATH-TO-MPH-SERVE]
 
-Runs a battery of invocations against the real binary and fails on the first
-mismatch, so any drift in the contract breaks `ctest -L lint`.
+Runs a battery of invocations against the real binaries and fails on the
+first mismatch, so any drift in the contract breaks `ctest -L lint`. With
+--fuzz / --serve the battery additionally pins the malformed-numeric-flag
+contract on those tools: "abc", "1e9x", "-5" and out-of-range values are
+usage errors (exit 2), never an uncaught std::invalid_argument (which
+aborts with a nonsense code) and never a silently truncated value.
 """
 import subprocess
 import sys
@@ -77,27 +82,94 @@ CASES = [
     (2, "--vacuity without a model", ["--vacuity", "G p"]),
     (2, "--vacuity without requirements", ["--model", "peterson", "--vacuity"]),
     (2, "missing flag argument", ["--model"]),
+    # Malformed numeric flag values: all usage errors, never crashes.
+    (2, "non-numeric --threads", ["--model", "peterson", "--threads", "abc",
+                                  "--check", LIVENESS]),
+    (2, "trailing garbage in --budget-ms",
+     ["--model", "peterson", "--budget-ms", "1e9x", "--check", LIVENESS]),
+    (2, "negative --budget-states",
+     ["--model", "peterson", "--budget-states", "-5", "--check", LIVENESS]),
+    (2, "out-of-range --explore-threads",
+     ["--model", "peterson", "--explore-threads", "99999",
+      "--check", LIVENESS]),
+    (2, "overflowing --normalize-steps",
+     ["--quiet", "--classify", "--normalize-steps", "99999999999999999999",
+      "G p"]),
+    (2, "empty --threads value", ["--model", "peterson", "--threads", "",
+                                  "--check", LIVENESS]),
+]
+
+# mph-fuzz: same strict-numeric contract on its flags (a silently truncated
+# "1e9x" used to fuzz 1 iteration and "pass").
+FUZZ_CASES = [
+    (2, "non-numeric --seed", ["--seed", "abc", "--iters", "1"]),
+    (2, "trailing garbage in --iters", ["--iters", "1e9x"]),
+    (2, "negative --max-failures", ["--max-failures", "-5"]),
+    (2, "non-numeric --iter-budget-ms", ["--iter-budget-ms", "soon"]),
+    (2, "non-numeric --case-iter", ["--case-iter", "0x10"]),
+    (2, "unknown flag", ["--bogus"]),
+    (0, "clean tiny run", ["--oracle", "lasso-roundtrip", "--iters", "2",
+                           "--seed", "1"]),
+]
+
+# mph-serve: flag parsing only (the wire protocol battery lives in
+# serve_smoke.py).
+SERVE_CASES = [
+    (2, "non-numeric --listen", ["--listen", "http"]),
+    (2, "out-of-range --listen", ["--listen", "70000"]),
+    (2, "non-numeric --max-budget-states", ["--max-budget-states", "lots"]),
+    (2, "negative --max-budget-ms", ["--max-budget-ms", "-1"]),
+    (2, "unknown flag", ["--bogus"]),
 ]
 
 
-def main():
-    if len(sys.argv) != 2:
-        print("usage: check_exit_codes.py PATH-TO-MPH-LINT", file=sys.stderr)
-        sys.exit(2)
-    lint = sys.argv[1]
+def run_battery(binary, cases, tool):
     failures = 0
-    for expected, description, args in CASES:
-        proc = subprocess.run([lint, *args], capture_output=True, text=True)
+    for expected, description, args in cases:
+        proc = subprocess.run([binary, *args], capture_output=True, text=True)
         if proc.returncode != expected:
             failures += 1
-            print(f"FAIL: {description}: expected exit {expected}, got "
-                  f"{proc.returncode}\n  args: {args}\n  stderr: "
+            print(f"FAIL: {tool}: {description}: expected exit {expected}, "
+                  f"got {proc.returncode}\n  args: {args}\n  stderr: "
                   f"{proc.stderr.strip()[:300]}", file=sys.stderr)
+    return failures
+
+
+def main():
+    argv = sys.argv[1:]
+    if not argv:
+        print("usage: check_exit_codes.py PATH-TO-MPH-LINT "
+              "[--fuzz PATH-TO-MPH-FUZZ] [--serve PATH-TO-MPH-SERVE]",
+              file=sys.stderr)
+        sys.exit(2)
+    lint = argv[0]
+    fuzz = serve = None
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--fuzz" and i + 1 < len(argv):
+            fuzz = argv[i + 1]
+            i += 2
+        elif argv[i] == "--serve" and i + 1 < len(argv):
+            serve = argv[i + 1]
+            i += 2
+        else:
+            print(f"check_exit_codes.py: unknown argument {argv[i]}",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    failures = run_battery(lint, CASES, "mph-lint")
+    total = len(CASES)
+    if fuzz:
+        failures += run_battery(fuzz, FUZZ_CASES, "mph-fuzz")
+        total += len(FUZZ_CASES)
+    if serve:
+        failures += run_battery(serve, SERVE_CASES, "mph-serve")
+        total += len(SERVE_CASES)
     if failures:
-        print(f"{failures} of {len(CASES)} exit-code case(s) failed",
+        print(f"{failures} of {total} exit-code case(s) failed",
               file=sys.stderr)
         sys.exit(1)
-    print(f"all {len(CASES)} exit-code case(s) hold")
+    print(f"all {total} exit-code case(s) hold")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Schema + acceptance validation for BENCH_serve.json (bench/tab16_serve).
+
+Usage: validate_bench_serve.py PATH
+
+Checks the documented schema, then enforces the serve layer's contracts:
+
+  * verdict_agreement is true and every row individually agrees — the
+    daemon path (admission, caching, wire JSON) must reproduce the direct
+    fts::check_all verdict on every workload request;
+  * the warm replay is all cache hits (hit_rate == 1.0, warm_hit on every
+    row);
+  * warm p50 latency beats cold p50 by at least 10x — the entire point of
+    the verdict cache. The gate uses the summary percentiles, so one noisy
+    row cannot flip it, and holds in --quick mode too: even the smallest
+    workload model costs well over 10 cache lookups to check.
+
+Exits 0 iff the file parses and every check passes; prints the first
+problem and exits 1 otherwise.
+"""
+import json
+import sys
+
+WARM_SPEEDUP_FLOOR = 10.0
+
+
+def fail(msg):
+    print(f"serve bench validation: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench_serve.py PATH")
+    with open(sys.argv[1]) as handle:
+        data = json.load(handle)
+
+    require(data.get("experiment") == "tab16_serve", "not a tab16_serve report")
+    require(isinstance(data.get("quick"), bool), "'quick' is not a bool")
+    require(isinstance(data.get("warm_rounds"), int) and data["warm_rounds"] >= 1,
+            "'warm_rounds' missing or < 1")
+
+    rows = data.get("rows")
+    require(isinstance(rows, list) and rows, "'rows' missing or empty")
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        require(isinstance(row, dict), f"{where}: not an object")
+        for key in ("model", "spec", "verdict", "engine"):
+            require(isinstance(row.get(key), str) and row[key],
+                    f"{where}: '{key}' missing or empty")
+        require(row["verdict"] in ("holds", "violated"),
+                f"{where}: verdict {row['verdict']!r} is not a completed verdict")
+        for key in ("cold_us", "warm_us"):
+            require(isinstance(row.get(key), (int, float)) and row[key] >= 0,
+                    f"{where}: '{key}' missing or negative")
+        require(row.get("warm_hit") is True,
+                f"{where}: warm replay of {row['spec']!r} was not a cache hit")
+        require(row.get("agree") is True,
+                f"{where}: daemon verdict for {row['spec']!r} disagrees with "
+                "direct checking")
+
+    summary = data.get("summary")
+    require(isinstance(summary, dict), "'summary' missing")
+    for key in ("cold_p50_us", "warm_p50_us", "warm_speedup", "hit_rate"):
+        require(isinstance(summary.get(key), (int, float)),
+                f"summary: '{key}' missing or not a number")
+    require(summary.get("verdict_agreement") is True,
+            "summary: verdict_agreement is not true")
+    require(summary["hit_rate"] == 1.0,
+            f"summary: hit_rate {summary['hit_rate']} != 1.0")
+    require(summary["warm_p50_us"] > 0, "summary: warm_p50_us is not positive")
+    speedup = summary["warm_speedup"]
+    require(speedup >= WARM_SPEEDUP_FLOOR,
+            f"summary: warm speedup {speedup:.1f}x is below the "
+            f"{WARM_SPEEDUP_FLOOR:.0f}x floor")
+
+    print(f"{sys.argv[1]} ok: {len(rows)} row(s) agree, hit rate 1.0, "
+          f"warm speedup {speedup:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

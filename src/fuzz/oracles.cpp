@@ -791,8 +791,10 @@ CheckOutcome check_lasso_roundtrip(const FuzzCase& c, const Budget& budget) {
 
 }  // namespace
 
-const std::vector<Oracle>& oracle_registry() {
-  static const std::vector<Oracle> registry{
+namespace {
+
+std::vector<Oracle>& mutable_registry() {
+  static std::vector<Oracle> registry{
       {"dfa-product-laws",
        "boolean algebra of DFA languages: product laws, minimize, and per-word membership",
        gen_product_laws, check_product_laws},
@@ -823,6 +825,21 @@ const std::vector<Oracle>& oracle_registry() {
        gen_lasso_roundtrip, check_lasso_roundtrip},
   };
   return registry;
+}
+
+}  // namespace
+
+const std::vector<Oracle>& oracle_registry() { return mutable_registry(); }
+
+void register_oracle(Oracle oracle) {
+  auto& registry = mutable_registry();
+  for (auto& existing : registry) {
+    if (existing.name == oracle.name) {
+      existing = std::move(oracle);
+      return;
+    }
+  }
+  registry.push_back(std::move(oracle));
 }
 
 const Oracle* find_oracle(std::string_view name) {

@@ -42,8 +42,16 @@ struct Oracle {
   std::function<CheckOutcome(const FuzzCase&, const Budget&)> check;
 };
 
-/// All oracles, in a fixed documented order.
+/// All oracles, in a fixed documented order (built-ins first, then
+/// registered extensions in registration order).
 const std::vector<Oracle>& oracle_registry();
+
+/// Registers an extension oracle from a higher layer that mph_fuzz cannot
+/// link against (e.g. the serve-replay oracle, whose check drives the
+/// mph_serve request engine). Replaces an existing oracle of the same name,
+/// appends otherwise. Call before the first fuzzing run — registration is
+/// not synchronized against concurrent registry readers.
+void register_oracle(Oracle oracle);
 
 /// Lookup by name; nullptr if unknown.
 const Oracle* find_oracle(std::string_view name);

@@ -1,0 +1,46 @@
+// Content digests for the mph-serve caches (docs/SERVE.md): FNV-1a 64-bit
+// over canonical serializations. Digests are *content addresses* — a model
+// delta produces a new model digest, so stale verdict entries are never
+// reachable from the new content and incremental re-check invalidates
+// exactly the digests the delta touches.
+//
+// FNV-1a is not cryptographic; it keys an in-process cache, not a trust
+// boundary. What matters here is determinism across runs and platforms
+// (pinned by serve_test's digest-stability cases).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mph::serve {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mixes a raw integer into a digest (length-prefixed fields use this to
+/// keep concatenation unambiguous).
+constexpr std::uint64_t fnv1a64_mix(std::uint64_t value, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= value & 0xFF;
+    h *= kFnvPrime;
+    value >>= 8;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex rendering, the wire form of every digest.
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace mph::serve

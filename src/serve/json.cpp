@@ -1,0 +1,398 @@
+#include "src/serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/analysis/diagnostics.hpp"
+#include "src/support/parse_num.hpp"
+
+namespace mph::serve {
+
+namespace {
+
+/// Deep enough for any sane request, small enough that a pathological
+/// nesting chain cannot overflow the stack (the request line itself is
+/// already length-capped by the daemon).
+constexpr std::size_t kMaxDepth = 64;
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double d) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.num_ = d;
+  if (d >= 0 && d <= 18446744073709549568.0 && std::nearbyint(d) == d) {
+    j.exact_u64_ = true;
+    j.u64_ = static_cast<std::uint64_t>(d);
+  }
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array(std::vector<Json> items) {
+  Json j;
+  j.kind_ = Kind::Array;
+  j.arr_ = std::move(items);
+  return j;
+}
+
+Json Json::object(std::vector<std::pair<std::string, Json>> members) {
+  Json j;
+  j.kind_ = Kind::Object;
+  j.obj_ = std::move(members);
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::invalid_argument("JSON value is not a boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::Number) throw std::invalid_argument("JSON value is not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::String) throw std::invalid_argument("JSON value is not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+  if (kind_ != Kind::Array) throw std::invalid_argument("JSON value is not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::as_object() const {
+  if (kind_ != Kind::Object) throw std::invalid_argument("JSON value is not an object");
+  return obj_;
+}
+
+std::optional<std::uint64_t> Json::as_u64() const {
+  if (kind_ != Kind::Number || !exact_u64_) return std::nullopt;
+  return u64_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON document");
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " + std::to_string(pos_) +
+                                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than the protocol allows");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json::null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    std::vector<std::pair<std::string, Json>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json::object(std::move(members));
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    std::vector<Json> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json::array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json::array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string (must be \\u-escaped)");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          // UTF-8 encode; surrogate pairs combine into one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!consume_literal("\\u")) fail("unpaired high surrogate");
+            unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("non-hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid value");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool integral = true;
+    if (peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("digits required after '.'");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("digits required in exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string_view literal = text_.substr(start, pos_ - start);
+    Json j;
+    j.kind_ = Json::Kind::Number;
+    j.num_ = std::strtod(std::string(literal).c_str(), nullptr);
+    // Exact-u64 flag only for plain integer literals that round-trip: this
+    // is what lets budget caps reject "1e9"-style and fractional values.
+    if (integral && literal[0] != '-') {
+      if (auto v = parse_u64(literal)) {
+        j.exact_u64_ = true;
+        j.u64_ = *v;
+      }
+    }
+    return j;
+  }
+};
+
+Json Json::parse(std::string_view text) { return JsonParser(text).parse_document(); }
+
+namespace {
+
+void dump_to(const Json& j, std::string& out) {
+  switch (j.kind()) {
+    case Json::Kind::Null: out += "null"; break;
+    case Json::Kind::Bool: out += j.as_bool() ? "true" : "false"; break;
+    case Json::Kind::Number: {
+      if (auto v = j.as_u64()) {
+        out += std::to_string(*v);
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", j.as_number());
+      out += buf;
+      break;
+    }
+    case Json::Kind::String:
+      out += '"';
+      out += analysis::json_escape(j.as_string());
+      out += '"';
+      break;
+    case Json::Kind::Array: {
+      out += '[';
+      const auto& items = j.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) out += ", ";
+        dump_to(items[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::Object: {
+      out += '{';
+      const auto& members = j.as_object();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i) out += ", ";
+        out += '"';
+        out += analysis::json_escape(members[i].first);
+        out += "\": ";
+        dump_to(members[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, const Json& value) {
+  members_.emplace_back(std::string(key), value);
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  members_.emplace_back(std::string(key), Json::string(std::string(value)));
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  members_.emplace_back(std::string(key), Json::boolean(value));
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  members_.emplace_back(std::string(key), Json::number(static_cast<double>(value)));
+  return *this;
+}
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  members_.emplace_back(std::string(key), Json::number(value));
+  return *this;
+}
+Json JsonWriter::build() { return Json::object(std::move(members_)); }
+
+}  // namespace mph::serve

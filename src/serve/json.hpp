@@ -1,0 +1,100 @@
+// A minimal JSON value + recursive-descent parser for the mph-serve wire
+// protocol (docs/SERVE.md). The daemon speaks line-delimited JSON, so the
+// parser handles exactly RFC 8259 documents on one line: objects, arrays,
+// strings (with \uXXXX escapes), numbers, true/false/null. No external
+// dependency; writing goes through analysis::json_escape like every other
+// JSON surface in the repo.
+//
+// Design constraints:
+//   * Object member order is preserved (responses are diffed byte-for-byte
+//     in tests) and lookup is linear — protocol objects are tiny.
+//   * A depth cap bounds recursion, so a hostile request line cannot
+//     overflow the daemon's stack (same guard family as the LTL parser).
+//   * Numbers keep their double value plus an exact-u64 flag; budget caps
+//     and thread counts reject non-integral or out-of-range numbers instead
+//     of silently truncating (the CLI hardening sweep's contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mph::serve {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double d);
+  static Json string(std::string s);
+  static Json array(std::vector<Json> items);
+  static Json object(std::vector<std::pair<std::string, Json>> members);
+
+  /// Parses one complete document; throws std::invalid_argument with a
+  /// positioned message on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+  const std::vector<std::pair<std::string, Json>>& as_object() const;
+
+  /// Exact unsigned integer view of a Number: engaged iff the literal was a
+  /// plain non-negative integer that fits in 64 bits ("3" yes; "3.5", "-1",
+  /// "1e9" in exponent form, 2^64 no).
+  std::optional<std::uint64_t> as_u64() const;
+
+  /// Object member by key; nullptr when absent or when this is not an
+  /// object. Linear scan, first match wins.
+  const Json* find(std::string_view key) const;
+
+  /// Serializes back to one line of JSON (keys in stored order, numbers via
+  /// shortest round-trip formatting, strings through analysis::json_escape).
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool exact_u64_ = false;
+  std::uint64_t u64_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+
+  friend class JsonParser;
+};
+
+/// Incremental builder for response objects: keeps the handler code flat.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, const Json& value);
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, double value);
+  Json build();
+
+ private:
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace mph::serve

@@ -1,0 +1,25 @@
+// The serve-replay differential oracle: random request streams through the
+// mph-serve request engine (Server::handle_line — the full wire path: JSON
+// parse, admission, caches, response serialization) cross-checked against
+// the in-process fts::check_all / ltl::exact_classification answers on the
+// same inputs. Any verdict or diagnostic disagreement between the daemon
+// path and the library path is a failure; a warm repeat of the same batch
+// must be served entirely from the verdict cache with identical verdicts.
+//
+// The oracle lives in mph_serve (not mph_fuzz) because it drives the
+// Server; it reaches the mph-fuzz CLI through fuzz::register_oracle (the
+// extension point added for exactly this layering).
+#pragma once
+
+#include "src/fuzz/oracles.hpp"
+
+namespace mph::serve {
+
+/// The oracle value itself (exposed for tests).
+fuzz::Oracle serve_replay_oracle();
+
+/// Registers serve_replay_oracle() with the global fuzz registry. Safe to
+/// call more than once (replaces by name).
+void register_serve_oracle();
+
+}  // namespace mph::serve

@@ -79,6 +79,10 @@ class Budget {
   std::size_t state_cap() const { return state_cap_; }
   bool has_state_cap() const { return state_cap_ != kUnlimitedStates; }
   bool has_deadline() const { return deadline_.has_value(); }
+  /// The absolute deadline, when one is set — lets an admission layer
+  /// (mph-serve) take the earlier of a base budget's deadline and a
+  /// per-request one instead of silently overwriting it.
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
   bool unlimited() const {
     return !has_state_cap() && !has_deadline() && !stop_.stop_possible();
   }

@@ -1,0 +1,40 @@
+// Strict numeric parsing for CLI flags (mph-lint, mph-fuzz, mph-serve).
+//
+// std::stoul/std::stoull accept what the tools must reject: leading
+// whitespace, a unary minus that wraps silently ("-5" → 2^64-5), and
+// trailing garbage ("1e9x" parses as 1). Every numeric flag goes through
+// parse_u64 instead: the whole string must be base-10 digits and the value
+// must fit, otherwise the caller reports a usage error (exit 2) — never an
+// uncaught std::invalid_argument, never a silently truncated value.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace mph {
+
+/// Full-string base-10 unsigned parse: nullopt on empty input, any
+/// non-digit character (including sign characters and trailing garbage),
+/// or overflow past 2^64-1.
+inline std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// parse_u64 with an inclusive upper bound (for flags like thread counts
+/// that feed narrower types).
+inline std::optional<std::uint64_t> parse_u64(std::string_view text, std::uint64_t max) {
+  auto v = parse_u64(text);
+  if (v && *v > max) return std::nullopt;
+  return v;
+}
+
+}  // namespace mph

@@ -63,6 +63,43 @@ TEST(Diagnostics, JsonIsEscapedAndStructured) {
   EXPECT_EQ(json.find("fix_hint"), std::string::npos);  // empty fields omitted
 }
 
+TEST(Diagnostics, JsonEscapeCoversEveryControlCharacter) {
+  // Regression net for the wire layer (docs/SERVE.md): mph-serve responses
+  // and `--json` reports are parsed by strict JSON parsers that reject raw
+  // control characters, so every one of the 32 ASCII controls must leave
+  // json_escape in escaped form — the common ones as their short escapes,
+  // the rest as \u00XX.
+  std::string all;
+  for (int c = 0; c < 0x20; ++c) all.push_back(static_cast<char>(c));
+  const std::string out = analysis::json_escape(all);
+  for (char c : out)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character survived escaping";
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\r"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  EXPECT_NE(out.find("\\u0000"), std::string::npos);
+  EXPECT_NE(out.find("\\u001f"), std::string::npos);
+  // Quotes and backslashes double; plain text and 8-bit bytes pass through.
+  EXPECT_EQ(analysis::json_escape("say \"hi\\\""), "say \\\"hi\\\\\\\"");
+  EXPECT_EQ(analysis::json_escape("plain text"), "plain text");
+}
+
+TEST(Diagnostics, JsonWithEmbeddedControlsStaysOneLine) {
+  // A counterexample trace smuggled into a witness used to be able to break
+  // line-delimited consumers; the rendered document must stay one line with
+  // no raw controls regardless of diagnostic content.
+  DiagnosticEngine e;
+  auto& d = e.emit("MPH-F006", "m\ro\nd\tel", "msg\x01with\x1f controls");
+  d.witness = "s0 \n-> s1";
+  const std::string json = e.to_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+  EXPECT_NE(json.find("m\\ro\\nd\\tel"), std::string::npos);
+  EXPECT_NE(json.find("msg\\u0001with\\u001f controls"), std::string::npos);
+  EXPECT_NE(json.find("s0 \\n-> s1"), std::string::npos);
+}
+
 TEST(Diagnostics, EmitRejectsUnknownCode) {
   DiagnosticEngine e;
   EXPECT_THROW(e.emit("MPH-Z001", "s", "m"), std::invalid_argument);

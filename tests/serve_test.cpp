@@ -1,0 +1,331 @@
+// The mph-serve request engine in process (docs/SERVE.md): content digests,
+// the formula/verdict caches, batch dedup, admission clamping, the
+// deadline-between-legs Unknown path, and the wire JSON layer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/serve/cache.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/replay_oracle.hpp"
+#include "src/serve/server.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::serve {
+namespace {
+
+Json req(const std::string& line) { return Json::parse(line); }
+
+const Json* result0(const Json& response) {
+  const Json* results = response.find("results");
+  if (!results || !results->is_array() || results->as_array().empty()) return nullptr;
+  return &results->as_array()[0];
+}
+
+std::string field(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  return v && v->is_string() ? v->as_string() : std::string();
+}
+
+// ---------------------------------------------------------------- digests
+
+TEST(ServeDigest, CanonicalizationSharesDigest) {
+  FormulaCache cache;
+  bool hit = false;
+  const auto a = cache.intern("G  (p ->  F q)", hit);
+  EXPECT_FALSE(hit);
+  const auto b = cache.intern("G(p -> F q)", hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(digest_hex(a).size(), 16u);
+}
+
+TEST(ServeDigest, DistinctFormulasDistinctDigests) {
+  FormulaCache cache;
+  bool hit = false;
+  EXPECT_NE(cache.intern("G p", hit), cache.intern("F p", hit));
+}
+
+TEST(ServeDigest, ModelDigestIsContentAddressed) {
+  fuzz::FtsSpec spec;
+  spec.vars.push_back({"x", 0, 1, 0});
+  fuzz::FtsSpec::Trans t;
+  t.name = "t1";
+  t.fairness = fts::Fairness::Weak;
+  t.effects.push_back({0, 0, 1});
+  spec.transitions.push_back(t);
+
+  const auto base = model_digest(spec);
+  EXPECT_EQ(base, model_digest(spec)) << "digest must be deterministic";
+
+  fuzz::FtsSpec delta = spec;
+  delta.vars[0].init = 1;
+  EXPECT_NE(base, model_digest(delta)) << "a model delta must change the digest";
+  EXPECT_NE(builtin_model_digest("peterson"), builtin_model_digest("dining-3"));
+}
+
+TEST(ServeDigest, OptionsDigestKeysEngineRoutes) {
+  fts::CheckOptions base;
+  fts::CheckOptions scc = base;
+  scc.force_scc = true;
+  fts::CheckOptions par = base;
+  par.explore_threads = 2;
+  fts::CheckOptions dispatch = base;
+  dispatch.class_dispatch = true;
+  EXPECT_NE(options_digest(base), options_digest(scc));
+  EXPECT_NE(options_digest(base), options_digest(par));
+  EXPECT_NE(options_digest(base), options_digest(dispatch));
+  EXPECT_NE(options_digest(scc), options_digest(par));
+}
+
+// ------------------------------------------------------------- wire JSON
+
+TEST(ServeJson, RoundTripsControlCharacters) {
+  // The dump side goes through analysis::json_escape; the parse side
+  // rejects raw control characters and understands the escapes. A string
+  // holding every ASCII control character must survive the round trip.
+  std::string hostile;
+  for (char c = 1; c < 0x20; ++c) hostile.push_back(c);
+  hostile += "plain \"quoted\" \\backslash\\";
+  const Json doc = Json::object({{"s", Json::string(hostile)}});
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.find("s")->as_string(), hostile);
+}
+
+TEST(ServeJson, RejectsRawControlAndTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{\"s\": \"a\nb\"}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+}
+
+TEST(ServeJson, NumbersKeepExactIntegerView) {
+  EXPECT_EQ(Json::parse("7").as_u64(), std::uint64_t{7});
+  EXPECT_FALSE(Json::parse("3.5").as_u64().has_value());
+  EXPECT_FALSE(Json::parse("1e9").as_u64().has_value()) << "exponent form is not exact";
+  EXPECT_FALSE(Json::parse("-1").as_u64().has_value());
+}
+
+// --------------------------------------------------------------- caching
+
+TEST(ServeServer, WarmHitAgreesWithColdVerdict) {
+  Server server;
+  const std::string line =
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"]})js";
+  const Json cold = req(server.handle_line(line));
+  const Json warm = req(server.handle_line(line));
+  ASSERT_TRUE(result0(cold) && result0(warm));
+  EXPECT_EQ(field(*result0(cold), "cache"), "miss");
+  EXPECT_EQ(field(*result0(warm), "cache"), "hit");
+  EXPECT_EQ(field(*result0(cold), "verdict"), "holds");
+  EXPECT_EQ(field(*result0(warm), "verdict"), field(*result0(cold), "verdict"));
+  EXPECT_EQ(server.verdict_cache().size(), 1u);
+}
+
+TEST(ServeServer, EngineOptionVariantsAreKeyedSeparately) {
+  Server server;
+  const Json plain = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"]})js"));
+  const Json scc = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"],"force_scc":true})js"));
+  const Json par = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"],"explore_threads":2})js"));
+  EXPECT_EQ(field(*result0(scc), "cache"), "miss")
+      << "force_scc must not be served from the default route's entry";
+  EXPECT_EQ(field(*result0(par), "cache"), "miss")
+      << "explore_threads must not be served from the default route's entry";
+  // Three distinct cache keys, one verdict.
+  EXPECT_EQ(server.verdict_cache().size(), 3u);
+  EXPECT_EQ(field(*result0(plain), "verdict"), "holds");
+  EXPECT_EQ(field(*result0(scc), "verdict"), "holds");
+  EXPECT_EQ(field(*result0(par), "verdict"), "holds");
+  EXPECT_NE(field(plain, "options_digest"), field(scc, "options_digest"));
+  EXPECT_NE(field(plain, "options_digest"), field(par, "options_digest"));
+}
+
+TEST(ServeServer, DuplicateSpecsInOneBatchShareOneComputation) {
+  Server server;
+  const Json response = req(server.handle_line(
+      R"js({"op":"check","model":"peterson",)js"
+      R"js("specs":["G !(c1 & c2)","G  !(c1  &  c2)","G(t1 -> F c1)"]})js"));
+  const auto& results = response.find("results")->as_array();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(field(results[0], "cache"), "miss");
+  EXPECT_EQ(field(results[1], "cache"), "dedup")
+      << "a different spelling of the same canonical spec must fold into the "
+         "batch's single computation";
+  EXPECT_EQ(field(results[2], "cache"), "miss");
+  EXPECT_EQ(field(results[0], "digest"), field(results[1], "digest"));
+  EXPECT_EQ(server.batch_dedups(), 1u);
+  // One entry per unique (model, spec, opts) key — the duplicate did not
+  // produce a second entry.
+  EXPECT_EQ(server.verdict_cache().size(), 2u);
+}
+
+TEST(ServeServer, ModelDeltaInvalidatesOnlyItsOwnDigest) {
+  Server server;
+  const std::string base =
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":0,"hi":1,"init":0}],)js"
+      R"js("transitions":[{"name":"t1","fairness":"weak",)js"
+      R"js("effects":[{"var":0,"src":0,"add":1}]}]},"specs":["F xhi"]})js";
+  const std::string delta =
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":0,"hi":1,"init":1}],)js"
+      R"js("transitions":[{"name":"t1","fairness":"weak",)js"
+      R"js("effects":[{"var":0,"src":0,"add":1}]}]},"specs":["F xhi"]})js";
+  const Json cold = req(server.handle_line(base));
+  const Json changed = req(server.handle_line(delta));
+  const Json warm = req(server.handle_line(base));
+  EXPECT_NE(field(cold, "model_digest"), field(changed, "model_digest"));
+  EXPECT_EQ(field(*result0(changed), "cache"), "miss")
+      << "the delta's digest has no cached entries";
+  EXPECT_EQ(field(*result0(warm), "cache"), "hit")
+      << "the untouched model's entry must survive the delta";
+  // Explicit invalidation drops exactly the named model's entries.
+  const Json inv = req(server.handle_line(
+      R"js({"op":"invalidate","model_digest":")js" + field(cold, "model_digest") +
+      R"js("})js"));
+  EXPECT_EQ(inv.find("invalidated")->as_u64(), std::uint64_t{1});
+  const Json recompute = req(server.handle_line(base));
+  EXPECT_EQ(field(*result0(recompute), "cache"), "miss");
+  const Json other = req(server.handle_line(delta));
+  EXPECT_EQ(field(*result0(other), "cache"), "hit")
+      << "invalidation must not touch other models";
+}
+
+// ------------------------------------------------- budgets and admission
+
+TEST(ServeServer, ExpiredDeadlineYieldsStructuredUnknown) {
+  Server server;
+  const Json response = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G(t1 -> F c1)"],"budget_ms":0})js"));
+  ASSERT_TRUE(response.find("ok")->as_bool());
+  const Json* r = result0(response);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(field(*r, "verdict"), "unknown");
+  EXPECT_EQ(field(*r, "outcome"), "budget-deadline");
+  bool v004 = false;
+  for (const auto& d : response.find("diagnostics")->as_array())
+    v004 = v004 || field(d, "code") == "MPH-V004";
+  EXPECT_TRUE(v004) << "the between-legs gate must emit MPH-V004";
+  EXPECT_EQ(server.verdict_cache().size(), 0u) << "exhaustion must never be cached";
+  EXPECT_EQ(server.budget_exhaustions(), 1u);
+
+  // The same spec without the dead budget computes normally.
+  const Json retry = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G(t1 -> F c1)"]})js"));
+  EXPECT_EQ(field(*result0(retry), "cache"), "miss");
+  EXPECT_EQ(field(*result0(retry), "verdict"), "holds");
+}
+
+TEST(ServeServer, RequestBudgetsAreClampedToServerCeilings) {
+  ServerConfig config;
+  config.max_budget_states = 3;  // below peterson's 15 reachable states
+  Server server(config);
+  const Json response = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G(t1 -> F c1)"],)js"
+      R"js("budget_states":1000000})js"));
+  const Json* r = result0(response);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(field(*r, "verdict"), "unknown")
+      << "a request may only lower the server's state ceiling";
+  EXPECT_EQ(field(*r, "outcome"), "budget-states");
+}
+
+TEST(ServeServer, BaseBudgetDeadlineCombinesWithRequestDeadline) {
+  ServerConfig config;
+  config.base_budget.with_deadline(Budget::Clock::now());  // already expired
+  Server server(config);
+  const Json response = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"],)js"
+      R"js("budget_ms":60000})js"));
+  const Json* r = result0(response);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(field(*r, "outcome"), "budget-deadline")
+      << "the earlier of base and request deadlines must win";
+}
+
+// ----------------------------------------------------- protocol behavior
+
+TEST(ServeServer, MalformedRequestsAreStructuredErrors) {
+  Server server;
+  const Json bad_json = req(server.handle_line("{nope"));
+  EXPECT_FALSE(bad_json.find("ok")->as_bool());
+  EXPECT_EQ(field(*bad_json.find("error"), "code"), "bad-json");
+
+  const Json bad_op = req(server.handle_line(R"js({"op":"frobnicate"})js"));
+  EXPECT_EQ(field(*bad_op.find("error"), "code"), "bad-request");
+
+  const Json bad_model = req(server.handle_line(
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":1,"hi":0,"init":0}],)js"
+      R"js("transitions":[]},"specs":["G p"]})js"));
+  EXPECT_EQ(field(*bad_model.find("error"), "code"), "bad-request")
+      << "an empty variable domain must be rejected at validation";
+
+  const Json bad_budget = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G p"],"budget_ms":"soon"})js"));
+  EXPECT_EQ(field(*bad_budget.find("error"), "code"), "bad-request");
+
+  // The server survives all of the above.
+  const Json ok = req(server.handle_line(R"js({"op":"parse","formula":"G p"})js"));
+  EXPECT_TRUE(ok.find("ok")->as_bool());
+}
+
+TEST(ServeServer, IdEchoesBackFirst) {
+  Server server;
+  const Json response =
+      req(server.handle_line(R"js({"op":"parse","id":41,"formula":"G p"})js"));
+  ASSERT_FALSE(response.as_object().empty());
+  EXPECT_EQ(response.as_object()[0].first, "id");
+  EXPECT_EQ(response.find("id")->as_u64(), std::uint64_t{41});
+}
+
+TEST(ServeServer, StatsCountEndpointsAndCaches) {
+  Server server;
+  (void)server.handle_line(R"js({"op":"parse","formula":"G p"})js");
+  (void)server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"]})js");
+  (void)server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"]})js");
+  (void)server.handle_line("garbage");
+  const Json stats = *req(server.handle_line(R"js({"op":"stats"})js")).find("stats");
+  EXPECT_EQ(stats.find("requests")->as_u64(), std::uint64_t{4});
+  const Json& endpoints = *stats.find("endpoints");
+  EXPECT_EQ(endpoints.find("parse")->find("count")->as_u64(), std::uint64_t{1});
+  EXPECT_EQ(endpoints.find("check")->find("count")->as_u64(), std::uint64_t{2});
+  EXPECT_EQ(endpoints.find("invalid")->find("errors")->as_u64(), std::uint64_t{1});
+  const Json& verdict = *stats.find("caches")->find("verdict");
+  EXPECT_EQ(verdict.find("hits")->as_u64(), std::uint64_t{1});
+  EXPECT_EQ(verdict.find("misses")->as_u64(), std::uint64_t{1});
+  EXPECT_NE(server.stats_text().find("verdict cache"), std::string::npos);
+}
+
+TEST(ServeMetrics, PercentilesAreOrderStatistics) {
+  EndpointMetrics m;
+  EXPECT_EQ(m.percentile(0.5), 0.0);
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) m.latency_us.push_back(v);
+  EXPECT_EQ(m.percentile(0.0), 1.0);
+  EXPECT_EQ(m.percentile(0.5), 5.0);  // sorted[2]
+  EXPECT_EQ(m.percentile(0.99), 9.0);
+}
+
+// ------------------------------------------------------------- the oracle
+
+TEST(ServeReplay, OracleAgreesOnSeededStreams) {
+  const fuzz::Oracle oracle = serve_replay_oracle();
+  Rng rng(20260808);
+  int checked = 0;
+  for (int i = 0; i < 10; ++i) {
+    const fuzz::FuzzCase c = oracle.generate(rng);
+    const fuzz::CheckOutcome outcome = oracle.check(c, Budget());
+    EXPECT_NE(outcome.kind, fuzz::CheckOutcome::Kind::Fail) << outcome.message;
+    if (outcome.kind == fuzz::CheckOutcome::Kind::Pass) ++checked;
+  }
+  EXPECT_GT(checked, 0) << "the seeded streams must exercise the pass path";
+}
+
+}  // namespace
+}  // namespace mph::serve

@@ -18,6 +18,8 @@
 
 #include "src/fuzz/generators.hpp"
 #include "src/fuzz/runner.hpp"
+#include "src/serve/replay_oracle.hpp"
+#include "src/support/parse_num.hpp"
 
 namespace {
 
@@ -55,6 +57,8 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  serve::register_serve_oracle();
+
   fuzz::FuzzOptions options;
   bool json = false, list_oracles = false;
   std::string out_path, replay_path, save_path;
@@ -68,27 +72,34 @@ int main(int argc, char** argv) {
     }
     return args[++i];
   };
+  // Strict numeric flags: "1e9x", "-5", and "" are usage errors (exit 2),
+  // never silent truncations (std::stoull parsed "1e9x" as 1).
+  auto num_of = [&](std::size_t& i, const char* flag) -> std::uint64_t {
+    const std::string text = value_of(i);
+    if (auto v = parse_u64(text)) return *v;
+    std::cerr << "mph-fuzz: " << flag << " needs a base-10 unsigned integer, got '"
+              << text << "'\n";
+    usage(std::cerr, 2);
+    std::exit(2);
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
-    try {
-      if (a == "--seed") options.seed = std::stoull(value_of(i));
-      else if (a == "--iters") options.iters = std::stoull(value_of(i));
-      else if (a == "--oracle") options.oracles.push_back(value_of(i));
-      else if (a == "--max-failures") options.max_failures = std::stoull(value_of(i));
-      else if (a == "--no-shrink") options.shrink = false;
-      else if (a == "--iter-budget-ms") options.iter_budget_ms = std::stoull(value_of(i));
-      else if (a == "--iter-budget-states") options.iter_budget_states = std::stoull(value_of(i));
-      else if (a == "--json") json = true;
-      else if (a == "--out") out_path = value_of(i);
-      else if (a == "--replay") replay_path = value_of(i);
-      else if (a == "--save-case") save_path = value_of(i);
-      else if (a == "--case-iter") case_iter = std::stoull(value_of(i));
-      else if (a == "--list-oracles") list_oracles = true;
-      else if (a == "--help" || a == "-h") return usage(std::cout, 0);
-      else return usage(std::cerr, 2);
-    } catch (const std::exception&) {
-      return usage(std::cerr, 2);
-    }
+    if (a == "--seed") options.seed = num_of(i, "--seed");
+    else if (a == "--iters") options.iters = num_of(i, "--iters");
+    else if (a == "--oracle") options.oracles.push_back(value_of(i));
+    else if (a == "--max-failures") options.max_failures = num_of(i, "--max-failures");
+    else if (a == "--no-shrink") options.shrink = false;
+    else if (a == "--iter-budget-ms") options.iter_budget_ms = num_of(i, "--iter-budget-ms");
+    else if (a == "--iter-budget-states")
+      options.iter_budget_states = num_of(i, "--iter-budget-states");
+    else if (a == "--json") json = true;
+    else if (a == "--out") out_path = value_of(i);
+    else if (a == "--replay") replay_path = value_of(i);
+    else if (a == "--save-case") save_path = value_of(i);
+    else if (a == "--case-iter") case_iter = num_of(i, "--case-iter");
+    else if (a == "--list-oracles") list_oracles = true;
+    else if (a == "--help" || a == "-h") return usage(std::cout, 0);
+    else return usage(std::cerr, 2);
   }
 
   if (list_oracles) {

@@ -14,6 +14,7 @@
 // too), 2 = usage or parse failure. Unknown verdicts never silently map
 // to 0 semantics beyond exit status: they are always visible as MPH-V004 /
 // MPH-Y005 diagnostics and "unknown" table cells.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -31,6 +32,7 @@
 #include "src/fts/checker.hpp"
 #include "src/fts/programs.hpp"
 #include "src/ltl/hierarchy.hpp"
+#include "src/support/parse_num.hpp"
 #include "src/support/table.hpp"
 
 namespace {
@@ -196,6 +198,16 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Strict numeric flags (src/support/parse_num.hpp): "abc", "1e9x", "-5"
+    // and out-of-range values are usage errors (exit 2), never an uncaught
+    // std::invalid_argument out of std::stoul and never a wrapped value.
+    auto next_num = [&](const char* flag, std::uint64_t max) -> std::uint64_t {
+      const std::string text = next(flag);
+      if (auto v = parse_u64(text, max)) return *v;
+      std::cerr << "mph-lint: " << flag << " needs a base-10 unsigned integer <= " << max
+                << ", got '" << text << "'\n";
+      std::exit(2);
+    };
     if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
     if (arg == "--spec") {
       spec_files.push_back(next("--spec"));
@@ -206,13 +218,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--check") {
       check_formulas.push_back(next("--check"));
     } else if (arg == "--threads") {
-      check_threads = static_cast<unsigned>(std::stoul(next("--threads")));
+      check_threads = static_cast<unsigned>(next_num("--threads", 1024));
     } else if (arg == "--explore-threads") {
-      explore_threads = static_cast<unsigned>(std::stoul(next("--explore-threads")));
+      explore_threads = static_cast<unsigned>(next_num("--explore-threads", 1024));
     } else if (arg == "--budget-states") {
-      budget_states = std::stoull(next("--budget-states"));
+      budget_states = next_num("--budget-states", UINT64_MAX);
     } else if (arg == "--budget-ms") {
-      budget_ms = std::stoull(next("--budget-ms"));
+      budget_ms = next_num("--budget-ms", UINT64_MAX);
     } else if (arg == "--vacuity") {
       vacuity = true;
     } else if (arg == "--coverage") {
@@ -229,7 +241,7 @@ int main(int argc, char** argv) {
       print_normal = true;
     } else if (arg == "--normalize-steps") {
       options.normalize.normalize.budget =
-          Budget().with_state_cap(std::stoull(next("--normalize-steps")));
+          Budget().with_state_cap(next_num("--normalize-steps", UINT64_MAX));
     } else if (arg == "--strict-class") {
       std::string cname = next("--strict-class");
       strict_class = parse_class(cname);
