@@ -71,6 +71,22 @@ CASES = [
      ["--quiet", "--strict-class", "persistence", "--normalize-steps", "1",
       "G(p | F G q)"]),
     (0, "--normalize prints forms, exit stays 0", ["--quiet", "--normalize", "G p"]),
+    # --subsume: pairwise Büchi language inclusion over the requirement set.
+    # Redundancy is a warning (MPH-S011/S012): exit 0 plain, 1 under --werror.
+    (0, "subsumed requirement without --werror",
+     ["--quiet", "--subsume", "G p", "G (p & q)"]),
+    (1, "subsumed requirement under --werror",
+     ["--quiet", "--werror", "--subsume", "G p", "G (p & q)"]),
+    (0, "independent requirements under --subsume --werror",
+     ["--quiet", "--werror", "--subsume", "G p", "F q"]),
+    # A 1-state inclusion budget leaves every pair undecided (MPH-S013, a
+    # note): exit 0 normally, 1 under --strict-unknown.
+    (0, "undecided subsumption without --strict-unknown",
+     ["--quiet", "--subsume", "--budget-states", "1", "G p", "G (p & q)"]),
+    (1, "undecided subsumption under --strict-unknown",
+     ["--quiet", "--strict-unknown", "--subsume", "--budget-states", "1",
+      "G p", "G (p & q)"]),
+    (2, "--subsume without requirements", ["--subsume"]),
     (2, "--strict-class without requirements", ["--strict-class", "safety"]),
     (2, "--strict-class with unknown class name", ["--strict-class", "bogus", "G p"]),
     (2, "no inputs at all", []),

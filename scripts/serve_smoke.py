@@ -63,6 +63,18 @@ REQUESTS = [
     {"op": "check", "id": 17, "model": "no-such-model", "specs": ["G p"]},
     {"op": "check", "id": 18, "model": "peterson", "specs": [SAFETY],
      "budget_states": "many"},                                # malformed budget
+    # A rescue-family formula: the rewriter refuses, the Büchi closure tests
+    # still classify (exact_source "nba", docs/COMPLEMENT.md).
+    {"op": "classify", "id": 20, "formula": "F (p & X (p U q))"},
+    # Uncached, but implied by the cached holding SAFETY entry: the verdict
+    # transfers across specs via language inclusion (cache "subsume").
+    {"op": "check", "id": 21, "model": "peterson",
+     "specs": ["F !(c1 & c2)"]},
+    {"op": "check", "id": 22,
+     "model": {"vars": [{"name": "x", "lo": 0, "hi": 1, "init": 0},
+                        {"name": "x", "lo": 0, "hi": 2, "init": 0}],
+               "transitions": []},
+     "specs": ["G p"]},                                       # duplicate var name
     "this is not json",
     {"op": "stats", "id": 19},
 ]
@@ -126,7 +138,7 @@ def main():
            "peterson verdicts", b)
     expect([r["cache"] for r in b["results"]] == ["miss", "miss", "dedup"],
            "duplicate spec inside one batch must dedup", b)
-    expect(b["cache"] == {"hits": 0, "misses": 2, "dedup": 1},
+    expect(b["cache"] == {"hits": 0, "misses": 2, "dedup": 1, "subsume": 0},
            "batch cache counters", b)
     expect(b["results"][0]["digest"] == b["results"][2]["digest"],
            "duplicate specs share a digest", b)
@@ -201,6 +213,26 @@ def main():
            and any(d["code"] == "MPH-Y002" for d in vac["diagnostics"]),
            "trivial-mutex antecedent vacuity", vac)
 
+    # -- NBA-backed classification and cross-spec subsumption --------------
+    rescue = by_id[20]
+    expect(rescue["ok"] and rescue["exact"] == "guarantee"
+           and rescue.get("exact_source") == "nba",
+           "the rescue formula must classify exactly via the Büchi closure "
+           "tests after the rewriter refuses", rescue)
+
+    sub = by_id[21]
+    r = result_of(sub)
+    expect(r["cache"] == "subsume" and r["verdict"] == "holds"
+           and "via" in r,
+           "F !(c1 & c2) must derive from a cached holding donor via "
+           "language inclusion", sub)
+    expect(sub["cache"]["subsume"] == 1, "batch subsume counter", sub)
+
+    dup = by_id[22]
+    expect(not dup["ok"] and dup["error"]["code"] == "bad-request"
+           and "duplicate" in dup["error"]["message"],
+           "duplicate model var names must be a structured bad-request", dup)
+
     # -- error paths keep the daemon alive ---------------------------------
     expect(not by_id[16]["ok"]
            and by_id[16]["error"]["code"] == "bad-request",
@@ -223,16 +255,19 @@ def main():
            "stats.requests must count every prior request", by_id[19])
     endpoints = stats["endpoints"]
     expect(endpoints["parse"]["count"] == 2
-           and endpoints["classify"]["count"] == 1
-           and endpoints["check"]["count"] == 12
+           and endpoints["classify"]["count"] == 2
+           and endpoints["check"]["count"] == 14
            and endpoints["vacuity"]["count"] == 1
            and endpoints["invalid"]["count"] == 1
            and endpoints["bogus-op"]["count"] == 1,
            "per-endpoint request counts", by_id[19])
-    expect(endpoints["check"]["errors"] == 2,   # ids 17 and 18
+    expect(endpoints["check"]["errors"] == 3,   # ids 17, 18 and 22
            "check endpoint error count", by_id[19])
     expect(stats["budget_exhaustions"] == 1, "budget exhaustion count",
            by_id[19])
+    expect(stats["caches"]["verdict"]["subsume_hits"] == 1
+           and stats["caches"]["implications"]["checks"] >= 1,
+           "subsume hit / implication-check counters", by_id[19])
     verdict = stats["caches"]["verdict"]
     expect(verdict["hits"] == 2 and verdict["dedup"] == 1,
            "verdict cache hit/dedup counters", by_id[19])

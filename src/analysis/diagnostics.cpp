@@ -48,6 +48,7 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-N001", Severity::Note, "exact hierarchy class established by normalization"},
     {"MPH-N002", Severity::Warning, "syntactic class coarser than exact class (suggested rewrite attached)"},
     {"MPH-N003", Severity::Warning, "normalization blowup (budget exhausted or oversized normal form)"},
+    {"MPH-N004", Severity::Note, "exact class established by Büchi closure tests after a normalization refusal"},
     // Paper-literal procedure caveats.
     {"MPH-P001", Severity::Warning, "literal §5.1 procedure is unsound for k ≥ 2 Streett pairs"},
     // Specifications (LTL property lists).
@@ -61,6 +62,9 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-S008", Severity::Warning, "requirement outside the supported fragment (lint partial)"},
     {"MPH-S009", Severity::Warning, "duplicate requirement"},
     {"MPH-S010", Severity::Warning, "too many distinct atoms; semantic passes skipped"},
+    {"MPH-S011", Severity::Warning, "requirement subsumed by one other requirement (Büchi inclusion)"},
+    {"MPH-S012", Severity::Warning, "two requirements denote the same language"},
+    {"MPH-S013", Severity::Note, "subsumption pair undecided within the inclusion budget"},
     // Model-checker notes.
     {"MPH-V001", Severity::Note, "specification outside the hierarchy fragment; NBA tableau used"},
     {"MPH-V002", Severity::Note, "model-check product size"},

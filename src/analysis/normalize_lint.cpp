@@ -41,37 +41,47 @@ NormalizeLintResult lint_normalize(const std::vector<ltl::Formula>& requirements
     item.outcome = nr.outcome;
     item.steps = nr.steps;
 
+    // The public entry point re-runs the rewrite and, on refusal, falls back
+    // to the Safra-free NBA closure tests — both exact paths flow through it
+    // so alphabet handling (atom union, max_atoms refusal) applies uniformly.
+    std::optional<ltl::ExactClass> exact = ltl::exact_classification(f, options.normalize);
+    const bool via_nba = exact && exact->source == ltl::ExactClass::Source::NbaSemantics;
+
     if (!is_complete(nr.outcome)) {
       ++result.budget_count;
       auto& d = out.emit("MPH-N003", subject_of(i, item.text),
                          std::string("normalization stopped (") +
                              std::string(to_string(nr.outcome)) + ") after " +
                              std::to_string(nr.steps) +
-                             " rule applications; exact class unknown");
-      d.fix_hint = "raise the normalization budget, or restate the requirement "
-                   "closer to hierarchy normal form";
-      result.items.push_back(std::move(item));
-      continue;
+                             (via_nba ? " rule applications; class recovered "
+                                        "by Büchi closure tests"
+                                      : " rule applications; exact class unknown"));
+      if (!via_nba)
+        d.fix_hint = "raise the normalization budget, or restate the requirement "
+                     "closer to hierarchy normal form";
     }
 
-    std::optional<ltl::ExactClass> exact;
-    if (nr.normal) {
-      // Re-derive the compiled classification from the already-computed
-      // normal form via the public entry point so its alphabet handling
-      // (atom union, max_atoms refusal) applies uniformly.
-      exact = ltl::exact_classification(f, options.normalize);
-    }
     if (!exact) {
-      // Out of envelope, or too many atoms to compile: a sound refusal.
-      ++result.refused_count;
+      if (is_complete(nr.outcome)) {
+        // Out of envelope (and the NBA tests could not decide either), or
+        // too many atoms to compile: a sound refusal.
+        ++result.refused_count;
+      }
       result.items.push_back(std::move(item));
       continue;
     }
 
     ++result.exact_count;
     item.exact = exact->value;
-    item.normal_form = exact->normal_form.to_string();
-    {
+    item.exact_source = exact->source;
+    if (via_nba) {
+      ++result.nba_count;
+      out.emit("MPH-N004", subject_of(i, item.text),
+               "exact class: " + exact->value.describe() +
+                   " (closure tests on the tableau Büchi automata; "
+                   "no normal form exists within the rewrite envelope)");
+    } else {
+      item.normal_form = exact->normal_form.to_string();
       auto& d = out.emit("MPH-N001", subject_of(i, item.text),
                          "exact class: " + exact->value.describe());
       d.witness = *item.normal_form;
@@ -82,9 +92,9 @@ NormalizeLintResult lint_normalize(const std::vector<ltl::Formula>& requirements
           "written as " + core::to_string(item.syntactic.lowest()) +
               " but exactly " + core::to_string(item.exact->lowest()) +
               " — the checker would route this through a needlessly general engine");
-      d.fix_hint = "rewrite as: " + *item.normal_form;
+      if (item.normal_form) d.fix_hint = "rewrite as: " + *item.normal_form;
     }
-    if (exact->normal_form.size() > options.blowup_nodes) {
+    if (!via_nba && exact->normal_form.size() > options.blowup_nodes) {
       auto& d = out.emit("MPH-N003", subject_of(i, item.text),
                          "normal form has " + std::to_string(exact->normal_form.size()) +
                              " nodes (ceiling " + std::to_string(options.blowup_nodes) +

@@ -11,6 +11,9 @@
 //                      on the comparison, and a rewrite is always supplied)
 //   MPH-N003  warning  the normalization budget or node ceiling was hit —
 //                      the class is reported unknown, never guessed
+//   MPH-N004  note     normalization refused, but the Safra-free Büchi
+//                      closure tests (core::classify_nba, docs/COMPLEMENT.md)
+//                      still established the exact class
 //
 // The pass also aggregates a spec-suite summary (per-class counts of exact
 // classes, refusals, budget stops) that mph-lint renders as a table.
@@ -39,8 +42,11 @@ struct NormalizeLintResult {
   struct Item {
     std::string text;                          ///< requirement as written
     core::Classification syntactic;            ///< sound syntactic claims
-    std::optional<core::Classification> exact; ///< engaged iff normalization
-                                               ///< completed and compiled
+    std::optional<core::Classification> exact; ///< engaged iff some exact
+                                               ///< path succeeded
+    /// Which exact path produced `exact` (meaningful only when engaged):
+    /// compiled normal form (MPH-N001) or NBA closure tests (MPH-N004).
+    ltl::ExactClass::Source exact_source = ltl::ExactClass::Source::NormalForm;
     std::optional<std::string> normal_form;    ///< hierarchy normal form text
     Outcome outcome = Outcome::Complete;       ///< how normalization ended
     std::size_t steps = 0;                     ///< rule applications spent
@@ -50,8 +56,9 @@ struct NormalizeLintResult {
   };
 
   std::vector<Item> items;
-  std::size_t exact_count = 0;    ///< items with an exact class
-  std::size_t refused_count = 0;  ///< out-of-envelope (sound refusal)
+  std::size_t exact_count = 0;    ///< items with an exact class (either path)
+  std::size_t nba_count = 0;      ///< of those, established via NBA (MPH-N004)
+  std::size_t refused_count = 0;  ///< both paths refused (sound refusal)
   std::size_t budget_count = 0;   ///< budget/ceiling stops (MPH-N003)
 };
 

@@ -62,7 +62,9 @@ constexpr std::string_view kFtsCodes[] = {"MPH-F001", "MPH-F002", "MPH-F003", "M
 constexpr std::string_view kSpecCodes[] = {"MPH-S001", "MPH-S002", "MPH-S003", "MPH-S004",
                                            "MPH-S005", "MPH-S006", "MPH-S007", "MPH-S008",
                                            "MPH-S009", "MPH-S010"};
-constexpr std::string_view kNormalizeCodes[] = {"MPH-N001", "MPH-N002", "MPH-N003"};
+constexpr std::string_view kNormalizeCodes[] = {"MPH-N001", "MPH-N002", "MPH-N003",
+                                                "MPH-N004"};
+constexpr std::string_view kSubsumeCodes[] = {"MPH-S011", "MPH-S012", "MPH-S013"};
 constexpr std::string_view kVacuityCodes[] = {"MPH-Y001", "MPH-Y002", "MPH-Y003", "MPH-Y005"};
 constexpr std::string_view kCoverageCodes[] = {"MPH-Y004", "MPH-Y005"};
 
@@ -106,6 +108,12 @@ const Pass kPasses[] = {
      Subject::Kind::Spec, kNormalizeCodes,
      [](const Subject& s, DiagnosticEngine& out, const AnalysisOptions& opts) {
        lint_normalize(s.spec(), out, opts.normalize);
+     }},
+    {"subsume", "pairwise requirement subsumption via Büchi language inclusion",
+     Subject::Kind::Spec, kSubsumeCodes,
+     [](const Subject& s, DiagnosticEngine& out, const AnalysisOptions& opts) {
+       if (!opts.subsume.enabled) return;
+       lint_subsume(s.spec(), out, opts.subsume);
      }},
     {"vacuity", "polarity-directed mutation vacuity of requirements that hold on the model",
      Subject::Kind::CheckedSpec, kVacuityCodes,

@@ -16,6 +16,7 @@
 #include "src/analysis/fts_lint.hpp"
 #include "src/analysis/normalize_lint.hpp"
 #include "src/analysis/spec_lint.hpp"
+#include "src/analysis/subsume.hpp"
 #include "src/analysis/vacuity.hpp"
 #include "src/fts/fts.hpp"
 #include "src/lang/dfa.hpp"
@@ -29,6 +30,7 @@ struct AnalysisOptions {
   FtsLintOptions fts;
   SpecLintOptions spec;
   NormalizeLintOptions normalize;  // the `normalize` pass (MPH-N family)
+  SubsumeOptions subsume;    // the `subsume` pass (off by default; quadratic)
   VacuityOptions vacuity;    // the `vacuity` pass (CheckedSpec subjects)
   CoverageOptions coverage;  // the `coverage` pass (off by default; expensive)
 };

@@ -1,0 +1,124 @@
+#include "src/analysis/subsume.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "src/lang/alphabet.hpp"
+#include "src/ltl/to_nba.hpp"
+#include "src/omega/inclusion.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::analysis {
+
+namespace {
+
+std::string subject_of(std::size_t i, const std::string& text) {
+  std::string shown = text.size() <= 60 ? text : text.substr(0, 57) + "…";
+  return "requirement " + std::to_string(i + 1) + " '" + shown + "'";
+}
+
+Implication included_to_implication(omega::InclusionVerdict v) {
+  switch (v) {
+    case omega::InclusionVerdict::Included:
+      return Implication::Implies;
+    case omega::InclusionVerdict::NotIncluded:
+      return Implication::NotImplies;
+    case omega::InclusionVerdict::Unknown:
+      return Implication::Unknown;
+  }
+  MPH_ASSERT(false);
+}
+
+}  // namespace
+
+std::string_view to_string(Implication v) {
+  switch (v) {
+    case Implication::Implies:
+      return "implies";
+    case Implication::NotImplies:
+      return "not-implies";
+    case Implication::Unknown:
+      return "unknown";
+  }
+  MPH_ASSERT(false);
+}
+
+Implication implies(const ltl::Formula& stronger, const ltl::Formula& weaker,
+                    const SubsumeOptions& options) {
+  std::vector<std::string> atoms = stronger.atoms();
+  for (const auto& a : weaker.atoms())
+    if (std::find(atoms.begin(), atoms.end(), a) == atoms.end()) atoms.push_back(a);
+  if (atoms.size() > options.max_atoms) return Implication::Unknown;
+  lang::Alphabet alphabet =
+      lang::Alphabet::of_props(atoms.empty() ? std::vector<std::string>{"p"} : atoms);
+  try {
+    Budgeted<omega::Nba> a = ltl::to_nba(stronger, alphabet, options.budget);
+    if (!a.complete()) return Implication::Unknown;
+    Budgeted<omega::Nba> b = ltl::to_nba(weaker, alphabet, options.budget);
+    if (!b.complete()) return Implication::Unknown;
+    omega::InclusionOptions io;
+    io.budget = options.budget;
+    return included_to_implication(omega::included(*a.value, *b.value, io).verdict);
+  } catch (const std::invalid_argument&) {
+    // Past operators or an oversized tableau closure: outside the fragment.
+    return Implication::Unknown;
+  }
+}
+
+SubsumeResult lint_subsume(const std::vector<ltl::Formula>& requirements,
+                           DiagnosticEngine& out, const SubsumeOptions& options) {
+  SubsumeResult result;
+  const std::size_t n = requirements.size();
+  if (n < 2) return result;
+
+  std::vector<std::string> texts(n);
+  for (std::size_t i = 0; i < n; ++i) texts[i] = requirements[i].to_string();
+
+  // Decide both directions of every unordered pair once, then report.
+  std::vector<std::vector<Implication>> m(n, std::vector<Implication>(n, Implication::Unknown));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ++result.checked_pairs;
+      m[i][j] = implies(requirements[i], requirements[j], options);
+      if (m[i][j] == Implication::Unknown) ++result.unknown_pairs;
+    }
+
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool fwd = m[i][j] == Implication::Implies;
+      const bool bwd = m[j][i] == Implication::Implies;
+      if (fwd && bwd) {
+        result.pairs.push_back({i, j, true});
+        auto& d = out.emit("MPH-S012", subject_of(j, texts[j]),
+                           "denotes the same language as requirement " +
+                               std::to_string(i + 1) + " — the two are interchangeable");
+        d.fix_hint = "keep one phrasing and delete the other";
+      } else if (fwd) {
+        result.pairs.push_back({i, j, false});
+        auto& d = out.emit("MPH-S011", subject_of(j, texts[j]),
+                           "implied by requirement " + std::to_string(i + 1) +
+                               " alone (" + texts[i] + "); deleting it changes nothing");
+        d.fix_hint = "delete the subsumed requirement, or strengthen it until it "
+                     "adds information";
+      } else if (bwd) {
+        result.pairs.push_back({j, i, false});
+        auto& d = out.emit("MPH-S011", subject_of(i, texts[i]),
+                           "implied by requirement " + std::to_string(j + 1) +
+                               " alone (" + texts[j] + "); deleting it changes nothing");
+        d.fix_hint = "delete the subsumed requirement, or strengthen it until it "
+                     "adds information";
+      }
+    }
+
+  if (result.unknown_pairs > 0) {
+    out.emit("MPH-S013", "specification",
+             std::to_string(result.unknown_pairs) + " of " +
+                 std::to_string(result.checked_pairs) +
+                 " implication directions were undecided within the inclusion "
+                 "budget; reported subsumptions are still sound");
+  }
+  return result;
+}
+
+}  // namespace mph::analysis

@@ -1,5 +1,6 @@
 #include "src/core/classify.hpp"
 
+#include "src/lang/dfa_ops.hpp"
 #include "src/omega/emptiness.hpp"
 #include "src/omega/graph.hpp"
 #include "src/omega/operators.hpp"
@@ -137,6 +138,58 @@ Classification classify(const DetOmega& m) {
   c.obligation = c.recurrence && c.persistence;
   c.liveness = omega::is_liveness(m);
   return c;
+}
+
+NbaClassification classify_nba(const omega::Nba& property, const omega::Nba& negation,
+                               const Budget& budget) {
+  MPH_REQUIRE(property.alphabet() == negation.alphabet(),
+              "classify_nba needs automata over one alphabet");
+  NbaClassification out;
+  // Safety: Π ⊆ A(Pref Π), i.e. ¬Π ∩ A(Pref Π) = ∅ (the closure contains Π
+  // by construction, so inclusion is equality). Both Pref determinizations
+  // run budget-governed — they are the only worst-case-exponential steps;
+  // everything downstream is polynomial in their (capped) output.
+  Budgeted<lang::Dfa> pref_pos = omega::pref(property, budget);
+  if (!pref_pos.complete()) {
+    out.outcome = pref_pos.outcome;
+    return out;
+  }
+  const bool liveness = lang::is_universal(*pref_pos.value);
+  Outcome o = budget.poll();
+  if (!is_complete(o)) {
+    out.outcome = o;
+    return out;
+  }
+  omega::DetOmega closure_pos = omega::op_a(*pref_pos.value);
+  const bool safety =
+      omega::is_empty(omega::intersect_with_cobuchi(negation, closure_pos));
+  o = budget.poll();
+  if (!is_complete(o)) {
+    out.outcome = o;
+    return out;
+  }
+  // Guarantee: the negation is safety.
+  Budgeted<lang::Dfa> pref_neg = omega::pref(negation, budget);
+  if (!pref_neg.complete()) {
+    out.outcome = pref_neg.outcome;
+    return out;
+  }
+  omega::DetOmega closure_neg = omega::op_a(*pref_neg.value);
+  const bool guarantee =
+      omega::is_empty(omega::intersect_with_cobuchi(property, closure_neg));
+  o = budget.poll();
+  if (!is_complete(o)) {
+    out.outcome = o;
+    return out;
+  }
+  if (!safety && !guarantee) return out;  // sound refusal: see header
+  Classification c;
+  c.safety = safety;
+  c.guarantee = guarantee;
+  c.obligation = c.recurrence = c.persistence = true;
+  c.liveness = liveness;
+  out.value = c;
+  return out;
 }
 
 }  // namespace mph::core

@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/omega/det_omega.hpp"
+#include "src/omega/nba.hpp"
+#include "src/support/budget.hpp"
 
 namespace mph::core {
 
@@ -55,6 +58,25 @@ struct Classification {
 
 /// Full semantic classification of L(m).
 Classification classify(const omega::DetOmega& m);
+
+/// NBA-backed partial classification (docs/COMPLEMENT.md): given Büchi
+/// automata for a property and its negation, decides safety via
+/// Π ⊆ A(Pref Π) (closure inclusion), guarantee dually, and liveness via
+/// Pref(Π) = Σ* — no Safra determinization anywhere. The membership vector
+/// is fully determined only when the property or its negation is safety
+/// (nesting then fills obligation/recurrence/persistence); a property that
+/// is neither may still be recurrence or persistence, which these tests
+/// cannot decide, so `value` stays disengaged — a sound refusal, not a
+/// guess. `outcome` reports budget exhaustion separately.
+struct NbaClassification {
+  std::optional<Classification> value;
+  Outcome outcome = Outcome::Complete;
+
+  bool complete() const { return is_complete(outcome); }
+};
+
+NbaClassification classify_nba(const omega::Nba& property, const omega::Nba& negation,
+                               const Budget& budget = {});
 
 /// Individual tests (each decides membership of L(m) in the class).
 bool is_safety(const omega::DetOmega& m);

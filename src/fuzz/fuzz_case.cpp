@@ -153,6 +153,10 @@ std::size_t FuzzCase::size() const {
   std::size_t n = 0;
   for (const auto& d : dfas) n += d.state_count();
   for (const auto& m : automata) n += m.state_count();
+  for (const auto& b : nbas) {
+    n += b.state_count();
+    for (omega::State q = 0; q < b.state_count(); ++q) n += b.edges(q).size();
+  }
   for (const auto& f : formulas) n += f.size();
   for (const auto& l : lassos) n += l.prefix.size() + l.loop.size();
   if (system) {
@@ -193,6 +197,18 @@ std::string FuzzCase::to_text() const {
       for (lang::Symbol s = 0; s < m.alphabet().size(); ++s) out << " " << m.next(q, s);
     out << " ";
     write_acceptance(m.acceptance(), out);
+    out << "\n";
+  }
+  for (const auto& b : nbas) {
+    // nba: states, initial list, acceptance bits, then the flat edge list.
+    out << "nba " << b.state_count() << " " << b.initial_states().size();
+    for (omega::State q : b.initial_states()) out << " " << q;
+    for (omega::State q = 0; q < b.state_count(); ++q) out << " " << (b.accepting(q) ? 1 : 0);
+    std::size_t n_edges = 0;
+    for (omega::State q = 0; q < b.state_count(); ++q) n_edges += b.edges(q).size();
+    out << " " << n_edges;
+    for (omega::State q = 0; q < b.state_count(); ++q)
+      for (const auto& [s, t] : b.edges(q)) out << " " << q << " " << s << " " << t;
     out << "\n";
   }
   for (const auto& f : formulas) out << "formula " << f << "\n";
@@ -255,6 +271,30 @@ FuzzCase FuzzCase::parse(std::string_view text) {
           m.set_transition(q, s, static_cast<lang::State>(next_number(ls)));
       m.set_acceptance(parse_acceptance(ls));
       c.automata.push_back(std::move(m));
+    } else if (key == "nba") {
+      MPH_REQUIRE(c.alphabet.has_value(), "fuzz case: nba before alphabet");
+      const auto n = next_number(ls);
+      omega::Nba b(*c.alphabet);
+      for (std::uint64_t q = 0; q < n; ++q) b.add_state();
+      const auto n_init = next_number(ls);
+      for (std::uint64_t i = 0; i < n_init; ++i) {
+        const auto q = next_number(ls);
+        MPH_REQUIRE(q < n, "fuzz case: nba initial state out of range");
+        b.add_initial(static_cast<omega::State>(q));
+      }
+      for (std::uint64_t q = 0; q < n; ++q)
+        b.set_accepting(static_cast<omega::State>(q), next_number(ls) != 0);
+      const auto n_edges = next_number(ls);
+      for (std::uint64_t i = 0; i < n_edges; ++i) {
+        const auto from = next_number(ls);
+        const auto sym = next_number(ls);
+        const auto to = next_number(ls);
+        MPH_REQUIRE(from < n && to < n && sym < c.alphabet->size(),
+                    "fuzz case: nba edge out of range");
+        b.add_edge(static_cast<omega::State>(from), static_cast<omega::Symbol>(sym),
+                   static_cast<omega::State>(to));
+      }
+      c.nbas.push_back(std::move(b));
     } else if (key == "formula") {
       std::string rest;
       std::getline(ls, rest);

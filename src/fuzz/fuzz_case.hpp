@@ -14,6 +14,7 @@
 #include "src/lang/dfa.hpp"
 #include "src/omega/det_omega.hpp"
 #include "src/omega/lasso.hpp"
+#include "src/omega/nba.hpp"
 
 namespace mph::fuzz {
 
@@ -57,6 +58,7 @@ struct FuzzCase {
   std::optional<lang::Alphabet> alphabet;
   std::vector<lang::Dfa> dfas;          // over `alphabet`
   std::vector<omega::DetOmega> automata;  // over `alphabet`
+  std::vector<omega::Nba> nbas;         // over `alphabet`
   std::vector<std::string> formulas;    // LTL, parse_formula syntax
   std::vector<omega::Lasso> lassos;     // over `alphabet`
   std::optional<FtsSpec> system;

@@ -177,4 +177,68 @@ omega::Lasso random_lasso(Rng& rng, const lang::Alphabet& alphabet,
   return l;
 }
 
+omega::Nba random_nba(Rng& rng, const lang::Alphabet& alphabet, std::size_t n_states) {
+  MPH_REQUIRE(n_states > 0, "random_nba needs at least one state");
+  omega::Nba n(alphabet);
+  for (std::size_t q = 0; q < n_states; ++q) {
+    n.add_state();
+    n.set_accepting(q, rng.chance(1, 3));
+  }
+  const bool semi = rng.chance(1, 4);
+  for (omega::State q = 0; q < n_states; ++q)
+    for (omega::Symbol s = 0; s < alphabet.size(); ++s) {
+      // Out-degree 0–2 biased toward 1; deterministic on the accepting part
+      // when forcing a semi-deterministic shape.
+      std::uint64_t deg = rng.below(4);
+      deg = deg == 0 ? 0 : (deg == 3 ? 2 : 1);
+      if (semi && n.accepting(q) && deg > 1) deg = 1;
+      for (std::uint64_t e = 0; e < deg; ++e)
+        n.add_edge(q, s, static_cast<omega::State>(rng.below(n_states)));
+    }
+  if (semi) {
+    // Semi-determinism is about everything *reachable from* accepting
+    // states; rebuilding with one successor per symbol on that closure is
+    // the simple way to force it.
+    omega::Nba forced(alphabet);
+    for (omega::State q = 0; q < n_states; ++q) {
+      forced.add_state();
+      forced.set_accepting(q, n.accepting(q));
+    }
+    // Forward closure of the accepting states under the kept (first) edges.
+    std::vector<bool> det(n_states, false);
+    std::vector<omega::State> stack;
+    for (omega::State q = 0; q < n_states; ++q)
+      if (n.accepting(q)) {
+        det[q] = true;
+        stack.push_back(q);
+      }
+    auto first_edge = [&](omega::State q, omega::Symbol s) -> std::optional<omega::State> {
+      for (auto [sym, t] : n.edges(q))
+        if (sym == s) return t;
+      return std::nullopt;
+    };
+    while (!stack.empty()) {
+      omega::State q = stack.back();
+      stack.pop_back();
+      for (omega::Symbol s = 0; s < alphabet.size(); ++s)
+        if (auto t = first_edge(q, s)) {
+          forced.add_edge(q, s, *t);
+          if (!det[*t]) {
+            det[*t] = true;
+            stack.push_back(*t);
+          }
+        }
+    }
+    for (omega::State q = 0; q < n_states; ++q) {
+      if (det[q]) continue;
+      for (auto [s, t] : n.edges(q)) forced.add_edge(q, s, t);
+    }
+    n = std::move(forced);
+  }
+  std::uint64_t n_init = 1 + rng.below(2);
+  for (std::uint64_t i = 0; i < n_init; ++i)
+    n.add_initial(static_cast<omega::State>(rng.below(n_states)));
+  return n;
+}
+
 }  // namespace mph::fuzz

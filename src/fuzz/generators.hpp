@@ -7,6 +7,7 @@
 
 #include "src/fuzz/fuzz_case.hpp"
 #include "src/ltl/ast.hpp"
+#include "src/omega/nba.hpp"
 #include "src/support/rng.hpp"
 
 namespace mph::fuzz {
@@ -49,5 +50,12 @@ FtsSpec random_fts(Rng& rng);
 /// Ultimately periodic word with prefix ≤ max_prefix, loop 1..max_loop.
 omega::Lasso random_lasso(Rng& rng, const lang::Alphabet& alphabet,
                           std::size_t max_prefix, std::size_t max_loop);
+
+/// Random nondeterministic Büchi automaton: per (state, symbol) out-degree
+/// 0–2 biased toward 1, each state accepting with probability 1/3, 1–2
+/// initial states. With probability 1/4 the automaton is forced
+/// semi-deterministic (successors of accepting states deduplicated to one
+/// per symbol) so the NCSB complementation path is exercised.
+omega::Nba random_nba(Rng& rng, const lang::Alphabet& alphabet, std::size_t n_states);
 
 }  // namespace mph::fuzz

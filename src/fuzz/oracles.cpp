@@ -15,6 +15,7 @@
 #include "src/ltl/semantic.hpp"
 #include "src/omega/counter_free.hpp"
 #include "src/omega/emptiness.hpp"
+#include "src/omega/inclusion.hpp"
 #include "src/omega/operators.hpp"
 #include "src/support/check.hpp"
 
@@ -789,6 +790,106 @@ CheckOutcome check_lasso_roundtrip(const FuzzCase& c, const Budget& budget) {
   return CheckOutcome::pass();
 }
 
+// ------------------------------------------------------------------------
+// nba-inclusion: Safra-free Büchi complementation and language inclusion
+// (docs/COMPLEMENT.md) against per-lasso membership. comp(A) must disagree
+// with A on every enumerated lasso; NCSB and rank-based complements of a
+// semi-deterministic input must denote the same language; included(A,B)
+// must not answer Included when the sweep finds a separating lasso, and a
+// NotIncluded counterexample must actually separate. Budget exhaustion in
+// any leg is a skip, never a verdict.
+
+FuzzCase gen_nba_inclusion(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "nba-inclusion";
+  c.alphabet = lang::Alphabet::plain({"a", "b"});
+  for (int i = 0; i < 2; ++i)
+    c.nbas.push_back(random_nba(rng, *c.alphabet,
+                                static_cast<std::size_t>(rng.between(2, 4))));
+  return c;
+}
+
+/// Cap on complement macrostates inside an oracle iteration: the rank-based
+/// construction is 2^O(n log n), and a handful of 4-state draws materialize
+/// minutes of macrostates under an unlimited budget. Hitting the cap is a
+/// Budget outcome, not a discrepancy — the kOracleMonoidCap idiom.
+constexpr std::size_t kOracleComplementCap = 40000;
+
+CheckOutcome check_nba_inclusion(const FuzzCase& c, const Budget& budget) {
+  if (c.nbas.size() < 2) return CheckOutcome::skip("needs two NBAs");
+  const omega::Nba& a = c.nbas[0];
+  const omega::Nba& b = c.nbas[1];
+  Budget capped = budget;
+  if (capped.state_cap() > kOracleComplementCap)
+    capped.with_state_cap(kOracleComplementCap);
+  const auto lassos = omega::enumerate_lassos(a.alphabet(), 2, 2);
+  // Leg 1: the materialized complement flips membership on every lasso;
+  // leg 2: on semi-deterministic inputs, NCSB and rank-based agree.
+  for (const omega::Nba* n : {&a, &b}) {
+    omega::ComplementOptions copts;
+    copts.budget = capped;
+    const auto comp = omega::complement(*n, copts);
+    if (!comp.complete())
+      return CheckOutcome::exhausted("complement budget exhausted (" +
+                                     std::string(to_string(comp.outcome)) + ")");
+    for (const Lasso& l : lassos)
+      if (comp.value->accepts(l) == n->accepts(l))
+        return CheckOutcome::fail("complement and input agree on " +
+                                  l.to_string(a.alphabet()));
+    if (auto gate = budget_gate(budget)) return *gate;
+    if (omega::is_semi_deterministic(*n)) {
+      omega::ComplementOptions ncsb = copts;
+      ncsb.algorithm = omega::ComplementAlgorithm::Ncsb;
+      omega::ComplementOptions rank = copts;
+      rank.algorithm = omega::ComplementAlgorithm::Rank;
+      const auto c_ncsb = omega::complement(*n, ncsb);
+      const auto c_rank = omega::complement(*n, rank);
+      if (!c_ncsb.complete() || !c_rank.complete())
+        return CheckOutcome::exhausted("forced-algorithm complement budget exhausted");
+      for (const Lasso& l : lassos)
+        if (c_ncsb.value->accepts(l) != c_rank.value->accepts(l))
+          return CheckOutcome::fail("NCSB and rank-based complements disagree on " +
+                                    l.to_string(a.alphabet()));
+    }
+    if (auto gate = budget_gate(budget)) return *gate;
+  }
+  // Leg 3: inclusion in both directions vs the lasso sweep, with
+  // counterexample validation.
+  omega::InclusionOptions io;
+  io.budget = capped;
+  const std::pair<const omega::Nba*, const omega::Nba*> directions[] = {{&a, &b}, {&b, &a}};
+  for (const auto& [x, y] : directions) {
+    const auto r = omega::included(*x, *y, io);
+    if (r.verdict == omega::InclusionVerdict::Unknown)
+      return CheckOutcome::exhausted("inclusion budget exhausted (" +
+                                     std::string(to_string(r.outcome)) + ")");
+    std::optional<Lasso> separating;
+    for (const Lasso& l : lassos)
+      if (x->accepts(l) && !y->accepts(l)) {
+        separating = l;
+        break;
+      }
+    if (r.verdict == omega::InclusionVerdict::Included && separating)
+      return CheckOutcome::fail("included() says ⊆ but " +
+                                separating->to_string(a.alphabet()) +
+                                " is in L(A) ∖ L(B)");
+    if (r.verdict == omega::InclusionVerdict::NotIncluded) {
+      if (!r.counterexample)
+        return CheckOutcome::fail("NotIncluded without a counterexample");
+      if (!x->accepts(*r.counterexample) || y->accepts(*r.counterexample))
+        return CheckOutcome::fail("inclusion counterexample " +
+                                  r.counterexample->to_string(a.alphabet()) +
+                                  " does not separate the languages");
+    }
+    if (auto gate = budget_gate(budget)) return *gate;
+  }
+  // Leg 4: reflexivity — L(A) ⊆ L(A) can refuse, never answer no.
+  for (const omega::Nba* n : {&a, &b})
+    if (omega::included(*n, *n, io).verdict == omega::InclusionVerdict::NotIncluded)
+      return CheckOutcome::fail("included(A, A) answered NotIncluded");
+  return CheckOutcome::pass();
+}
+
 }  // namespace
 
 namespace {
@@ -823,6 +924,9 @@ std::vector<Oracle>& mutable_registry() {
       {"lasso-roundtrip",
        "lasso printing/parsing round-trip and rejection of malformed inputs",
        gen_lasso_roundtrip, check_lasso_roundtrip},
+      {"nba-inclusion",
+       "Büchi complementation (NCSB vs rank) and language inclusion vs per-lasso membership",
+       gen_nba_inclusion, check_nba_inclusion},
   };
   return registry;
 }

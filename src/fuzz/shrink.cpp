@@ -1,5 +1,7 @@
 #include "src/fuzz/shrink.hpp"
 
+#include <algorithm>
+
 #include "src/ltl/ast.hpp"
 #include "src/support/check.hpp"
 
@@ -85,11 +87,42 @@ std::optional<FuzzCase> shrink_alphabet(const FuzzCase& c) {
     }
     out.automata.push_back(std::move(nm));
   }
+  out.nbas.clear();
+  for (const omega::Nba& n : c.nbas) {
+    omega::Nba nn(smaller);
+    for (State q = 0; q < n.state_count(); ++q) nn.add_state();
+    for (State q : n.initial_states()) nn.add_initial(q);
+    for (State q = 0; q < n.state_count(); ++q) {
+      nn.set_accepting(q, n.accepting(q));
+      for (const auto& [s, t] : n.edges(q))
+        if (s < sigma) nn.add_edge(q, s, t);
+    }
+    out.nbas.push_back(std::move(nn));
+  }
   for (auto& l : out.lassos) {
     for (auto& s : l.prefix)
       if (s >= sigma) s = 0;
     for (auto& s : l.loop)
       if (s >= sigma) s = 0;
+  }
+  return out;
+}
+
+/// Remove a state from an NBA: its edges (in both directions) vanish, its
+/// initial membership vanishes, indices above it shift down. The caller
+/// guarantees at least one other initial state survives.
+omega::Nba drop_nba_state(const omega::Nba& n, omega::State dead) {
+  MPH_ASSERT(n.state_count() > 1);
+  auto remap = [&](omega::State q) { return q > dead ? q - 1 : q; };
+  omega::Nba out(n.alphabet());
+  for (omega::State q = 0; q + 1 < n.state_count(); ++q) out.add_state();
+  for (omega::State q : n.initial_states())
+    if (q != dead) out.add_initial(remap(q));
+  for (omega::State q = 0; q < n.state_count(); ++q) {
+    if (q == dead) continue;
+    out.set_accepting(remap(q), n.accepting(q));
+    for (const auto& [s, t] : n.edges(q))
+      if (t != dead) out.add_edge(remap(q), s, remap(t));
   }
   return out;
 }
@@ -126,6 +159,34 @@ std::vector<FuzzCase> candidates(const FuzzCase& c) {
       cand.automata[i] = drop_omega_state(c.automata[i], q);
       out.push_back(std::move(cand));
     }
+  for (std::size_t i = 0; i < c.nbas.size(); ++i) {
+    const omega::Nba& n = c.nbas[i];
+    for (State q = 0; q < n.state_count(); ++q) {
+      if (n.state_count() <= 1) continue;
+      // Keep at least one initial state alive.
+      const bool is_init = std::find(n.initial_states().begin(), n.initial_states().end(),
+                                     q) != n.initial_states().end();
+      if (is_init && n.initial_states().size() <= 1) continue;
+      FuzzCase cand = c;
+      cand.nbas[i] = drop_nba_state(n, q);
+      out.push_back(std::move(cand));
+    }
+    // Drop a single edge.
+    for (State q = 0; q < n.state_count(); ++q)
+      for (std::size_t e = 0; e < n.edges(q).size(); ++e) {
+        FuzzCase cand = c;
+        omega::Nba nn(n.alphabet());
+        for (State p = 0; p < n.state_count(); ++p) nn.add_state();
+        for (State p : n.initial_states()) nn.add_initial(p);
+        for (State p = 0; p < n.state_count(); ++p) {
+          nn.set_accepting(p, n.accepting(p));
+          for (std::size_t k = 0; k < n.edges(p).size(); ++k)
+            if (p != q || k != e) nn.add_edge(p, n.edges(p)[k].first, n.edges(p)[k].second);
+        }
+        cand.nbas[i] = std::move(nn);
+        out.push_back(std::move(cand));
+      }
+  }
   // 3. Simpler acceptance: hoist a top-level operand.
   for (std::size_t i = 0; i < c.automata.size(); ++i) {
     const auto& acc = c.automata[i].acceptance();

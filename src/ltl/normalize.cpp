@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/ltl/hierarchy.hpp"
+#include "src/ltl/to_nba.hpp"
 #include "src/support/check.hpp"
 
 namespace mph::ltl {
@@ -945,10 +946,43 @@ NormalizeResult normalize(const Formula& f, const NormalizeOptions& options) {
   return out;
 }
 
+namespace {
+
+/// Safra-free fallback for formulas the rewrite system refuses: build the
+/// formula/negation tableau NBAs and run the closure-inclusion tests of
+/// core::classify_nba. Sound and partial — engages only for safety,
+/// guarantee and clopen languages (docs/COMPLEMENT.md).
+std::optional<ExactClass> nba_classification(const Formula& f, const Formula& partial_rewrite,
+                                             const NormalizeOptions& options) {
+  std::vector<std::string> names = f.atoms();
+  if (names.empty()) names.emplace_back("p");
+  if (names.size() > options.max_atoms) return std::nullopt;
+  lang::Alphabet alphabet = lang::Alphabet::of_props(names);
+  try {
+    Budgeted<omega::Nba> pos = to_nba(f, alphabet, options.budget);
+    if (!pos.complete()) return std::nullopt;
+    Budgeted<omega::Nba> neg = to_nba(f_not(f), alphabet, options.budget);
+    if (!neg.complete()) return std::nullopt;
+    core::NbaClassification nc = core::classify_nba(*pos.value, *neg.value, options.budget);
+    if (!nc.complete() || !nc.value) return std::nullopt;
+    return ExactClass{*nc.value, partial_rewrite, ExactClass::Source::NbaSemantics};
+  } catch (const std::invalid_argument&) {
+    // Outside the tableau fragment (past operators, closure over the
+    // 12-free-subformula cap): stay refused.
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
 std::optional<ExactClass> exact_classification(const Formula& f,
                                                const NormalizeOptions& options) {
   NormalizeResult r = normalize(f, options);
-  if (!r.complete()) return std::nullopt;
+  // Both refusal shapes — rewrite exhaustion (!complete) and a complete
+  // search that found no hierarchy form (!normal) — fall through to the
+  // Safra-free NBA path, which has its own budget governance (a spent
+  // deadline makes classify_nba bail on its first poll).
+  if (!r.complete() || !r.normal) return nba_classification(f, r.form, options);
   std::vector<std::string> names = f.atoms();
   for (const std::string& a : r.form.atoms())
     if (std::find(names.begin(), names.end(), a) == names.end()) names.push_back(a);

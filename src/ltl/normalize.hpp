@@ -82,15 +82,26 @@ Formula nnf(const Formula& f);
 
 /// An exact classification together with the evidence it was computed from.
 struct ExactClass {
-  core::Classification value;  ///< core::classify of the compiled normal form
-  Formula normal_form;         ///< the hierarchy normal form that was compiled
+  /// How the class was established.
+  enum class Source : std::uint8_t {
+    NormalForm,    ///< compiled hierarchy normal form, core::classify
+    NbaSemantics,  ///< tableau NBA closure tests, core::classify_nba
+  };
+
+  core::Classification value;  ///< the semantic membership vector
+  Formula normal_form;         ///< the rewrite the evidence started from
+  Source source = Source::NormalForm;
 };
 
 /// The exact hierarchy class of `f`: normalize, compile the normal form
 /// deterministically, classify the language (semantic, so e.g. ◇p with
-/// unsatisfiable p correctly reports safety too). nullopt when
-/// normalization is incomplete or the formula spans more than
-/// 2^max_atoms alphabet symbols — never a misreported class.
+/// unsatisfiable p correctly reports safety too). When the rewrite system
+/// refuses (no hierarchy normal form found), a second, Safra-free path
+/// tries the formula/negation tableau NBAs through core::classify_nba
+/// (docs/COMPLEMENT.md) — it recovers safety/guarantee/clopen formulas the
+/// normalizer's envelope misses. nullopt when both paths refuse or the
+/// formula spans more than 2^max_atoms alphabet symbols — never a
+/// misreported class.
 std::optional<ExactClass> exact_classification(const Formula& f,
                                                const NormalizeOptions& options = {});
 

@@ -1,0 +1,131 @@
+#include "src/omega/inclusion.hpp"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/omega/nba_internal.hpp"
+#include "src/support/check.hpp"
+
+namespace mph::omega {
+
+std::string_view to_string(InclusionVerdict v) {
+  switch (v) {
+    case InclusionVerdict::Included:
+      return "included";
+    case InclusionVerdict::NotIncluded:
+      return "not-included";
+    case InclusionVerdict::Unknown:
+      return "unknown";
+  }
+  MPH_ASSERT(false);
+  return "unknown";
+}
+
+InclusionResult included(const Nba& a, const Nba& b, const InclusionOptions& options) {
+  MPH_REQUIRE(a.alphabet() == b.alphabet(), "inclusion requires a common alphabet");
+  InclusionResult out;
+  try {
+    // Trim A to states that matter for an accepting A-run: the product's
+    // acceptance already demands A-accepting states infinitely often, so
+    // dead A-states only inflate the product.
+    auto reach = detail::nba_reachable(a);
+    auto live = detail::nba_live(a);
+    std::vector<bool> keep(a.state_count());
+    bool any_initial = false;
+    for (State q = 0; q < a.state_count(); ++q) keep[q] = reach[q] && live[q];
+    for (State q : a.initial_states()) any_initial = any_initial || keep[q];
+    if (!any_initial) {
+      // L(A) = ∅ ⊆ anything.
+      out.verdict = InclusionVerdict::Included;
+      return out;
+    }
+
+    ComplementOptions copts;
+    copts.budget = options.budget;
+    copts.algorithm = options.algorithm;
+    copts.decompose = options.decompose;
+    ComplementEngine eng(b, copts);
+    const std::size_t k = eng.part_count();
+
+    // Product node = (A-state, part macrostates…, counter c ∈ 0..k); layer 0
+    // is A's acceptance, layer i+1 is part i. The product is materialized
+    // only over what A's runs reach (lazy complement successors), then fed
+    // to the standard accepting-lasso search — its symbols are the input's,
+    // so a counterexample falls straight out.
+    Nba product(a.alphabet());
+    std::map<std::vector<std::uint32_t>, State> ids;
+    std::deque<std::vector<std::uint32_t>> queue;
+    std::size_t nodes = 0;
+    auto layer_accepting = [&](const std::vector<std::uint32_t>& node) {
+      const std::uint32_t c = node.back();
+      return c == 0 ? a.accepting(node[0]) : eng.part_accepting(c - 1, node[c]);
+    };
+    auto intern = [&](std::vector<std::uint32_t> node) {
+      auto it = ids.find(node);
+      if (it != ids.end()) return it->second;
+      options.budget.require(nodes++);
+      State id = product.add_state();
+      product.set_accepting(id, node.back() == k && layer_accepting(node));
+      ids.emplace(node, id);
+      queue.push_back(std::move(node));
+      return id;
+    };
+    for (State q : a.initial_states()) {
+      if (!keep[q]) continue;
+      std::vector<std::uint32_t> node{q};
+      for (std::size_t i = 0; i < k; ++i) node.push_back(eng.part_initial(i));
+      node.push_back(0);
+      product.add_initial(intern(std::move(node)));
+    }
+    while (!queue.empty()) {
+      std::vector<std::uint32_t> node = queue.front();
+      queue.pop_front();
+      State from = ids.at(node);
+      const std::uint32_t c = node.back();
+      const bool acc = layer_accepting(node);
+      const std::uint32_t next_c = (c == k && acc) ? 0 : (acc ? c + 1 : c);
+      std::vector<std::vector<std::vector<std::uint32_t>>> per(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        per[i].assign(a.alphabet().size(), {});
+        for (auto [s, t] : eng.part_successors(i, node[i + 1])) per[i][s].push_back(t);
+      }
+      for (auto [s, ta] : a.edges(static_cast<State>(node[0]))) {
+        if (!keep[ta]) continue;
+        bool possible = true;
+        for (std::size_t i = 0; i < k; ++i) possible = possible && !per[i][s].empty();
+        if (!possible) continue;
+        std::vector<std::uint32_t> pick(k, 0);
+        for (;;) {
+          std::vector<std::uint32_t> succ(k + 2);
+          succ[0] = ta;
+          for (std::size_t i = 0; i < k; ++i) succ[i + 1] = per[i][s][pick[i]];
+          succ[k + 1] = next_c;
+          product.add_edge(from, s, intern(std::move(succ)));
+          std::size_t i = 0;
+          while (i < k && pick[i] + 1 == per[i][s].size()) {
+            pick[i] = 0;
+            ++i;
+          }
+          if (i == k) break;
+          ++pick[i];
+        }
+      }
+    }
+    out.product_states = nodes;
+    out.complement = eng.stats();
+    if (auto cex = accepting_lasso(product)) {
+      out.verdict = InclusionVerdict::NotIncluded;
+      out.counterexample = std::move(*cex);
+    } else {
+      out.verdict = InclusionVerdict::Included;
+    }
+  } catch (const BudgetExhausted& e) {
+    out.verdict = InclusionVerdict::Unknown;
+    out.outcome = e.outcome();
+    out.counterexample.reset();
+  }
+  return out;
+}
+
+}  // namespace mph::omega

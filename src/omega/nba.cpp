@@ -1,9 +1,11 @@
 #include "src/omega/nba.hpp"
 
+#include "src/omega/nba_internal.hpp"
+
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <deque>
-#include <map>
-#include <set>
 
 #include "src/lang/dfa_ops.hpp"
 #include "src/lang/nfa.hpp"
@@ -47,6 +49,39 @@ const std::vector<std::pair<Symbol, State>>& Nba::edges(State q) const {
 
 namespace {
 
+/// Fixed-width bitset over dense indices; frontiers and reachability rows in
+/// the lasso-acceptance hot path live here instead of `std::set<State>` (the
+/// complementation engine hammers `accepts` on every oracle iteration).
+class BitRow {
+ public:
+  explicit BitRow(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  bool test(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  /// Sets bit i; returns true iff it was previously clear.
+  bool set(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if (w & bit) return false;
+    w |= bit;
+    return true;
+  }
+  bool any() const {
+    return std::any_of(words_.begin(), words_.end(), [](std::uint64_t w) { return w != 0; });
+  }
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+  void swap(BitRow& other) { words_.swap(other.words_); }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+      for (std::uint64_t w = words_[wi]; w != 0; w &= w - 1)
+        fn(wi * 64 + static_cast<std::size_t>(std::countr_zero(w)));
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
 /// For each NBA state p: the states q reachable by reading `loop` once, with
 /// a flag recording whether an accepting state was visited strictly along
 /// the way (positions 1..|loop| of the leg, i.e. including the endpoint).
@@ -54,28 +89,31 @@ std::vector<std::vector<std::pair<State, bool>>> loop_relation(const Nba& n,
                                                                const lang::Word& loop) {
   const std::size_t ns = n.state_count();
   std::vector<std::vector<std::pair<State, bool>>> rel(ns);
+  // Frontier bit 2q+flag = "in state q having seen an accepting state iff
+  // flag" after the positions read so far.
+  BitRow cur(2 * ns), next(2 * ns);
   for (State p = 0; p < ns; ++p) {
-    // (state, seen-accepting) pairs after each loop position.
-    std::set<std::pair<State, bool>> cur{{p, false}};
+    cur.clear();
+    cur.set(2 * p);
     for (Symbol s : loop) {
-      std::set<std::pair<State, bool>> next;
-      for (auto [q, seen] : cur)
+      next.clear();
+      cur.for_each([&](std::size_t bit) {
+        const State q = static_cast<State>(bit >> 1);
+        const bool seen = (bit & 1) != 0;
         for (auto [sym, t] : n.edges(q))
-          if (sym == s) next.insert({t, seen || n.accepting(t)});
-      cur = std::move(next);
+          if (sym == s) next.set(2 * t + ((seen || n.accepting(t)) ? 1 : 0));
+      });
+      cur.swap(next);
     }
-    // Keep the strongest flag per endpoint.
-    std::map<State, bool> best;
-    for (auto [q, seen] : cur) {
-      auto [it, inserted] = best.try_emplace(q, seen);
-      if (!inserted) it->second = it->second || seen;
+    // Keep the strongest flag per endpoint: a true edge dominates a false
+    // one between the same endpoints, and cycles need at least one true
+    // edge, so keeping the maximal flag loses nothing.
+    for (State q = 0; q < ns; ++q) {
+      if (cur.test(2 * q + 1))
+        rel[p].push_back({q, true});
+      else if (cur.test(2 * q))
+        rel[p].push_back({q, false});
     }
-    // Keep both flag variants: a "false" edge may combine with another leg's
-    // "true" edge around a longer cycle, but a true edge dominates a false
-    // one between the same endpoints, so best-flag-only is sufficient for
-    // cycle detection *except* that cycles need at least one true edge —
-    // keeping the maximal flag loses nothing.
-    for (auto [q, seen] : best) rel[p].push_back({q, seen});
   }
   return rel;
 }
@@ -84,54 +122,64 @@ std::vector<std::vector<std::pair<State, bool>>> loop_relation(const Nba& n,
 
 bool Nba::accepts(const Lasso& l) const {
   MPH_REQUIRE(!l.loop.empty(), "lasso loop must be non-empty");
+  const std::size_t ns = state_count();
+  if (ns == 0 || initial_.empty()) return false;
   // States reachable after the prefix.
-  std::set<State> boundary;
+  BitRow boundary(ns);
   {
-    std::set<State> cur(initial_.begin(), initial_.end());
+    BitRow cur(ns), next(ns);
+    for (State q : initial_) cur.set(q);
     for (Symbol s : l.prefix) {
-      std::set<State> next;
-      for (State q : cur)
+      next.clear();
+      cur.for_each([&](std::size_t q) {
         for (auto [sym, t] : edges_[q])
-          if (sym == s) next.insert(t);
-      cur = std::move(next);
+          if (sym == s) next.set(t);
+      });
+      cur.swap(next);
     }
-    boundary = std::move(cur);
+    boundary.swap(cur);
   }
-  if (boundary.empty()) return false;
+  if (!boundary.any()) return false;
   auto rel = loop_relation(*this, l.loop);
   // Search for a reachable cycle in the loop-relation graph containing at
-  // least one accepting-flagged edge. Nodes: NBA states; we do a simple
-  // fixpoint: a node is "good" if it can reach a flagged edge lying on a
-  // cycle. Detect via: for every flagged edge (p,q), check q can reach p.
-  const std::size_t ns = state_count();
-  // reach[p] = set of nodes reachable from p in rel (transitive closure on
-  // ≤ ~hundreds of states; fine for our sizes).
-  std::vector<std::set<State>> reach(ns);
+  // least one accepting-flagged edge: for every flagged edge (p,q) with p
+  // reachable from the boundary, check q can reach p.
+  // reach[p] = transitive-closure row of p in rel.
+  std::vector<BitRow> reach(ns, BitRow(ns));
+  std::vector<State> queue;
   for (State p = 0; p < ns; ++p) {
-    std::deque<State> queue{p};
-    std::set<State>& r = reach[p];
-    r.insert(p);
+    BitRow& r = reach[p];
+    r.set(p);
+    queue.assign(1, p);
     while (!queue.empty()) {
-      State q = queue.front();
-      queue.pop_front();
+      State q = queue.back();
+      queue.pop_back();
       for (auto [t, seen] : rel[q]) {
         (void)seen;
-        if (r.insert(t).second) queue.push_back(t);
+        if (r.set(t)) queue.push_back(t);
       }
     }
   }
-  for (State b : boundary)
-    for (State p : reach[b])
+  bool found = false;
+  boundary.for_each([&](std::size_t b) {
+    if (found) return;
+    reach[b].for_each([&](std::size_t p) {
+      if (found) return;
       for (auto [q, seen] : rel[p])
-        if (seen && reach[q].contains(p)) return true;
-  return false;
+        if (seen && reach[q].test(p)) {
+          found = true;
+          return;
+        }
+    });
+  });
+  return found;
 }
 
 bool Nba::accepts_text(std::string_view lasso_text) const {
   return accepts(parse_lasso(lasso_text, alphabet_));
 }
 
-namespace {
+namespace detail {
 
 std::vector<bool> nba_reachable(const Nba& n) {
   std::vector<bool> seen(n.state_count(), false);
@@ -230,7 +278,7 @@ std::vector<bool> accepting_cycle_states(const Nba& n) {
 
 /// States from which some accepting cycle is reachable.
 std::vector<bool> nba_live(const Nba& n) {
-  auto good = accepting_cycle_states(n);
+  auto good = detail::accepting_cycle_states(n);
   std::vector<std::vector<State>> preds(n.state_count());
   for (State q = 0; q < n.state_count(); ++q)
     for (auto [s, t] : n.edges(q)) {
@@ -252,6 +300,10 @@ std::vector<bool> nba_live(const Nba& n) {
   }
   return live;
 }
+
+}  // namespace detail
+
+namespace {
 
 std::optional<lang::Word> nba_symbol_path(const Nba& n, const std::vector<State>& from,
                                           const std::vector<bool>& targets,
@@ -295,17 +347,17 @@ std::optional<lang::Word> nba_symbol_path(const Nba& n, const std::vector<State>
 }  // namespace
 
 bool is_empty(const Nba& n) {
-  auto reach = nba_reachable(n);
-  auto good = accepting_cycle_states(n);
+  auto reach = detail::nba_reachable(n);
+  auto good = detail::accepting_cycle_states(n);
   for (State q = 0; q < n.state_count(); ++q)
     if (reach[q] && good[q]) return false;
   return true;
 }
 
 std::optional<Lasso> accepting_lasso(const Nba& n) {
-  auto reach = nba_reachable(n);
+  auto reach = detail::nba_reachable(n);
   // Find a reachable accepting state inside a nontrivial SCC.
-  auto cyc = accepting_cycle_states(n);
+  auto cyc = detail::accepting_cycle_states(n);
   std::optional<State> anchor;
   for (State q = 0; q < n.state_count(); ++q)
     if (reach[q] && cyc[q] && n.accepting(q)) {
@@ -388,12 +440,16 @@ Nba intersect_with_cobuchi(const Nba& n, const DetOmega& d) {
   return out;
 }
 
-lang::Dfa pref(const Nba& n) {
-  auto live = nba_live(n);
+namespace {
+
+/// The NFA whose determinization is Pref(L(n)): NBA states marked accepting
+/// iff live (an accepting continuation exists), plus a fresh initial state
+/// with ε-edges to all NBA initial states. Only valid for state_count > 0.
+lang::Nfa pref_skeleton(const Nba& n) {
+  auto live = detail::nba_live(n);
   // Subset construction; a subset is accepting iff it contains a live state.
   lang::Nfa skeleton(n.alphabet());
   for (State q = 1; q < n.state_count(); ++q) skeleton.add_state();
-  if (n.state_count() == 0) return lang::Dfa(n.alphabet(), 1, 0);
   // Mark live states accepting, copy edges; add a fresh initial state with
   // ε-edges to all NBA initial states.
   for (State q = 0; q < n.state_count(); ++q) {
@@ -403,7 +459,26 @@ lang::Dfa pref(const Nba& n) {
   State fresh = skeleton.add_state();
   skeleton.set_initial(fresh);
   for (State q : n.initial_states()) skeleton.add_epsilon(fresh, q);
-  return lang::minimize(lang::determinize(skeleton));
+  return skeleton;
+}
+
+}  // namespace
+
+lang::Dfa pref(const Nba& n) {
+  if (n.state_count() == 0) return lang::Dfa(n.alphabet(), 1, 0);
+  return lang::minimize(lang::determinize(pref_skeleton(n)));
+}
+
+Budgeted<lang::Dfa> pref(const Nba& n, const Budget& budget) {
+  Budgeted<lang::Dfa> out;
+  if (n.state_count() == 0) {
+    out.value = lang::Dfa(n.alphabet(), 1, 0);
+    return out;
+  }
+  Budgeted<lang::Dfa> det = lang::determinize(pref_skeleton(n), budget);
+  out.outcome = det.outcome;
+  if (det.complete()) out.value = lang::minimize(*det.value);
+  return out;
 }
 
 }  // namespace mph::omega

@@ -9,6 +9,7 @@
 
 #include "src/lang/dfa.hpp"
 #include "src/omega/det_omega.hpp"
+#include "src/support/budget.hpp"
 
 namespace mph::omega {
 
@@ -55,5 +56,10 @@ Nba intersect_with_cobuchi(const Nba& n, const DetOmega& d);
 /// Pref(L(n)) as a DFA (subset construction over states that still admit an
 /// accepting continuation).
 lang::Dfa pref(const Nba& n);
+
+/// Budget-governed Pref: the state cap bounds the subsets materialized and
+/// the deadline/stop token are polled during the construction, so the
+/// (worst-case 2^n) determinization refuses instead of blowing up.
+Budgeted<lang::Dfa> pref(const Nba& n, const Budget& budget);
 
 }  // namespace mph::omega

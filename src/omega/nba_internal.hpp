@@ -1,0 +1,25 @@
+// Graph helpers shared between nba.cpp and the complementation engine
+// (complement.cpp): plain reachability, Tarjan SCCs, and liveness over the
+// NBA transition graph. Internal — not part of the public omega surface.
+#pragma once
+
+#include <vector>
+
+#include "src/omega/nba.hpp"
+
+namespace mph::omega::detail {
+
+/// States reachable from the initial states.
+std::vector<bool> nba_reachable(const Nba& n);
+
+/// Tarjan SCCs over the NBA graph (symbols ignored), in reverse
+/// topological discovery order.
+std::vector<std::vector<State>> nba_sccs(const Nba& n);
+
+/// States lying in a nontrivial SCC that contains an accepting state.
+std::vector<bool> accepting_cycle_states(const Nba& n);
+
+/// States from which some accepting cycle is reachable.
+std::vector<bool> nba_live(const Nba& n);
+
+}  // namespace mph::omega::detail

@@ -72,6 +72,7 @@ struct FormulaArtifacts {
   /// sound; budget-stopped attempts are not stored).
   bool classified = false;
   std::optional<std::string> exact_class;  ///< lowest class when established
+  std::optional<std::string> exact_source; ///< "normal-form" or "nba"
   std::optional<std::string> normal_form;
   std::string normalize_outcome = "complete";
   std::uint64_t normalize_steps = 0;
@@ -134,6 +135,12 @@ class VerdictCache {
   /// Drops every entry whose model component equals `model`; returns the
   /// number erased.
   std::size_t invalidate_model(std::uint64_t model);
+
+  /// Every (spec digest, entry) cached for this (model, options) pair —
+  /// the donor candidates for cross-spec subsumption sharing. Unordered;
+  /// pointers are invalidated by put()/invalidate_model().
+  std::vector<std::pair<std::uint64_t, const VerdictEntry*>> entries_for(
+      std::uint64_t model, std::uint64_t opts) const;
 
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }

@@ -58,11 +58,25 @@ Json diagnostics_json(const analysis::DiagnosticEngine& engine) {
 
 }  // namespace
 
+void EndpointMetrics::record(double us, std::size_t cap) {
+  if (cap == 0) return;
+  if (latency_us.size() < cap) {
+    latency_us.push_back(us);
+  } else {
+    if (latency_next >= latency_us.size()) latency_next = 0;  // cap shrank
+    latency_us[latency_next] = us;
+  }
+  latency_next = (latency_next + 1) % cap;
+}
+
 double EndpointMetrics::percentile(double q) const {
   if (latency_us.empty()) return 0.0;
   std::vector<double> sorted = latency_us;
   std::sort(sorted.begin(), sorted.end());
-  auto index = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  // Nearest rank: the ⌈q·n⌉-th smallest, 1-indexed. The old q·n truncation
+  // sat one rank high (p50 of {1, 2} reported 2).
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
   if (index >= sorted.size()) index = sorted.size() - 1;
   return sorted[index];
 }
@@ -84,6 +98,10 @@ fuzz::FtsSpec fts_spec_from_json(const Json& model) {
     if (var.hi < var.lo || var.init < var.lo || var.init > var.hi)
       throw std::invalid_argument("model var '" + var.name + "' has an empty domain "
                                   "or an out-of-domain initial value");
+    for (const auto& earlier : spec.vars)
+      if (earlier.name == var.name)
+        throw std::invalid_argument("duplicate model var name '" + var.name +
+                                    "' — atom bindings would be ambiguous");
     spec.vars.push_back(std::move(var));
   }
   const Json* transitions = model.find("transitions");
@@ -252,6 +270,21 @@ fts::CheckOptions Server::check_options(const Json& request, const Budget& budge
   return options;
 }
 
+analysis::Implication Server::implied(std::uint64_t stronger, std::uint64_t weaker) {
+  const auto key = std::make_pair(stronger, weaker);
+  if (auto it = implications_.find(key); it != implications_.end()) return it->second;
+  // States-only server budget: with no deadline in play all three answers
+  // (including Unknown) are deterministic, so the memo never lies to a
+  // later, different request.
+  analysis::SubsumeOptions sopts;
+  sopts.budget = Budget().with_state_cap(config_.subsume_states);
+  ++implication_checks_;
+  const analysis::Implication v = analysis::implies(formulas_.find(stronger)->formula,
+                                                    formulas_.find(weaker)->formula, sopts);
+  implications_.emplace(key, v);
+  return v;
+}
+
 std::string Server::handle_line(const std::string& line) {
   try {
     return handle(Json::parse(line)).dump();
@@ -293,10 +326,9 @@ Json Server::handle(const Json& request) {
   ++metrics.count;
   if (!ok) ++metrics.errors;
   ++requests_;
-  if (metrics.latency_us.size() < config_.max_latency_samples) {
-    metrics.latency_us.push_back(
-        std::chrono::duration<double, std::micro>(Clock::now() - started).count());
-  }
+  metrics.record(
+      std::chrono::duration<double, std::micro>(Clock::now() - started).count(),
+      config_.max_latency_samples);
   return response;
 }
 
@@ -377,12 +409,19 @@ Json Server::handle_classify(const Json& request) {
     const ltl::NormalizeResult nr = ltl::normalize(art.formula, nopts);
     art.normalize_outcome = std::string(to_string(nr.outcome));
     art.normalize_steps = nr.steps;
-    if (nr.complete()) {
-      art.normal_form = nr.form.to_string();
-      if (auto exact = ltl::exact_classification(art.formula, nopts)) {
-        art.exact_class = core::to_string(exact->value.lowest());
+    if (nr.complete()) art.normal_form = nr.form.to_string();
+    // exact_classification re-runs the rewrite and, on refusal, falls back
+    // to the NBA closure tests (docs/COMPLEMENT.md) — so even a
+    // budget-stopped normalization may still yield an exact class.
+    if (auto exact = ltl::exact_classification(art.formula, nopts)) {
+      art.exact_class = core::to_string(exact->value.lowest());
+      art.exact_source = exact->source == ltl::ExactClass::Source::NbaSemantics
+                             ? "nba"
+                             : "normal-form";
+      if (exact->source == ltl::ExactClass::Source::NormalForm) {
         // The normal-form automaton is the cached compile artifact: its
-        // size is what repeated classify requests stop re-paying.
+        // size is what repeated classify requests stop re-paying. The NBA
+        // path compiles nothing deterministic, so it reports no size.
         std::vector<std::string> names = art.atoms;
         for (const auto& a : exact->normal_form.atoms())
           if (std::find(names.begin(), names.end(), a) == names.end())
@@ -394,19 +433,14 @@ Json Server::handle_classify(const Json& request) {
             art.automaton_states = m->state_count();
         }
       }
-      // A completed normalization is deterministic content, and so is a
-      // genuine exact-classification refusal (atom blow-up, compile
-      // refusal). But exact_classification re-runs normalization under
-      // the same budget, so a refusal with the deadline already expired
-      // may just be the budget biting between the two legs — only a
-      // better-funded retry can tell, so leave that unmemoized.
-      if (art.exact_class || is_complete(nopts.budget.poll())) art.classified = true;
-    } else if (is_complete(nr.outcome)) {
-      // Terminated but not normal: a refusal, equally deterministic.
-      art.classified = true;
     }
-    // Budget-stopped attempts stay unmemoized — a better-funded retry may
-    // still succeed.
+    // An established class is deterministic content, and so is a genuine
+    // refusal with the whole budget still live (atom blow-up, both exact
+    // paths out of envelope). A refusal with the deadline already spent may
+    // just be the budget biting between legs — only a better-funded retry
+    // can tell, so leave that unmemoized.
+    if (art.exact_class || (is_complete(nr.outcome) && is_complete(nopts.budget.poll())))
+      art.classified = true;
   }
 
   JsonWriter w;
@@ -419,6 +453,7 @@ Json Server::handle_classify(const Json& request) {
     w.field("exact", *art.exact_class);
   else
     w.field("exact", Json::null());
+  if (art.exact_source) w.field("exact_source", *art.exact_source);
   if (art.normal_form) w.field("normal_form", *art.normal_form);
   w.field("outcome", art.normalize_outcome)
       .field("steps", art.normalize_steps)
@@ -449,12 +484,16 @@ Json Server::handle_check(const Json& request) {
     const VerdictEntry* cached = nullptr;
     std::size_t miss_index = 0;  ///< into the check_all batch
     bool dedup = false;          ///< duplicate of an earlier miss in this batch
+    /// Verdict derived from another spec's cached entry via language
+    /// inclusion (cache:"subsume"); `via` is the donor's spec digest.
+    std::optional<VerdictEntry> derived;
+    std::uint64_t via = 0;
   };
   std::vector<Position> positions;
   std::vector<ltl::Formula> miss_formulas;
   std::vector<std::string> miss_texts;
   std::map<std::uint64_t, std::size_t> pending;  // spec digest → miss index
-  std::uint64_t hits = 0, misses = 0, dedups = 0;
+  std::uint64_t hits = 0, misses = 0, dedups = 0, subsumed = 0;
 
   for (const auto& value : spec_values) {
     Position p;
@@ -475,6 +514,30 @@ Json Server::handle_check(const Json& request) {
         ++hits;
         positions.push_back(std::move(p));
         continue;
+      }
+      if (config_.subsume_sharing) {
+        // Cross-spec sharing: a cached donor ψ that holds and implies this
+        // spec φ proves φ holds; a violated donor ψ with φ ⇒ ψ has a
+        // counterexample computation outside L(ψ) ⊇ L(φ), so φ is violated
+        // by the same computation. Both directions are sound; Unknown
+        // implications derive nothing.
+        std::size_t scanned = 0;
+        for (const auto& [donor, entry] : verdicts_.entries_for(model.digest, odigest)) {
+          if (scanned++ >= config_.subsume_max_candidates) break;
+          const bool transfers =
+              entry->holds ? implied(donor, p.digest) == analysis::Implication::Implies
+                           : implied(p.digest, donor) == analysis::Implication::Implies;
+          if (!transfers) continue;
+          p.derived = *entry;
+          p.via = donor;
+          break;
+        }
+        if (p.derived) {
+          ++subsumed;
+          ++subsume_hits_;
+          positions.push_back(std::move(p));
+          continue;
+        }
       }
     }
     ++misses;
@@ -516,12 +579,15 @@ Json Server::handle_check(const Json& request) {
     w.field("spec", p.text)
         .field("canonical", art.canonical)
         .field("digest", digest_hex(p.digest));
-    if (p.cached) {
-      const VerdictEntry& entry = *p.cached;
+    if (p.cached || p.derived) {
+      const VerdictEntry& entry = p.cached ? *p.cached : *p.derived;
       w.field("verdict", entry.holds ? "holds" : "violated")
           .field("outcome", to_string(entry.stats.outcome))
-          .field("cache", "hit")
-          .field("engine", to_string(entry.stats.engine))
+          .field("cache", p.cached ? "hit" : "subsume");
+      // The stats of a subsume-derived row are the donor's: they are the
+      // evidence the verdict transferred from.
+      if (p.derived) w.field("via", digest_hex(p.via));
+      w.field("engine", to_string(entry.stats.engine))
           .field("class_source", to_string(entry.stats.class_source))
           .field("product_states",
                  static_cast<std::uint64_t>(entry.stats.product_states))
@@ -561,7 +627,7 @@ Json Server::handle_check(const Json& request) {
   // single entry — serve_test pins this) and account exhaustions.
   std::set<std::uint64_t> stored;
   for (const auto& p : positions) {
-    if (p.cached) continue;
+    if (p.cached || p.derived) continue;
     if (!stored.insert(p.digest).second) continue;
     const fts::CheckResult& r = computed.at(p.miss_index);
     if (!is_complete(r.outcome)) {
@@ -591,6 +657,7 @@ Json Server::handle_check(const Json& request) {
                           .field("hits", hits)
                           .field("misses", misses)
                           .field("dedup", dedups)
+                          .field("subsume", subsumed)
                           .build())
       .field("diagnostics", diagnostics_json(diagnostics))
       .build();
@@ -751,6 +818,13 @@ Json Server::stats_json() const {
                             .field("hits", verdicts_.hits())
                             .field("misses", verdicts_.misses())
                             .field("dedup", batch_dedups_)
+                            .field("subsume_hits", subsume_hits_)
+                            .build())
+                 .field("implications",
+                        JsonWriter()
+                            .field("entries",
+                                   static_cast<std::uint64_t>(implications_.size()))
+                            .field("checks", implication_checks_)
                             .build())
                  .build())
       .build();
@@ -770,7 +844,9 @@ std::string Server::stats_text() const {
       << " hits, " << formulas_.misses() << " misses\n"
       << "  verdict cache: " << verdicts_.size() << " entries, " << verdicts_.hits()
       << " hits, " << verdicts_.misses() << " misses, " << batch_dedups_
-      << " batch dedup(s)\n";
+      << " batch dedup(s), " << subsume_hits_ << " subsume hit(s)\n"
+      << "  implication memo: " << implications_.size() << " entries, "
+      << implication_checks_ << " inclusion run(s)\n";
   return out.str();
 }
 

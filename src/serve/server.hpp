@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/subsume.hpp"
 #include "src/fts/checker.hpp"
 #include "src/serve/cache.hpp"
 #include "src/serve/json.hpp"
@@ -47,7 +48,20 @@ struct ServerConfig {
   Budget base_budget;
   /// Master switch for the verdict cache (formula interning always runs).
   bool cache = true;
-  /// Latency samples kept per endpoint for the percentile estimates.
+  /// Cross-spec verdict sharing (docs/SERVE.md): a check miss may derive its
+  /// verdict from another spec's cached verdict on the same model via Büchi
+  /// language inclusion (analysis::implies) — a holding donor that implies
+  /// the spec proves "holds"; a violated donor the spec implies transfers
+  /// the violation. Answers are marked cache:"subsume" with the donor's
+  /// digest in "via".
+  bool subsume_sharing = true;
+  /// State cap for each implication check. Server-side and states-only, so
+  /// the memoized three-valued answers are deterministic.
+  std::size_t subsume_states = 20000;
+  /// Cached donor entries scanned per miss before giving up.
+  std::size_t subsume_max_candidates = 32;
+  /// Latency samples kept per endpoint for the percentile estimates (a ring
+  /// of the newest samples).
   std::size_t max_latency_samples = 65536;
 };
 
@@ -55,9 +69,16 @@ struct ServerConfig {
 struct EndpointMetrics {
   std::uint64_t count = 0;
   std::uint64_t errors = 0;
-  std::vector<double> latency_us;  ///< capped at max_latency_samples
+  std::vector<double> latency_us;  ///< ring of the newest `cap` samples
+  std::size_t latency_next = 0;    ///< ring cursor (next slot to overwrite)
 
-  double percentile(double q) const;  ///< q in [0,1]; 0 when no samples
+  /// Appends a sample; once `cap` samples are held the oldest is overwritten
+  /// so the percentiles track recent traffic instead of freezing.
+  void record(double us, std::size_t cap);
+
+  /// Nearest-rank percentile: the ⌈q·n⌉-th smallest sample (1-indexed), so
+  /// p50 of {1, 2} is 1, not 2. q in [0,1]; 0 when no samples.
+  double percentile(double q) const;
 };
 
 class Server {
@@ -83,6 +104,8 @@ class Server {
   std::uint64_t requests() const { return requests_; }
   std::uint64_t budget_exhaustions() const { return budget_exhaustions_; }
   std::uint64_t batch_dedups() const { return batch_dedups_; }
+  std::uint64_t subsume_hits() const { return subsume_hits_; }
+  std::uint64_t implication_checks() const { return implication_checks_; }
 
  private:
   Json dispatch(const Json& request);
@@ -97,14 +120,21 @@ class Server {
   Budget admit(const Json& request) const;
   /// Engine options from request fields, clamped to config ceilings.
   fts::CheckOptions check_options(const Json& request, const Budget& budget) const;
+  /// Memoized three-valued L(stronger) ⊆ L(weaker) between interned
+  /// formulas, under the server's states-only subsume budget.
+  analysis::Implication implied(std::uint64_t stronger, std::uint64_t weaker);
 
   ServerConfig config_;
   FormulaCache formulas_;
   VerdictCache verdicts_;
   std::map<std::string, EndpointMetrics, std::less<>> endpoints_;
+  /// (stronger digest, weaker digest) → memoized implication verdict.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, analysis::Implication> implications_;
   std::uint64_t requests_ = 0;
   std::uint64_t budget_exhaustions_ = 0;  ///< results answered "unknown"
   std::uint64_t batch_dedups_ = 0;  ///< duplicate specs folded within one batch
+  std::uint64_t subsume_hits_ = 0;  ///< verdicts derived from another spec's entry
+  std::uint64_t implication_checks_ = 0;  ///< inclusion engine runs (memo misses)
 };
 
 /// A resolved `model` request field: built-in name or inline FtsSpec.

@@ -1,0 +1,196 @@
+// Büchi complementation + language inclusion (docs/COMPLEMENT.md):
+// differential agreement against lasso enumeration, NCSB vs rank-based
+// agreement on semi-deterministic inputs, inclusion reflexivity and
+// antisymmetry-up-to-language, and budget-refusal determinism.
+#include <gtest/gtest.h>
+
+#include "src/fuzz/generators.hpp"
+#include "src/omega/complement.hpp"
+#include "src/omega/inclusion.hpp"
+#include "src/omega/lasso.hpp"
+#include "src/support/rng.hpp"
+
+namespace mph::omega {
+namespace {
+
+lang::Alphabet letters(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) names.emplace_back(1, static_cast<char>('a' + i));
+  return lang::Alphabet::plain(names);
+}
+
+/// □◇-style two-state semi-deterministic automaton over {a, b}: accepts
+/// words with infinitely many `a`.
+Nba inf_a() {
+  Nba n(letters(2));
+  n.add_state();
+  n.add_state();
+  n.set_accepting(1, true);
+  for (Symbol s = 0; s < 2; ++s) {
+    n.add_edge(0, s, s == 0 ? 1 : 0);
+    n.add_edge(1, s, s == 0 ? 1 : 0);
+  }
+  n.add_initial(0);
+  return n;
+}
+
+TEST(Complement, UniversalOfEmpty) {
+  Nba n(letters(2));
+  n.add_state();  // no accepting cycle, no language
+  n.add_edge(0, 0, 0);
+  n.add_initial(0);
+  auto comp = complement(n);
+  ASSERT_TRUE(comp.complete());
+  for (const Lasso& l : enumerate_lassos(n.alphabet(), 2, 2))
+    EXPECT_TRUE(comp.value->accepts(l));
+}
+
+TEST(Complement, EmptyOfUniversal) {
+  Nba n(letters(2));
+  n.add_state();
+  n.set_accepting(0, true);
+  for (Symbol s = 0; s < 2; ++s) n.add_edge(0, s, 0);
+  n.add_initial(0);
+  auto comp = complement(n);
+  ASSERT_TRUE(comp.complete());
+  EXPECT_TRUE(is_empty(*comp.value));
+}
+
+TEST(Complement, InfAIsSemiDeterministicAndComplements) {
+  Nba n = inf_a();
+  EXPECT_TRUE(is_semi_deterministic(n));
+  auto comp = complement(n);
+  ASSERT_TRUE(comp.complete());
+  EXPECT_GE(comp.stats.ncsb_parts, 1u);
+  for (const Lasso& l : enumerate_lassos(n.alphabet(), 2, 3))
+    EXPECT_EQ(comp.value->accepts(l), !n.accepts(l)) << "lasso disagreement";
+}
+
+TEST(Complement, DifferentialAgainstLassoEnumeration) {
+  Rng rng(0xc0117e57);
+  for (int iter = 0; iter < 60; ++iter) {
+    lang::Alphabet sigma = letters(2 + rng.below(2));
+    Nba n = fuzz::random_nba(rng, sigma, 1 + rng.below(4));
+    ComplementOptions opts;
+    opts.budget = Budget().with_state_cap(20000);
+    auto comp = complement(n, opts);
+    if (!comp.complete()) continue;  // budget refusal is allowed, silence is not
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2))
+      ASSERT_EQ(comp.value->accepts(l), !n.accepts(l))
+          << "iteration " << iter << " disagrees on a lasso";
+  }
+}
+
+TEST(Complement, NcsbAndRankAgreeOnSemiDeterministicInputs) {
+  Rng rng(0x5e111de7);
+  int checked = 0;
+  for (int iter = 0; iter < 120 && checked < 30; ++iter) {
+    lang::Alphabet sigma = letters(2);
+    Nba n = fuzz::random_nba(rng, sigma, 1 + rng.below(4));
+    if (!is_semi_deterministic(n)) continue;
+    ComplementOptions ncsb, rank;
+    ncsb.budget = rank.budget = Budget().with_state_cap(20000);
+    ncsb.algorithm = ComplementAlgorithm::Ncsb;
+    rank.algorithm = ComplementAlgorithm::Rank;
+    auto c1 = complement(n, ncsb);
+    auto c2 = complement(n, rank);
+    if (!c1.complete() || !c2.complete()) continue;
+    ++checked;
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2)) {
+      const bool expect = !n.accepts(l);
+      ASSERT_EQ(c1.value->accepts(l), expect) << "NCSB wrong at iteration " << iter;
+      ASSERT_EQ(c2.value->accepts(l), expect) << "rank wrong at iteration " << iter;
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(Inclusion, Reflexivity) {
+  Rng rng(0xf1e1d);
+  for (int iter = 0; iter < 40; ++iter) {
+    lang::Alphabet sigma = letters(2);
+    Nba n = fuzz::random_nba(rng, sigma, 1 + rng.below(4));
+    InclusionOptions opts;
+    opts.budget = Budget().with_state_cap(50000);
+    auto r = included(n, n, opts);
+    if (r.verdict == InclusionVerdict::Unknown) continue;
+    EXPECT_EQ(r.verdict, InclusionVerdict::Included) << "iteration " << iter;
+  }
+}
+
+TEST(Inclusion, VerdictsMatchLassoEnumerationAndCexIsValid) {
+  Rng rng(0x1c1d);
+  for (int iter = 0; iter < 60; ++iter) {
+    lang::Alphabet sigma = letters(2);
+    Nba a = fuzz::random_nba(rng, sigma, 1 + rng.below(3));
+    Nba b = fuzz::random_nba(rng, sigma, 1 + rng.below(3));
+    InclusionOptions opts;
+    opts.budget = Budget().with_state_cap(50000);
+    auto r = included(a, b, opts);
+    if (r.verdict == InclusionVerdict::Unknown) continue;
+    if (r.verdict == InclusionVerdict::NotIncluded) {
+      ASSERT_TRUE(r.counterexample.has_value());
+      EXPECT_TRUE(a.accepts(*r.counterexample)) << "cex not in L(A), iteration " << iter;
+      EXPECT_FALSE(b.accepts(*r.counterexample)) << "cex in L(B), iteration " << iter;
+    } else {
+      for (const Lasso& l : enumerate_lassos(sigma, 2, 2))
+        ASSERT_FALSE(a.accepts(l) && !b.accepts(l))
+            << "Included but witness exists, iteration " << iter;
+    }
+  }
+}
+
+TEST(Inclusion, AntisymmetryUpToLanguage) {
+  Rng rng(0xa57);
+  int mutual = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    lang::Alphabet sigma = letters(2);
+    Nba a = fuzz::random_nba(rng, sigma, 1 + rng.below(3));
+    Nba b = fuzz::random_nba(rng, sigma, 1 + rng.below(3));
+    InclusionOptions opts;
+    opts.budget = Budget().with_state_cap(50000);
+    if (included(a, b, opts).verdict != InclusionVerdict::Included) continue;
+    if (included(b, a, opts).verdict != InclusionVerdict::Included) continue;
+    ++mutual;
+    for (const Lasso& l : enumerate_lassos(sigma, 2, 2))
+      ASSERT_EQ(a.accepts(l), b.accepts(l)) << "mutual inclusion but languages differ";
+  }
+  EXPECT_GE(mutual, 1);
+}
+
+TEST(Inclusion, BudgetRefusalIsDeterministic) {
+  Rng rng(0xb4d9e7);
+  lang::Alphabet sigma = letters(2);
+  Nba a = fuzz::random_nba(rng, sigma, 4);
+  Nba b = fuzz::random_nba(rng, sigma, 4);
+  InclusionOptions tight;
+  tight.budget = Budget().with_state_cap(3);
+  auto r1 = included(a, b, tight);
+  auto r2 = included(a, b, tight);
+  EXPECT_EQ(r1.verdict, r2.verdict);
+  EXPECT_EQ(r1.outcome, r2.outcome);
+  EXPECT_EQ(r1.product_states, r2.product_states);
+  if (r1.verdict == InclusionVerdict::Unknown) {
+    EXPECT_EQ(r1.outcome, Outcome::BudgetStates);
+    EXPECT_FALSE(r1.counterexample.has_value());
+  }
+}
+
+TEST(Inclusion, StrictSubsetDirections) {
+  // L(inf-a) ⊆ Σ^ω strictly.
+  Nba universal(letters(2));
+  universal.add_state();
+  universal.set_accepting(0, true);
+  for (Symbol s = 0; s < 2; ++s) universal.add_edge(0, s, 0);
+  universal.add_initial(0);
+  Nba inf = inf_a();
+  EXPECT_EQ(included(inf, universal).verdict, InclusionVerdict::Included);
+  auto back = included(universal, inf);
+  EXPECT_EQ(back.verdict, InclusionVerdict::NotIncluded);
+  ASSERT_TRUE(back.counterexample.has_value());
+  EXPECT_TRUE(universal.accepts(*back.counterexample));
+  EXPECT_FALSE(inf.accepts(*back.counterexample));
+}
+
+}  // namespace
+}  // namespace mph::omega

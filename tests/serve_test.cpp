@@ -166,6 +166,74 @@ TEST(ServeServer, DuplicateSpecsInOneBatchShareOneComputation) {
   EXPECT_EQ(server.verdict_cache().size(), 2u);
 }
 
+// ------------------------------------------------- cross-spec subsumption
+
+TEST(ServeServer, SubsumeSharingTransfersHoldingDonor) {
+  Server server;
+  const Json donor = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"]})js"));
+  EXPECT_EQ(field(*result0(donor), "cache"), "miss");
+  // L(G φ) ⊆ L(F φ): the cached holding donor implies the new spec, so its
+  // verdict transfers without running the model checker.
+  const Json derived = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["F !(c1 & c2)"]})js"));
+  const Json* r = result0(derived);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(field(*r, "cache"), "subsume");
+  EXPECT_EQ(field(*r, "verdict"), "holds");
+  EXPECT_EQ(field(*r, "via"), field(*result0(donor), "digest"))
+      << "the response must name the donor whose entry proved the verdict";
+  EXPECT_EQ(server.subsume_hits(), 1u);
+  EXPECT_GE(server.implication_checks(), 1u);
+  EXPECT_EQ(server.verdict_cache().size(), 1u)
+      << "a derived verdict carries the donor's stats, not its own entry";
+}
+
+TEST(ServeServer, SubsumeSharingTransfersViolation) {
+  Server server;
+  const Json donor = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G c1"]})js"));
+  ASSERT_EQ(field(*result0(donor), "verdict"), "violated");
+  // L(G (c1 & c2)) ⊆ L(G c1): the donor's violating computation lies
+  // outside the larger language, hence outside the smaller one too.
+  const Json derived = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G (c1 & c2)"]})js"));
+  const Json* r = result0(derived);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(field(*r, "cache"), "subsume");
+  EXPECT_EQ(field(*r, "verdict"), "violated");
+  EXPECT_EQ(field(*r, "via"), field(*result0(donor), "digest"));
+}
+
+TEST(ServeServer, SubsumeSharingDisabledByConfig) {
+  ServerConfig config;
+  config.subsume_sharing = false;
+  Server server(config);
+  (void)server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["G !(c1 & c2)"]})js");
+  const Json second = req(server.handle_line(
+      R"js({"op":"check","model":"peterson","specs":["F !(c1 & c2)"]})js"));
+  EXPECT_EQ(field(*result0(second), "cache"), "miss")
+      << "with sharing off every distinct spec must compute";
+  EXPECT_EQ(server.subsume_hits(), 0u);
+  EXPECT_EQ(server.implication_checks(), 0u);
+}
+
+TEST(ServeServer, ClassifyReportsNbaExactSource) {
+  // A rescue-family member: the ΔΓ-rewriter refuses it, the Büchi closure
+  // tests (docs/COMPLEMENT.md) still establish the exact class.
+  Server server;
+  const Json response = req(server.handle_line(
+      R"js({"op":"classify","formula":"F (p & X (p U q))"})js"));
+  ASSERT_TRUE(response.find("ok")->as_bool());
+  EXPECT_EQ(field(response, "exact"), "guarantee");
+  EXPECT_EQ(field(response, "exact_source"), "nba");
+  const Json warm = req(server.handle_line(
+      R"js({"op":"classify","formula":"F (p & X (p U q))"})js"));
+  EXPECT_EQ(field(warm, "cache"), "hit") << "an NBA-established class is memoized";
+  EXPECT_EQ(field(warm, "exact_source"), "nba");
+}
+
 TEST(ServeServer, ModelDeltaInvalidatesOnlyItsOwnDigest) {
   Server server;
   const std::string base =
@@ -269,6 +337,16 @@ TEST(ServeServer, MalformedRequestsAreStructuredErrors) {
       R"js({"op":"check","model":"peterson","specs":["G p"],"budget_ms":"soon"})js"));
   EXPECT_EQ(field(*bad_budget.find("error"), "code"), "bad-request");
 
+  // Duplicate variable names would make atom bindings ambiguous (two vars
+  // both answering "x" / "xhi"): rejected at validation, never half-built.
+  const Json dup_var = req(server.handle_line(
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":0,"hi":1,"init":0},)js"
+      R"js({"name":"x","lo":0,"hi":2,"init":0}],)js"
+      R"js("transitions":[]},"specs":["G p"]})js"));
+  EXPECT_EQ(field(*dup_var.find("error"), "code"), "bad-request");
+  EXPECT_NE(field(*dup_var.find("error"), "message").find("duplicate"),
+            std::string::npos);
+
   // The server survives all of the above.
   const Json ok = req(server.handle_line(R"js({"op":"parse","formula":"G p"})js"));
   EXPECT_TRUE(ok.find("ok")->as_bool());
@@ -310,6 +388,32 @@ TEST(ServeMetrics, PercentilesAreOrderStatistics) {
   EXPECT_EQ(m.percentile(0.0), 1.0);
   EXPECT_EQ(m.percentile(0.5), 5.0);  // sorted[2]
   EXPECT_EQ(m.percentile(0.99), 9.0);
+}
+
+TEST(ServeMetrics, NearestRankNeverRoundsUpARank) {
+  // The regression this sweep fixed: q·n truncation sat one rank high, so
+  // p50 of {1, 2} reported 2. Nearest rank is the ⌈q·n⌉-th smallest.
+  EndpointMetrics m;
+  m.latency_us = {2.0, 1.0};
+  EXPECT_EQ(m.percentile(0.5), 1.0);
+  EXPECT_EQ(m.percentile(0.51), 2.0);
+  EXPECT_EQ(m.percentile(1.0), 2.0);
+  m.latency_us = {4.0};
+  EXPECT_EQ(m.percentile(0.5), 4.0);
+  EXPECT_EQ(m.percentile(0.0), 4.0);
+}
+
+TEST(ServeMetrics, LatencyRingKeepsNewestSamples) {
+  EndpointMetrics m;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) m.record(v, 3);
+  ASSERT_EQ(m.latency_us.size(), 3u) << "the ring must stay bounded at cap";
+  EXPECT_EQ(m.percentile(0.0), 3.0) << "the oldest surviving sample is 3";
+  EXPECT_EQ(m.percentile(1.0), 5.0);
+  // Another wrap replaces 3 (the oldest) next.
+  m.record(6.0, 3);
+  EXPECT_EQ(m.percentile(0.0), 4.0);
+  m.record(7.0, 0);
+  EXPECT_EQ(m.latency_us.size(), 3u) << "cap 0 records nothing";
 }
 
 // ------------------------------------------------------------- the oracle

@@ -109,6 +109,10 @@ int usage(std::ostream& out, int code) {
          "                  rewrite-step budget for ΔΓ-normalization (default\n"
          "                  unlimited); an exhausted run reports MPH-N003 and an\n"
          "                  unknown exact class\n"
+         "  --subsume       pairwise requirement subsumption via Büchi language\n"
+         "                  inclusion (MPH-S011/S012/S013) over the requirements from\n"
+         "                  --check, --spec and positional formulas; --budget-states\n"
+         "                  caps the per-direction inclusion product\n"
          "  --strict-class CLASS\n"
          "                  exit 1 unless every requirement is established in CLASS\n"
          "                  (safety, guarantee, obligation, recurrence, persistence,\n"
@@ -184,6 +188,7 @@ int main(int argc, char** argv) {
   bool vacuity = false, coverage = false, strict_unknown = false;
   bool classify_props = false;    // --classify: exact classes via normalization
   bool print_normal = false;      // --normalize: also print the normal forms
+  bool subsume = false;           // --subsume: pairwise language inclusion
   std::optional<core::PropertyClass> strict_class;  // --strict-class gate
   bool dispatch_check = false;    // --dispatch: class-aware engines for --check
   bool dispatch_mutants = true;   // --no-dispatch: full ω-product for mutants
@@ -239,6 +244,8 @@ int main(int argc, char** argv) {
       classify_props = true;
     } else if (arg == "--normalize") {
       print_normal = true;
+    } else if (arg == "--subsume") {
+      subsume = true;
     } else if (arg == "--normalize-steps") {
       options.normalize.normalize.budget =
           Budget().with_state_cap(next_num("--normalize-steps", UINT64_MAX));
@@ -306,6 +313,11 @@ int main(int argc, char** argv) {
   const bool classify_run = classify_props || print_normal || strict_class.has_value();
   if (classify_run && check_formulas.empty() && spec_files.empty() && formulas.empty()) {
     std::cerr << "mph-lint: --classify/--normalize/--strict-class need requirements "
+                 "(--check, --spec or positional formulas)\n";
+    return 2;
+  }
+  if (subsume && check_formulas.empty() && spec_files.empty() && formulas.empty()) {
+    std::cerr << "mph-lint: --subsume needs requirements "
                  "(--check, --spec or positional formulas)\n";
     return 2;
   }
@@ -561,16 +573,21 @@ int main(int argc, char** argv) {
 
       const auto nr = analysis::lint_normalize(reqs, engine, options.normalize);
       if (!json && !quiet) {
-        TextTable t({"requirement", "syntactic", "exact", "outcome", "steps"});
+        TextTable t({"requirement", "syntactic", "exact", "via", "outcome", "steps"});
         for (const auto& item : nr.items)
           t.add_row({item.text, core::to_string(item.syntactic.lowest()),
                      item.exact ? core::to_string(item.exact->lowest())
                      : is_complete(item.outcome) ? "(refused)"
                                                  : "unknown",
+                     !item.exact ? "-"
+                     : item.exact_source == ltl::ExactClass::Source::NbaSemantics
+                         ? "nba"
+                         : "normal-form",
                      std::string(to_string(item.outcome)), std::to_string(item.steps)});
         std::cout << "== exact classification (ΔΓ-normalization) ==\n"
-                  << t.to_string() << "exact " << nr.exact_count << ", refused "
-                  << nr.refused_count << ", budget-stopped " << nr.budget_count << "\n\n";
+                  << t.to_string() << "exact " << nr.exact_count << " (" << nr.nba_count
+                  << " via NBA closure tests), refused " << nr.refused_count
+                  << ", budget-stopped " << nr.budget_count << "\n\n";
         if (print_normal) {
           for (const auto& item : nr.items)
             if (item.normal_form)
@@ -588,7 +605,10 @@ int main(int argc, char** argv) {
         nj << "{\"text\": \"" << json_escape(item.text) << "\", \"syntactic\": \""
            << core::to_string(item.syntactic.lowest()) << "\", \"exact\": ";
         if (item.exact)
-          nj << "\"" << core::to_string(item.exact->lowest()) << "\"";
+          nj << "\"" << core::to_string(item.exact->lowest()) << "\", \"exact_source\": \""
+             << (item.exact_source == ltl::ExactClass::Source::NbaSemantics ? "nba"
+                                                                            : "normal-form")
+             << "\"";
         else
           nj << "null";
         nj << ", \"outcome\": \"" << to_string(item.outcome)
@@ -616,6 +636,50 @@ int main(int argc, char** argv) {
                       << ")\n";
         }
       }
+    }
+
+    if (subsume) {
+      // Requirements for the subsumption pass: same collection order and
+      // dedup as --classify/--vacuity.
+      std::vector<std::string> req_texts;
+      std::set<std::string> seen_reqs;
+      auto add_req = [&](const std::string& text) {
+        if (seen_reqs.insert(text).second) req_texts.push_back(text);
+      };
+      for (const auto& text : check_formulas) add_req(text);
+      for (const auto& path : spec_files)
+        for (const auto& line : read_spec_file(path)) add_req(line);
+      for (const auto& text : formulas) add_req(text);
+      std::vector<ltl::Formula> reqs;
+      for (const auto& text : req_texts) reqs.push_back(ltl::parse_formula(text));
+
+      options.subsume.enabled = true;
+      if (budget_states > 0)
+        options.subsume.budget = Budget().with_state_cap(budget_states);
+      const auto sr = analysis::lint_subsume(reqs, engine, options.subsume);
+      if (sr.unknown_pairs > 0) unknown_seen = true;
+      if (!json && !quiet) {
+        TextTable t({"stronger", "weaker", "relation"});
+        for (const auto& p : sr.pairs)
+          t.add_row({req_texts[p.stronger], req_texts[p.weaker],
+                     p.equivalent ? "equivalent" : "implies"});
+        std::cout << "== subsumption (Büchi language inclusion) ==\n"
+                  << t.to_string() << "checked " << sr.checked_pairs
+                  << " direction(s), " << sr.unknown_pairs << " undecided\n\n";
+      }
+      std::ostringstream sj;
+      using analysis::json_escape;
+      sj << ", \"subsume\": {\"pairs\": [";
+      for (std::size_t i = 0; i < sr.pairs.size(); ++i) {
+        const auto& p = sr.pairs[i];
+        if (i) sj << ", ";
+        sj << "{\"stronger\": \"" << json_escape(req_texts[p.stronger])
+           << "\", \"weaker\": \"" << json_escape(req_texts[p.weaker])
+           << "\", \"equivalent\": " << (p.equivalent ? "true" : "false") << "}";
+      }
+      sj << "], \"checked\": " << sr.checked_pairs
+         << ", \"unknown\": " << sr.unknown_pairs << "}";
+      extra_json += sj.str();
     }
   } catch (const std::invalid_argument& e) {
     std::cerr << "mph-lint: " << e.what() << "\n";

@@ -54,6 +54,9 @@ int usage(std::ostream& out, int code) {
          "                        (default 0 = requests may run undeadlined)\n"
          "  --max-threads N       ceiling on requested threads/explore_threads (default 8)\n"
          "  --no-cache            disable the verdict cache\n"
+         "  --no-subsume          disable cross-spec verdict sharing via language\n"
+         "                        inclusion (docs/SERVE.md)\n"
+         "  --subsume-states N    state cap per implication check (default 20000)\n"
          "  --quiet               no stats dump on shutdown\n";
   return code;
 }
@@ -188,6 +191,11 @@ int main(int argc, char** argv) {
       config.max_threads = static_cast<unsigned>(next_num("--max-threads", 1024));
     } else if (arg == "--no-cache") {
       config.cache = false;
+    } else if (arg == "--no-subsume") {
+      config.subsume_sharing = false;
+    } else if (arg == "--subsume-states") {
+      config.subsume_states =
+          static_cast<std::size_t>(next_num("--subsume-states", UINT64_MAX));
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
