@@ -113,6 +113,18 @@ CASES = [
       "G p"]),
     (2, "empty --threads value", ["--model", "peterson", "--threads", "",
                                   "--check", LIVENESS]),
+    # --absint: interval abstract interpretation over the symbolic model
+    # (docs/ABSINT.md). dining-N carries a dead escalate transition and
+    # wrapping put_downs, so the findings are warnings: 0 plain, 1 --werror.
+    (0, "absint findings without --werror",
+     ["--model", "dining-2", "--quiet", "--absint"]),
+    (1, "absint findings under --werror",
+     ["--model", "dining-2", "--quiet", "--werror", "--absint"]),
+    (0, "absint static proof of box safety",
+     ["--model", "ring-2", "--quiet", "--absint", "--check", "G alarmlo"]),
+    (2, "--absint without a model", ["--absint", "G p"]),
+    (2, "--absint on a model without a symbolic description",
+     ["--model", "peterson", "--absint"]),
 ]
 
 # mph-fuzz: same strict-numeric contract on its flags (a silently truncated

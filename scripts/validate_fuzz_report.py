@@ -34,6 +34,7 @@ KNOWN_ORACLES = {
     "vacuity-antecedent",
     "normalize-agreement",
     "lasso-roundtrip",
+    "absint-soundness",
     "nba-inclusion",
     "serve-replay",
 }

@@ -13,7 +13,8 @@ the diagnostics document:
    "counts": {"error": E, "warning": W, "note": N},
    "vacuity": {...},    # present iff --vacuity was given
    "coverage": {...},   # present iff --coverage was given
-   "classify": {...}}   # present iff --classify/--normalize/--strict-class
+   "classify": {...},   # present iff --classify/--normalize/--strict-class
+   "absint": {...}}     # present iff --absint (docs/ABSINT.md)
 
 Every --expect-code CODE must appear among the diagnostics. Exits 0 iff the
 document matches; prints the first problem and exits 1 otherwise.
@@ -205,6 +206,54 @@ def check_classify(c):
                 f"classify: '{key}' is {c.get(key)} but rows sum to {value}")
 
 
+def check_absint(a):
+    require(isinstance(a, dict), "'absint' is not an object")
+    require(isinstance(a.get("model"), str) and a["model"], "absint: missing 'model'")
+    require(isinstance(a.get("iterations"), int) and a["iterations"] >= 1,
+            "absint: 'iterations' missing or < 1")
+    for key in ("widened", "narrowed"):
+        require(isinstance(a.get(key), bool), f"absint: '{key}' is not a bool")
+    invs = a.get("invariants")
+    require(isinstance(invs, list) and invs, "absint: 'invariants' missing or empty")
+    tightened = 0
+    for i, inv in enumerate(invs):
+        where = f"absint.invariants[{i}]"
+        require(isinstance(inv, dict), f"{where}: not an object")
+        require(isinstance(inv.get("var"), str) and inv["var"],
+                f"{where}: missing 'var'")
+        for key in ("dom_lo", "dom_hi", "lo", "hi"):
+            require(isinstance(inv.get(key), int), f"{where}: '{key}' missing")
+        require(inv["dom_lo"] <= inv["lo"] <= inv["hi"] <= inv["dom_hi"],
+                f"{where}: interval [{inv['lo']}, {inv['hi']}] escapes the "
+                f"domain [{inv['dom_lo']}, {inv['dom_hi']}]")
+        require(isinstance(inv.get("tightened"), bool),
+                f"{where}: 'tightened' is not a bool")
+        tightened += inv["tightened"]
+    trans = a.get("transitions")
+    require(isinstance(trans, list) and trans,
+            "absint: 'transitions' missing or empty")
+    dead = wrapping = 0
+    for i, t in enumerate(trans):
+        where = f"absint.transitions[{i}]"
+        require(isinstance(t, dict), f"{where}: not an object")
+        require(isinstance(t.get("name"), str) and t["name"],
+                f"{where}: missing 'name'")
+        for key in ("dead", "may_wrap"):
+            require(isinstance(t.get(key), bool), f"{where}: '{key}' is not a bool")
+        wrap_vars = t.get("wrap_vars")
+        require(isinstance(wrap_vars, list), f"{where}: 'wrap_vars' missing")
+        require(bool(wrap_vars) == t["may_wrap"],
+                f"{where}: 'wrap_vars' disagrees with 'may_wrap'")
+        require(not (t["dead"] and t["may_wrap"]),
+                f"{where}: a dead transition cannot also wrap")
+        dead += t["dead"]
+        wrapping += t["may_wrap"]
+    for key, value in (("dead_count", dead), ("tightened_count", tightened),
+                       ("wrap_count", wrapping)):
+        require(a.get(key) == value,
+                f"absint: '{key}' is {a.get(key)} but rows sum to {value}")
+
+
 def main():
     args = sys.argv[1:]
     expect = []
@@ -234,11 +283,13 @@ def main():
         check_coverage(data["coverage"])
     if "classify" in data:
         check_classify(data["classify"])
+    if "absint" in data:
+        check_absint(data["absint"])
     codes = {d["code"] for d in diags}
     for code in expect:
         require(code in codes, f"expected diagnostic {code} was not reported")
 
-    extras = [k for k in ("vacuity", "coverage", "classify") if k in data]
+    extras = [k for k in ("vacuity", "coverage", "classify", "absint") if k in data]
     print(f"{source} ok: {len(diags)} diagnostic(s)" +
           (f", with {', '.join(extras)}" if extras else ""))
 

@@ -1,0 +1,107 @@
+// Interval abstract interpretation over symbolic transition systems
+// (fts::FtsSpec) — the paper's invariance rule (§1, §4) discharged without
+// enumerating a single computation. A chaotic-iteration fixpoint over
+// per-variable interval environments yields an inductive box invariant
+// `inv: var → [lo, hi]` that over-approximates every reachable valuation;
+// per-transition verdicts fall out of the same transfer functions:
+//
+//   MPH-F010 (warning)  transition dead: guard unsatisfiable under inv
+//   MPH-F011 (note)     variable confined to a strict sub-interval of its
+//                       declared domain
+//   MPH-F012 (note)     a modular-add effect may wrap under inv
+//
+// On top sits an exploration-free proof path: `make_static_prover` turns the
+// invariant into a `CheckOptions::static_prover` hook that certifies safety
+// specs whose atoms are interval-decidable ("<var>hi"/"<var>lo" and boolean
+// combinations under □, or pure state formulas evaluated at the initial
+// valuation). The hook is *sound and incomplete*: it either proves the spec
+// holds or refuses, never guesses — the same refusal discipline as the
+// normalizer. See docs/ABSINT.md.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.hpp"
+#include "src/fts/checker.hpp"
+#include "src/fts/spec_model.hpp"
+
+namespace mph::analysis {
+
+/// One inclusive integer interval. Bottom (the empty interval) is
+/// represented as lo > hi; environment entries are never bottom, but
+/// guard-refined boxes inside the transfer function can be.
+struct Interval {
+  int lo = 0;
+  int hi = -1;
+  bool is_bottom() const { return lo > hi; }
+  bool contains(int v) const { return lo <= v && v <= hi; }
+};
+
+struct AbsintResult {
+  struct VarInvariant {
+    std::string name;
+    int dom_lo = 0, dom_hi = 0;  ///< declared domain
+    Interval inv;                ///< inferred bounds; inv ⊆ [dom_lo, dom_hi]
+    bool tightened = false;      ///< strict sub-interval (MPH-F011)
+  };
+  struct TransVerdict {
+    std::string name;
+    bool dead = false;      ///< guard unsatisfiable under the invariant (MPH-F010)
+    bool may_wrap = false;  ///< some effect may wrap modulo its domain (MPH-F012)
+    std::vector<std::string> wrap_vars;  ///< effect targets that may wrap
+  };
+  std::vector<VarInvariant> invariants;  ///< one per spec variable, in order
+  std::vector<TransVerdict> transitions;  ///< one per spec transition, in order
+  std::size_t iterations = 0;  ///< chaotic-iteration rounds to the fixpoint
+  bool widened = false;        ///< widening-to-domain-bounds fired
+  bool narrowed = false;       ///< the narrowing pass shrank some bound
+
+  std::size_t dead_count() const;
+  std::size_t tightened_count() const;
+  std::size_t wrap_count() const;
+};
+
+/// Runs the interval analysis to its fixpoint: ascending chaotic iteration
+/// with widening to domain bounds after a bounded number of rounds, then one
+/// descending narrowing pass. Always terminates; never explores states.
+AbsintResult analyze_intervals(const fts::FtsSpec& spec);
+
+/// Serializes an AbsintResult as the "absint" JSON object documented in
+/// scripts/validate_lint_report.py.
+std::string to_json(const AbsintResult& result);
+
+/// analyze_intervals + diagnostics: emits MPH-F010 per dead transition,
+/// MPH-F011 per tightened variable, MPH-F012 per wrap-capable transition.
+AbsintResult lint_absint(const fts::FtsSpec& spec, DiagnosticEngine& diagnostics);
+
+struct StaticProverOptions {
+  /// Cross-check every successful proof by discharging the box invariant
+  /// through `fts::verify_invariance` over the concrete state graph — the
+  /// certification step for debug/test builds. Off by default in Release
+  /// (it would re-introduce exactly the exploration the static path
+  /// avoids); certification *failure* is a soundness bug and throws, while
+  /// certification budget exhaustion leaves the (still sound) proof
+  /// standing.
+#ifdef NDEBUG
+  bool certify = false;
+#else
+  bool certify = true;
+#endif
+  /// State cap for the certification exploration.
+  std::size_t certify_max_states = 200000;
+};
+
+/// Builds the exploration-free proof hook for `CheckOptions::static_prover`.
+/// The interval analysis runs once, eagerly; each consultation then walks
+/// the spec formula: □(state-formula) is certified when the formula is
+/// definitely true in every box valuation, conjunctions split, and pure
+/// state formulas are evaluated exactly at the initial valuation. Every
+/// other shape — and every "holds" the box cannot establish — returns
+/// nullopt, falling through to the exploration engines.
+std::function<std::optional<fts::CheckResult>(const ltl::Formula&)> make_static_prover(
+    const fts::FtsSpec& spec, const StaticProverOptions& options = {});
+
+}  // namespace mph::analysis

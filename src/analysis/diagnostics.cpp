@@ -44,6 +44,10 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-F005", Severity::Warning, "fairness declared on a never-enabled transition"},
     {"MPH-F006", Severity::Note, "deadlock (stutter-only) state reachable"},
     {"MPH-F007", Severity::Warning, "state space exceeds exploration limit (lint incomplete)"},
+    // Interval abstract interpretation (src/analysis/absint.hpp, docs/ABSINT.md).
+    {"MPH-F010", Severity::Warning, "transition dead under the interval invariant (guard unsatisfiable)"},
+    {"MPH-F011", Severity::Note, "variable confined to a strict sub-interval of its declared domain"},
+    {"MPH-F012", Severity::Note, "modular effect may wrap under the interval invariant"},
 
     {"MPH-N001", Severity::Note, "exact hierarchy class established by normalization"},
     {"MPH-N002", Severity::Warning, "syntactic class coarser than exact class (suggested rewrite attached)"},
@@ -70,6 +74,7 @@ constexpr CodeInfo kRegistry[] = {
     {"MPH-V002", Severity::Note, "model-check product size"},
     {"MPH-V003", Severity::Warning, "specification violated (counterexample found)"},
     {"MPH-V004", Severity::Error, "model-check budget exhausted (verdict unknown)"},
+    {"MPH-V005", Severity::Note, "specification proved statically from the interval invariant (no exploration)"},
     // Differential fuzzing (src/fuzz, mph-fuzz).
     {"MPH-X001", Severity::Error, "oracle discrepancy (two implementations disagree)"},
     {"MPH-X002", Severity::Note, "counterexample shrunk to a minimal reproducer"},

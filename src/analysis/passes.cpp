@@ -23,6 +23,9 @@ Subject Subject::of(const std::vector<ltl::Formula>& spec, std::string name) {
 Subject Subject::of(const CheckedSpec& cs, std::string name) {
   return Subject(Kind::CheckedSpec, std::move(name), &cs);
 }
+Subject Subject::of(const fts::FtsSpec& spec, std::string name) {
+  return Subject(Kind::SpecModel, std::move(name), &spec);
+}
 
 const omega::DetOmega& Subject::det_omega() const {
   MPH_REQUIRE(kind_ == Kind::DetOmega, "subject is not a DetOmega");
@@ -48,6 +51,10 @@ const CheckedSpec& Subject::checked_spec() const {
   MPH_REQUIRE(kind_ == Kind::CheckedSpec, "subject is not a model+spec pair");
   return *static_cast<const CheckedSpec*>(ptr_);
 }
+const fts::FtsSpec& Subject::spec_model() const {
+  MPH_REQUIRE(kind_ == Kind::SpecModel, "subject is not a symbolic system description");
+  return *static_cast<const fts::FtsSpec*>(ptr_);
+}
 
 namespace {
 
@@ -67,6 +74,7 @@ constexpr std::string_view kNormalizeCodes[] = {"MPH-N001", "MPH-N002", "MPH-N00
 constexpr std::string_view kSubsumeCodes[] = {"MPH-S011", "MPH-S012", "MPH-S013"};
 constexpr std::string_view kVacuityCodes[] = {"MPH-Y001", "MPH-Y002", "MPH-Y003", "MPH-Y005"};
 constexpr std::string_view kCoverageCodes[] = {"MPH-Y004", "MPH-Y005"};
+constexpr std::string_view kAbsintCodes[] = {"MPH-F010", "MPH-F011", "MPH-F012"};
 
 const Pass kPasses[] = {
     {"det-structure", "reachability and mark placement of a deterministic ω-automaton",
@@ -128,6 +136,11 @@ const Pass kPasses[] = {
        if (!opts.coverage.enabled) return;
        const CheckedSpec& cs = s.checked_spec();
        analyze_coverage(*cs.system, *cs.spec, *cs.atoms, out, opts.coverage);
+     }},
+    {"absint", "interval abstract interpretation: invariants, dead transitions, wraps",
+     Subject::Kind::SpecModel, kAbsintCodes,
+     [](const Subject& s, DiagnosticEngine& out, const AnalysisOptions&) {
+       lint_absint(s.spec_model(), out);
      }},
 };
 

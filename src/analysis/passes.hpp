@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/analysis/absint.hpp"
 #include "src/analysis/coverage.hpp"
 #include "src/analysis/diagnostics.hpp"
 #include "src/analysis/fts_lint.hpp"
@@ -48,7 +49,7 @@ struct CheckedSpec {
 /// the Subject.
 class Subject {
  public:
-  enum class Kind { DetOmega, Nba, Dfa, Fts, Spec, CheckedSpec };
+  enum class Kind { DetOmega, Nba, Dfa, Fts, Spec, CheckedSpec, SpecModel };
 
   static Subject of(const omega::DetOmega& m, std::string name);
   static Subject of(const omega::Nba& n, std::string name);
@@ -56,6 +57,9 @@ class Subject {
   static Subject of(const fts::Fts& f, std::string name);
   static Subject of(const std::vector<ltl::Formula>& spec, std::string name);
   static Subject of(const CheckedSpec& cs, std::string name);
+  /// A *symbolic* system description (guards/effects inspectable), the IR
+  /// the interval abstract interpreter analyzes without exploration.
+  static Subject of(const fts::FtsSpec& spec, std::string name);
 
   Kind kind() const { return kind_; }
   const std::string& name() const { return name_; }
@@ -65,6 +69,7 @@ class Subject {
   const fts::Fts& fts() const;
   const std::vector<ltl::Formula>& spec() const;
   const CheckedSpec& checked_spec() const;
+  const fts::FtsSpec& spec_model() const;
 
  private:
   Subject(Kind kind, std::string name, const void* ptr)

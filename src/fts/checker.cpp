@@ -35,6 +35,7 @@ std::string_view to_string(CheckEngine e) {
     case CheckEngine::Scc: return "SCC";
     case CheckEngine::SafetyPrefix: return "safety-prefix";
     case CheckEngine::GuaranteeDual: return "guarantee-dual";
+    case CheckEngine::StaticProof: return "static";
   }
   MPH_ASSERT(false);
 }
@@ -945,6 +946,34 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
   std::vector<CheckResult> results(specs.size());
   if (specs.empty()) return results;
 
+  // Exploration-free proofs first: any spec the static prover certifies is
+  // done — stamped StaticProof/Complete with zero states — before a single
+  // node is expanded. force_scc demands the SCC engine, so the hook is
+  // skipped there (the fuzz oracles rely on force_scc meaning exactly that).
+  std::vector<char> resolved(specs.size(), 0);
+  std::size_t n_resolved = 0;
+  if (options.static_prover && !options.force_scc) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      validated_atoms(specs[i], atoms);  // same vocabulary contract as the engines
+      auto proved = options.static_prover(specs[i]);
+      if (!proved) continue;
+      CheckResult r = std::move(*proved);
+      MPH_REQUIRE(r.holds, "static_prover must only certify specs that hold");
+      r.outcome = r.stats.outcome = Outcome::Complete;
+      r.stats.engine = CheckEngine::StaticProof;
+      r.stats.state_graph_nodes = 0;
+      r.product_states = r.stats.product_states = r.stats.product_bound = 0;
+      r.counterexample.reset();
+      results[i] = std::move(r);
+      resolved[i] = 1;
+      ++n_resolved;
+      if (options.diagnostics)
+        options.diagnostics->emit("MPH-V005", specs[i].to_string(),
+                                  "proved from the interval invariant; 0 states explored");
+    }
+    if (n_resolved == specs.size()) return results;
+  }
+
   // Effective budget: options.budget, with the deprecated max_states alias
   // seeding the state cap when the budget itself carries none.
   Budget budget = options.budget;
@@ -956,10 +985,13 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
   ExploreResult ex = explore(system, budget, options.explore_threads);
   const double explore_seconds = elapsed(t_explore);
   if (!is_complete(ex.outcome)) {
-    // The shared exploration ran out of budget: every spec in the batch gets
-    // the same unknown verdict, before any worker thread starts — so the
-    // result (and the single MPH-V004) is identical for threads == 1 and N.
-    for (auto& r : results) {
+    // The shared exploration ran out of budget: every spec in the batch not
+    // already proved statically gets the same unknown verdict, before any
+    // worker thread starts — so the result (and the single MPH-V004) is
+    // identical for threads == 1 and N.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (resolved[i]) continue;
+      auto& r = results[i];
       r.outcome = r.stats.outcome = ex.outcome;
       r.stats.state_graph_nodes = ex.graph.nodes.size();
       r.stats.explore_seconds = explore_seconds;
@@ -982,6 +1014,7 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
   std::map<std::vector<std::string>, LabelCache> caches;
   std::vector<const LabelCache*> cache_of(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (resolved[i]) continue;
     auto atom_names = validated_atoms(specs[i], atoms);
     auto it = caches.find(atom_names);
     if (it == caches.end()) {
@@ -1005,7 +1038,8 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
   std::size_t threads = std::max<unsigned>(options.threads, 1);
   threads = std::min(threads, specs.size());
   if (threads <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) run_one(i, options.diagnostics);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      if (!resolved[i]) run_one(i, options.diagnostics);
     return results;
   }
 
@@ -1023,6 +1057,7 @@ std::vector<CheckResult> check_all(const Fts& system, const std::vector<ltl::For
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= specs.size()) return;
+          if (resolved[i]) continue;
           try {
             run_one(i, &engines[i]);
           } catch (...) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -49,7 +50,14 @@ struct Counterexample {
 ///                   pruning the dead states turns the acceptance into ⊤ and
 ///                   the product search back into a fairness-only lasso hunt
 ///                   (nested-DFS) instead of the Fin-shaped SCC path.
-enum class CheckEngine : std::uint8_t { NestedDfs, Scc, SafetyPrefix, GuaranteeDual };
+/// A fifth source of verdicts sits above all four:
+///   StaticProof   — the spec was discharged by `CheckOptions::static_prover`
+///                   (interval abstract interpretation, src/analysis/absint.*)
+///                   without exploring a single state; stats report 0 nodes
+///                   and 0 product states. Only "holds" verdicts arrive this
+///                   way — a prover that cannot certify the spec returns
+///                   nothing and the check falls through to the engines.
+enum class CheckEngine : std::uint8_t { NestedDfs, Scc, SafetyPrefix, GuaranteeDual, StaticProof };
 
 std::string_view to_string(CheckEngine e);
 
@@ -166,6 +174,15 @@ struct CheckOptions {
   /// becomes the compilation source, routing it to the shortcut engines.
   /// 0 disables normalization in the checker.
   std::size_t normalize_steps = 512;
+  /// Exploration-free proof hook, consulted per spec *before* the shared
+  /// exploration (skipped under `force_scc`, which demands the SCC engine).
+  /// Returning a result means "this spec is proved to hold" — the checker
+  /// stamps it `CheckEngine::StaticProof` / Outcome::Complete with zero
+  /// exploration and, when every spec in the batch resolves statically,
+  /// never builds the state graph at all. Returning nullopt falls through
+  /// to the engines; the hook must be sound (never a guess) — see
+  /// analysis::make_static_prover (docs/ABSINT.md).
+  std::function<std::optional<CheckResult>(const ltl::Formula&)> static_prover;
   analysis::DiagnosticEngine* diagnostics = nullptr;
 };
 

@@ -4,15 +4,30 @@
 #include <map>
 
 namespace mph::fts {
+namespace {
 
-RuleResult verify_invariance(const Fts& system, const Assertion& inv, std::size_t max_states) {
-  return verify_invariance_with(system, inv, inv, max_states);
+/// Budget exhaustion is an explicit unknown: the premises were never fully
+/// enumerated, so the rule is neither proved nor refuted and no witness
+/// state is attached.
+RuleResult exhausted(Outcome outcome) {
+  RuleResult r;
+  r.proved = false;
+  r.failed_premise = "exploration budget exhausted (" + std::string(to_string(outcome)) +
+                     "): premises not enumerated";
+  r.outcome = outcome;
+  return r;
+}
+
+}  // namespace
+
+RuleResult verify_invariance(const Fts& system, const Assertion& inv, const Budget& budget) {
+  return verify_invariance_with(system, inv, inv, budget);
 }
 
 RuleResult verify_invariance_with(const Fts& system, const Assertion& goal,
-                                  const Assertion& aux, std::size_t max_states) {
-  ExploreResult ex = explore(system, Budget().with_state_cap(max_states));
-  MPH_REQUIRE(is_complete(ex.outcome), "state graph exceeds max_states");
+                                  const Assertion& aux, const Budget& budget) {
+  ExploreResult ex = explore(system, budget);
+  if (!is_complete(ex.outcome)) return exhausted(ex.outcome);
   StateGraph g = std::move(ex.graph);
   // Premise I0: aux implies goal everywhere reachable.
   for (const auto& node : g.nodes)
@@ -36,9 +51,9 @@ RuleResult verify_invariance_with(const Fts& system, const Assertion& goal,
 RuleResult verify_response(const Fts& system, const Assertion& p, const Assertion& q,
                            const Ranking& rank,
                            const std::function<std::size_t(const Valuation&)>& helpful,
-                           std::size_t max_states) {
-  ExploreResult ex = explore(system, Budget().with_state_cap(max_states));
-  MPH_REQUIRE(is_complete(ex.outcome), "state graph exceeds max_states");
+                           const Budget& budget) {
+  ExploreResult ex = explore(system, budget);
+  if (!is_complete(ex.outcome)) return exhausted(ex.outcome);
   StateGraph g = std::move(ex.graph);
   // Pending-obligation graph over (node, pending) pairs.
   struct PNode {

@@ -26,17 +26,24 @@ struct RuleResult {
   bool proved = false;
   std::string failed_premise;              // empty iff proved
   std::optional<Valuation> witness_state;  // state violating the premise
+  /// How far the premise enumeration got (docs/BUDGETS.md). Anything other
+  /// than Complete means the exploration budget ran out before the premises
+  /// were enumerated: `proved` is false with no witness — the rule is
+  /// *unknown*, not disproved.
+  Outcome outcome = Outcome::Complete;
 };
 
 /// Invariance rule (safety): `inv` holds initially and every transition from
-/// a reachable inv-state lands in an inv-state. Proves □inv.
+/// a reachable inv-state lands in an inv-state. Proves □inv. The default
+/// budget is unlimited; a state cap or deadline turns exhaustion into an
+/// explicit not-proved RuleResult (see RuleResult::outcome), never a throw.
 RuleResult verify_invariance(const Fts& system, const Assertion& inv,
-                             std::size_t max_states = 200000);
+                             const Budget& budget = {});
 
 /// Strengthened invariance: prove □goal via an inductive strengthening
 /// `aux` with aux → goal.
 RuleResult verify_invariance_with(const Fts& system, const Assertion& goal,
-                                  const Assertion& aux, std::size_t max_states = 200000);
+                                  const Assertion& aux, const Budget& budget = {});
 
 /// Well-founded response rule: proves □(p → ◇q) using `rank` and a helpful
 /// weakly-fair transition chosen per state by `helpful`. Premises over every
@@ -50,6 +57,6 @@ RuleResult verify_invariance_with(const Fts& system, const Assertion& goal,
 RuleResult verify_response(const Fts& system, const Assertion& p, const Assertion& q,
                            const Ranking& rank,
                            const std::function<std::size_t(const Valuation&)>& helpful,
-                           std::size_t max_states = 200000);
+                           const Budget& budget = {});
 
 }  // namespace mph::fts

@@ -9,13 +9,6 @@ namespace {
 
 using omega::Acceptance;
 
-int wrap_into(int value, int lo, int hi) {
-  const int span = hi - lo + 1;
-  int off = (value - lo) % span;
-  if (off < 0) off += span;
-  return lo + off;
-}
-
 void write_acceptance(const Acceptance& a, std::ostream& out) {
   switch (a.kind()) {
     case Acceptance::Kind::True:
@@ -107,47 +100,6 @@ lang::Alphabet parse_alphabet(std::istream& in) {
 }
 
 }  // namespace
-
-fts::Fts FtsSpec::build() const {
-  fts::Fts f;
-  for (const auto& v : vars) f.add_var(v.name, v.lo, v.hi, v.init);
-  for (const auto& t : transitions) {
-    // Capture by value: the spec may go away before the system is explored.
-    auto guard = t.guard;
-    auto effects = t.effects;
-    auto domains = vars;
-    f.add_transition(
-        t.name, t.fairness,
-        [guard](const fts::Valuation& v) {
-          for (const auto& c : guard) {
-            const int x = v[c.var];
-            if (c.op == 0 && !(x <= c.rhs)) return false;
-            if (c.op == 1 && !(x >= c.rhs)) return false;
-            if (c.op == 2 && !(x == c.rhs)) return false;
-          }
-          return true;
-        },
-        [effects, domains](fts::Valuation& v) {
-          for (const auto& e : effects)
-            v[e.var] = wrap_into(v[e.src] + e.add, domains[e.var].lo, domains[e.var].hi);
-        });
-  }
-  return f;
-}
-
-fts::AtomMap FtsSpec::atoms() const {
-  fts::AtomMap out;
-  for (std::size_t i = 0; i < vars.size(); ++i) {
-    const int hi = vars[i].hi, lo = vars[i].lo;
-    out[vars[i].name + "hi"] = [i, hi](const fts::Fts&, const fts::Valuation& v, int) {
-      return v[i] == hi;
-    };
-    out[vars[i].name + "lo"] = [i, lo](const fts::Fts&, const fts::Valuation& v, int) {
-      return v[i] == lo;
-    };
-  }
-  return out;
-}
 
 std::size_t FuzzCase::size() const {
   std::size_t n = 0;

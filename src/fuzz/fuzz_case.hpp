@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/fts/fts.hpp"
+#include "src/fts/spec_model.hpp"
 #include "src/lang/dfa.hpp"
 #include "src/omega/det_omega.hpp"
 #include "src/omega/lasso.hpp"
@@ -18,40 +19,10 @@
 
 namespace mph::fuzz {
 
-/// A serializable miniature fair transition system. Guards are conjunctions
-/// of variable/constant comparisons; effects are modular-wrapped additions,
-/// so every generated transition keeps values inside their domains.
-struct FtsSpec {
-  struct Var {
-    std::string name;
-    int lo = 0, hi = 0, init = 0;
-  };
-  /// guard conjunct: value(var) op rhs, with op ∈ {0: ≤, 1: ≥, 2: =}.
-  struct Cmp {
-    std::size_t var = 0;
-    int op = 0;
-    int rhs = 0;
-  };
-  /// effect: var := lo + ((value(src) + add − lo) mod domain-span).
-  struct Eff {
-    std::size_t var = 0;
-    std::size_t src = 0;
-    int add = 0;
-  };
-  struct Trans {
-    std::string name;
-    fts::Fairness fairness = fts::Fairness::None;
-    std::vector<Cmp> guard;
-    std::vector<Eff> effects;
-  };
-
-  std::vector<Var> vars;
-  std::vector<Trans> transitions;
-
-  fts::Fts build() const;
-  /// Atoms "<v>hi" / "<v>lo" (value at the domain's top / bottom) per var.
-  fts::AtomMap atoms() const;
-};
+/// The symbolic system description now lives in src/fts/spec_model.hpp so
+/// static analyses can consume it; this alias keeps fuzz-layer call sites
+/// source-compatible.
+using fts::FtsSpec;
 
 struct FuzzCase {
   std::string oracle;

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/analysis/absint.hpp"
 #include "src/analysis/vacuity.hpp"
 #include "src/core/classify.hpp"
 #include "src/core/operator_forms.hpp"
@@ -890,6 +891,116 @@ CheckOutcome check_nba_inclusion(const FuzzCase& c, const Budget& budget) {
   return CheckOutcome::pass();
 }
 
+// ------------------------------------------------------------------------
+// absint-soundness: the interval abstract interpreter (docs/ABSINT.md) vs
+// concrete exploration. Every reachable valuation must sit inside the box
+// invariant, abstractly dead transitions (MPH-F010) must never be enabled
+// in any reachable state, and any spec the static prover certifies must
+// agree with the ω-product engine and take the exploration-free path when
+// installed through CheckOptions::static_prover.
+
+FuzzCase gen_absint_soundness(Rng& rng) {
+  FuzzCase c;
+  c.oracle = "absint-soundness";
+  // 1-in-4 draws use a symbolic scaling family — the systems the static
+  // proof path benchmarks on, with guaranteed wraps (dining's put_down) and
+  // a guaranteed dead transition (the alarm latch's escalate). The rest are
+  // generic random systems.
+  if (rng.below(4) == 0)
+    c.system = rng.below(2) ? fts::symbolic_dining(2 + static_cast<std::size_t>(rng.below(2)))
+                            : fts::symbolic_ring(2 + static_cast<std::size_t>(rng.below(3)));
+  else
+    c.system = random_fts(rng);
+  std::vector<std::string> atoms;
+  for (const auto& v : c.system->vars) {
+    atoms.push_back(v.name + "hi");
+    atoms.push_back(v.name + "lo");
+  }
+  // Half the specs are □(literal ∨ literal) — the shape the prover can
+  // certify; the other half arbitrary future-only LTL, which it must either
+  // prove consistently or refuse.
+  if (rng.below(2) == 0) {
+    auto literal = [&] {
+      std::string a = atoms[static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(atoms.size())))];
+      return rng.below(2) ? "!" + a : a;
+    };
+    std::string body = literal();
+    if (rng.below(2)) body = body + " | " + literal();
+    c.formulas.push_back("G (" + body + ")");
+  } else {
+    for (int tries = 0; tries < 20; ++tries) {
+      ltl::Formula f = random_ltl(rng, atoms, static_cast<std::size_t>(rng.between(3, 6)),
+                                  LtlFlavor::FutureOnly);
+      if (f.atoms().empty()) continue;
+      c.formulas.push_back(f.to_string());
+      break;
+    }
+  }
+  return c;
+}
+
+CheckOutcome check_absint_soundness(const FuzzCase& c, const Budget& budget) {
+  if (!c.system) return CheckOutcome::skip("needs a system");
+  const analysis::AbsintResult ar = analysis::analyze_intervals(*c.system);
+  const fts::Fts sys = c.system->build();
+  Budget capped = budget;
+  if (!capped.has_state_cap() || capped.state_cap() > 20000) capped.with_state_cap(20000);
+  const fts::ExploreResult ex = fts::explore(sys, capped);
+  if (!is_complete(ex.outcome))
+    return CheckOutcome::exhausted("exploration budget exhausted (" +
+                                   std::string(to_string(ex.outcome)) + ")");
+  // Leg 1: the box invariant contains every reachable valuation.
+  for (const auto& node : ex.graph.nodes)
+    for (std::size_t v = 0; v < ar.invariants.size(); ++v)
+      if (!ar.invariants[v].inv.contains(node.valuation[v]))
+        return CheckOutcome::fail(
+            "reachable valuation escapes the box invariant: " + ar.invariants[v].name +
+            "=" + std::to_string(node.valuation[v]) + " outside [" +
+            std::to_string(ar.invariants[v].inv.lo) + ", " +
+            std::to_string(ar.invariants[v].inv.hi) + "]");
+  if (auto gate = budget_gate(budget)) return *gate;
+  // Leg 2: MPH-F010 transitions are never enabled in any reachable state.
+  for (std::size_t t = 0; t < ar.transitions.size(); ++t) {
+    if (!ar.transitions[t].dead) continue;
+    for (std::size_t n = 0; n < ex.graph.nodes.size(); ++n)
+      if (t < ex.graph.enabled[n].size() && ex.graph.enabled[n][t])
+        return CheckOutcome::fail("transition '" + ar.transitions[t].name +
+                                  "' is abstractly dead (MPH-F010) but concretely "
+                                  "enabled in a reachable state");
+  }
+  if (auto gate = budget_gate(budget)) return *gate;
+  // Leg 3: certified specs agree with the ω-product engine, and through
+  // CheckOptions::static_prover the batch takes the exploration-free path.
+  if (c.formulas.empty()) return CheckOutcome::pass();
+  const fts::AtomMap atoms = c.system->atoms();
+  const ltl::Formula spec = ltl::parse_formula(c.formulas[0]);
+  const auto prover = analysis::make_static_prover(*c.system);
+  const auto proved = prover(spec);
+  if (!proved) return CheckOutcome::pass();  // refusal is always sound
+  if (!proved->holds)
+    return CheckOutcome::fail("static prover returned a non-holds certificate for '" +
+                              c.formulas[0] + "'");
+  fts::CheckOptions otf;
+  otf.max_states = 20000;  // seeds the budget's state cap unless it has one
+  otf.budget = budget;
+  const auto r_otf = fts::check_all(sys, {spec}, atoms, otf)[0];
+  if (!is_complete(r_otf.outcome))
+    return CheckOutcome::exhausted("engine budget exhausted (" +
+                                   std::string(to_string(r_otf.outcome)) + ")");
+  if (!r_otf.holds)
+    return CheckOutcome::fail("static prover certified '" + c.formulas[0] +
+                              "' but the ω-product engine refutes it");
+  fts::CheckOptions sp = otf;
+  sp.static_prover = prover;
+  const auto r_sp = fts::check_all(sys, {spec}, atoms, sp)[0];
+  if (r_sp.stats.engine != fts::CheckEngine::StaticProof || !r_sp.holds ||
+      r_sp.stats.state_graph_nodes != 0 || r_sp.stats.product_states != 0)
+    return CheckOutcome::fail("CheckOptions::static_prover did not take the "
+                              "exploration-free path on '" + c.formulas[0] + "'");
+  return CheckOutcome::pass();
+}
+
 }  // namespace
 
 namespace {
@@ -927,6 +1038,10 @@ std::vector<Oracle>& mutable_registry() {
       {"nba-inclusion",
        "Büchi complementation (NCSB vs rank) and language inclusion vs per-lasso membership",
        gen_nba_inclusion, check_nba_inclusion},
+      {"absint-soundness",
+       "interval abstract interpretation vs exploration: box containment, dead "
+       "transitions, and static-prover agreement",
+       gen_absint_soundness, check_absint_soundness},
   };
   return registry;
 }

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/analysis/absint.hpp"
 #include "src/analysis/vacuity.hpp"
 #include "src/fts/programs.hpp"
 #include "src/ltl/hierarchy.hpp"
@@ -129,6 +130,20 @@ fuzz::FtsSpec fts_spec_from_json(const Json& model) {
           throw std::invalid_argument("guard var index out of range");
         if (cmp.op < 0 || cmp.op > 2)
           throw std::invalid_argument("guard op must be 0 (<=), 1 (>=) or 2 (==)");
+        // A guard no domain value can satisfy makes the transition dead by
+        // construction — reject it up front as a bad request instead of
+        // accepting a model that silently never fires it (the in-domain
+        // dead-transition case is a lint finding, MPH-F010, not an error).
+        const auto& dom = spec.vars[cmp.var];
+        const bool unsatisfiable = (cmp.op == 0 && cmp.rhs < dom.lo) ||
+                                   (cmp.op == 1 && cmp.rhs > dom.hi) ||
+                                   (cmp.op == 2 && (cmp.rhs < dom.lo || cmp.rhs > dom.hi));
+        if (unsatisfiable)
+          throw std::invalid_argument(
+              "guard on var '" + dom.name + "' is unsatisfiable: op " +
+              std::to_string(cmp.op) + " rhs " + std::to_string(cmp.rhs) +
+              " admits no value of domain [" + std::to_string(dom.lo) + ", " +
+              std::to_string(dom.hi) + "]");
         trans.guard.push_back(cmp);
       }
     }
@@ -222,6 +237,7 @@ ResolvedModel resolve_model(const Json& model) {
   }
   fuzz::FtsSpec spec = fts_spec_from_json(model);
   ResolvedModel resolved{spec.build(), spec.atoms(), model_digest(spec), "(inline)"};
+  resolved.spec = std::move(spec);
   return resolved;
 }
 
@@ -472,6 +488,12 @@ Json Server::handle_check(const Json& request) {
   ResolvedModel model = resolve_model(*model_field);
   const Budget budget = admit(request);
   fts::CheckOptions options = check_options(request, budget);
+  // Inline models carry their symbolic description: consult the interval
+  // static prover before exploring. Verdicts it certifies report (and cache)
+  // engine "static" with 0 product states. The hook does not enter the
+  // options digest — it is a pure function of the model, which already keys
+  // the verdict cache.
+  if (model.spec) options.static_prover = analysis::make_static_prover(*model.spec);
   const std::uint64_t odigest = options_digest(options);
   bool use_cache = config_.cache;
   if (const Json* no_cache = request.find("no_cache"))

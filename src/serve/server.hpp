@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,10 @@ struct ResolvedModel {
   fts::AtomMap atoms;
   std::uint64_t digest = 0;
   std::string label;
+  /// The symbolic description when the model came in as an inline FtsSpec —
+  /// exactly the object `system` was built from, so `check` can consult the
+  /// interval static prover (engine "static", docs/ABSINT.md) soundly.
+  std::optional<fts::FtsSpec> spec;
 };
 
 /// Resolves a model value — a string naming a built-in (peterson,

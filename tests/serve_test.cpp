@@ -264,6 +264,56 @@ TEST(ServeServer, ModelDeltaInvalidatesOnlyItsOwnDigest) {
       << "invalidation must not touch other models";
 }
 
+TEST(ServeServer, InlineModelBoxSafetyProvesStatically) {
+  // An inline FtsSpec carries its symbolic description into the server, so a
+  // box-safety spec resolves through the interval static prover: engine
+  // "static", zero product states, and the verdict caches like any other.
+  Server server;
+  const std::string line =
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":0,"hi":3,"init":0},)js"
+      R"js({"name":"alarm","lo":0,"hi":1,"init":0}],)js"
+      R"js("transitions":[{"name":"inc","fairness":"weak",)js"
+      R"js("guard":[{"var":0,"op":0,"rhs":1}],)js"
+      R"js("effects":[{"var":0,"src":0,"add":1}]}]},"specs":["G alarmlo"]})js";
+  const Json cold = req(server.handle_line(line));
+  ASSERT_TRUE(cold.find("ok")->as_bool());
+  const Json* r = result0(cold);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(field(*r, "verdict"), "holds");
+  EXPECT_EQ(field(*r, "cache"), "miss");
+  EXPECT_EQ(field(*r, "engine"), "static") << "box safety must not explore";
+  EXPECT_EQ(r->find("product_states")->as_u64(), std::uint64_t{0});
+  const Json warm = req(server.handle_line(line));
+  EXPECT_EQ(field(*result0(warm), "cache"), "hit");
+  EXPECT_EQ(field(*result0(warm), "engine"), "static");
+}
+
+TEST(ServeServer, UnsatisfiableGuardIsAStructuredBadRequest) {
+  // A guard no value of the variable's domain can satisfy is a malformed
+  // model, not a checkable one: the request must fail with a structured
+  // bad-request naming the variable, and the server must keep serving.
+  Server server;
+  const Json response = req(server.handle_line(
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":0,"hi":1,"init":0}],)js"
+      R"js("transitions":[{"name":"t1","fairness":"weak",)js"
+      R"js("guard":[{"var":0,"op":2,"rhs":5}],)js"
+      R"js("effects":[{"var":0,"src":0,"add":1}]}]},"specs":["F xhi"]})js"));
+  ASSERT_FALSE(response.find("ok")->as_bool());
+  const Json* error = response.find("error");
+  ASSERT_TRUE(error);
+  EXPECT_EQ(field(*error, "code"), "bad-request");
+  EXPECT_NE(field(*error, "message").find("unsatisfiable"), std::string::npos);
+  EXPECT_NE(field(*error, "message").find("'x'"), std::string::npos);
+  // An in-domain guard on the same wire works fine afterwards.
+  const Json retry = req(server.handle_line(
+      R"js({"op":"check","model":{"vars":[{"name":"x","lo":0,"hi":1,"init":0}],)js"
+      R"js("transitions":[{"name":"t1","fairness":"weak",)js"
+      R"js("guard":[{"var":0,"op":0,"rhs":1}],)js"
+      R"js("effects":[{"var":0,"src":0,"add":1}]}]},"specs":["F xhi"]})js"));
+  ASSERT_TRUE(retry.find("ok")->as_bool());
+  EXPECT_EQ(field(*result0(retry), "verdict"), "holds");
+}
+
 // ------------------------------------------------- budgets and admission
 
 TEST(ServeServer, ExpiredDeadlineYieldsStructuredUnknown) {

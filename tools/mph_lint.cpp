@@ -98,6 +98,12 @@ int usage(std::ostream& out, int code) {
          "                  engines instead of the class-aware shortcuts (docs/VACUITY.md)\n"
          "  --dispatch      use class-aware dispatch for --check itself (engine column\n"
          "                  then reports safety-prefix / guarantee-dual where taken)\n"
+         "  --absint        interval abstract interpretation of the --model's symbolic\n"
+         "                  description (dining-N, ring-N): box invariant plus dead\n"
+         "                  transitions (MPH-F010), tightened domains (MPH-F011) and\n"
+         "                  wrapping effects (MPH-F012); --check then consults the\n"
+         "                  exploration-free static prover first (engine 'static',\n"
+         "                  0 states explored; docs/ABSINT.md)\n"
          "  --strict-unknown\n"
          "                  exit 1 when any verdict is unknown (budget exhausted:\n"
          "                  MPH-V004, MPH-Y005) even without error diagnostics\n"
@@ -192,6 +198,7 @@ int main(int argc, char** argv) {
   std::optional<core::PropertyClass> strict_class;  // --strict-class gate
   bool dispatch_check = false;    // --dispatch: class-aware engines for --check
   bool dispatch_mutants = true;   // --no-dispatch: full ω-product for mutants
+  bool absint = false;            // --absint: interval analysis + static prover
   analysis::AnalysisOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -238,6 +245,8 @@ int main(int argc, char** argv) {
       dispatch_mutants = false;
     } else if (arg == "--dispatch") {
       dispatch_check = true;
+    } else if (arg == "--absint") {
+      absint = true;
     } else if (arg == "--strict-unknown") {
       strict_unknown = true;
     } else if (arg == "--classify") {
@@ -300,6 +309,10 @@ int main(int argc, char** argv) {
     std::cerr << "mph-lint: --check needs exactly one --model\n";
     return 2;
   }
+  if (absint && model_names.size() != 1) {
+    std::cerr << "mph-lint: --absint needs exactly one --model\n";
+    return 2;
+  }
   if ((vacuity || coverage) && model_names.size() != 1) {
     std::cerr << "mph-lint: --vacuity/--coverage need exactly one --model\n";
     return 2;
@@ -336,8 +349,59 @@ int main(int argc, char** argv) {
         return 2;
       }
       auto program = std::move(*model);
+      std::optional<fts::FtsSpec> sym;  // symbolic description, --absint only
+      if (absint) {
+        sym = fts::find_symbolic_model(name);
+        if (!sym) {
+          std::cerr << "mph-lint: model '" << name
+                    << "' has no symbolic description (--absint supports the "
+                       "dining-N and ring-N families)\n";
+          return 2;
+        }
+        // Analyze and check the *same* system: rebuild it from the symbolic
+        // description so the box invariant, the static prover and the
+        // exploration engines all talk about identical states and atoms.
+        program.system = sym->build();
+        program.atoms = sym->atoms();
+      }
       analysis::run_passes(analysis::Subject::of(program.system, "model '" + name + "'"),
                            engine, options);
+
+      if (sym) {
+        const auto ar = analysis::lint_absint(*sym, engine);
+        if (!json && !quiet) {
+          TextTable vt({"variable", "domain", "invariant", "tightened"});
+          for (const auto& v : ar.invariants)
+            vt.add_row({v.name,
+                        "[" + std::to_string(v.dom_lo) + ", " + std::to_string(v.dom_hi) +
+                            "]",
+                        "[" + std::to_string(v.inv.lo) + ", " + std::to_string(v.inv.hi) +
+                            "]",
+                        v.tightened ? "yes" : "no"});
+          TextTable tt({"transition", "verdict", "may wrap"});
+          for (const auto& tv : ar.transitions) {
+            std::string wraps = "-";
+            if (tv.may_wrap) {
+              wraps.clear();
+              for (const auto& w : tv.wrap_vars) {
+                if (!wraps.empty()) wraps += ", ";
+                wraps += w;
+              }
+            }
+            tt.add_row({tv.name, tv.dead ? "DEAD" : "live", wraps});
+          }
+          std::cout << "== interval analysis of model '" << name << "' ==\n"
+                    << vt.to_string() << tt.to_string() << "fixpoint in " << ar.iterations
+                    << " round(s)" << (ar.widened ? ", widened" : "")
+                    << (ar.narrowed ? ", narrowed" : "") << "; " << ar.dead_count()
+                    << " dead, " << ar.tightened_count() << " tightened, "
+                    << ar.wrap_count() << " wrapping\n\n";
+        }
+        // `, "absint": {"model": ..., <to_json body>}` — to_json emits a
+        // complete object, so splice the model name in after its '{'.
+        extra_json += ", \"absint\": {\"model\": \"" + analysis::json_escape(name) +
+                      "\", " + analysis::to_json(ar).substr(1);
+      }
 
       if (!check_formulas.empty()) {
         std::vector<ltl::Formula> specs;
@@ -347,6 +411,7 @@ int main(int argc, char** argv) {
         copts.explore_threads = explore_threads;
         copts.diagnostics = &engine;
         copts.class_dispatch = dispatch_check;
+        if (sym) copts.static_prover = analysis::make_static_prover(*sym);
         if (budget_states > 0) copts.budget.with_state_cap(budget_states);
         if (budget_ms > 0)
           copts.budget.with_deadline_after(std::chrono::milliseconds(budget_ms));
